@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure of the paper's evaluation at
+``DEFAULT_SCALE`` (scaled model dimensions, full structural parameters — see
+EXPERIMENTS.md), prints the regenerated rows/series, and asserts the figure's
+qualitative claim (who wins, in which direction, roughly by how much).
+Experiments are long-running sweeps, so each benchmark executes a single
+measured round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.report import format_summary, format_table
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return DEFAULT_SCALE
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def print_rows(title: str, rows, summary=None) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+    if summary:
+        print(format_summary(summary, title="summary"))

@@ -1,0 +1,27 @@
+"""Figure 8 — SwiGLU tile-size sweep: STeP simulator vs the detailed reference.
+
+The paper reports a Pearson correlation of 0.99 between its cycle-approximate
+simulator and a cycle-accurate Bluespec model; our substitute reference is a
+physical-tile-granularity Python model (see DESIGN.md), against which we
+require a strong positive correlation and identical off-chip traffic.
+"""
+
+from repro.experiments import figure8
+
+from .conftest import print_rows
+
+
+def test_fig08_simulator_validation(run_once, scale):
+    result = run_once(figure8.run, scale)
+    print_rows("Figure 8: cycle counts and off-chip traffic per tiling",
+               result["rows"],
+               {"pearson_correlation": result["pearson_correlation"]})
+    assert result["traffic_identical"], "both simulators must observe the same traffic"
+    assert result["pearson_correlation"] > 0.85
+    # memory-bound behaviour: larger batch tiles reduce both traffic and cycles
+    by_tile = {(r["batch_tile"], r["intermediate_tile"]): r for r in result["rows"]}
+    small = by_tile[(16, 64)]
+    large = by_tile[(64, 64)]
+    assert large["step_traffic_bytes"] < small["step_traffic_bytes"]
+    assert large["step_cycles"] < small["step_cycles"]
+    assert large["hdl_cycles"] < small["hdl_cycles"]

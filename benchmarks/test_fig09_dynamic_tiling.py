@@ -1,0 +1,24 @@
+"""Figure 9 — dynamic tiling vs the static-tiling Pareto frontier (batch 64)."""
+
+from repro.experiments import figure9_10
+
+from .conftest import print_rows
+
+
+def test_fig09_dynamic_tiling_small_batch(run_once, scale):
+    result = run_once(figure9_10.run, scale, large_batch=False)
+    for model, payload in result["per_model"].items():
+        print_rows(f"Figure 9: {model}", payload["rows"], payload["summary"])
+        summary = payload["summary"]
+        rows = payload["rows"]
+        dynamic = next(r for r in rows if r["tile_rows"] is None)
+        static_rows = [r for r in rows if r["tile_rows"] is not None]
+        # dynamic tiling reaches (or beats) the static Pareto frontier ...
+        assert summary["pid"] >= 1.0
+        # ... is at least as fast as every static point at matched memory ...
+        assert summary["speedup_at_matched_memory"] >= 1.0
+        # ... never moves more data than the best static configuration ...
+        assert dynamic["offchip_traffic_bytes"] <= min(r["offchip_traffic_bytes"]
+                                                       for r in static_rows)
+        # ... and avoids the padding FLOPs of static tiling.
+        assert dynamic["total_flops"] <= min(r["total_flops"] for r in static_rows)

@@ -1,0 +1,23 @@
+"""Figure 10 — dynamic tiling vs static tiling at a large batch size."""
+
+from repro.experiments import figure9_10
+
+from .conftest import print_rows
+
+
+def test_fig10_dynamic_tiling_large_batch(run_once, scale):
+    result = run_once(figure9_10.run, scale, large_batch=True)
+    for model, payload in result["per_model"].items():
+        print_rows(f"Figure 10: {model}", payload["rows"], payload["summary"])
+        rows = payload["rows"]
+        dynamic = next(r for r in rows if r["tile_rows"] is None)
+        static_rows = [r for r in rows if r["tile_rows"] is not None]
+        best_static_cycles = min(r["cycles"] for r in static_rows)
+        largest_tile = max(static_rows, key=lambda r: r["tile_rows"])
+        # dynamic tiling matches the best static performance within 10% ...
+        assert dynamic["cycles"] <= best_static_cycles * 1.10
+        # ... while using no more on-chip memory than the largest static tile
+        assert dynamic["onchip_memory_bytes"] <= largest_tile["onchip_memory_bytes"]
+        # at the scaled Mixtral configuration the dynamic point sits essentially
+        # on the static frontier rather than strictly beyond it (EXPERIMENTS.md)
+        assert payload["summary"]["pid"] >= 0.9

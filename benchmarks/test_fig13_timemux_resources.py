@@ -1,0 +1,28 @@
+"""Figure 13 — configuration time-multiplexing: resource usage and performance."""
+
+import pytest
+
+from repro.experiments import figure12_13
+
+from .conftest import print_rows
+
+
+def test_fig13_resource_savings(run_once, scale):
+    result = run_once(figure12_13.run, scale)
+    payload = result["static"]
+    print_rows("Figure 13: static tiling (tile=32) region sweep", payload["rows"],
+               payload["summary"])
+    rows = sorted(payload["rows"], key=lambda r: r["parallel_regions"])
+    spatial = rows[-1]          # one region per expert
+    shared = rows[0]            # fewest regions
+    # allocated compute and on-chip memory shrink with the region count
+    assert shared["allocated_compute_flops_per_cycle"] < \
+        0.25 * spatial["allocated_compute_flops_per_cycle"]
+    assert shared["onchip_memory_bytes"] < spatial["onchip_memory_bytes"]
+    # the paper's headline: ~62% compute and ~46% memory freed at comparable
+    # performance; require at least a 30% compute saving at <= 15% overhead
+    summary = payload["summary"]
+    assert summary["compute_saving_fraction"] > 0.3
+    assert summary["saving_point_overhead"] < 0.15
+    # off-chip bandwidth utilization drops as fewer regions issue loads
+    assert shared["offchip_bw_utilization"] <= spatial["offchip_bw_utilization"] + 1e-9

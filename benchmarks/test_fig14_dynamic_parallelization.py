@@ -1,0 +1,17 @@
+"""Figure 14 — dynamic vs static interleaved parallelization across KV variance."""
+
+from repro.experiments import figure14
+
+from .conftest import print_rows
+
+
+def test_fig14_dynamic_vs_interleaved(run_once, scale):
+    result = run_once(figure14.run, scale)
+    print_rows("Figure 14: speedup of dynamic over static interleaved", result["rows"],
+               result["speedup_by_variance"])
+    speedups = result["speedup_by_variance"]
+    # dynamic parallelization wins on average and the advantage grows with the
+    # KV-length variance (paper: 1.14-1.26x at low, 1.47-1.57x at high)
+    assert speedups["high"] > 1.1
+    assert speedups["medium"] > 1.0
+    assert speedups["high"] >= speedups["low"] - 0.02

@@ -1,0 +1,16 @@
+"""Figure 15 — dynamic vs static coarse-grained parallelization across batch sizes."""
+
+from repro.experiments import figure15
+
+from .conftest import print_rows
+
+
+def test_fig15_coarse_vs_dynamic(run_once, scale):
+    result = run_once(figure15.run, scale)
+    print_rows("Figure 15: coarse-grained vs dynamic parallelization", result["rows"])
+    # the paper reports a 2.72x speedup at batch 16 because static
+    # coarse-grained parallelization leaves most regions idle
+    assert result["smallest_batch_speedup"] > 2.0
+    # the advantage shrinks with batch size but persists (1.43x at batch 64)
+    assert result["largest_batch_speedup"] > 1.0
+    assert result["smallest_batch_speedup"] > result["largest_batch_speedup"]

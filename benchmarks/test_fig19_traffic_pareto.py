@@ -1,0 +1,24 @@
+"""Figure 19 — off-chip traffic vs on-chip memory Pareto (batch 64, Appendix B.4)."""
+
+from repro.experiments import figure19_20
+
+from .conftest import print_rows
+
+
+def test_fig19_traffic_vs_memory(run_once, scale):
+    result = run_once(figure19_20.run, scale, large_batch=False)
+    for model, payload in result["per_model"].items():
+        print_rows(f"Figure 19: {model}", payload["rows"], payload["summary"])
+        rows = payload["rows"]
+        static_rows = sorted((r for r in rows if r["tile_rows"] is not None),
+                             key=lambda r: r["tile_rows"])
+        dynamic = next(r for r in rows if r["tile_rows"] is None)
+        # the static curve trades on-chip memory against off-chip traffic:
+        # the smallest tile moves the most data, the largest the least
+        assert static_rows[0]["offchip_traffic_bytes"] >= \
+            static_rows[-1]["offchip_traffic_bytes"]
+        assert static_rows[0]["onchip_memory_bytes"] <= \
+            static_rows[-1]["onchip_memory_bytes"]
+        # dynamic tiling removes the trade-off: minimal traffic at low memory
+        assert dynamic["offchip_traffic_bytes"] <= static_rows[-1]["offchip_traffic_bytes"]
+        assert dynamic["onchip_memory_bytes"] <= static_rows[-1]["onchip_memory_bytes"]

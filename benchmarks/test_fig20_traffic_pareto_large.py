@@ -1,0 +1,20 @@
+"""Figure 20 — off-chip traffic vs on-chip memory Pareto at a large batch size."""
+
+from repro.experiments import figure19_20
+
+from .conftest import print_rows
+
+
+def test_fig20_traffic_vs_memory_large_batch(run_once, scale):
+    result = run_once(figure19_20.run, scale, large_batch=True)
+    for model, payload in result["per_model"].items():
+        print_rows(f"Figure 20: {model}", payload["rows"], payload["summary"])
+        rows = payload["rows"]
+        static_rows = sorted((r for r in rows if r["tile_rows"] is not None),
+                             key=lambda r: r["tile_rows"])
+        dynamic = next(r for r in rows if r["tile_rows"] is None)
+        assert dynamic["offchip_traffic_bytes"] <= static_rows[0]["offchip_traffic_bytes"]
+        assert dynamic["onchip_memory_bytes"] <= static_rows[-1]["onchip_memory_bytes"]
+        # the traffic-vs-memory PID of the dynamic point stays close to (or
+        # beyond) the static frontier
+        assert payload["summary"]["pid"] >= 0.85

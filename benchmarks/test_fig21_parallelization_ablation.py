@@ -1,0 +1,24 @@
+"""Figure 21 — parallelization-strategy ablation across variance and batch classes."""
+
+from repro.experiments import figure21
+
+from .conftest import print_rows
+
+
+def test_fig21_ablation(run_once, scale):
+    result = run_once(figure21.run, scale)
+    print_rows("Figure 21: normalized cycles (relative to dynamic)", result["rows"],
+               result["geomean_normalized"])
+    norm = result["geomean_normalized"]
+    # dynamic parallelization is the reference (1.0) and wins on geometric mean
+    # (the paper reports 1.36x for interleave and 1.85x for coarse)
+    assert abs(norm["dynamic"] - 1.0) < 1e-6
+    assert norm["interleave"] > 1.0
+    assert norm["coarse"] > norm["interleave"]
+    # the coarse-grained penalty is largest for the small-batch class
+    coarse_small = [r["normalized_to_dynamic"] for r in result["rows"]
+                    if r["strategy"] == "coarse" and r["batch_class"].startswith("B=16")]
+    coarse_big = [r["normalized_to_dynamic"] for r in result["rows"]
+                  if r["strategy"] == "coarse" and r["batch_class"] == "B=64"]
+    if coarse_small and coarse_big:
+        assert max(coarse_small) >= max(coarse_big) - 0.05

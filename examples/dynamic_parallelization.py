@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Attention parallelization strategies under skewed KV-cache lengths (Section 5.4).
+
+Builds the decode-attention layer with the three work-distribution strategies
+(static coarse-grained, static interleaved, dynamic) and compares their
+latency on a synthetic AzureLLMInference-like batch for each variance class.
+
+Run with::
+
+    python examples/dynamic_parallelization.py [batch]
+"""
+
+import sys
+
+from repro.data.kv_traces import VarianceClass, make_batches_by_variance
+from repro.sim import simulate
+from repro.workloads.attention import AttentionConfig, build_attention_layer
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
+
+
+def main():
+    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    model = scaled_config(QWEN3_30B_A3B, scale=32)
+    hardware = sda_hardware()
+    batches = make_batches_by_variance(batch_size=batch, samples_per_class=1, seed=0)
+
+    print(f"decode attention, batch={batch}, 4 parallel regions "
+          f"(KV width {model.kv_dim})\n")
+    header = f"{'variance':<10}{'KV std':>8}" + "".join(
+        f"{s:>14}" for s in ("coarse", "interleave", "dynamic")) + f"{'dyn speedup':>13}"
+    print(header)
+    for variance in (VarianceClass.LOW, VarianceClass.MEDIUM, VarianceClass.HIGH):
+        trace = batches[variance][0]
+        cycles = {}
+        for strategy in ("coarse", "interleave", "dynamic"):
+            config = AttentionConfig(model=model, batch=batch, strategy=strategy,
+                                     kv_tile_rows=64, coarse_chunk=16)
+            built = build_attention_layer(config)
+            cycles[strategy] = simulate(built.program, built.inputs(list(trace)),
+                                        hardware=hardware).cycles
+        speedup = cycles["interleave"] / cycles["dynamic"]
+        print(f"{variance.value:<10}{trace.std:>8.0f}"
+              + "".join(f"{cycles[s]:>14,.0f}" for s in ("coarse", "interleave", "dynamic"))
+              + f"{speedup:>13.2f}")
+
+    print("\nDynamic parallelization dispatches each request to whichever region "
+          "frees up first (Figure 16), so its advantage grows with the KV-length "
+          "variance of the batch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's simplified MoE walk-through (Section 3.3, Listing 1, Figure 7).
+
+Ten activation rows are routed to two single-matmul experts, packed into tiles
+(statically padded or dynamically sized), multiplied against weights streamed
+from off-chip memory, and gathered back in the original order.  The example
+prints the stream shapes of the main regions, verifies the result against
+numpy, and contrasts the static- and dynamic-tiling schedules.
+
+Run with::
+
+    python examples/simple_moe.py
+"""
+
+import numpy as np
+
+from repro.core.builder import tokens_to_matrix
+from repro.sim import simulate
+from repro.workloads.configs import sda_hardware
+from repro.workloads.simple_moe import SimpleMoEConfig, build_simple_moe
+
+
+def run_variant(tile_rows, activations, routing):
+    config = SimpleMoEConfig(num_rows=10, hidden_dim=64, out_dim=256, num_experts=2,
+                             tile_rows=tile_rows)
+    built = build_simple_moe(config, seed=1)
+    report = simulate(built.program, built.inputs(activations, routing),
+                      hardware=sda_hardware())
+    produced = tokens_to_matrix(report.output_tokens(built.output_name))
+    error = float(np.abs(produced - built.reference(activations, routing)).max())
+    return report, error
+
+
+def main():
+    rng = np.random.default_rng(7)
+    activations = rng.standard_normal((10, 64)).astype(np.float32)
+    routing = [0, 1, 0, 0, 1, 1, 0, 1, 0, 0]
+    print("routing decisions:", routing)
+    print(f"tokens per expert: expert0={routing.count(0)}, expert1={routing.count(1)}\n")
+
+    # show the graph structure once (static tiling, like Listing 1)
+    built = build_simple_moe(SimpleMoEConfig(), seed=1)
+    print(built.program.describe()[:1200], "...\n")
+
+    print(f"{'schedule':<18}{'cycles':>10}{'off-chip bytes':>16}{'on-chip bytes':>15}"
+          f"{'max |err|':>12}")
+    for label, tile_rows in (("static tile=4", 4), ("dynamic tiling", None)):
+        report, error = run_variant(tile_rows, activations, routing)
+        print(f"{label:<18}{report.cycles:>10,.0f}{report.offchip_traffic:>16,}"
+              f"{report.onchip_memory:>15,}{error:>12.2e}")
+
+    print("\nDynamic tiling loads each expert's weights once (no padded groups), "
+          "which is the Section 5.2 optimization in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a from-scratch reproduction of *Streaming Tensor Programs* (ASPLOS 2026).
+
+The package provides
+
+* the STeP streaming abstraction (:mod:`repro.core`, :mod:`repro.ops`),
+* the symbolic analysis of off-chip traffic / on-chip memory (:mod:`repro.analysis`),
+* a cycle-approximate dataflow simulator (:mod:`repro.sim`) and an
+  HDL-substitute reference simulator (:mod:`repro.hdl`),
+* the paper's workloads, schedules and trace generators
+  (:mod:`repro.workloads`, :mod:`repro.schedules`, :mod:`repro.data`),
+* and the experiment harness that regenerates every figure
+  (:mod:`repro.experiments`).
+
+See ``examples/quickstart.py`` for a complete program.
+"""
+
+from . import core, ops
+from .core import (
+    Dim,
+    Program,
+    Selector,
+    StreamShape,
+    Tile,
+    TileType,
+)
+from .ops import (
+    Accum,
+    Bufferize,
+    EagerMerge,
+    Expand,
+    FlatMap,
+    Flatten,
+    LinearOffChipLoad,
+    LinearOffChipLoadRef,
+    LinearOffChipStore,
+    Map,
+    Partition,
+    Promote,
+    RandomOffChipLoad,
+    RandomOffChipStore,
+    Reassemble,
+    Repeat,
+    Reshape,
+    Scan,
+    Streamify,
+    Zip,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "ops",
+    "Dim",
+    "Program",
+    "Selector",
+    "StreamShape",
+    "Tile",
+    "TileType",
+    "Accum",
+    "Bufferize",
+    "EagerMerge",
+    "Expand",
+    "FlatMap",
+    "Flatten",
+    "LinearOffChipLoad",
+    "LinearOffChipLoadRef",
+    "LinearOffChipStore",
+    "Map",
+    "Partition",
+    "Promote",
+    "RandomOffChipLoad",
+    "RandomOffChipStore",
+    "Reassemble",
+    "Repeat",
+    "Reshape",
+    "Scan",
+    "Streamify",
+    "Zip",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Symbolic analysis of STeP programs (paper Section 4.2) and evaluation metrics.
+
+* :mod:`repro.analysis.traffic` — off-chip traffic expressions per operator,
+* :mod:`repro.analysis.memory` — on-chip memory-requirement expressions,
+* :mod:`repro.analysis.intensity` — FLOP counts and operational intensity,
+* :mod:`repro.analysis.roofline` — Roofline / effective-bandwidth model (Figure 1),
+* :mod:`repro.analysis.pareto` — Pareto frontiers and the Pareto Improvement
+  Distance metric (Section 5.2, Appendix B.4).
+"""
+
+from .traffic import offchip_traffic_expr, program_offchip_traffic
+from .memory import onchip_memory_expr, program_onchip_memory
+from .intensity import operational_intensity, program_flops_estimate
+from .pareto import ParetoPoint, pareto_front, pareto_improvement_distance
+from .roofline import RooflineModel, effective_bandwidth
+
+__all__ = [
+    "offchip_traffic_expr",
+    "program_offchip_traffic",
+    "onchip_memory_expr",
+    "program_onchip_memory",
+    "operational_intensity",
+    "program_flops_estimate",
+    "ParetoPoint",
+    "pareto_front",
+    "pareto_improvement_distance",
+    "RooflineModel",
+    "effective_bandwidth",
+]

@@ -1,0 +1,70 @@
+"""FLOP estimates and operational intensity.
+
+Operational intensity (FLOPs per off-chip byte) combines the off-chip traffic
+expressions of :mod:`repro.analysis.traffic` with per-operator FLOP estimates.
+Because the off-chip traffic analysis is a lower bound when operators spill,
+the derived operational intensity is an upper bound (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..core import symbolic as sym
+from ..core.dtypes import TileType, TupleType
+from ..core.graph import OperatorBase, Program
+from ..core.symbolic import Expr
+from ..ops.functions import Matmul, MatmulAccum
+from .traffic import program_offchip_traffic
+
+
+def operator_flops_expr(op: OperatorBase) -> Expr:
+    """Symbolic FLOP estimate for one operator (matmuls dominate; others ~ element counts)."""
+    fn = getattr(op, "fn", None)
+    if fn is None:
+        return sym.Const(0)
+
+    out = op.outputs[0] if op.outputs else None
+    if isinstance(fn, (Matmul, MatmulAccum)):
+        # 2 * M * K * N per output tile
+        if op.kind == "Map" and len(op.inputs) >= 2:
+            a, b = op.inputs[0].dtype, op.inputs[-1].dtype
+        elif isinstance(op.inputs[0].dtype, TupleType):
+            a, b = op.inputs[0].dtype.elements[:2]
+        else:
+            return sym.Const(0)
+        if not (isinstance(a, TileType) and isinstance(b, TileType)):
+            return sym.Const(0)
+        per_element = sym.Const(2) * a.rows.size * a.cols.size * b.cols.size
+        count = op.inputs[0].shape.cardinality()
+        return per_element * count
+
+    # element-wise style functions: ~ a handful of FLOPs per tile element
+    if out is not None and isinstance(out.dtype, TileType):
+        per_element = out.dtype.rows.size * out.dtype.cols.size
+        return per_element * op.inputs[0].shape.cardinality()
+    return sym.Const(0)
+
+
+def program_flops_estimate(program: Program,
+                           bindings: Optional[Mapping] = None) -> Union[Expr, int]:
+    """Total symbolic FLOP estimate of a program."""
+    total = sym.ssum(operator_flops_expr(op) for op in program.operators)
+    return sym.maybe_evaluate(total, bindings or {})
+
+
+def operational_intensity(program: Program, bindings: Optional[Mapping] = None,
+                          flops: Optional[float] = None,
+                          traffic_bytes: Optional[float] = None) -> float:
+    """FLOPs per off-chip byte.
+
+    Either pass measured ``flops``/``traffic_bytes`` (e.g. from a simulation
+    report) or let both be derived symbolically and evaluated with ``bindings``.
+    """
+    if flops is None:
+        flops = float(sym.evaluate(program_flops_estimate(program, bindings)))
+    if traffic_bytes is None:
+        traffic_bytes = float(sym.evaluate(program_offchip_traffic(program, bindings)))
+    if traffic_bytes == 0:
+        return float("inf") if flops > 0 else 0.0
+    return flops / traffic_bytes

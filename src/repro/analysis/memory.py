@@ -1,0 +1,86 @@
+"""Symbolic on-chip memory-requirement analysis (Section 4.2).
+
+Per-operator expressions (all other operators stream fully and need no
+materialization, so they contribute zero):
+
+* off-chip memory operators: ``|output dtype| * 2`` (double-buffered staging),
+* Bufferize: ``|input dtype| + ||buffer|| * |input dtype| * 2``,
+* Accum, Scan, Expand: ``|output dtype|``,
+* Map (matmul) and Accum (matmul):
+  ``16 * in_tile_col + |weight tile| + |output tile|`` where the output-tile
+  term only applies to Accum (mirroring the inner-product matmul mapping onto
+  16x16 hardware tiles).
+
+The program requirement is the sum over operators.  Dynamic dimensions leave
+symbols in the result; binding them (from trace statistics or simulator
+observations) yields concrete numbers — exactly the frontend/simulator split
+described in "Handling data dependencies".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..core import symbolic as sym
+from ..core.dtypes import BufferType, TileType, TupleType
+from ..core.graph import OperatorBase, Program
+from ..core.symbolic import Expr
+from ..ops.functions import Matmul, MatmulAccum
+
+_OFFCHIP_KINDS = {
+    "LinearOffChipLoad", "LinearOffChipLoadRef", "RandomOffChipLoad",
+    "LinearOffChipStore", "RandomOffChipStore",
+}
+
+
+def _matmul_weight_and_input(op: OperatorBase):
+    """(input tile type, weight tile type) for a matmul Map/Accum, else ``None``."""
+    fn = getattr(op, "fn", None)
+    if isinstance(fn, Matmul) and op.kind == "Map" and len(op.inputs) >= 2:
+        a, b = op.inputs[0].dtype, op.inputs[-1].dtype
+        if isinstance(a, TileType) and isinstance(b, TileType):
+            return a, b
+    if isinstance(fn, MatmulAccum) and op.kind == "Accum":
+        dtype = op.inputs[0].dtype
+        if isinstance(dtype, TupleType) and len(dtype.elements) == 2:
+            a, b = dtype.elements
+            if isinstance(a, TileType) and isinstance(b, TileType):
+                return a, b
+    return None
+
+
+def onchip_memory_expr(op: OperatorBase, compute_tile: int = 16) -> Expr:
+    """Symbolic on-chip memory requirement (bytes) of one operator."""
+    if op.kind in _OFFCHIP_KINDS:
+        if op.outputs:
+            return op.outputs[0].dtype.nbytes_expr() * 2
+        return op.inputs[0].dtype.nbytes_expr() * 2
+
+    if op.kind == "Bufferize":
+        in_dtype = op.inputs[0].dtype
+        buffer_type = op.outputs[0].dtype
+        assert isinstance(buffer_type, BufferType)
+        return in_dtype.nbytes_expr() + buffer_type.cardinality() * in_dtype.nbytes_expr() * 2
+
+    if op.kind in ("Map", "Accum"):
+        matmul = _matmul_weight_and_input(op)
+        if matmul is not None:
+            in_tile, weight_tile = matmul
+            total = (sym.Const(compute_tile) * in_tile.cols.size * in_tile.dtype.nbytes
+                     + weight_tile.nbytes_expr())
+            if op.kind == "Accum":
+                total = total + op.outputs[0].dtype.nbytes_expr()
+            return total
+
+    if op.kind in ("Accum", "Scan", "Expand"):
+        return op.outputs[0].dtype.nbytes_expr()
+
+    return sym.Const(0)
+
+
+def program_onchip_memory(program: Program, bindings: Optional[Mapping] = None,
+                          compute_tile: int = 16) -> Union[Expr, int]:
+    """Total symbolic on-chip memory requirement of a program."""
+    total = sym.ssum(onchip_memory_expr(op, compute_tile=compute_tile)
+                     for op in program.operators)
+    return sym.maybe_evaluate(total, bindings or {})

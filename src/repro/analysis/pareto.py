@@ -1,0 +1,102 @@
+"""Pareto frontiers and the Pareto Improvement Distance (PID) metric.
+
+The paper quantifies how far dynamic tiling pushes past the static-tiling
+frontier with the PID (Section 5.2, Appendix B.4, equation (2)):
+
+    PID(p) = min over q in F_B of max( cycles(q)/cycles(p), mem(q)/mem(p) )
+
+where ``F_B`` is the Pareto-optimal subset of the baseline points and both
+objectives are minimized.  ``PID > 1`` means the point lies strictly beyond
+the baseline frontier, ``= 1`` on it, ``< 1`` dominated by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A design point with two minimized objectives (and an optional label)."""
+
+    cycles: float
+    memory: float
+    label: str = ""
+    extra: tuple = field(default_factory=tuple)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both objectives and
+        strictly better on at least one."""
+        no_worse = self.cycles <= other.cycles and self.memory <= other.memory
+        better = self.cycles < other.cycles or self.memory < other.memory
+        return no_worse and better
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.cycles, self.memory)
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """The Pareto-optimal (non-dominated) subset, sorted by cycles."""
+    points = list(points)
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        if any(other.dominates(candidate) for other in points if other is not candidate):
+            continue
+        front.append(candidate)
+    # de-duplicate identical objective pairs
+    unique: Dict[Tuple[float, float], ParetoPoint] = {}
+    for point in front:
+        unique.setdefault(point.as_tuple(), point)
+    return sorted(unique.values(), key=lambda p: (p.cycles, p.memory))
+
+
+def pareto_improvement_distance(point: ParetoPoint,
+                                baseline: Sequence[ParetoPoint]) -> float:
+    """Equation (2): distance of ``point`` beyond the baseline Pareto frontier."""
+    if point.cycles <= 0 or point.memory <= 0:
+        raise ValueError("PID requires strictly positive objectives")
+    frontier = pareto_front(baseline)
+    if not frontier:
+        raise ValueError("PID requires a non-empty baseline frontier")
+    best = None
+    for q in frontier:
+        worst_ratio = max(q.cycles / point.cycles, q.memory / point.memory)
+        best = worst_ratio if best is None else min(best, worst_ratio)
+    return float(best)
+
+
+def closest_baseline(point: ParetoPoint, baseline: Sequence[ParetoPoint],
+                     objective: str = "memory") -> Optional[ParetoPoint]:
+    """The baseline frontier point closest to ``point`` along one objective.
+
+    Used to report the paper's "same on-chip memory as tile=16"-style
+    comparisons: match on one axis, compare the improvement on the other.
+    """
+    frontier = pareto_front(baseline)
+    if not frontier:
+        return None
+    if objective not in ("memory", "cycles"):
+        raise ValueError(f"objective must be 'memory' or 'cycles', got {objective!r}")
+    key = (lambda q: abs(q.memory - point.memory)) if objective == "memory" \
+        else (lambda q: abs(q.cycles - point.cycles))
+    return min(frontier, key=key)
+
+
+def speedup_at_matched_memory(point: ParetoPoint,
+                              baseline: Sequence[ParetoPoint]) -> float:
+    """Speedup of ``point`` over the baseline point with the nearest memory use."""
+    match = closest_baseline(point, baseline, objective="memory")
+    if match is None:
+        return 1.0
+    return match.cycles / point.cycles
+
+
+def memory_saving_at_matched_performance(point: ParetoPoint,
+                                         baseline: Sequence[ParetoPoint]) -> float:
+    """On-chip memory saving of ``point`` versus the baseline point with the
+    nearest cycle count (a value > 1 means the point uses less memory)."""
+    match = closest_baseline(point, baseline, objective="cycles")
+    if match is None:
+        return 1.0
+    return match.memory / point.memory

@@ -1,0 +1,104 @@
+"""Roofline modelling and effective bandwidth (Figure 1, Section 4.3).
+
+Figure 1 compares the *effective bandwidth* of GPUs and the SN40L SDA on
+Llama-3.1 token generation: effective bandwidth is computed with Roofline
+modelling from the fraction of peak throughput each platform achieves on the
+(heavily memory-bound) decode phase.  This module reproduces that calculation
+from the model configurations and the utilization fractions reported by prior
+work, and provides the general Roofline helper used elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..workloads.configs import LLAMA_3_1_70B, LLAMA_3_1_8B, ModelConfig
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A platform Roofline: peak compute (FLOP/s) and peak memory bandwidth (B/s)."""
+
+    name: str
+    peak_compute: float
+    peak_bandwidth: float
+
+    def attainable(self, operational_intensity: float) -> float:
+        """Attainable FLOP/s at the given operational intensity (FLOPs/byte)."""
+        if operational_intensity < 0:
+            raise ValueError("operational intensity must be non-negative")
+        return min(self.peak_compute, self.peak_bandwidth * operational_intensity)
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        return self.peak_bandwidth * operational_intensity < self.peak_compute
+
+    def ridge_point(self) -> float:
+        """Operational intensity at which the platform becomes compute bound."""
+        if self.peak_bandwidth == 0:
+            return float("inf")
+        return self.peak_compute / self.peak_bandwidth
+
+
+def effective_bandwidth(peak_bandwidth: float, fraction_of_peak_throughput: float) -> float:
+    """Effective bandwidth of a memory-bound phase.
+
+    For a memory-bound workload, achieved throughput scales linearly with the
+    memory bandwidth actually sustained, so the effective bandwidth is the
+    peak bandwidth scaled by the fraction of peak throughput achieved.
+    """
+    if not 0.0 <= fraction_of_peak_throughput <= 1.0:
+        raise ValueError("fraction of peak throughput must be within [0, 1]")
+    return peak_bandwidth * fraction_of_peak_throughput
+
+
+def decode_bytes_per_token(model: ModelConfig, dtype_bytes: int = 2) -> float:
+    """Bytes read from HBM per generated token (weights dominate decode)."""
+    ffn = 3 * model.hidden_dim * model.moe_intermediate_dim
+    attn = (model.hidden_dim * model.q_dim + 2 * model.hidden_dim * model.kv_dim
+            + model.q_dim * model.hidden_dim)
+    per_layer = ffn * (model.experts_per_token / max(1, 1)) + attn
+    return per_layer * model.num_layers * dtype_bytes
+
+
+def decode_flops_per_token(model: ModelConfig) -> float:
+    """FLOPs per generated token (2 x parameters touched)."""
+    return decode_bytes_per_token(model, dtype_bytes=1) * 2.0
+
+
+#: Platform peak HBM bandwidths in TB/s (8xH100 aggregates eight GPUs;
+#: SN40L-8 / SN40L-16 follow the paper's naming).
+PLATFORM_PEAK_BANDWIDTH_TBS: Dict[str, float] = {
+    "8xH100": 8 * 3.35,
+    "SN40L-8": 8 * 1.64,
+    "SN40L-16": 16 * 1.64,
+}
+
+#: Fraction of peak decode throughput reported by prior work ([19] in the
+#: paper): GPUs sustain under half of peak HBM bandwidth on Llama-3.1 decode,
+#: while the SDA sustains most of it thanks to kernel looping / fusion.
+REPORTED_FRACTION_OF_PEAK: Dict[str, Dict[str, float]] = {
+    "Llama-3.1-8B/batch1": {"8xH100": 0.28, "SN40L-8": 0.78, "SN40L-16": 0.72},
+    "Llama-3.1-8B/batch8": {"8xH100": 0.42, "SN40L-8": 0.82, "SN40L-16": 0.76},
+    "Llama-3.1-70B/batch1": {"8xH100": 0.35, "SN40L-8": 0.80, "SN40L-16": 0.75},
+    "Llama-3.1-70B/batch8": {"8xH100": 0.46, "SN40L-8": 0.84, "SN40L-16": 0.78},
+}
+
+
+def figure1_rows(fractions: Optional[Dict[str, Dict[str, float]]] = None) -> List[dict]:
+    """Effective-bandwidth rows reproducing Figure 1's bar chart."""
+    fractions = fractions or REPORTED_FRACTION_OF_PEAK
+    rows: List[dict] = []
+    for workload, per_platform in fractions.items():
+        model = LLAMA_3_1_8B if "8B" in workload else LLAMA_3_1_70B
+        for platform, fraction in per_platform.items():
+            peak = PLATFORM_PEAK_BANDWIDTH_TBS[platform]
+            rows.append({
+                "workload": workload,
+                "model": model.name,
+                "platform": platform,
+                "peak_bandwidth_tbs": peak,
+                "effective_bandwidth_tbs": effective_bandwidth(peak, fraction),
+                "fraction_of_peak": fraction,
+            })
+    return rows

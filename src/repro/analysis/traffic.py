@@ -1,0 +1,49 @@
+"""Symbolic off-chip traffic analysis (Section 4.2).
+
+Off-chip traffic only occurs in the off-chip memory operators, so the traffic
+expression of every other operator is zero and the expression for an off-chip
+operator is ``||output stream|| * |output dtype|`` (for loads) or
+``||input stream|| * |input dtype|`` (for stores).  Summing over the program
+gives total off-chip traffic — exact if nothing else spills, otherwise a lower
+bound (and hence an upper bound on operational intensity).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..core import symbolic as sym
+from ..core.graph import OperatorBase, Program
+from ..core.symbolic import Expr
+
+#: operator kinds that read from off-chip memory
+_LOAD_KINDS = {"LinearOffChipLoad", "LinearOffChipLoadRef", "RandomOffChipLoad"}
+#: operator kinds that write to off-chip memory
+_STORE_KINDS = {"LinearOffChipStore", "RandomOffChipStore"}
+
+
+def offchip_traffic_expr(op: OperatorBase) -> Expr:
+    """Symbolic off-chip traffic (bytes) contributed by one operator."""
+    if op.kind in _LOAD_KINDS:
+        handle = op.outputs[0]
+        return handle.shape.cardinality() * handle.dtype.nbytes_expr()
+    if op.kind == "LinearOffChipStore":
+        handle = op.inputs[0]
+        return handle.shape.cardinality() * handle.dtype.nbytes_expr()
+    if op.kind == "RandomOffChipStore":
+        # traffic follows the write-data stream (second input)
+        handle = op.inputs[1]
+        return handle.shape.cardinality() * handle.dtype.nbytes_expr()
+    return sym.Const(0)
+
+
+def program_offchip_traffic(program: Program,
+                            bindings: Optional[Mapping] = None) -> Union[Expr, int]:
+    """Total symbolic off-chip traffic of a program.
+
+    ``bindings`` substitutes dynamic-dimension symbols with concrete values
+    (e.g. observed per-expert token counts); when every symbol is bound the
+    result is a plain integer.
+    """
+    total = sym.ssum(offchip_traffic_expr(op) for op in program.operators)
+    return sym.maybe_evaluate(total, bindings or {})

@@ -1,0 +1,64 @@
+"""Core STeP abstraction: symbolic shapes, streams, data types and the program graph."""
+
+from . import symbolic
+from .builder import (
+    counts_to_tokens,
+    input_stream,
+    matrix_to_row_tokens,
+    row_stream_input,
+    selector_input,
+    selectors_to_tokens,
+    tile_input,
+    tiles_to_tokens,
+    tokens_to_matrix,
+    tokens_to_nested_tiles,
+    tokens_to_tiles,
+)
+from .dims import Dim, DimKind, DimRequirement
+from .dtypes import (
+    BF16,
+    BOOL,
+    F16,
+    F32,
+    I8,
+    I32,
+    Address,
+    AddressType,
+    BufferHandle,
+    BufferType,
+    Selector,
+    SelectorType,
+    Tile,
+    TileType,
+    TupleType,
+    TupleValue,
+)
+from .errors import (
+    ConfigError,
+    DeadlockError,
+    GraphError,
+    ShapeError,
+    SimulationError,
+    StepError,
+    StreamProtocolError,
+    SymbolicError,
+    TypeMismatchError,
+)
+from .graph import InputStream, OperatorBase, Program, StreamHandle, StreamSpec
+from .shape import StreamShape, shape_of
+from .stream import (
+    DONE,
+    Data,
+    Done,
+    Stop,
+    StopAbsorbingEmitter,
+    Token,
+    data_values,
+    infer_concrete_shape,
+    nested_from_tokens,
+    tokens_from_nested,
+    validate_tokens,
+)
+from .symbolic import Const, Expr, Sym, ceil_div, fresh_symbol, smax
+
+__all__ = [name for name in dir() if not name.startswith("_")]

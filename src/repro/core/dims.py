@@ -1,0 +1,231 @@
+"""Dimension kinds for STeP stream shapes (paper Section 3.1).
+
+A STeP stream dimension is one of:
+
+* **static-regular** — a compile-time constant (e.g. ``64``),
+* **dynamic-regular** — a data-dependent constant, the same for every
+  occurrence of the dimension in the stream (e.g. the number of tokens routed
+  to an expert in one iteration),
+* **ragged** — a dimension whose size varies across occurrences (e.g. the
+  per-request KV-cache length inside a batch).  Ragged dimensions can be
+  static (the set of sizes is known ahead of time) or dynamic.
+
+Dynamic and ragged dimensions carry a symbolic size (:class:`~repro.core.symbolic.Sym`
+or a compound expression).  Ragged dimensions have the *absorbing property*
+described in the paper: any arithmetic combining a ragged dimension yields a
+fresh ragged dimension rather than a closed-form expression.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from . import symbolic as sym
+from .errors import ShapeError
+from .symbolic import Expr, ExprLike, as_expr, fresh_symbol
+
+
+class DimKind(enum.Enum):
+    """The three dimension kinds of Section 3.1."""
+
+    STATIC = "static"
+    DYNAMIC_REGULAR = "dynamic"
+    RAGGED = "ragged"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension of a stream shape.
+
+    Attributes
+    ----------
+    size:
+        Symbolic (or constant) size of the dimension.  For ragged dimensions
+        this is a representative symbol; the actual per-occurrence sizes only
+        exist at runtime.
+    kind:
+        Which of the three dimension kinds this is.
+    data_dependent:
+        Whether the size depends on runtime data.  Static-regular dimensions
+        are never data dependent; ragged dimensions may or may not be
+        (regularity and data-dependence are orthogonal, footnote 4).
+    """
+
+    size: Expr
+    kind: DimKind
+    data_dependent: bool = False
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def static(size: int) -> "Dim":
+        """A static-regular dimension of the given constant size."""
+        size = int(size)
+        if size < 0:
+            raise ShapeError(f"dimension size must be non-negative, got {size}")
+        return Dim(sym.Const(size), DimKind.STATIC, data_dependent=False)
+
+    @staticmethod
+    def dynamic(size: Union[ExprLike, str, None] = None, name: str = "D") -> "Dim":
+        """A dynamic-regular dimension; its size is a data-dependent constant."""
+        expr = _coerce_size(size, name, ragged=False)
+        return Dim(expr, DimKind.DYNAMIC_REGULAR, data_dependent=True)
+
+    @staticmethod
+    def ragged(size: Union[ExprLike, str, None] = None, name: str = "R",
+               data_dependent: bool = True) -> "Dim":
+        """A ragged dimension; its size varies across occurrences."""
+        expr = _coerce_size(size, name, ragged=True)
+        return Dim(expr, DimKind.RAGGED, data_dependent=data_dependent)
+
+    @staticmethod
+    def of(value: Union["Dim", ExprLike]) -> "Dim":
+        """Coerce an int / expression / Dim into a Dim.
+
+        Plain integers become static dimensions; symbolic expressions become
+        dynamic-regular dimensions.
+        """
+        if isinstance(value, Dim):
+            return value
+        expr = as_expr(value)
+        if expr.is_static:
+            return Dim.static(expr.evaluate())
+        return Dim(expr, DimKind.DYNAMIC_REGULAR, data_dependent=True)
+
+    # -- predicates ----------------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        return self.kind is DimKind.STATIC
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Dynamic-regular or dynamic-ragged (the paper's "dynamic dimensions")."""
+        return self.data_dependent
+
+    @property
+    def is_ragged(self) -> bool:
+        return self.kind is DimKind.RAGGED
+
+    @property
+    def is_regular(self) -> bool:
+        return self.kind is not DimKind.RAGGED
+
+    # -- restrictiveness ordering (Section 3.1, last paragraph) --------------
+    def satisfies(self, required: "DimRequirement") -> bool:
+        """Whether this dimension is acceptable where ``required`` is allowed.
+
+        Regular dimensions are more constrained than ragged ones and static
+        dimensions more constrained than dynamic ones, so an operator that
+        accepts a less restrictive kind also accepts the more restrictive ones.
+        """
+        if required is DimRequirement.ANY:
+            return True
+        if required is DimRequirement.REGULAR:
+            return self.is_regular
+        if required is DimRequirement.STATIC:
+            return self.is_static
+        raise ShapeError(f"unknown dimension requirement {required!r}")
+
+    # -- misc ----------------------------------------------------------------
+    def with_size(self, size: ExprLike) -> "Dim":
+        """A copy of this dimension with a different symbolic size."""
+        return Dim(as_expr(size), self.kind, self.data_dependent)
+
+    def evaluate(self, bindings=None) -> int:
+        """Concrete size once all symbols are bound."""
+        return self.size.evaluate(bindings or {})
+
+    def __str__(self) -> str:
+        if self.is_static:
+            return str(self.size)
+        marker = "~" if self.is_ragged else ""
+        return f"{marker}{self.size}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dim({self.size}, {self.kind.value})"
+
+
+class DimRequirement(enum.Enum):
+    """What an operator accepts for a given dimension (most→least restrictive)."""
+
+    STATIC = "static"      #: only static-regular
+    REGULAR = "regular"    #: static- or dynamic-regular, but not ragged
+    ANY = "any"            #: anything, including ragged
+
+
+def _coerce_size(size, name: str, ragged: bool) -> Expr:
+    if size is None:
+        return fresh_symbol(name, ragged=ragged)
+    if isinstance(size, str):
+        return sym.Sym(size, ragged=ragged)
+    return as_expr(size)
+
+
+# ---------------------------------------------------------------------------
+# Dimension arithmetic with the absorbing-ragged property
+# ---------------------------------------------------------------------------
+
+def multiply_dims(dims: Sequence[Dim], fresh_prefix: str = "F") -> Dim:
+    """Combine (flatten) a run of dimensions into one.
+
+    If any participating dimension is ragged, the result is a *new* ragged
+    dimension (absorbing property, Section 3.1 example 1).  Otherwise the
+    result's size is the symbolic product and the result is dynamic iff any
+    input was dynamic.
+    """
+    dims = [Dim.of(d) for d in dims]
+    if not dims:
+        return Dim.static(1)
+    if any(d.is_ragged for d in dims):
+        data_dep = any(d.data_dependent for d in dims)
+        return Dim(fresh_symbol(fresh_prefix, ragged=True), DimKind.RAGGED, data_dependent=data_dep)
+    size = sym.sprod(d.size for d in dims)
+    if all(d.is_static for d in dims):
+        return Dim.static(size.evaluate())
+    return Dim(size, DimKind.DYNAMIC_REGULAR, data_dependent=True)
+
+
+def ceil_div_dim(dim: Dim, chunk: int, fresh_prefix: str = "C") -> Dim:
+    """``ceil(dim / chunk)`` with the absorbing-ragged property."""
+    dim = Dim.of(dim)
+    if chunk <= 0:
+        raise ShapeError(f"chunk size must be positive, got {chunk}")
+    if dim.is_ragged:
+        return Dim(fresh_symbol(fresh_prefix, ragged=True), DimKind.RAGGED,
+                   data_dependent=dim.data_dependent)
+    size = sym.ceil_div(dim.size, chunk)
+    if dim.is_static:
+        return Dim.static(size.evaluate())
+    return Dim(size, DimKind.DYNAMIC_REGULAR, data_dependent=True)
+
+
+def add_dims(a: Dim, b: Dim, fresh_prefix: str = "S") -> Dim:
+    """Sum of two dimensions (used when concatenating streams)."""
+    a, b = Dim.of(a), Dim.of(b)
+    if a.is_ragged or b.is_ragged:
+        return Dim(fresh_symbol(fresh_prefix, ragged=True), DimKind.RAGGED,
+                   data_dependent=a.data_dependent or b.data_dependent)
+    size = a.size + b.size
+    if a.is_static and b.is_static:
+        return Dim.static(size.evaluate())
+    return Dim(size, DimKind.DYNAMIC_REGULAR, data_dependent=True)
+
+
+def dims_compatible(produced: Dim, consumed: Dim) -> bool:
+    """Whether a produced dimension can flow into a consumer expecting ``consumed``.
+
+    Static sizes must match exactly; symbolic sizes match if their expressions
+    are structurally equal, or if either side is a bare (unconstrained) symbol.
+    """
+    produced, consumed = Dim.of(produced), Dim.of(consumed)
+    if produced.is_static and consumed.is_static:
+        return produced.size == consumed.size
+    if produced.size == consumed.size:
+        return True
+    # A bare symbol on either side acts as a wildcard: the consumer either
+    # introduces a name for an unknown size or accepts whatever is produced.
+    return isinstance(produced.size, sym.Sym) or isinstance(consumed.size, sym.Sym)

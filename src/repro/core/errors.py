@@ -1,0 +1,48 @@
+"""Exception hierarchy for the STeP reproduction.
+
+All errors raised by the library derive from :class:`StepError` so callers can
+catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class StepError(Exception):
+    """Base class for all errors raised by the STeP library."""
+
+
+class ShapeError(StepError):
+    """A stream or tile shape is inconsistent with an operator's requirements."""
+
+
+class TypeMismatchError(StepError):
+    """The data type of a stream does not match what an operator expects."""
+
+
+class GraphError(StepError):
+    """The program graph is malformed (dangling ports, duplicate edges, ...)."""
+
+
+class SimulationError(StepError):
+    """The simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live process in the simulation is blocked; no progress is possible."""
+
+    def __init__(self, message: str, blocked: list | None = None):
+        super().__init__(message)
+        #: Descriptions of the blocked processes, for diagnostics.
+        self.blocked = blocked or []
+
+
+class StreamProtocolError(SimulationError):
+    """A stream violated the stop-token protocol (e.g. data after Done)."""
+
+
+class SymbolicError(StepError):
+    """A symbolic expression could not be evaluated or manipulated."""
+
+
+class ConfigError(StepError):
+    """A workload or hardware configuration is invalid."""

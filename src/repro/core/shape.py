@@ -1,0 +1,237 @@
+"""Stream shapes and their algebra (paper Section 3.1 and Appendix B.1).
+
+A rank-``N`` STeP stream is logically a stream of zero or more ``N``-dimensional
+tensors.  Its *shape* is written ``[D_N, ..., D_1, D_0]`` — ``N + 1`` entries,
+outermost first, where the outermost entry counts the tensors in the stream and
+the remaining entries are the tensor dimensions.  Each entry is a
+:class:`~repro.core.dims.Dim` and may be static-regular, dynamic-regular or
+ragged.
+
+This module implements the shape transformations used by the shape operators
+(Flatten, Reshape, Promote, Expand, Zip) and by the routing/memory operators,
+including the absorbing-ragged behaviour of flattening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from . import symbolic as sym
+from .dims import Dim, DimKind, DimRequirement, ceil_div_dim, dims_compatible, multiply_dims
+from .errors import ShapeError
+from .symbolic import ExprLike
+
+DimLike = Union[Dim, ExprLike]
+
+
+def _coerce_dims(dims: Iterable[DimLike]) -> Tuple[Dim, ...]:
+    return tuple(Dim.of(d) for d in dims)
+
+
+@dataclass(frozen=True)
+class StreamShape:
+    """The shape of a STeP stream: outermost dimension first.
+
+    ``StreamShape([2, 2, d0])`` corresponds to the paper's ``[2, 2, D0]``.
+    The *rank* of the stream is ``len(dims) - 1`` (a rank-``N`` stream carries
+    ``N``-dimensional tensors); an empty shape is not allowed — a stream of
+    scalars/tiles with no nesting has shape ``[D0]`` and rank 0.
+    """
+
+    dims: Tuple[Dim, ...]
+
+    def __init__(self, dims: Iterable[DimLike]):
+        dims = _coerce_dims(dims)
+        if len(dims) == 0:
+            raise ShapeError("a stream shape needs at least one dimension")
+        object.__setattr__(self, "dims", dims)
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Stream rank: the dimensionality of the tensors carried by the stream."""
+        return len(self.dims) - 1
+
+    @property
+    def ndims(self) -> int:
+        """Number of shape entries (= rank + 1)."""
+        return len(self.dims)
+
+    def dim(self, level: int) -> Dim:
+        """Dimension at ``level`` counted from the innermost (level 0)."""
+        if not 0 <= level < self.ndims:
+            raise ShapeError(f"dimension level {level} out of range for {self}")
+        return self.dims[self.ndims - 1 - level]
+
+    def outermost(self) -> Dim:
+        return self.dims[0]
+
+    def innermost(self) -> Dim:
+        return self.dims[-1]
+
+    def inner(self, count: int) -> Tuple[Dim, ...]:
+        """The ``count`` innermost dimensions (outermost-first order)."""
+        if count == 0:
+            return ()
+        if not 0 <= count <= self.ndims:
+            raise ShapeError(f"cannot take {count} inner dims of {self}")
+        return self.dims[self.ndims - count:]
+
+    def outer(self, count: int) -> Tuple[Dim, ...]:
+        """The ``count`` outermost dimensions."""
+        if not 0 <= count <= self.ndims:
+            raise ShapeError(f"cannot take {count} outer dims of {self}")
+        return self.dims[:count]
+
+    # -- predicates -----------------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        return all(d.is_static for d in self.dims)
+
+    @property
+    def has_ragged(self) -> bool:
+        return any(d.is_ragged for d in self.dims)
+
+    @property
+    def has_dynamic(self) -> bool:
+        return any(d.is_dynamic for d in self.dims)
+
+    def check_requirements(self, requirements: Sequence[DimRequirement],
+                           what: str = "stream") -> None:
+        """Validate the innermost ``len(requirements)`` dims against requirements.
+
+        ``requirements`` is given innermost-first.  Raises :class:`ShapeError`
+        when a dimension is less restrictive than the operator allows.
+        """
+        if len(requirements) > self.ndims:
+            raise ShapeError(
+                f"{what} has rank {self.rank} but the operator constrains "
+                f"{len(requirements)} dimensions")
+        for level, req in enumerate(requirements):
+            if not self.dim(level).satisfies(req):
+                raise ShapeError(
+                    f"{what} dimension {level} ({self.dim(level)}) does not satisfy "
+                    f"requirement {req.value} in shape {self}")
+
+    # -- algebra used by shape operators ---------------------------------------
+    def cardinality(self) -> sym.Expr:
+        """``||stream||``: the product of all dimension sizes (Section 4.2)."""
+        return sym.sprod(d.size for d in self.dims)
+
+    def flatten(self, min_level: int, max_level: int) -> "StreamShape":
+        """Flatten dimensions ``min_level..max_level`` (inclusive, innermost=0)."""
+        if min_level > max_level:
+            raise ShapeError(f"flatten requires min <= max, got {min_level} > {max_level}")
+        if max_level >= self.ndims:
+            raise ShapeError(f"flatten range {min_level}..{max_level} exceeds {self}")
+        lo = self.ndims - 1 - max_level
+        hi = self.ndims - 1 - min_level
+        merged = multiply_dims(self.dims[lo:hi + 1])
+        return StreamShape(self.dims[:lo] + (merged,) + self.dims[hi + 1:])
+
+    def reshape_split(self, level: int, chunk_size: int) -> "StreamShape":
+        """Split dimension ``level`` into ``[ceil(D/chunk), chunk]`` (Reshape)."""
+        if chunk_size <= 0:
+            raise ShapeError(f"chunk size must be positive, got {chunk_size}")
+        target = self.dim(level)
+        if level > 0 and not target.is_static:
+            # Splitting a non-innermost dimension requires a static, divisible
+            # dimension (Appendix B.1).
+            raise ShapeError(
+                f"Reshape of non-innermost dimension requires a static dimension, got {target}")
+        if level > 0 and target.evaluate() % chunk_size != 0:
+            raise ShapeError(
+                f"Reshape of non-innermost dimension requires divisibility: "
+                f"{target} % {chunk_size} != 0")
+        outer_dim = ceil_div_dim(target, chunk_size)
+        idx = self.ndims - 1 - level
+        new_dims = self.dims[:idx] + (outer_dim, Dim.static(chunk_size)) + self.dims[idx + 1:]
+        return StreamShape(new_dims)
+
+    def promote(self) -> "StreamShape":
+        """Add a new outermost dimension of size 1 (or 0 for empty streams)."""
+        outer = self.outermost()
+        if outer.is_static:
+            new_outer = Dim.static(1 if outer.evaluate() > 0 else 0)
+        else:
+            # (1 if D_a > 0 else 0) — data-dependent but bounded by 1.
+            new_outer = Dim.dynamic(name="P")
+        return StreamShape((new_outer,) + self.dims)
+
+    def prepend(self, dims: Sequence[DimLike]) -> "StreamShape":
+        """New shape with extra outermost dimensions."""
+        return StreamShape(_coerce_dims(dims) + self.dims)
+
+    def append(self, dims: Sequence[DimLike]) -> "StreamShape":
+        """New shape with extra innermost dimensions."""
+        return StreamShape(self.dims + _coerce_dims(dims))
+
+    def drop_inner(self, count: int) -> "StreamShape":
+        """Remove the ``count`` innermost dimensions (used by Accum/Bufferize)."""
+        if count >= self.ndims:
+            raise ShapeError(f"cannot drop {count} inner dims of {self}")
+        if count == 0:
+            return self
+        return StreamShape(self.dims[:self.ndims - count])
+
+    def replace_dim(self, level: int, dim: DimLike) -> "StreamShape":
+        """New shape with dimension ``level`` replaced."""
+        idx = self.ndims - 1 - level
+        if not 0 <= idx < self.ndims:
+            raise ShapeError(f"dimension level {level} out of range for {self}")
+        return StreamShape(self.dims[:idx] + (Dim.of(dim),) + self.dims[idx + 1:])
+
+    # -- compatibility ----------------------------------------------------------
+    def compatible_with(self, other: "StreamShape") -> bool:
+        """Producer/consumer compatibility check used by the frontend."""
+        if self.ndims != other.ndims:
+            return False
+        return all(dims_compatible(a, b) for a, b in zip(self.dims, other.dims))
+
+    def substitute(self, bindings: Mapping) -> "StreamShape":
+        """Substitute symbols in every dimension size."""
+        new_dims = []
+        for d in self.dims:
+            size = d.size.subs(bindings)
+            if size.is_static:
+                new_dims.append(Dim.static(size.evaluate()))
+            else:
+                new_dims.append(d.with_size(size))
+        return StreamShape(new_dims)
+
+    def concrete(self, bindings: Mapping | None = None) -> Tuple[int, ...]:
+        """Evaluate every dimension to an int (raises if symbols remain)."""
+        return tuple(d.evaluate(bindings or {}) for d in self.dims)
+
+    def symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for d in self.dims:
+            out = out | d.size.symbols()
+        return out
+
+    # -- dunder -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __getitem__(self, index):
+        result = self.dims[index]
+        if isinstance(index, slice):
+            return StreamShape(result)
+        return result
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(d) for d in self.dims) + "]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamShape({self})"
+
+
+def shape_of(dims: Union[StreamShape, Sequence[DimLike]]) -> StreamShape:
+    """Coerce a sequence of dims/ints/exprs into a :class:`StreamShape`."""
+    if isinstance(dims, StreamShape):
+        return dims
+    return StreamShape(dims)

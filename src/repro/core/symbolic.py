@@ -1,0 +1,424 @@
+"""A small symbolic-expression engine used by STeP's shape semantics.
+
+The paper's symbolic frontend uses SymPy to express off-chip traffic and
+on-chip memory requirements in terms of dynamic dimension symbols
+(Section 4.2).  This module provides the small subset of symbolic algebra the
+frontend actually needs:
+
+* integer constants and named symbols,
+* ``+``, ``*``, ``max``, ceiling division and plain floor division,
+* substitution of symbols with values or other expressions,
+* evaluation to a concrete integer once every symbol is bound,
+* light constant folding so that fully static programs produce plain integers.
+
+Expressions are immutable and hashable, so they can be used as dictionary keys
+and deduplicated freely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Union
+
+from .errors import SymbolicError
+
+#: Anything accepted where an expression is expected.
+ExprLike = Union["Expr", int]
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce an ``int`` (or existing expression) into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise SymbolicError(f"cannot convert bool {value!r} to a symbolic expression")
+    if isinstance(value, (int,)):
+        return Const(int(value))
+    if isinstance(value, float):
+        if float(value).is_integer():
+            return Const(int(value))
+        raise SymbolicError(f"non-integer float {value!r} is not a valid dimension size")
+    raise SymbolicError(f"cannot convert {value!r} to a symbolic expression")
+
+
+class Expr:
+    """Base class for symbolic integer expressions."""
+
+    __slots__ = ()
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add.make(self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add.make(as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul.make(self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul.make(as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add.make(self, Mul.make(Const(-1), as_expr(other)))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Add.make(as_expr(other), Mul.make(Const(-1), self))
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(self, as_expr(other))
+
+    # -- interface ----------------------------------------------------------
+    def symbols(self) -> frozenset:
+        """Return the set of :class:`Sym` objects appearing in the expression."""
+        raise NotImplementedError
+
+    def subs(self, bindings: Mapping[Union[str, "Sym"], ExprLike]) -> "Expr":
+        """Substitute symbols (by object or by name) with expressions/ints."""
+        raise NotImplementedError
+
+    def evaluate(self, bindings: Mapping[Union[str, "Sym"], ExprLike] | None = None) -> int:
+        """Evaluate to a concrete integer.  Raises if symbols remain unbound."""
+        expr = self.subs(bindings or {})
+        if isinstance(expr, Const):
+            return expr.value
+        missing = sorted(s.name for s in expr.symbols())
+        raise SymbolicError(f"cannot evaluate {expr!r}: unbound symbols {missing}")
+
+    @property
+    def is_static(self) -> bool:
+        """True when the expression contains no free symbols."""
+        return not self.symbols()
+
+    # -- hashing / equality --------------------------------------------------
+    def _key(self):
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            other = Const(other)
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self)
+
+
+class Const(Expr):
+    """An integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def symbols(self) -> frozenset:
+        return frozenset()
+
+    def subs(self, bindings) -> Expr:
+        return self
+
+    def _key(self):
+        return ("const", self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Sym(Expr):
+    """A named symbol, e.g. the number of tokens routed to an expert."""
+
+    __slots__ = ("name", "ragged")
+
+    def __init__(self, name: str, ragged: bool = False):
+        if not name:
+            raise SymbolicError("symbol names must be non-empty")
+        self.name = str(name)
+        #: Ragged symbols model ragged dimensions; they "absorb" arithmetic
+        #: (see :func:`repro.core.dims.combine_ragged`), but at the expression
+        #: level they behave like ordinary symbols.
+        self.ragged = bool(ragged)
+
+    def symbols(self) -> frozenset:
+        return frozenset({self})
+
+    def subs(self, bindings) -> Expr:
+        for key in (self, self.name):
+            if key in bindings:
+                return as_expr(bindings[key])
+        return self
+
+    def _key(self):
+        return ("sym", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _NAry(Expr):
+    """Shared machinery for associative/commutative n-ary operators."""
+
+    __slots__ = ("terms",)
+    _identity: int = 0
+    _symbol: str = "?"
+
+    def __init__(self, terms: Iterable[Expr]):
+        self.terms = tuple(terms)
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def make(cls, *terms: ExprLike) -> Expr:
+        flat: list[Expr] = []
+        const_acc: int | None = None
+        for term in terms:
+            term = as_expr(term)
+            parts = term.terms if isinstance(term, cls) else (term,)
+            for part in parts:
+                if isinstance(part, Const):
+                    const_acc = part.value if const_acc is None else cls._fold(const_acc, part.value)
+                else:
+                    flat.append(part)
+        result_const = cls._identity if const_acc is None else const_acc
+        return cls._finish(flat, result_const)
+
+    @classmethod
+    def _finish(cls, flat: list[Expr], const: int) -> Expr:
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for term in self.terms:
+            out = out | term.symbols()
+        return out
+
+    def subs(self, bindings) -> Expr:
+        return type(self).make(*(t.subs(bindings) for t in self.terms))
+
+    def _key(self):
+        return (type(self).__name__, tuple(sorted((t._key() for t in self.terms))))
+
+
+class Add(_NAry):
+    """Sum of terms."""
+
+    __slots__ = ()
+    _identity = 0
+    _symbol = "+"
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        return a + b
+
+    @classmethod
+    def _finish(cls, flat, const) -> Expr:
+        if not flat:
+            return Const(const)
+        if const != 0:
+            flat = flat + [Const(const)]
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def __str__(self) -> str:
+        return "(" + " + ".join(str(t) for t in self.terms) + ")"
+
+
+class Mul(_NAry):
+    """Product of factors."""
+
+    __slots__ = ()
+    _identity = 1
+    _symbol = "*"
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        return a * b
+
+    @classmethod
+    def _finish(cls, flat, const) -> Expr:
+        if const == 0:
+            return Const(0)
+        if not flat:
+            return Const(const)
+        if const != 1:
+            flat = [Const(const)] + flat
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def __str__(self) -> str:
+        return "(" + " * ".join(str(t) for t in self.terms) + ")"
+
+
+class Max(_NAry):
+    """Maximum of terms."""
+
+    __slots__ = ()
+    _identity = 0
+    _symbol = "max"
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        return max(a, b)
+
+    @classmethod
+    def make(cls, *terms: ExprLike) -> Expr:
+        flat: list[Expr] = []
+        const_acc: int | None = None
+        seen = set()
+        for term in terms:
+            term = as_expr(term)
+            parts = term.terms if isinstance(term, cls) else (term,)
+            for part in parts:
+                if isinstance(part, Const):
+                    const_acc = part.value if const_acc is None else max(const_acc, part.value)
+                elif part._key() not in seen:
+                    seen.add(part._key())
+                    flat.append(part)
+        if not flat:
+            return Const(const_acc if const_acc is not None else 0)
+        if const_acc is not None:
+            flat = flat + [Const(const_acc)]
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    @classmethod
+    def _finish(cls, flat, const) -> Expr:  # pragma: no cover - unused, make() overridden
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return "max(" + ", ".join(str(t) for t in self.terms) + ")"
+
+
+class _BinOp(Expr):
+    """Shared machinery for non-commutative binary operators."""
+
+    __slots__ = ("num", "den")
+    _name = "?"
+
+    def __init__(self, num: Expr, den: Expr):
+        self.num = num
+        self.den = den
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def make(cls, num: ExprLike, den: ExprLike) -> Expr:
+        num, den = as_expr(num), as_expr(den)
+        if isinstance(den, Const):
+            if den.value == 0:
+                raise SymbolicError(f"{cls._name} by zero")
+            if den.value == 1:
+                return num
+            if isinstance(num, Const):
+                return Const(cls._fold(num.value, den.value))
+        return cls(num, den)
+
+    def symbols(self) -> frozenset:
+        return self.num.symbols() | self.den.symbols()
+
+    def subs(self, bindings) -> Expr:
+        return type(self).make(self.num.subs(bindings), self.den.subs(bindings))
+
+    def _key(self):
+        return (type(self).__name__, self.num._key(), self.den._key())
+
+
+class CeilDiv(_BinOp):
+    """Ceiling division, written ``ceil(a / b)`` in the paper's shape tables."""
+
+    __slots__ = ()
+    _name = "ceildiv"
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        return -(-a // b)
+
+    def __str__(self) -> str:
+        return f"ceil({self.num}/{self.den})"
+
+
+class FloorDiv(_BinOp):
+    """Floor division."""
+
+    __slots__ = ()
+    _name = "floordiv"
+
+    @classmethod
+    def _fold(cls, a: int, b: int) -> int:
+        return a // b
+
+    def __str__(self) -> str:
+        return f"floor({self.num}/{self.den})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def ceil_div(num: ExprLike, den: ExprLike) -> Expr:
+    """``ceil(num / den)`` with constant folding."""
+    return CeilDiv.make(num, den)
+
+
+def smax(*terms: ExprLike) -> Expr:
+    """Symbolic maximum with constant folding."""
+    return Max.make(*terms)
+
+
+def ssum(terms: Iterable[ExprLike]) -> Expr:
+    """Sum an iterable of expressions (empty sum is 0)."""
+    terms = list(terms)
+    if not terms:
+        return Const(0)
+    return Add.make(*terms)
+
+
+def sprod(terms: Iterable[ExprLike]) -> Expr:
+    """Multiply an iterable of expressions (empty product is 1)."""
+    terms = list(terms)
+    if not terms:
+        return Const(1)
+    return Mul.make(*terms)
+
+
+_FRESH_COUNTER: Dict[str, int] = {}
+
+
+def fresh_symbol(prefix: str = "D", ragged: bool = False) -> Sym:
+    """Create a fresh, uniquely named symbol (``D0``, ``D1``, ...).
+
+    Used by the shape semantics whenever an operator introduces a new dynamic
+    or ragged dimension (e.g. Partition outputs, flattening over a ragged dim).
+    """
+    index = _FRESH_COUNTER.get(prefix, 0)
+    _FRESH_COUNTER[prefix] = index + 1
+    return Sym(f"{prefix}{index}", ragged=ragged)
+
+
+def reset_symbol_counter() -> None:
+    """Reset fresh-symbol numbering (useful for reproducible tests)."""
+    _FRESH_COUNTER.clear()
+
+
+def evaluate(expr: ExprLike, bindings: Mapping | None = None) -> int:
+    """Evaluate an expression (or plain int) to a concrete integer."""
+    return as_expr(expr).evaluate(bindings or {})
+
+
+def maybe_evaluate(expr: ExprLike, bindings: Mapping | None = None) -> ExprLike:
+    """Substitute and constant-fold; return an ``int`` if fully bound."""
+    result = as_expr(expr).subs(bindings or {})
+    if isinstance(result, Const):
+        return result.value
+    return result

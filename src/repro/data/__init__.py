@@ -1,0 +1,37 @@
+"""Synthetic trace generators replacing the paper's proprietary datasets.
+
+* :mod:`repro.data.kv_traces` replaces the AzureLLMInference KV-cache-length
+  traces used by the attention experiments (Appendix B.3),
+* :mod:`repro.data.expert_routing` replaces the HH-RLHF-derived expert-routing
+  traces used by the MoE experiments.
+
+Both generators reproduce the statistical structure the experiments consume:
+per-request KV lengths grouped into batches by variance class, and per-batch
+expert bin counts with calibrated skew and variance.
+"""
+
+from .kv_traces import (
+    KVTrace,
+    VarianceClass,
+    generate_request_lengths,
+    make_batch,
+    make_batches_by_variance,
+)
+from .expert_routing import (
+    RoutingTrace,
+    expert_bin_counts,
+    generate_routing_trace,
+    representative_iteration,
+)
+
+__all__ = [
+    "KVTrace",
+    "VarianceClass",
+    "generate_request_lengths",
+    "make_batch",
+    "make_batches_by_variance",
+    "RoutingTrace",
+    "expert_bin_counts",
+    "generate_routing_trace",
+    "representative_iteration",
+]

@@ -1,0 +1,112 @@
+"""Synthetic expert-routing traces (HH-RLHF substitute, Appendix B.3).
+
+The MoE experiments use expert-routing decisions collected by running
+Qwen3-30B-A3B and Mixtral-8x7B on the HH-RLHF request trace; the experiments
+consume, per iteration (decode step), which top-k experts every token in the
+batch activates, summarised as per-expert bin counts.  To pick representative
+iterations the paper measures the standard deviation of expert bin counts
+across iterations/layers and selects the one closest to the overall average.
+
+The generator below reproduces those statistics: expert popularity follows a
+Zipf-like distribution (controlled by the model's ``routing_skew``), each token
+picks ``experts_per_token`` distinct experts, and iterations are selected by
+the same representative-deviation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.configs import ModelConfig
+
+
+@dataclass(frozen=True)
+class RoutingTrace:
+    """Routing decisions for a sequence of iterations.
+
+    ``assignments[i][t]`` is the tuple of expert indices activated by token
+    ``t`` of the batch at iteration ``i``.
+    """
+
+    num_experts: int
+    experts_per_token: int
+    assignments: Tuple[Tuple[Tuple[int, ...], ...], ...]
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.assignments[0]) if self.assignments else 0
+
+    def iteration(self, index: int) -> Tuple[Tuple[int, ...], ...]:
+        return self.assignments[index]
+
+    def bin_counts(self, index: int) -> np.ndarray:
+        return expert_bin_counts(self.iteration(index), self.num_experts)
+
+    def bin_count_std(self, index: int) -> float:
+        return float(np.std(self.bin_counts(index)))
+
+
+def _expert_popularity(num_experts: int, skew: float, rng: np.random.Generator) -> np.ndarray:
+    """A Zipf-like popularity distribution over experts (skew=0 → uniform)."""
+    ranks = np.arange(1, num_experts + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, max(0.0, skew))
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def generate_routing_trace(model: ModelConfig, batch_size: int, num_iterations: int = 16,
+                           seed: int = 0, skew: Optional[float] = None) -> RoutingTrace:
+    """Generate top-k routing decisions for ``num_iterations`` decode steps."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    skew = model.routing_skew if skew is None else skew
+    popularity = _expert_popularity(model.num_experts, skew, rng)
+    iterations: List[Tuple[Tuple[int, ...], ...]] = []
+    for _ in range(num_iterations):
+        tokens: List[Tuple[int, ...]] = []
+        for _ in range(batch_size):
+            chosen = rng.choice(model.num_experts, size=model.experts_per_token,
+                                replace=False, p=popularity)
+            tokens.append(tuple(int(e) for e in sorted(chosen)))
+        iterations.append(tuple(tokens))
+    return RoutingTrace(model.num_experts, model.experts_per_token, tuple(iterations))
+
+
+def expert_bin_counts(assignments: Sequence[Sequence[int]], num_experts: int) -> np.ndarray:
+    """Tokens routed to each expert in one iteration."""
+    counts = np.zeros(num_experts, dtype=int)
+    for token_experts in assignments:
+        for expert in token_experts:
+            counts[expert] += 1
+    return counts
+
+
+def representative_iteration(trace: RoutingTrace) -> Tuple[Tuple[int, ...], ...]:
+    """The iteration whose expert-bin-count deviation is closest to the average.
+
+    This mirrors the paper's methodology for selecting a representative case
+    from the collected routing data (Appendix B.3).
+    """
+    stds = [trace.bin_count_std(i) for i in range(trace.num_iterations)]
+    target = float(np.mean(stds))
+    best = int(np.argmin([abs(s - target) for s in stds]))
+    return trace.iteration(best)
+
+
+def tokens_per_expert(assignments: Sequence[Sequence[int]], num_experts: int) -> List[int]:
+    """Convenience: bin counts as a plain list."""
+    return expert_bin_counts(assignments, num_experts).tolist()
+
+
+def active_experts(assignments: Sequence[Sequence[int]], num_experts: int) -> List[int]:
+    """Indices of experts that receive at least one token."""
+    counts = expert_bin_counts(assignments, num_experts)
+    return [int(i) for i in np.nonzero(counts)[0]]

@@ -1,0 +1,130 @@
+"""Synthetic KV-cache-length traces (AzureLLMInference substitute, Appendix B.3).
+
+The paper's attention experiments sample per-request KV-cache lengths from the
+AzureLLMInference production dataset: 5,000 requests inside a time window are
+batched, the per-batch standard deviation of KV lengths is computed, and the
+experiments use (a) batches whose deviation matches that of the full window
+("medium"), (b) the top-10% most variable batches ("high") and (c) the
+least variable ("low").
+
+This module generates a synthetic request population with the same heavy-tailed
+character (log-normal prompt lengths clipped to a maximum context), forms
+batches the same way, and classifies them into the same three variance
+classes.  Everything downstream (Figures 14, 15, 21) only consumes the list of
+per-request KV lengths per batch, so the substitution preserves the
+experiments' structure.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class VarianceClass(enum.Enum):
+    """KV-cache-length variability classes used in Figures 14 and 21."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class KVTrace:
+    """One batch of decode requests: a KV-cache length per request."""
+
+    lengths: tuple
+    variance_class: VarianceClass
+    seed: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.lengths))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.lengths))
+
+    @property
+    def total_tokens(self) -> int:
+        return int(np.sum(self.lengths))
+
+    def __iter__(self):
+        return iter(self.lengths)
+
+
+def generate_request_lengths(num_requests: int = 5000, mean_length: float = 700.0,
+                             sigma: float = 1.0, max_length: int = 8192,
+                             min_length: int = 16, seed: int = 0) -> np.ndarray:
+    """A synthetic request population with log-normal KV-cache lengths."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    mu = math.log(mean_length) - sigma ** 2 / 2.0
+    lengths = rng.lognormal(mean=mu, sigma=sigma, size=num_requests)
+    lengths = np.clip(np.round(lengths), min_length, max_length).astype(int)
+    return lengths
+
+
+def make_batch(lengths: Sequence[int], batch_size: int, start: int = 0) -> List[int]:
+    """A contiguous batch of requests from the population (wrapping around)."""
+    lengths = list(lengths)
+    if not lengths:
+        raise ValueError("empty request population")
+    return [int(lengths[(start + i) % len(lengths)]) for i in range(batch_size)]
+
+
+def _classify_batches(population: np.ndarray, batch_size: int,
+                      num_candidates: int = 200, seed: int = 0) -> Dict[VarianceClass, List[List[int]]]:
+    """Form candidate batches and split them into low/medium/high variance classes."""
+    rng = np.random.default_rng(seed + 1)
+    candidates: List[List[int]] = []
+    for _ in range(num_candidates):
+        start = int(rng.integers(0, len(population)))
+        candidates.append(make_batch(population, batch_size, start=start))
+    stds = np.array([np.std(batch) for batch in candidates])
+    order = np.argsort(stds)
+    decile = max(1, len(candidates) // 10)
+    population_std = float(np.std(population))
+    # medium: batches whose std is closest to the population std
+    medium_order = np.argsort(np.abs(stds - population_std))
+    return {
+        VarianceClass.LOW: [candidates[i] for i in order[:decile]],
+        VarianceClass.HIGH: [candidates[i] for i in order[-decile:]],
+        VarianceClass.MEDIUM: [candidates[i] for i in medium_order[:decile]],
+    }
+
+
+def make_batches_by_variance(batch_size: int = 64, num_requests: int = 5000,
+                             samples_per_class: int = 3, seed: int = 0,
+                             mean_length: float = 700.0, sigma: float = 1.0,
+                             max_length: int = 8192) -> Dict[VarianceClass, List[KVTrace]]:
+    """Batches grouped by KV-length variance class (Appendix B.3 methodology)."""
+    population = generate_request_lengths(num_requests=num_requests, seed=seed,
+                                          mean_length=mean_length, sigma=sigma,
+                                          max_length=max_length)
+    classified = _classify_batches(population, batch_size, seed=seed)
+    result: Dict[VarianceClass, List[KVTrace]] = {}
+    for cls, batches in classified.items():
+        picked = batches[:samples_per_class]
+        result[cls] = [KVTrace(tuple(batch), cls, seed=seed) for batch in picked]
+    return result
+
+
+def representative_trace(batch_size: int = 64, variance: VarianceClass = VarianceClass.MEDIUM,
+                         seed: int = 0, **kwargs) -> KVTrace:
+    """A single representative batch of the requested variance class."""
+    batches = make_batches_by_variance(batch_size=batch_size, samples_per_class=1,
+                                       seed=seed, **kwargs)
+    return batches[variance][0]

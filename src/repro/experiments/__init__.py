@@ -1,0 +1,11 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run(scale)`` function returning plain-Python row
+dictionaries (the same rows the paper plots) plus the headline numbers the
+paper quotes, so the benchmark suite and the CLI runner
+(``python -m repro.experiments.runner``) share one implementation.
+"""
+
+from .common import ExperimentScale, DEFAULT_SCALE, SMOKE_SCALE
+
+__all__ = ["ExperimentScale", "DEFAULT_SCALE", "SMOKE_SCALE"]

@@ -1,0 +1,121 @@
+"""Shared experiment configuration.
+
+The paper's experiments run full-size Qwen3-30B-A3B / Mixtral-8x7B layers on a
+Rust simulator for hours; this pure-Python reproduction runs *scaled* model
+dimensions (see :func:`repro.workloads.configs.scaled_config`) that preserve
+the structural parameters driving every result — expert counts, top-k routing,
+trace skew, tiling structure, parallel-region counts — while keeping each
+simulated design point in the seconds range.  :class:`ExperimentScale` bundles
+those knobs; ``DEFAULT_SCALE`` is used by the benchmark harness and
+``SMOKE_SCALE`` by the fast integration tests.  EXPERIMENTS.md records which
+scale was used for each regenerated figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.expert_routing import generate_routing_trace, representative_iteration
+from ..data.kv_traces import VarianceClass, make_batches_by_variance
+from ..workloads.configs import (MIXTRAL_8X7B, QWEN3_30B_A3B, ModelConfig, scaled_config,
+                                 sda_hardware)
+from ..sim.executors.common import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs shared by all experiments."""
+
+    name: str
+    #: divisor applied to hidden / intermediate / head dimensions
+    model_scale: int = 16
+    #: reduce the expert pool (None keeps the model's full expert count)
+    max_experts: Optional[int] = None
+    #: MoE batch size for the Figure 9 / 12 / 13 experiments
+    moe_batch: int = 64
+    #: MoE batch size for the Figure 10 experiment ("large batch"; the paper
+    #: uses 1024 — the default scale uses 512 to keep the pure-Python sweep fast)
+    moe_large_batch: int = 512
+    #: attention batch size (Figures 14, 21)
+    attention_batch: int = 64
+    #: static tile sweeps
+    moe_tiles_small_batch: Tuple[int, ...] = (8, 16, 32, 64)
+    moe_tiles_large_batch: Tuple[int, ...] = (16, 64, 256, 512)
+    #: time-multiplexing region sweep (None = fully spatial baseline)
+    timemux_regions: Tuple[Optional[int], ...] = (None, 64, 32, 16, 8, 4)
+    #: KV-trace batches sampled per variance class
+    traces_per_class: int = 3
+    #: decoder layers evaluated end to end (None = the model's full layer count)
+    end_to_end_layers: Optional[int] = None
+    seed: int = 0
+
+
+DEFAULT_SCALE = ExperimentScale(name="default")
+
+#: a much smaller configuration used by the integration tests
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    model_scale=32,
+    max_experts=16,
+    moe_batch=16,
+    moe_large_batch=64,
+    attention_batch=16,
+    moe_tiles_small_batch=(4, 8, 16),
+    moe_tiles_large_batch=(8, 32),
+    timemux_regions=(None, 8, 4),
+    traces_per_class=1,
+    end_to_end_layers=2,
+)
+
+
+def qwen_model(scale: ExperimentScale) -> ModelConfig:
+    """The Qwen3-30B-A3B-like configuration at the experiment scale."""
+    model = scaled_config(QWEN3_30B_A3B, scale=scale.model_scale)
+    return _cap_experts(model, scale)
+
+
+def mixtral_model(scale: ExperimentScale) -> ModelConfig:
+    """The Mixtral-8x7B-like configuration at the experiment scale."""
+    model = scaled_config(MIXTRAL_8X7B, scale=scale.model_scale * 2)
+    return _cap_experts(model, scale)
+
+
+def _cap_experts(model: ModelConfig, scale: ExperimentScale) -> ModelConfig:
+    if scale.max_experts is None or model.num_experts <= scale.max_experts:
+        return model
+    from dataclasses import replace
+
+    return replace(model, name=f"{model.name}-{scale.max_experts}e",
+                   num_experts=scale.max_experts,
+                   experts_per_token=min(model.experts_per_token, scale.max_experts // 2))
+
+
+def hardware(scale: ExperimentScale) -> HardwareConfig:
+    """The evaluation hardware configuration (Section 5.1)."""
+    return sda_hardware()
+
+
+def moe_routing(model: ModelConfig, batch: int, scale: ExperimentScale) -> Sequence[Sequence[int]]:
+    """A representative expert-routing iteration for the MoE experiments."""
+    trace = generate_routing_trace(model, batch_size=batch, num_iterations=8,
+                                   seed=scale.seed)
+    return representative_iteration(trace)
+
+
+def kv_batches(scale: ExperimentScale, batch: Optional[int] = None
+               ) -> Dict[VarianceClass, list]:
+    """KV-length batches per variance class for the attention experiments."""
+    return make_batches_by_variance(batch_size=batch or scale.attention_batch,
+                                    samples_per_class=scale.traces_per_class,
+                                    seed=scale.seed)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used by the Figure 21 summary)."""
+    values = [float(v) for v in values if v > 0]
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,28 @@
+"""Figure 1 — effective HBM bandwidth of GPUs versus the SN40L SDA.
+
+A background figure: the effective bandwidth each platform sustains on
+Llama-3.1 token generation, derived with Roofline modelling from the fraction
+of peak throughput reported by prior work.  Reproduced analytically from
+:mod:`repro.analysis.roofline`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.roofline import figure1_rows
+from .common import DEFAULT_SCALE, ExperimentScale
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+    """Regenerate the Figure 1 series."""
+    rows = figure1_rows()
+    # headline claims of Section 2.2: GPUs sustain less than half of peak HBM
+    # bandwidth; the SDA sustains most of it.
+    gpu_fractions = [r["fraction_of_peak"] for r in rows if r["platform"] == "8xH100"]
+    sda_fractions = [r["fraction_of_peak"] for r in rows if r["platform"].startswith("SN40L")]
+    return {
+        "rows": rows,
+        "gpu_max_fraction": max(gpu_fractions),
+        "sda_min_fraction": min(sda_fractions),
+    }

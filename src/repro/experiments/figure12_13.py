@@ -1,0 +1,85 @@
+"""Figures 12 and 13 — configuration time-multiplexing.
+
+The Qwen3-30B-A3B MoE layer (batch 64) is swept over the number of configured
+parallel regions (from one region per expert down to 4 regions sharing the
+whole expert pool) under static (tile = 32) and dynamic tiling.  Figure 12
+reports compute-resource utilization and cycles; Figure 13 additionally
+reports on-chip memory, allocated compute and off-chip-bandwidth utilization.
+The headline claims are a ~2.5-2.6x utilization improvement at small
+performance overhead, with large compute/memory savings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import simulate
+from ..workloads.configs import ModelConfig
+from ..workloads.moe import MoELayerConfig, build_moe_layer
+from .common import DEFAULT_SCALE, ExperimentScale, hardware, moe_routing, qwen_model
+
+
+def sweep_regions(model: ModelConfig, batch: int, tile_rows: Optional[int],
+                  regions: Sequence[Optional[int]], scale: ExperimentScale) -> List[dict]:
+    """Simulate the MoE layer for every parallel-region count."""
+    assignments = moe_routing(model, batch, scale)
+    hw = hardware(scale)
+    rows: List[dict] = []
+    for num_regions in regions:
+        config = MoELayerConfig(model=model, batch=batch, tile_rows=tile_rows,
+                                num_regions=num_regions, combine_output=False)
+        program = build_moe_layer(config)
+        report = simulate(program.program, program.inputs(assignments), hardware=hw)
+        effective_regions = num_regions if num_regions is not None else model.num_experts
+        rows.append({
+            "model": model.name,
+            "tiling": "dynamic" if tile_rows is None else f"tile={tile_rows}",
+            "parallel_regions": effective_regions,
+            "experts_per_region": model.num_experts // effective_regions,
+            "cycles": report.cycles,
+            "compute_utilization": report.compute_utilization,
+            "allocated_compute_flops_per_cycle": report.allocated_compute,
+            "onchip_memory_bytes": report.onchip_memory,
+            "offchip_bw_utilization": report.offchip_bw_utilization,
+            "total_flops": report.total_flops,
+        })
+    return rows
+
+
+def summarize(rows: Sequence[dict]) -> dict:
+    """Utilization gain, overhead and resource savings versus the fully spatial mapping."""
+    baseline = max(rows, key=lambda r: r["parallel_regions"])
+    best_util = max(rows, key=lambda r: r["compute_utilization"])
+    # the paper quotes savings at the point of comparable performance: pick the
+    # smallest region count whose slowdown stays within 10%
+    comparable = [r for r in rows
+                  if r["cycles"] <= baseline["cycles"] * 1.10 and r is not baseline]
+    saving_point = min(comparable, key=lambda r: r["parallel_regions"]) if comparable \
+        else best_util
+    return {
+        "baseline_regions": baseline["parallel_regions"],
+        "utilization_gain": (best_util["compute_utilization"]
+                             / max(baseline["compute_utilization"], 1e-12)),
+        "utilization_gain_regions": best_util["parallel_regions"],
+        "overhead_at_best_utilization": best_util["cycles"] / baseline["cycles"] - 1.0,
+        "compute_saving_fraction": 1.0 - (saving_point["allocated_compute_flops_per_cycle"]
+                                          / baseline["allocated_compute_flops_per_cycle"]),
+        "memory_saving_fraction": 1.0 - (saving_point["onchip_memory_bytes"]
+                                         / baseline["onchip_memory_bytes"]),
+        "saving_point_regions": saving_point["parallel_regions"],
+        "saving_point_overhead": saving_point["cycles"] / baseline["cycles"] - 1.0,
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE, static_tile: int = 32) -> Dict[str, object]:
+    """Regenerate Figures 12 and 13."""
+    model = qwen_model(scale)
+    regions = [r for r in scale.timemux_regions
+               if r is None or model.num_experts % r == 0]
+    static_tile = min(static_tile, max(scale.moe_batch // 2, 1))
+    static_rows = sweep_regions(model, scale.moe_batch, static_tile, regions, scale)
+    dynamic_rows = sweep_regions(model, scale.moe_batch, None, regions, scale)
+    return {
+        "static": {"rows": static_rows, "summary": summarize(static_rows)},
+        "dynamic": {"rows": dynamic_rows, "summary": summarize(dynamic_rows)},
+    }

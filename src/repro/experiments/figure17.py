@@ -1,0 +1,69 @@
+"""Figure 17 — end-to-end Qwen3-30B-A3B and Mixtral-8x7B results.
+
+Three schedules are compared per model: a memory-matched static schedule, a
+performance-matched static schedule, and the dynamic schedule (dynamic tiling,
+dynamic parallelization, plus configuration time-multiplexing for the
+many-expert model).  The reported quantities are speedup over the static
+schedules, on-chip memory and allocated compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..data.kv_traces import VarianceClass
+from ..workloads.configs import ModelConfig
+from ..workloads.model import default_schedules, evaluate_end_to_end
+from .common import (DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, mixtral_model,
+                     moe_routing, qwen_model)
+
+
+def _evaluate_model(model: ModelConfig, scale: ExperimentScale) -> List[dict]:
+    batch = scale.attention_batch
+    kv_lengths = list(kv_batches(scale, batch)[VarianceClass.MEDIUM][0])
+    assignments = moe_routing(model, batch, scale)
+    hw = hardware(scale)
+    static_mem_tile = min(scale.moe_tiles_small_batch)
+    static_perf_tile = max(t for t in scale.moe_tiles_small_batch if t <= batch)
+    schedules = default_schedules(model, static_mem_tile=static_mem_tile,
+                                  static_perf_tile=static_perf_tile)
+    num_layers = scale.end_to_end_layers or model.num_layers
+    rows = []
+    for name, schedule in schedules.items():
+        result = evaluate_end_to_end(model, schedule, batch, kv_lengths, assignments,
+                                     num_layers=num_layers, hardware=hw)
+        rows.append({
+            "model": model.name,
+            "schedule": name,
+            "total_cycles": result.total_cycles,
+            "onchip_memory_bytes": result.onchip_memory,
+            "allocated_compute_flops_per_cycle": result.allocated_compute,
+            "total_traffic_bytes": result.total_traffic,
+            "layer_breakdown_cycles": dict(result.breakdown.cycles),
+        })
+    return rows
+
+
+def summarize(rows: List[dict]) -> dict:
+    by_schedule = {row["schedule"]: row for row in rows}
+    dynamic = by_schedule["dynamic"]
+    static_mem = by_schedule["static_mem"]
+    static_perf = by_schedule["static_perf"]
+    return {
+        "speedup_vs_static_mem": static_mem["total_cycles"] / dynamic["total_cycles"],
+        "speedup_vs_static_perf": static_perf["total_cycles"] / dynamic["total_cycles"],
+        "memory_saving_vs_static_perf":
+            1.0 - dynamic["onchip_memory_bytes"] / static_perf["onchip_memory_bytes"],
+        "compute_saving_vs_static":
+            1.0 - (dynamic["allocated_compute_flops_per_cycle"]
+                   / static_mem["allocated_compute_flops_per_cycle"]),
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+    """Regenerate the Figure 17 comparison for both models."""
+    results: Dict[str, object] = {"per_model": {}}
+    for model in (mixtral_model(scale), qwen_model(scale)):
+        rows = _evaluate_model(model, scale)
+        results["per_model"][model.name] = {"rows": rows, "summary": summarize(rows)}
+    return results

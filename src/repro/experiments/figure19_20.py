@@ -1,0 +1,35 @@
+"""Figures 19 and 20 — off-chip traffic versus on-chip memory Pareto curves.
+
+The same tile-size sweeps as Figures 9/10, plotted as off-chip traffic against
+on-chip memory (Appendix B.4): the performance trends of Figures 9/10 follow
+the traffic trends because the layer is memory bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import DEFAULT_SCALE, ExperimentScale
+from . import figure9_10
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False) -> Dict[str, object]:
+    """Regenerate Figure 19 (``large_batch=False``) or Figure 20 (``True``)."""
+    base = figure9_10.run(scale, large_batch=large_batch)
+    results: Dict[str, object] = {"figure": "20" if large_batch else "19", "per_model": {}}
+    for model_name, payload in base["per_model"].items():
+        rows = [
+            {
+                "model": row["model"],
+                "tiling": row["tiling"],
+                "tile_rows": row["tile_rows"],
+                "offchip_traffic_bytes": row["offchip_traffic_bytes"],
+                "onchip_memory_bytes": row["onchip_memory_bytes"],
+            }
+            for row in payload["rows"]
+        ]
+        results["per_model"][model_name] = {
+            "rows": rows,
+            "summary": payload["traffic_summary"],
+        }
+    return results

@@ -1,0 +1,70 @@
+"""Figure 21 — parallelization-strategy ablation (Appendix B.5).
+
+Normalized performance of static coarse-grained, static interleaved and
+dynamic parallelization across KV-length variance classes and batch classes
+(B=16, B=64 and the pipelined B=64+16 micro-batch case).  The paper reports
+geometric-mean slowdowns of 1.85x (coarse) and 1.36x (interleave) relative to
+dynamic parallelization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..data.kv_traces import VarianceClass
+from ..sim import simulate
+from ..workloads.attention import AttentionConfig, build_attention_layer
+from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
+
+_STRATEGIES = ("coarse", "interleave", "dynamic")
+
+
+def _cycles(model, batch, strategy, lengths, hw) -> float:
+    config = AttentionConfig(model=model, batch=batch, strategy=strategy,
+                             kv_tile_rows=64, coarse_chunk=16)
+    program = build_attention_layer(config)
+    return simulate(program.program, program.inputs(list(lengths)), hardware=hw).cycles
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+    """Regenerate the Figure 21 ablation grid."""
+    model = qwen_model(scale)
+    hw = hardware(scale)
+    big = scale.attention_batch
+    small = max(4, big // 4)
+    batch_classes = {f"B={small}": [small], f"B={big}": [big],
+                     f"B={big}+{small}": [big, small]}
+    rows: List[dict] = []
+    normalized: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
+
+    big_batches = kv_batches(scale, big)
+    small_batches = kv_batches(scale, small)
+
+    for variance in (VarianceClass.HIGH, VarianceClass.MEDIUM, VarianceClass.LOW):
+        for class_name, batch_sizes in batch_classes.items():
+            per_strategy: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
+            samples = min(len(big_batches[variance]), len(small_batches[variance]))
+            for sample in range(samples):
+                totals = {s: 0.0 for s in _STRATEGIES}
+                for batch in batch_sizes:
+                    source = big_batches if batch == big else small_batches
+                    lengths = list(source[variance][sample])[:batch]
+                    for strategy in _STRATEGIES:
+                        totals[strategy] += _cycles(model, batch, strategy, lengths, hw)
+                for strategy in _STRATEGIES:
+                    per_strategy[strategy].append(totals[strategy])
+            means = {s: geomean(per_strategy[s]) for s in _STRATEGIES}
+            for strategy in _STRATEGIES:
+                ratio = means[strategy] / means["dynamic"]
+                normalized[strategy].append(ratio)
+                rows.append({
+                    "variance": variance.value,
+                    "batch_class": class_name,
+                    "strategy": strategy,
+                    "cycles": means[strategy],
+                    "normalized_to_dynamic": ratio,
+                })
+    return {
+        "rows": rows,
+        "geomean_normalized": {s: geomean(normalized[s]) for s in _STRATEGIES},
+    }

@@ -1,0 +1,59 @@
+"""Figure 8 — validation of the cycle-approximate simulator.
+
+The SwiGLU layer is swept over (batch tile, hidden, intermediate tile) sizes;
+for every point we run both the cycle-approximate STeP simulator (Roofline
+timing + aggregate HBM) and the HDL-substitute reference simulator
+(physical-tile timing + banked HBM) on the *same* program, and report cycle
+counts, off-chip traffic and the Pearson correlation between the two cycle
+series (the paper reports 0.99 against its Bluespec model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..hdl.reference import reference_simulate
+from ..sim import simulate
+from ..workloads.configs import sda_hardware
+from ..workloads.swiglu import (SwiGLUConfig, SwiGLUTiling, build_swiglu_layer,
+                                default_figure8_tilings)
+from .common import DEFAULT_SCALE, ExperimentScale
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        config: Optional[SwiGLUConfig] = None,
+        tilings: Optional[Sequence[SwiGLUTiling]] = None) -> Dict[str, object]:
+    """Regenerate the Figure 8 sweep."""
+    config = config or SwiGLUConfig()
+    tilings = list(tilings) if tilings is not None else default_figure8_tilings(config)
+    if scale.name == "smoke":
+        tilings = [t for t in tilings if t.intermediate_tile in (16, 64, 256)]
+
+    hardware = sda_hardware(onchip_bandwidth=256.0)
+    rows: List[dict] = []
+    for tiling in tilings:
+        program = build_swiglu_layer(config, tiling)
+        step_report = simulate(program, hardware=hardware)
+        reference_program = build_swiglu_layer(config, tiling)
+        hdl_report = reference_simulate(reference_program)
+        rows.append({
+            "tiling": tiling.label(),
+            "batch_tile": tiling.batch_tile,
+            "intermediate_tile": tiling.intermediate_tile,
+            "step_cycles": step_report.cycles,
+            "hdl_cycles": hdl_report.cycles,
+            "step_traffic_bytes": step_report.offchip_traffic,
+            "hdl_traffic_bytes": hdl_report.offchip_traffic,
+        })
+
+    step_series = np.array([row["step_cycles"] for row in rows])
+    hdl_series = np.array([row["hdl_cycles"] for row in rows])
+    correlation = float(np.corrcoef(step_series, hdl_series)[0, 1]) if len(rows) > 1 else 1.0
+    traffic_match = all(row["step_traffic_bytes"] == row["hdl_traffic_bytes"] for row in rows)
+    return {
+        "rows": rows,
+        "pearson_correlation": correlation,
+        "traffic_identical": traffic_match,
+    }

@@ -1,0 +1,79 @@
+"""Figures 9, 10, 19 and 20 — dynamic tiling versus the static-tiling Pareto frontier.
+
+For each model (Mixtral-8x7B-like, Qwen3-30B-A3B-like) and batch size, the MoE
+layer is simulated with a sweep of static batch-tile sizes and with dynamic
+tiling.  The rows carry latency (cycles), on-chip memory and off-chip traffic;
+Figures 9/10 plot latency versus memory, Figures 19/20 traffic versus memory.
+The headline metric is the Pareto Improvement Distance of the dynamic-tiling
+point over the static frontier (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.pareto import (ParetoPoint, memory_saving_at_matched_performance,
+                               pareto_improvement_distance, speedup_at_matched_memory)
+from ..sim import simulate
+from ..workloads.configs import ModelConfig
+from ..workloads.moe import MoELayerConfig, build_moe_layer
+from .common import (DEFAULT_SCALE, ExperimentScale, hardware, mixtral_model, moe_routing,
+                     qwen_model)
+
+
+def sweep_model(model: ModelConfig, batch: int, tiles: Sequence[int],
+                scale: ExperimentScale) -> List[dict]:
+    """Simulate the static tile sweep plus the dynamic-tiling point."""
+    assignments = moe_routing(model, batch, scale)
+    hw = hardware(scale)
+    rows: List[dict] = []
+    for tile in list(tiles) + [None]:
+        config = MoELayerConfig(model=model, batch=batch, tile_rows=tile)
+        program = build_moe_layer(config)
+        report = simulate(program.program, program.inputs(assignments), hardware=hw)
+        rows.append({
+            "model": model.name,
+            "batch": batch,
+            "tiling": "dynamic" if tile is None else f"tile={tile}",
+            "tile_rows": tile,
+            "cycles": report.cycles,
+            "onchip_memory_bytes": report.onchip_memory,
+            "offchip_traffic_bytes": report.offchip_traffic,
+            "total_flops": report.total_flops,
+        })
+    return rows
+
+
+def summarize(rows: Sequence[dict], memory_key: str = "onchip_memory_bytes",
+              cycles_key: str = "cycles") -> dict:
+    """PID and matched-point comparisons of the dynamic point versus the static frontier."""
+    static_points = [ParetoPoint(row[cycles_key], row[memory_key], row["tiling"])
+                     for row in rows if row["tile_rows"] is not None]
+    dynamic_rows = [row for row in rows if row["tile_rows"] is None]
+    if not dynamic_rows or not static_points:
+        return {}
+    dynamic_point = ParetoPoint(dynamic_rows[0][cycles_key], dynamic_rows[0][memory_key],
+                                "dynamic")
+    return {
+        "pid": pareto_improvement_distance(dynamic_point, static_points),
+        "speedup_at_matched_memory": speedup_at_matched_memory(dynamic_point, static_points),
+        "memory_saving_at_matched_performance":
+            memory_saving_at_matched_performance(dynamic_point, static_points),
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False) -> Dict[str, object]:
+    """Regenerate Figure 9 (``large_batch=False``) or Figure 10 (``True``)."""
+    batch = scale.moe_large_batch if large_batch else scale.moe_batch
+    tiles = scale.moe_tiles_large_batch if large_batch else scale.moe_tiles_small_batch
+    tiles = [t for t in tiles if t <= max(batch, 1)]
+    results: Dict[str, object] = {"figure": "10" if large_batch else "9", "per_model": {}}
+    for model in (mixtral_model(scale), qwen_model(scale)):
+        rows = sweep_model(model, batch, tiles, scale)
+        results["per_model"][model.name] = {
+            "rows": rows,
+            "summary": summarize(rows),
+            "traffic_summary": summarize(rows, memory_key="onchip_memory_bytes",
+                                         cycles_key="offchip_traffic_bytes"),
+        }
+    return results

@@ -1,0 +1,40 @@
+"""Plain-text reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 floatfmt: str = ".1f") -> str:
+    """Render row dictionaries as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(columns[i]), max(len(line[i]) for line in table))
+              for i in range(len(columns))]
+    header = "  ".join(columns[i].ljust(widths[i]) for i in range(len(columns)))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+                     for line in table)
+    return "\n".join([header, separator, body])
+
+
+def format_summary(summary: Mapping, title: str = "summary") -> str:
+    """Render a flat summary dictionary as ``key: value`` lines."""
+    lines = [f"[{title}]"]
+    for key, value in summary.items():
+        if isinstance(value, float):
+            lines.append(f"  {key}: {value:.3f}")
+        else:
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Command-line runner for the figure experiments.
+
+Usage::
+
+    python -m repro.experiments.runner --figure 9          # one figure
+    python -m repro.experiments.runner --all               # everything
+    python -m repro.experiments.runner --figure 14 --smoke # fast, tiny scale
+
+Each experiment prints the regenerated rows and the headline summary the paper
+quotes; EXPERIMENTS.md records a captured run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from . import (common, figure1, figure8, figure9_10, figure12_13, figure14, figure15,
+               figure17, figure19_20, figure21)
+from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
+from .report import format_summary, format_table
+
+#: figure id -> callable(scale) -> result dictionary
+FIGURES: Dict[str, Callable[[ExperimentScale], dict]] = {
+    "1": figure1.run,
+    "8": figure8.run,
+    "9": lambda scale: figure9_10.run(scale, large_batch=False),
+    "10": lambda scale: figure9_10.run(scale, large_batch=True),
+    "12": figure12_13.run,
+    "13": figure12_13.run,
+    "14": figure14.run,
+    "15": figure15.run,
+    "17": figure17.run,
+    "19": lambda scale: figure19_20.run(scale, large_batch=False),
+    "20": lambda scale: figure19_20.run(scale, large_batch=True),
+    "21": figure21.run,
+}
+
+
+def _print_result(figure: str, result: dict) -> None:
+    print(f"==== Figure {figure} ====")
+    if "rows" in result:
+        print(format_table(result["rows"]))
+    if "per_model" in result:
+        for model, payload in result["per_model"].items():
+            print(f"-- {model} --")
+            print(format_table(payload["rows"]))
+            if payload.get("summary"):
+                print(format_summary(payload["summary"], title=f"{model} summary"))
+    for key in ("static", "dynamic"):
+        if key in result and isinstance(result[key], dict) and "rows" in result[key]:
+            print(f"-- {key} tiling --")
+            print(format_table(result[key]["rows"]))
+            print(format_summary(result[key]["summary"], title=f"{key} summary"))
+    flat_summary = {k: v for k, v in result.items()
+                    if isinstance(v, (int, float, str, bool))}
+    if flat_summary:
+        print(format_summary(flat_summary, title="headline"))
+    for key in ("speedup_by_variance", "geomean_normalized"):
+        if key in result:
+            print(format_summary(result[key], title=key))
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's figures")
+    parser.add_argument("--figure", action="append", default=None,
+                        help="figure number to run (repeatable); default: all")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--smoke", action="store_true",
+                        help="use the tiny smoke-test scale")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also dump raw results to this JSON file")
+    args = parser.parse_args(argv)
+
+    scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+    figures = args.figure if args.figure else sorted(FIGURES, key=lambda f: int(f))
+    if args.all:
+        figures = sorted(FIGURES, key=lambda f: int(f))
+
+    collected = {}
+    for figure in figures:
+        if figure not in FIGURES:
+            print(f"unknown figure {figure!r}; available: {sorted(FIGURES)}", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = FIGURES[figure](scale)
+        result["elapsed_seconds"] = round(time.time() - started, 2)
+        collected[figure] = result
+        _print_result(figure, result)
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(collected, handle, indent=2, default=str)
+        print(f"raw results written to {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

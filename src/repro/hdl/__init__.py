@@ -1,0 +1,29 @@
+"""HDL-substitute reference simulator (paper Section 4.5, Figure 8).
+
+The paper validates its cycle-approximate simulator against a cycle-accurate
+Bluespec SystemVerilog model of a 16x16-tile fabric with a Ramulator-driven
+HBM2 subsystem.  RTL is outside the scope of a pure-Python reproduction, so
+this package provides the closest substitute: a second, independent timing
+model of the *same* programs —
+
+* compute units operate on 16x16 BF16 physical tiles with an initiation
+  interval of one (STeP-level tiles are decomposed into physical tiles,
+  including padding of partial tiles),
+* on-chip memory units move one physical tile per cycle,
+* off-chip accesses go through a banked, row-buffer-aware HBM model with
+  64-byte bursts,
+
+which is exactly the role the HDL model plays in Figure 8: an independent,
+more detailed reference whose cycle counts the Roofline-based simulator should
+track across the tile-size sweep.
+"""
+
+from .hierarchical import hierarchical_matmul_program, physical_tile_count
+from .reference import reference_hardware, reference_simulate
+
+__all__ = [
+    "hierarchical_matmul_program",
+    "physical_tile_count",
+    "reference_hardware",
+    "reference_simulate",
+]

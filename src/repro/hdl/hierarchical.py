@@ -1,0 +1,127 @@
+"""Hierarchical tiling (paper Appendix B.2, Figure 18).
+
+When mapping to the HDL model, STeP-level tiles are partitioned into smaller
+physical tiles that match the fabric's 16x16 compute tile.  Figure 18 shows the
+graph transformation for a matmul node: one operand is bufferized and
+re-streamed once per row block of the other, physical tiles are multiplied, and
+the partial products are re-accumulated over the shared dimension.
+
+This module provides
+
+* :func:`physical_tile_count` / :func:`matmul_mac_tiles` — how many physical
+  tile operations one STeP-level operation decomposes into (used by the
+  detailed timing model of the reference simulator),
+* :func:`split_tile` — decompose a STeP-level tile into padded physical tiles,
+* :func:`hierarchical_matmul_program` — an executable STeP program applying the
+  Figure 18 transformation to ``C = A @ B`` at physical-tile granularity
+  (Bufferize + Streamify + Zip + Accum(MatmulAccum)), checked against numpy in
+  the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.dtypes import Tile, TileType
+from ..core.graph import InputStream, Program
+from ..core.shape import StreamShape
+from ..core.stream import tokens_from_nested
+from ..ops import Accum, Bufferize, Streamify, Zip
+from ..ops.functions import MatmulAccum
+
+
+def physical_tile_count(rows: int, cols: int, compute_tile: int = 16) -> int:
+    """Number of ``compute_tile`` x ``compute_tile`` physical tiles covering a tile."""
+    if rows <= 0 or cols <= 0:
+        return 0
+    return (-(-rows // compute_tile)) * (-(-cols // compute_tile))
+
+
+def matmul_mac_tiles(m: int, k: int, n: int, compute_tile: int = 16) -> int:
+    """Number of ``16x16x16`` MAC tiles needed for an ``m x k @ k x n`` product."""
+    return (-(-m // compute_tile)) * (-(-k // compute_tile)) * (-(-n // compute_tile))
+
+
+def split_tile(tile: Tile, tile_rows: int, tile_cols: int) -> List[List[Tile]]:
+    """Split a STeP-level tile into a row-major grid of physical tiles (padding edges)."""
+    grid: List[List[Tile]] = []
+    for r0 in range(0, tile.rows, tile_rows):
+        row: List[Tile] = []
+        for c0 in range(0, tile.cols, tile_cols):
+            rows = min(tile_rows, tile.rows - r0)
+            cols = min(tile_cols, tile.cols - c0)
+            if tile.has_data:
+                block = np.zeros((tile_rows, tile_cols), dtype=tile.dtype.numpy_dtype)
+                block[:rows, :cols] = tile.to_array()[r0:r0 + rows, c0:c0 + cols]
+                row.append(Tile.from_array(block, tile.dtype))
+            else:
+                row.append(Tile.meta(tile_rows, tile_cols, tile.dtype))
+        grid.append(row)
+    return grid
+
+
+def hierarchical_matmul_program(m: int, k: int, n_cols: int = 16, compute_tile: int = 16,
+                                compute_bw: int = 512) -> Tuple[Program, str]:
+    """The Figure 18 transformation of ``C = A @ B`` (single output column block).
+
+    ``A`` is an ``m x k`` matrix supplied as a rank-1 stream of physical tiles
+    (``m/16`` row blocks, each a group of ``k/16`` tiles); ``B`` is a
+    ``k x n_cols`` matrix supplied as one group of ``k/16`` physical tiles.
+    ``B`` is bufferized once and re-streamed for every row block of ``A``
+    (Bufferize + Streamify with a static repeat count), the physical tiles are
+    zipped and multiplied, and the partial products are accumulated over the
+    shared ``k`` dimension — exactly the structure of Figure 18.
+
+    Returns ``(program, output_handle_name)``; the output is a rank-0 stream of
+    ``m/16`` physical result tiles.
+    """
+    if n_cols > compute_tile:
+        raise ValueError("the demonstration transform keeps a single output column block")
+    m_blocks = -(-m // compute_tile)
+    k_blocks = -(-k // compute_tile)
+
+    a_tiles = InputStream(StreamShape([m_blocks, k_blocks]),
+                          TileType(compute_tile, compute_tile), name="a_tiles").stream
+    b_tiles = InputStream(StreamShape([1, k_blocks]),
+                          TileType(compute_tile, compute_tile), name="b_tiles").stream
+
+    b_buffer = Bufferize(b_tiles, rank=1, name="buffer_b")
+    b_replay = Streamify(b_buffer.output, count=m_blocks, name="stream_b")
+    b_flat_shape_fix = b_replay  # [1, m_blocks, k_blocks] — matches A after promote below
+
+    from ..ops import Flatten, Promote  # local import avoids a cycle at module load
+
+    a_grouped = Promote(a_tiles, name="promote_a")          # [1, m_blocks, k_blocks]
+    pairs = Zip(a_grouped.output, b_flat_shape_fix.output, name="zip_ab")
+    result = Accum(pairs.output, MatmulAccum(), rank=1, compute_bw=compute_bw,
+                   name="mac_accumulate")
+    flat = Flatten(result.output, 0, 1, name="flatten_out")
+    program = Program([flat.output], name="hierarchical_matmul")
+    return program, flat.output.name
+
+
+def hierarchical_matmul_inputs(a: np.ndarray, b: np.ndarray, compute_tile: int = 16) -> dict:
+    """Input token streams for :func:`hierarchical_matmul_program`."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    a_grid = split_tile(Tile.from_array(a), compute_tile, compute_tile)
+    b_grid = split_tile(Tile.from_array(b), compute_tile, compute_tile)
+    # A: [m_blocks, k_blocks] — one group of k physical tiles per row block
+    a_nested = a_grid
+    # B: [1, k_blocks] — the k-dimension tiles of the single output column block
+    b_nested = [[row[0] for row in b_grid]]
+    return {
+        "a_tiles": tokens_from_nested(a_nested, rank=1),
+        "b_tiles": tokens_from_nested(b_nested, rank=1),
+    }
+
+
+def hierarchical_matmul_reference(a: np.ndarray, b: np.ndarray,
+                                  compute_tile: int = 16) -> List[Tile]:
+    """Reference: the physical result tiles (row blocks) of ``A @ B`` with padding."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    out = a @ b
+    return [row[0] for row in split_tile(Tile.from_array(out), compute_tile, compute_tile)]

@@ -1,0 +1,57 @@
+"""Reference (HDL-substitute) simulation entry points.
+
+``reference_simulate`` runs the *same* STeP program as the cycle-approximate
+simulator but under the detailed timing model:
+
+* higher-order operators are timed at physical-tile granularity (16x16x16 MAC
+  tiles at an initiation interval of one, partial tiles padded),
+* on-chip transfers move one 16x16 physical tile per cycle,
+* off-chip accesses go through :class:`~repro.sim.hbm.BankedHBM` (64-byte
+  bursts, per-bank row buffers).
+
+Figure 8 compares the two models' cycle counts across the SwiGLU tile-size
+sweep and reports their correlation; see
+:mod:`repro.experiments.figure8`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.graph import Program
+from ..core.stream import Token
+from ..sim.executors.common import HardwareConfig
+from ..sim.hbm import BankedHBM
+from ..sim.runner import SimReport, simulate
+
+
+def reference_hardware(onchip_bandwidth: float = 256.0, compute_tile: int = 16,
+                       channel_latency: float = 1.0) -> HardwareConfig:
+    """Hardware configuration of the Section 4.5 validation setup.
+
+    The validation platform pairs 16x16 BF16 compute tiles (II = 1) with
+    distributed memory units that read/write one tile per cycle; the on-chip
+    memory bandwidth is configured as 256 bytes/cycle.
+    """
+    return HardwareConfig(
+        onchip_bandwidth=onchip_bandwidth,
+        offchip_bandwidth=1024.0,
+        offchip_latency=120.0,
+        compute_tile=compute_tile,
+        channel_latency=channel_latency,
+        timing_model="detailed",
+    )
+
+
+def reference_hbm(num_banks: int = 32, bus_bandwidth: float = 1024.0) -> BankedHBM:
+    """An HBM2-like banked memory model (8-stack subsystem aggregate)."""
+    return BankedHBM(num_banks=num_banks, bus_bandwidth=bus_bandwidth)
+
+
+def reference_simulate(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,
+                       hardware: Optional[HardwareConfig] = None,
+                       hbm: Optional[BankedHBM] = None) -> SimReport:
+    """Run ``program`` under the detailed reference timing model."""
+    hardware = hardware or reference_hardware()
+    hbm = hbm or reference_hbm(bus_bandwidth=hardware.offchip_bandwidth)
+    return simulate(program, inputs=inputs, hardware=hardware, hbm=hbm)

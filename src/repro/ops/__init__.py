@@ -1,0 +1,50 @@
+"""STeP operators (paper Section 3.2, Tables 3-7).
+
+The operators fall into five categories:
+
+* off-chip memory operators (:mod:`repro.ops.offchip`),
+* on-chip memory operators (:mod:`repro.ops.onchip`),
+* dynamic routing and merging operators (:mod:`repro.ops.routing`),
+* higher-order operators (:mod:`repro.ops.higher_order`),
+* shape operators (:mod:`repro.ops.shape_ops`),
+
+plus the hardware-function library used by the higher-order operators
+(:mod:`repro.ops.functions`).
+"""
+
+from .base import Operator
+from .offchip import (
+    LinearOffChipLoad,
+    LinearOffChipLoadRef,
+    LinearOffChipStore,
+    RandomOffChipLoad,
+    RandomOffChipStore,
+)
+from .onchip import Bufferize, Streamify
+from .routing import EagerMerge, Partition, Reassemble
+from .higher_order import Accum, FlatMap, Map, Scan
+from .shape_ops import Expand, Flatten, Promote, Repeat, Reshape, Zip
+
+__all__ = [
+    "Operator",
+    "LinearOffChipLoad",
+    "LinearOffChipLoadRef",
+    "LinearOffChipStore",
+    "RandomOffChipLoad",
+    "RandomOffChipStore",
+    "Bufferize",
+    "Streamify",
+    "Partition",
+    "Reassemble",
+    "EagerMerge",
+    "Map",
+    "Accum",
+    "Scan",
+    "FlatMap",
+    "Flatten",
+    "Reshape",
+    "Promote",
+    "Expand",
+    "Repeat",
+    "Zip",
+]

@@ -1,0 +1,53 @@
+"""Operator base class and registry.
+
+Every STeP operator is a graph node (:class:`~repro.core.graph.OperatorBase`)
+whose constructor implements the shape semantics of Tables 3-7: it validates
+its input stream shapes/data types and creates output handles with the derived
+shapes.  The functional and timing semantics live in the simulator executors
+(:mod:`repro.sim.executors`), which are looked up through the registry defined
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from ..core.graph import OperatorBase, StreamHandle
+from ..core.errors import GraphError, TypeMismatchError
+
+
+class Operator(OperatorBase):
+    """Base class for all STeP operators.
+
+    Subclasses set :attr:`kind` and, in their constructor, call
+    ``self._set_inputs(...)`` and ``self._add_output(...)`` after deriving the
+    output shapes.  Operator-specific parameters are stored as plain
+    attributes so the simulator executors (and tests) can read them.
+    """
+
+    #: class-level registry: kind name -> operator class
+    registry: Dict[str, Type["Operator"]] = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.kind and cls.kind != "Operator":
+            Operator.registry[cls.kind] = cls
+
+    # -- helpers shared by operator constructors ----------------------------------
+    @staticmethod
+    def _require_handle(handle, what: str) -> StreamHandle:
+        if not isinstance(handle, StreamHandle):
+            raise GraphError(f"{what} must be a StreamHandle, got {type(handle).__name__}")
+        return handle
+
+    @staticmethod
+    def _require_rank_at_least(handle: StreamHandle, rank: int, what: str) -> None:
+        if handle.rank < rank:
+            raise TypeMismatchError(
+                f"{what} requires a stream of rank >= {rank}, got rank {handle.rank} "
+                f"({handle.shape})")
+
+
+def operator_kinds() -> list:
+    """All registered operator kind names (sorted)."""
+    return sorted(Operator.registry)

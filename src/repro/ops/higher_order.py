@@ -1,0 +1,149 @@
+"""Higher-order operators (Section 3.2.4, Table 5): Map, Accum, Scan, FlatMap.
+
+Each higher-order operator takes a hardware-supported function
+(:mod:`repro.ops.functions`) and an allocated compute bandwidth in
+FLOPs/cycle.  The simulator charges each input element the Roofline latency of
+Section 4.3: ``max(in_bytes / onchip_bw, flops / compute_bw, out_bytes /
+onchip_bw)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..core.dims import Dim
+from ..core.dtypes import DataType, TileType
+from ..core.errors import ShapeError, TypeMismatchError
+from ..core.graph import StreamHandle
+from ..core.shape import StreamShape
+from ..core.symbolic import fresh_symbol
+from .base import Operator
+from .functions import AccumFunction, FlatMapFunction, MapFunction
+
+#: Default allocated compute bandwidth (FLOPs/cycle) when the programmer does
+#: not specify one; matches the 16x16 BF16 compute tile of Section 4.5
+#: (one 16x16x16 MAC tile per cycle would be 8192 FLOPs/cycle; we default to a
+#: single tile's worth of multiply-adds per cycle).
+DEFAULT_COMPUTE_BW = 512
+
+
+def _common_input_spec(handles: Sequence[StreamHandle], what: str) -> StreamHandle:
+    first = handles[0]
+    for other in handles[1:]:
+        if other.shape.ndims != first.shape.ndims:
+            raise ShapeError(
+                f"{what} input streams must have matching dimensionality, "
+                f"got {first.shape} vs {other.shape}")
+    return first
+
+
+class Map(Operator):
+    """Apply an element-wise function without changing the stream shape.
+
+    Map accepts one or more input streams (e.g. ``Map((a, b), Matmul())``);
+    multiple inputs are consumed in lock step and must carry the same logical
+    structure.
+    """
+
+    kind = "Map"
+
+    def __init__(self, in_streams: Union[StreamHandle, Sequence[StreamHandle]],
+                 fn: MapFunction, compute_bw: int = DEFAULT_COMPUTE_BW,
+                 out_dtype: Optional[DataType] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        if isinstance(in_streams, StreamHandle):
+            in_streams = [in_streams]
+        in_streams = [self._require_handle(h, "Map input") for h in in_streams]
+        if not in_streams:
+            raise ShapeError("Map requires at least one input stream")
+        if not isinstance(fn, MapFunction):
+            raise TypeMismatchError(f"Map fn must be a MapFunction, got {fn!r}")
+        first = _common_input_spec(in_streams, "Map")
+        self.fn = fn
+        self.compute_bw = int(compute_bw)
+        self._set_inputs(in_streams)
+        self._add_output(first.shape, out_dtype or first.dtype)
+
+
+class Accum(Operator):
+    """Reduce over the ``rank`` innermost dimensions of a stream.
+
+    The accumulator can be larger than the input tile (e.g. RetileRow), and,
+    crucially for dynamic tiling, it can have a dynamic size: together with
+    Promote this enables accumulating dynamically shaped tiles (Section 5.2).
+    """
+
+    kind = "Accum"
+
+    def __init__(self, in_stream: StreamHandle, fn: AccumFunction, rank: int = 1,
+                 compute_bw: int = DEFAULT_COMPUTE_BW,
+                 out_dtype: Optional[DataType] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Accum input")
+        if not isinstance(fn, AccumFunction):
+            raise TypeMismatchError(f"Accum fn must be an AccumFunction, got {fn!r}")
+        if rank < 1:
+            raise ShapeError(f"Accum rank must be >= 1, got {rank}")
+        self._require_rank_at_least(in_stream, rank, "Accum")
+        self.fn = fn
+        self.rank = int(rank)
+        self.compute_bw = int(compute_bw)
+        self._set_inputs([in_stream])
+        self._add_output(in_stream.shape.drop_inner(self.rank), out_dtype or in_stream.dtype)
+
+
+class Scan(Operator):
+    """Like Accum but emits the accumulator state on every input element."""
+
+    kind = "Scan"
+
+    def __init__(self, in_stream: StreamHandle, fn: AccumFunction, rank: int = 1,
+                 compute_bw: int = DEFAULT_COMPUTE_BW,
+                 out_dtype: Optional[DataType] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Scan input")
+        if not isinstance(fn, AccumFunction):
+            raise TypeMismatchError(f"Scan fn must be an AccumFunction, got {fn!r}")
+        if rank < 1:
+            raise ShapeError(f"Scan rank must be >= 1, got {rank}")
+        self._require_rank_at_least(in_stream, rank, "Scan")
+        self.fn = fn
+        self.rank = int(rank)
+        self.compute_bw = int(compute_bw)
+        self._set_inputs([in_stream])
+        self._add_output(in_stream.shape, out_dtype or in_stream.dtype)
+
+
+class FlatMap(Operator):
+    """Expand each element into a rank-``rank`` sub-stream and concatenate.
+
+    The output stream gains ``rank`` new innermost dimensions.  When the
+    expansion length is data dependent (e.g. splitting a dynamically sized
+    tile), the new dimensions are fresh ragged symbols; a static
+    ``expansion`` hint can be supplied for the common case of a fixed fan-out.
+    """
+
+    kind = "FlatMap"
+
+    def __init__(self, in_stream: StreamHandle, fn: FlatMapFunction, rank: int = 1,
+                 compute_bw: int = DEFAULT_COMPUTE_BW,
+                 expansion: Optional[Sequence[int]] = None,
+                 out_dtype: Optional[DataType] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "FlatMap input")
+        if not isinstance(fn, MapFunction):
+            raise TypeMismatchError(f"FlatMap fn must be a MapFunction, got {fn!r}")
+        if rank < 1:
+            raise ShapeError(f"FlatMap rank must be >= 1, got {rank}")
+        self.fn = fn
+        self.rank = int(rank)
+        self.compute_bw = int(compute_bw)
+        self._set_inputs([in_stream])
+        if expansion is not None:
+            if len(expansion) != rank:
+                raise ShapeError(
+                    f"FlatMap expansion hint must have {rank} entries, got {len(expansion)}")
+            new_dims = [Dim.static(e) for e in expansion]
+        else:
+            new_dims = [Dim.ragged(name="E") for _ in range(rank)]
+        self._add_output(in_stream.shape.append(new_dims), out_dtype or in_stream.dtype)

@@ -1,0 +1,185 @@
+"""Off-chip memory operators (Section 3.2.1, Table 3, Figure 2).
+
+These operators express the interface between on-chip and off-chip memory.
+Because off-chip traffic only occurs here, the symbolic frontend can derive a
+program's total off-chip traffic (and hence operational intensity) by summing
+``||output stream|| * |output dtype|`` over the off-chip operators
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.dims import Dim
+from ..core.dtypes import AddressType, ElemType, TileType, elem_type
+from ..core.errors import ShapeError
+from ..core.graph import StreamHandle
+from ..core.shape import StreamShape
+from .base import Operator
+
+
+def _check_tiling(in_mem_shape: Sequence[int], tile_shape: Sequence[int], what: str) -> None:
+    if len(in_mem_shape) != 2 or len(tile_shape) != 2:
+        raise ShapeError(f"{what} expects 2-D in-memory and tile shapes")
+    for full, tile in zip(in_mem_shape, tile_shape):
+        if tile <= 0 or full <= 0:
+            raise ShapeError(f"{what} shapes must be positive, got {in_mem_shape}/{tile_shape}")
+        if full % tile != 0:
+            raise ShapeError(
+                f"{what} tile shape {tuple(tile_shape)} must divide the stored tensor "
+                f"shape {tuple(in_mem_shape)}")
+
+
+class LinearOffChipLoad(Operator):
+    """Affine (strided) load of a tiled tensor from off-chip memory (Figure 2).
+
+    The stored tensor of shape ``in_mem_shape`` is read as ``tile_shape`` tiles;
+    ``stride_tiled``/``shape_tiled`` describe the affine read pattern *in units
+    of tiles*.  The read is triggered once per element of the reference stream
+    (the reference data itself is ignored); the static variant replaces the
+    reference stream with a ``count`` argument.
+
+    Parameters mirror the paper's frontend: ``underlying`` optionally provides
+    the stored tensor's payload so functional tests can check real numerics.
+    """
+
+    kind = "LinearOffChipLoad"
+
+    def __init__(self, ref: Optional[StreamHandle] = None, *, base_addr: int = 0,
+                 in_mem_shape: Sequence[int], tile_shape: Sequence[int],
+                 stride_tiled: Optional[Sequence[int]] = None,
+                 shape_tiled: Optional[Sequence[int]] = None,
+                 dtype: Union[str, ElemType] = "bf16",
+                 underlying: Optional[np.ndarray] = None,
+                 count: int = 1, name: Optional[str] = None):
+        super().__init__(name=name)
+        _check_tiling(in_mem_shape, tile_shape, "LinearOffChipLoad")
+        self.base_addr = int(base_addr)
+        self.in_mem_shape = tuple(int(v) for v in in_mem_shape)
+        self.tile_shape = tuple(int(v) for v in tile_shape)
+        tiles_grid = (self.in_mem_shape[0] // self.tile_shape[0],
+                      self.in_mem_shape[1] // self.tile_shape[1])
+        self.shape_tiled = tuple(int(v) for v in (shape_tiled or tiles_grid))
+        self.stride_tiled = tuple(int(v) for v in (stride_tiled or (tiles_grid[1], 1)))
+        self.dtype = elem_type(dtype)
+        self.count = int(count)
+        if underlying is not None:
+            underlying = np.asarray(underlying)
+            if underlying.shape != self.in_mem_shape:
+                raise ShapeError(
+                    f"underlying tensor shape {underlying.shape} does not match "
+                    f"in_mem_shape {self.in_mem_shape}")
+        self.underlying = underlying
+
+        inputs = []
+        if ref is not None:
+            ref = self._require_handle(ref, "LinearOffChipLoad reference")
+            inputs.append(ref)
+            outer_dims = ref.shape.dims
+        else:
+            if self.count < 0:
+                raise ShapeError(f"count must be non-negative, got {count}")
+            outer_dims = (Dim.static(self.count),)
+        self._set_inputs(inputs)
+        read_dims = tuple(Dim.static(d) for d in self.shape_tiled)
+        out_shape = StreamShape(outer_dims + read_dims)
+        self._add_output(out_shape, TileType(self.tile_shape[0], self.tile_shape[1], self.dtype))
+
+    @property
+    def has_ref(self) -> bool:
+        return bool(self.inputs)
+
+    @property
+    def tiles_per_read(self) -> int:
+        total = 1
+        for dim in self.shape_tiled:
+            total *= dim
+        return total
+
+    @property
+    def tile_nbytes(self) -> int:
+        return self.tile_shape[0] * self.tile_shape[1] * self.dtype.nbytes
+
+
+class LinearOffChipLoadRef(LinearOffChipLoad):
+    """Alias used by the paper's frontend when the read count is a reference stream."""
+
+    kind = "LinearOffChipLoadRef"
+
+    def __init__(self, ref: StreamHandle, **kwargs):
+        if ref is None:
+            raise ShapeError("LinearOffChipLoadRef requires a reference stream")
+        super().__init__(ref=ref, **kwargs)
+
+
+class LinearOffChipStore(Operator):
+    """Linearly store the input stream's tiles to off-chip memory."""
+
+    kind = "LinearOffChipStore"
+
+    def __init__(self, in_stream: StreamHandle, base_addr: int = 0,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "LinearOffChipStore input")
+        self.base_addr = int(base_addr)
+        self._set_inputs([in_stream])
+        # A store is a sink: no output streams.  The stored tokens are exposed
+        # through the simulator report for functional checks.
+
+
+class RandomOffChipLoad(Operator):
+    """Random-access load: one tile per address in the read-address stream.
+
+    Used by configuration time-multiplexing to fetch the weights of whichever
+    expert is currently selected (Section 5.3, Figure 11).
+    """
+
+    kind = "RandomOffChipLoad"
+
+    def __init__(self, raddr: StreamHandle, *, base_addr: int = 0,
+                 tile_shape: Sequence[int], in_mem_shape: Optional[Sequence[int]] = None,
+                 dtype: Union[str, ElemType] = "bf16",
+                 underlying: Optional[np.ndarray] = None,
+                 tiles_per_access: int = 1, name: Optional[str] = None):
+        super().__init__(name=name)
+        raddr = self._require_handle(raddr, "RandomOffChipLoad address stream")
+        if len(tile_shape) != 2 or min(tile_shape) <= 0:
+            raise ShapeError(f"RandomOffChipLoad tile shape must be positive 2-D, got {tile_shape}")
+        self.base_addr = int(base_addr)
+        self.tile_shape = tuple(int(v) for v in tile_shape)
+        self.in_mem_shape = tuple(int(v) for v in in_mem_shape) if in_mem_shape else None
+        self.dtype = elem_type(dtype)
+        #: how many tiles a single address fetches (a whole weight block for
+        #: time-multiplexed experts); the output stream gains an inner static
+        #: dimension when > 1.
+        self.tiles_per_access = int(tiles_per_access)
+        self.underlying = None if underlying is None else np.asarray(underlying)
+        self._set_inputs([raddr])
+        if self.tiles_per_access > 1:
+            out_shape = raddr.shape.append([self.tiles_per_access])
+        else:
+            out_shape = raddr.shape
+        self._add_output(out_shape, TileType(self.tile_shape[0], self.tile_shape[1], self.dtype))
+
+    @property
+    def tile_nbytes(self) -> int:
+        return self.tile_shape[0] * self.tile_shape[1] * self.dtype.nbytes
+
+
+class RandomOffChipStore(Operator):
+    """Random-access store: write-data tiles at addresses from the address stream."""
+
+    kind = "RandomOffChipStore"
+
+    def __init__(self, waddr: StreamHandle, wdata: StreamHandle, *, base_addr: int = 0,
+                 in_mem_shape: Optional[Sequence[int]] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        waddr = self._require_handle(waddr, "RandomOffChipStore address stream")
+        wdata = self._require_handle(wdata, "RandomOffChipStore data stream")
+        self.base_addr = int(base_addr)
+        self.in_mem_shape = tuple(int(v) for v in in_mem_shape) if in_mem_shape else None
+        self._set_inputs([waddr, wdata])
+        self._add_output(waddr.shape, TileType(1, 1, "bool"), name="ack")

@@ -1,0 +1,113 @@
+"""On-chip memory operators (Section 3.2.2, Table 4, Figure 3).
+
+Bufferize stores portions of a stream to on-chip memory and emits a stream of
+*buffers* (read-only references); Streamify reads buffers back out, possibly
+multiple times, driven by a reference stream.  Together they expose the
+trade-off between on-chip memory usage and off-chip traffic / recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.dims import Dim
+from ..core.dtypes import BufferType, DataType, TileType
+from ..core.errors import ShapeError, TypeMismatchError
+from ..core.graph import StreamHandle
+from ..core.shape import StreamShape
+from .base import Operator
+
+
+class Bufferize(Operator):
+    """Store the innermost ``rank`` dimensions of the input stream on chip.
+
+    The operator accumulates incoming tiles into on-chip memory until it sees
+    a stop token of level >= ``rank``, then enqueues a buffer handle on its
+    output and starts filling a new buffer (Figure 3).  The bufferized inner
+    dimensions may be dynamic-regular, and the outermost bufferized dimension
+    may be dynamic-ragged.
+    """
+
+    kind = "Bufferize"
+
+    def __init__(self, in_stream: StreamHandle, rank: int = 1,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Bufferize input")
+        if rank < 1:
+            raise ShapeError(f"Bufferize rank must be >= 1, got {rank}")
+        if isinstance(in_stream.dtype, BufferType):
+            raise TypeMismatchError("Bufferize cannot buffer a stream of buffers")
+        self._require_rank_at_least(in_stream, rank, "Bufferize")
+        self.rank = int(rank)
+        self._set_inputs([in_stream])
+        buffered_dims = in_stream.shape.inner(self.rank)
+        out_shape = in_stream.shape.drop_inner(self.rank)
+        self._add_output(out_shape, BufferType(in_stream.dtype, buffered_dims))
+
+    @property
+    def buffer_type(self) -> BufferType:
+        return self.outputs[0].dtype  # type: ignore[return-value]
+
+
+class Streamify(Operator):
+    """Read buffers back into a stream, a dynamic number of times.
+
+    For each buffer in the input stream, the reference stream supplies a
+    subtree of ``ref_extra_rank`` additional dimensions; every reference data
+    element triggers one read of the buffer.  When the buffer shape is fully
+    static, the read can be an affine view described by ``stride`` and
+    ``out_shape`` (like LinearOffChipLoad); otherwise the buffer contents are
+    streamed linearly with their original structure.
+    """
+
+    kind = "Streamify"
+
+    def __init__(self, buffers: StreamHandle, ref: Optional[StreamHandle] = None, *,
+                 count: int = 1,
+                 stride: Optional[Sequence[int]] = None,
+                 out_shape: Optional[Sequence[int]] = None,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        buffers = self._require_handle(buffers, "Streamify buffer stream")
+        if not isinstance(buffers.dtype, BufferType):
+            raise TypeMismatchError(
+                f"Streamify expects a stream of buffers, got {buffers.dtype}")
+        self.buffer_type: BufferType = buffers.dtype
+        self.count = int(count)
+        self.stride = tuple(int(v) for v in stride) if stride else None
+        self.out_shape = tuple(int(v) for v in out_shape) if out_shape else None
+        if self.out_shape is not None and not all(
+                d.is_static for d in self.buffer_type.dims):
+            raise ShapeError(
+                "Streamify affine reads (out_shape/stride) require a statically "
+                "shaped buffer; dynamic buffers are streamed linearly")
+
+        inputs = [buffers]
+        if ref is not None:
+            ref = self._require_handle(ref, "Streamify reference")
+            if ref.shape.ndims < buffers.shape.ndims:
+                raise ShapeError(
+                    f"Streamify reference shape {ref.shape} must refine the buffer "
+                    f"stream shape {buffers.shape}")
+            inputs.append(ref)
+            self.ref_extra_rank = ref.shape.ndims - buffers.shape.ndims
+            outer_dims = ref.shape.dims
+        else:
+            if self.count <= 0:
+                raise ShapeError(f"Streamify count must be positive, got {self.count}")
+            self.ref_extra_rank = 1 if self.count > 1 else 0
+            outer_dims = buffers.shape.dims
+            if self.count > 1:
+                outer_dims = outer_dims + (Dim.static(self.count),)
+        self._set_inputs(inputs)
+
+        if self.out_shape is not None:
+            read_dims = tuple(Dim.static(d) for d in self.out_shape)
+        else:
+            read_dims = self.buffer_type.dims
+        self._add_output(StreamShape(tuple(outer_dims) + read_dims), self.buffer_type.element)
+
+    @property
+    def has_ref(self) -> bool:
+        return len(self.inputs) == 2

@@ -1,0 +1,156 @@
+"""Dynamic routing and merging operators (Section 3.2.3, Table 6, Figure 4).
+
+These operators implement data-dependent control flow:
+
+* :class:`Partition` routes chunks of the input stream to one of several
+  output streams according to a (multi-hot) selector stream,
+* :class:`Reassemble` is its inverse: it merges chunks from several input
+  streams in selector order,
+* :class:`EagerMerge` merges chunks in arrival order and additionally emits a
+  selector stream recording where each chunk came from.
+
+A *chunk* is the data up to (and including) the first stop token of level
+``rank``; the selector stream has one element per chunk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.dims import Dim
+from ..core.dtypes import DataType, SelectorType
+from ..core.errors import ShapeError, TypeMismatchError
+from ..core.graph import StreamHandle
+from ..core.shape import StreamShape
+from ..core.symbolic import fresh_symbol, ssum
+from .base import Operator
+
+
+class Partition(Operator):
+    """Route data up to the first ``S_rank`` to the selected output stream(s).
+
+    The selector stream carries one multi-hot vector per chunk; a multi-hot
+    selector broadcasts the chunk to every selected consumer.  Each output
+    stream collects its chunks under a fresh dynamic outer dimension
+    (e.g. the number of tokens routed to an expert).
+    """
+
+    kind = "Partition"
+
+    def __init__(self, in_stream: StreamHandle, selector: StreamHandle,
+                 rank: int = 1, num_consumers: int = 2, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Partition input")
+        selector = self._require_handle(selector, "Partition selector")
+        if rank < 1:
+            raise ShapeError(f"Partition rank must be >= 1, got {rank}")
+        if num_consumers < 1:
+            raise ShapeError(f"Partition needs at least one consumer, got {num_consumers}")
+        self._require_rank_at_least(in_stream, rank, "Partition")
+        expected_sel_ndims = in_stream.shape.ndims - rank
+        if selector.shape.ndims != expected_sel_ndims:
+            raise ShapeError(
+                f"Partition selector shape {selector.shape} must have "
+                f"{expected_sel_ndims} dimensions (input {in_stream.shape}, rank {rank})")
+        self.rank = int(rank)
+        self.num_consumers = int(num_consumers)
+        self._set_inputs([in_stream, selector])
+        inner = in_stream.shape.inner(rank)
+        for consumer in range(self.num_consumers):
+            out_shape = StreamShape((Dim.dynamic(name="P"),) + inner)
+            self._add_output(out_shape, in_stream.dtype, name=f"branch{consumer}")
+
+    @property
+    def branches(self) -> List[StreamHandle]:
+        return list(self.outputs)
+
+
+class Reassemble(Operator):
+    """Merge chunks from many input streams in selector order (Figure 4).
+
+    For every multi-hot vector in the selector stream, data up to the first
+    ``S_rank`` is collected from each selected input stream (in arrival order,
+    without interleaving within a chunk); after all selected inputs have been
+    drained the operator closes the group by incrementing the stop token,
+    adding a new dimension.
+    """
+
+    kind = "Reassemble"
+
+    def __init__(self, in_streams: Sequence[StreamHandle], selector: StreamHandle,
+                 rank: int = 1, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_streams = [self._require_handle(h, "Reassemble input") for h in in_streams]
+        selector = self._require_handle(selector, "Reassemble selector")
+        if not in_streams:
+            raise ShapeError("Reassemble requires at least one input stream")
+        if rank < 1:
+            raise ShapeError(f"Reassemble rank must be >= 1, got {rank}")
+        ranks = {h.shape.ndims for h in in_streams}
+        if len(ranks) != 1:
+            raise ShapeError(
+                f"Reassemble input streams must all have the same rank, got shapes "
+                f"{[str(h.shape) for h in in_streams]}")
+        for handle in in_streams:
+            self._require_rank_at_least(handle, rank, "Reassemble")
+        self.rank = int(rank)
+        self.num_producers = len(in_streams)
+        self._set_inputs(list(in_streams) + [selector])
+        inner = in_streams[0].shape.inner(rank)
+        out_shape = StreamShape(
+            selector.shape.dims + (Dim.dynamic(name="G"),) + inner)
+        self._add_output(out_shape, in_streams[0].dtype)
+
+    @property
+    def data_inputs(self) -> List[StreamHandle]:
+        return self.inputs[:-1]
+
+    @property
+    def selector_input(self) -> StreamHandle:
+        return self.inputs[-1]
+
+
+class EagerMerge(Operator):
+    """Merge chunks from many input streams in arrival order.
+
+    Produces two output streams: the merged data stream and a selector stream
+    recording, for each chunk, the index of the input stream it came from.
+    Used by configuration time-multiplexing (Section 5.3) and by the
+    availability feedback loop of dynamic parallelization (Section 5.4).
+    """
+
+    kind = "EagerMerge"
+
+    def __init__(self, in_streams: Sequence[StreamHandle], rank: Optional[int] = None,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        in_streams = [self._require_handle(h, "EagerMerge input") for h in in_streams]
+        if not in_streams:
+            raise ShapeError("EagerMerge requires at least one input stream")
+        ndims = {h.shape.ndims for h in in_streams}
+        if len(ndims) != 1:
+            raise ShapeError(
+                f"EagerMerge input streams must all have the same rank, got shapes "
+                f"{[str(h.shape) for h in in_streams]}")
+        self.num_producers = len(in_streams)
+        #: chunk granularity; defaults to the full input rank (whole tensors)
+        self.rank = int(rank) if rank is not None else in_streams[0].rank
+        if self.rank < 0 or self.rank > in_streams[0].rank:
+            raise ShapeError(
+                f"EagerMerge rank {self.rank} out of range for inputs of rank "
+                f"{in_streams[0].rank}")
+        self._set_inputs(list(in_streams))
+        inner = in_streams[0].shape.inner(self.rank) if self.rank else ()
+        merged_outer = Dim.dynamic(name="M")
+        data_shape = StreamShape((merged_outer,) + inner)
+        self._add_output(data_shape, in_streams[0].dtype, name="data")
+        self._add_output(StreamShape((merged_outer,)), SelectorType(self.num_producers),
+                         name="selector")
+
+    @property
+    def data(self) -> StreamHandle:
+        return self.outputs[0]
+
+    @property
+    def selector(self) -> StreamHandle:
+        return self.outputs[1]

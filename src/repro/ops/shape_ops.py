@@ -1,0 +1,158 @@
+"""Shape operators (Section 3.2.5, Table 7).
+
+Shape operators only modify stop tokens — they never alter the data contents of
+stream elements.  They are: Flatten, Reshape, Promote, Expand (plus its static
+variant Repeat) and Zip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.dims import Dim
+from ..core.dtypes import BOOL, DataType, TileType, TupleType
+from ..core.errors import ShapeError, TypeMismatchError
+from ..core.graph import StreamHandle
+from ..core.shape import StreamShape
+from ..core.symbolic import fresh_symbol
+from .base import Operator
+
+
+class Flatten(Operator):
+    """Flatten a contiguous range of dimensions into one.
+
+    ``min_level`` / ``max_level`` are counted from the innermost dimension
+    (level 0), matching the ``(0D, 1D)`` notation in Figure 7.  If a ragged
+    dimension participates, the flattened dimension is a fresh ragged symbol
+    (the absorbing property of Section 3.1).
+    """
+
+    kind = "Flatten"
+
+    def __init__(self, in_stream: StreamHandle, min_level: int, max_level: int,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Flatten input")
+        if min_level > max_level:
+            raise ShapeError(f"Flatten requires min <= max, got {min_level} > {max_level}")
+        self.min_level = int(min_level)
+        self.max_level = int(max_level)
+        self._set_inputs([in_stream])
+        out_shape = in_stream.shape.flatten(self.min_level, self.max_level)
+        self._add_output(out_shape, in_stream.dtype)
+
+
+class Reshape(Operator):
+    """Split dimension ``level`` into statically sized chunks.
+
+    When splitting the innermost dimension (``level == 0``) the operator takes
+    a ``pad`` value and pads the last chunk; it produces two output streams,
+    the data stream and a boolean *padding stream* marking padded elements.
+    Splitting an outer dimension requires a static dimension divisible by the
+    chunk size and produces no padding.
+    """
+
+    kind = "Reshape"
+
+    def __init__(self, in_stream: StreamHandle, chunk_size: int, level: int = 0,
+                 pad=None, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Reshape input")
+        if chunk_size <= 0:
+            raise ShapeError(f"Reshape chunk size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.level = int(level)
+        self.pad = pad
+        if self.level == 0 and pad is None:
+            raise ShapeError("Reshape of the innermost dimension requires a pad value")
+        self._set_inputs([in_stream])
+        out_shape = in_stream.shape.reshape_split(self.level, self.chunk_size)
+        self._add_output(out_shape, in_stream.dtype, name="data")
+        self._add_output(out_shape, TileType(1, 1, "bool"), name="padding")
+
+    @property
+    def data(self) -> StreamHandle:
+        return self.outputs[0]
+
+    @property
+    def padding(self) -> StreamHandle:
+        return self.outputs[1]
+
+
+class Promote(Operator):
+    """Add a new outermost dimension of size 1 (0 for an empty input stream)."""
+
+    kind = "Promote"
+
+    def __init__(self, in_stream: StreamHandle, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Promote input")
+        self._set_inputs([in_stream])
+        self._add_output(in_stream.shape.promote(), in_stream.dtype)
+
+
+class Expand(Operator):
+    """Repeat input elements according to a reference stream (Figure 5).
+
+    ``rank`` is set to the smallest stop-token level of the input stream: the
+    input provides one element per reference subtree of depth ``rank``; that
+    element is emitted once for every reference data element in the subtree.
+    The output stream has the shape of the reference stream.
+    """
+
+    kind = "Expand"
+
+    def __init__(self, in_stream: StreamHandle, ref: StreamHandle, rank: int,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Expand input")
+        ref = self._require_handle(ref, "Expand reference")
+        if rank < 1:
+            raise ShapeError(f"Expand rank must be >= 1, got {rank}")
+        if ref.rank < rank:
+            raise ShapeError(
+                f"Expand rank {rank} exceeds reference stream rank {ref.rank}")
+        self.rank = int(rank)
+        self._set_inputs([in_stream, ref])
+        self._add_output(ref.shape, in_stream.dtype)
+
+
+class Repeat(Operator):
+    """Static variant of Expand: repeat every element ``count`` times.
+
+    Adds a new innermost dimension of size ``count`` (used by the hierarchical
+    tiling transformation in Figure 18).  All STeP operators with an input
+    reference stream have a static variant (footnote 6); Repeat is the static
+    variant of Expand.
+    """
+
+    kind = "Repeat"
+
+    def __init__(self, in_stream: StreamHandle, count: int, name: Optional[str] = None):
+        super().__init__(name=name)
+        in_stream = self._require_handle(in_stream, "Repeat input")
+        if count <= 0:
+            raise ShapeError(f"Repeat count must be positive, got {count}")
+        self.count = int(count)
+        self._set_inputs([in_stream])
+        self._add_output(in_stream.shape.append([self.count]), in_stream.dtype)
+
+
+class Zip(Operator):
+    """Group two streams with the same shape into a single tuple-typed stream."""
+
+    kind = "Zip"
+
+    def __init__(self, left: StreamHandle, right: StreamHandle, name: Optional[str] = None):
+        super().__init__(name=name)
+        left = self._require_handle(left, "Zip left input")
+        right = self._require_handle(right, "Zip right input")
+        if left.shape.ndims != right.shape.ndims:
+            raise ShapeError(
+                f"Zip requires equal stream dimensionality, got {left.shape} vs {right.shape}")
+        if not left.shape.compatible_with(right.shape):
+            raise ShapeError(f"Zip stream shapes are incompatible: {left.shape} vs {right.shape}")
+        self._set_inputs([left, right])
+        self._add_output(left.shape, TupleType([left.dtype, right.dtype]))

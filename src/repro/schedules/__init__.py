@@ -1,0 +1,32 @@
+"""Schedule descriptors for the optimizations of Section 5 (Table 2).
+
+Each optimization is enabled by specific STeP features:
+
+================================  =============================================
+Optimization                      Key STeP features (Table 2)
+================================  =============================================
+Dynamic tiling                    dynamic tile shapes, explicit memory
+                                  hierarchy, Accum of dynamically sized tiles
+Configuration time-multiplexing   explicit memory hierarchy, dynamic routing
+                                  and merging operators
+Dynamic parallelization           dynamic routing and merging operators
+================================  =============================================
+
+The descriptors here are thin, serializable records that the experiments use
+to label design points; the actual graph construction lives in
+:mod:`repro.workloads`.
+"""
+
+from .tiling import TilingSchedule, dynamic_tiling, static_tiling
+from .timemux import TimeMultiplexSchedule, time_multiplexing
+from .parallelization import ParallelizationSchedule, parallelization
+
+__all__ = [
+    "TilingSchedule",
+    "static_tiling",
+    "dynamic_tiling",
+    "TimeMultiplexSchedule",
+    "time_multiplexing",
+    "ParallelizationSchedule",
+    "parallelization",
+]

@@ -1,0 +1,63 @@
+"""Parallelization schedules for attention (Section 5.4).
+
+Static coarse-grained parallelization fixes the number of requests per
+parallel region, static interleaved parallelization distributes requests
+round-robin, and dynamic parallelization dispatches each request to whichever
+region becomes available (Figure 16).  Only the dynamic schedule requires
+STeP's dynamic routing and merging operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.errors import ConfigError
+
+_STRATEGIES = ("coarse", "interleave", "dynamic")
+
+
+@dataclass(frozen=True)
+class ParallelizationSchedule:
+    """Work-distribution strategy across spatial parallel regions."""
+
+    strategy: str
+    num_regions: int = 4
+    coarse_chunk: int = 16
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ConfigError(f"unknown strategy {self.strategy!r}; expected {_STRATEGIES}")
+        if self.num_regions <= 0:
+            raise ConfigError("num_regions must be positive")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.strategy == "dynamic"
+
+    def static_assignment(self, batch: int) -> List[int]:
+        """Per-request region assignment for the static strategies."""
+        if self.is_dynamic:
+            raise ConfigError("dynamic parallelization has no static assignment")
+        if self.strategy == "coarse":
+            return [min(i // self.coarse_chunk, self.num_regions - 1) for i in range(batch)]
+        return [i % self.num_regions for i in range(batch)]
+
+    def label(self) -> str:
+        return {"coarse": "Static (Coarse)", "interleave": "Static (Interleave)",
+                "dynamic": "Dynamic"}[self.strategy]
+
+
+def parallelization(strategy: str, num_regions: int = 4,
+                    coarse_chunk: int = 16) -> ParallelizationSchedule:
+    return ParallelizationSchedule(strategy=strategy, num_regions=num_regions,
+                                   coarse_chunk=coarse_chunk)
+
+
+def region_loads(assignment: Sequence[int], work: Sequence[float],
+                 num_regions: int) -> List[float]:
+    """Total work per region under a static assignment (load-imbalance analysis)."""
+    loads = [0.0] * num_regions
+    for region, amount in zip(assignment, work):
+        loads[region] += float(amount)
+    return loads

@@ -1,0 +1,50 @@
+"""Tiling schedules (Section 5.2).
+
+Static tiling pads each expert's tokens into fixed-size tiles (the
+Revet-expressible baseline); dynamic tiling sizes each expert's tile to the
+tokens it actually received, which STeP expresses by replacing the Reshape in
+the packing region with a Promote so the following Accum accumulates a
+dynamically shaped tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TilingSchedule:
+    """A batch-dimension tiling decision for the MoE experts."""
+
+    kind: str                      # "static" or "dynamic"
+    tile_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic"):
+            raise ConfigError(f"unknown tiling kind {self.kind!r}")
+        if self.kind == "static" and (self.tile_rows is None or self.tile_rows <= 0):
+            raise ConfigError("static tiling requires a positive tile_rows")
+        if self.kind == "dynamic" and self.tile_rows is not None:
+            raise ConfigError("dynamic tiling does not take a tile size")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind == "dynamic"
+
+    def label(self) -> str:
+        return "dynamic" if self.is_dynamic else f"tile={self.tile_rows}"
+
+    def expressible_in_revet(self) -> bool:
+        """Revet's dataflow-thread model cannot express dynamically sized tiles."""
+        return not self.is_dynamic
+
+
+def static_tiling(tile_rows: int) -> TilingSchedule:
+    return TilingSchedule("static", tile_rows=tile_rows)
+
+
+def dynamic_tiling() -> TilingSchedule:
+    return TilingSchedule("dynamic")

@@ -1,0 +1,48 @@
+"""Configuration time-multiplexing schedules (Section 5.3).
+
+Instead of configuring one spatial region per branch (expert), a single
+configured region is time-multiplexed across the branches that share the same
+computation structure: EagerMerge forwards whichever branch's inputs are ready
+and RandomOffChipLoad fetches that branch's weights on demand (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimeMultiplexSchedule:
+    """How many configured regions serve how many experts."""
+
+    num_experts: int
+    num_regions: int
+
+    def __post_init__(self) -> None:
+        if self.num_regions <= 0 or self.num_experts <= 0:
+            raise ConfigError("expert and region counts must be positive")
+        if self.num_experts % self.num_regions != 0:
+            raise ConfigError("num_regions must divide num_experts")
+
+    @property
+    def experts_per_region(self) -> int:
+        return self.num_experts // self.num_regions
+
+    @property
+    def is_fully_spatial(self) -> bool:
+        """One region per expert: no time-multiplexing (the baseline mapping)."""
+        return self.num_regions == self.num_experts
+
+    @property
+    def compute_saving(self) -> float:
+        """Factor by which allocated compute shrinks versus the spatial mapping."""
+        return self.num_experts / self.num_regions
+
+    def label(self) -> str:
+        return f"{self.num_regions} regions ({self.experts_per_region}/region)"
+
+
+def time_multiplexing(num_experts: int, num_regions: int) -> TimeMultiplexSchedule:
+    return TimeMultiplexSchedule(num_experts=num_experts, num_regions=num_regions)

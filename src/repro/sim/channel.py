@@ -1,0 +1,79 @@
+"""Time-stamped FIFO channels connecting simulator processes.
+
+A channel carries STeP stream tokens.  Every element is stamped with the time
+it becomes visible to the consumer (producer local time + channel latency);
+popping an element advances the consumer's clock to at least that time.
+Channels may be bounded, in which case a full channel back-pressures the
+producer until the consumer pops (the slot "frees" at the consumer's pop
+time), mirroring hardware FIFO behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..core.stream import Token
+
+_channel_ids = itertools.count()
+
+
+class Channel:
+    """A FIFO of ``(ready_time, token)`` entries with optional capacity."""
+
+    __slots__ = ("channel_id", "name", "capacity", "latency", "queue",
+                 "last_pop_time", "total_pushed", "total_popped", "closed",
+                 "max_occupancy")
+
+    def __init__(self, name: str = "", capacity: Optional[int] = None, latency: float = 1.0):
+        self.channel_id = next(_channel_ids)
+        self.name = name or f"chan{self.channel_id}"
+        #: maximum number of in-flight elements; ``None`` means unbounded
+        self.capacity = capacity
+        #: cycles between a push and the element becoming poppable
+        self.latency = float(latency)
+        self.queue: Deque[Tuple[float, Token]] = deque()
+        #: the consumer-side time of the most recent pop (used to time-stamp
+        #: the unblocking of a back-pressured producer)
+        self.last_pop_time: float = 0.0
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.closed = False
+        self.max_occupancy = 0
+
+    # -- queries -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self.queue
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.queue) >= self.capacity
+
+    def head_ready_time(self) -> Optional[float]:
+        if not self.queue:
+            return None
+        return self.queue[0][0]
+
+    # -- operations --------------------------------------------------------------
+    def push(self, token: Token, time: float) -> None:
+        """Append a token that becomes visible at ``time + latency``."""
+        self.queue.append((time + self.latency, token))
+        self.total_pushed += 1
+        if len(self.queue) > self.max_occupancy:
+            self.max_occupancy = len(self.queue)
+
+    def pop(self, time: float) -> Tuple[float, Token]:
+        """Remove the head element; returns ``(visible_time, token)``."""
+        ready, token = self.queue.popleft()
+        self.total_popped += 1
+        self.last_pop_time = max(time, ready)
+        return ready, token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Channel({self.name}, occ={len(self.queue)}, "
+                f"pushed={self.total_pushed}, popped={self.total_popped})")

@@ -1,0 +1,321 @@
+"""The simulation engine: a timed Kahn-process-network executor.
+
+Every STeP operator becomes a :class:`Process` wrapping a Python generator
+(its *executor*).  Executors interact with the world only by yielding effect
+tuples, which the engine services synchronously:
+
+====================  =====================================================
+``("pop", ch)``        pop one token from ``ch`` (blocks while empty); the
+                       process clock advances to the token's ready time.
+``("pop_any", chs)``   pop from whichever channel has the earliest-ready
+                       head token (blocks while all are empty); returns
+                       ``(index, token)``.
+``("peek", ch)``       like pop but leaves the token in place.
+``("push", ch, tok)``  append a token (blocks while the channel is full).
+``("tick", cycles)``   advance the process clock by ``cycles``.
+``("hbm", nbytes, is_write, addr)``  issue an off-chip memory request; the
+                       process clock advances to its completion time.
+``("time",)``          returns the current process clock.
+====================  =====================================================
+
+Processes run until they block; pushes and pops wake the relevant waiters, so
+scheduling work is proportional to the number of tokens moved.  With
+``timed=False`` all latencies collapse to zero and the engine doubles as a
+functional reference interpreter.
+
+This mirrors the execution model of the Dataflow Abstract Machine framework
+underlying the paper's Rust simulator: asynchronous blocks with local clocks
+communicating over time-stamped FIFOs.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import DeadlockError, SimulationError
+from .channel import Channel
+from .hbm import BankedHBM, HBMModel
+from .metrics import SimMetrics
+
+
+class ProcessState(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Process:
+    """A simulated asynchronous dataflow block."""
+
+    __slots__ = ("name", "generator", "state", "local_time", "pending_effect",
+                 "pending_send", "blocked_on", "was_backpressured", "is_sink")
+
+    def __init__(self, name: str, generator: Generator, is_sink: bool = False):
+        self.name = name
+        self.generator = generator
+        self.state = ProcessState.RUNNABLE
+        self.local_time: float = 0.0
+        #: effect to retry when the process is woken up
+        self.pending_effect: Optional[tuple] = None
+        #: value to send into the generator on the next resume
+        self.pending_send = None
+        #: channels this process is currently blocked on (for diagnostics/wakeup)
+        self.blocked_on: List[Channel] = []
+        self.was_backpressured = False
+        self.is_sink = is_sink
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Process({self.name}, {self.state.value}, t={self.local_time:.1f})"
+
+
+class Engine:
+    """Schedules processes, services effects and tracks global metrics.
+
+    Scheduling is *time ordered*: runnable processes are kept in a priority
+    queue keyed by their local clock, and a process only runs until its clock
+    exceeds the earliest other runnable process by ``time_slack`` cycles before
+    being rescheduled.  This keeps the shared-resource models (the HBM
+    bandwidth ledger, EagerMerge arrival order, the dynamic-parallelization
+    availability loop) seeing events approximately in timestamp order even
+    though each process is a run-until-blocked coroutine.
+    """
+
+    def __init__(self, timed: bool = True, hbm: Optional[HBMModel] = None,
+                 metrics: Optional[SimMetrics] = None, max_events: int = 200_000_000,
+                 time_slack: float = 200.0):
+        self.timed = timed
+        self.hbm = hbm if hbm is not None else HBMModel()
+        self.metrics = metrics if metrics is not None else SimMetrics()
+        self.metrics.offchip_bandwidth = getattr(self.hbm, "bandwidth",
+                                                 getattr(self.hbm, "bus_bandwidth", 0.0))
+        self.processes: List[Process] = []
+        self.channels: List[Channel] = []
+        #: priority queue of (local_time, sequence, process)
+        self._runnable: List[Tuple[float, int, Process]] = []
+        self._queue_seq = 0
+        #: channel -> processes waiting for data on it
+        self._data_waiters: Dict[int, List[Process]] = {}
+        #: channel -> processes waiting for space on it
+        self._space_waiters: Dict[int, List[Process]] = {}
+        self.max_events = max_events
+        self.time_slack = float(time_slack)
+        self._events = 0
+
+    # -- construction --------------------------------------------------------------
+    def add_channel(self, name: str = "", capacity: Optional[int] = None,
+                    latency: float = 1.0) -> Channel:
+        channel = Channel(name=name, capacity=capacity,
+                          latency=latency if self.timed else 0.0)
+        self.channels.append(channel)
+        return channel
+
+    def add_process(self, name: str, generator: Generator, is_sink: bool = False) -> Process:
+        process = Process(name, generator, is_sink=is_sink)
+        self.processes.append(process)
+        self._enqueue(process)
+        return process
+
+    def _enqueue(self, process: Process) -> None:
+        self._queue_seq += 1
+        heapq.heappush(self._runnable, (process.local_time, self._queue_seq, process))
+
+    # -- main loop -------------------------------------------------------------------
+    def run(self) -> SimMetrics:
+        """Run until every sink process finishes (or every process finishes)."""
+        sinks = [p for p in self.processes if p.is_sink]
+        while self._runnable:
+            if sinks and all(p.state is ProcessState.DONE for p in sinks):
+                break
+            _, _, process = heapq.heappop(self._runnable)
+            if process.state is ProcessState.DONE:
+                continue
+            process.state = ProcessState.RUNNABLE
+            horizon = float("inf")
+            if self.timed and self._runnable:
+                horizon = self._runnable[0][0] + self.time_slack
+            self._advance(process, horizon)
+
+        if sinks and not all(p.state is ProcessState.DONE for p in sinks):
+            blocked = [f"{p.name} blocked on {[c.name for c in p.blocked_on]}"
+                       for p in self.processes if p.state is ProcessState.BLOCKED]
+            raise DeadlockError(
+                "simulation deadlocked before all sinks completed", blocked=blocked)
+
+        self.metrics.cycles = self.total_cycles()
+        self.metrics.events = self._events
+        return self.metrics
+
+    def total_cycles(self) -> float:
+        """Total execution time: the latest local clock across all processes."""
+        if not self.processes:
+            return 0.0
+        return max(p.local_time for p in self.processes)
+
+    # -- process advancement ------------------------------------------------------------
+    def _advance(self, process: Process, horizon: float = float("inf")) -> None:
+        """Run ``process`` until it blocks, finishes or overruns ``horizon``."""
+        generator = process.generator
+        while True:
+            if process.local_time > horizon and process.state is ProcessState.RUNNABLE:
+                # yield the CPU back to earlier-in-time processes
+                self._enqueue(process)
+                return
+            self._events += 1
+            if self._events > self.max_events:
+                raise SimulationError(
+                    f"exceeded the event budget ({self.max_events}); "
+                    f"likely a livelock in the program graph")
+            effect = process.pending_effect
+            if effect is None:
+                try:
+                    effect = generator.send(process.pending_send)
+                except StopIteration:
+                    process.state = ProcessState.DONE
+                    process.pending_send = None
+                    return
+                process.pending_send = None
+            else:
+                process.pending_effect = None
+
+            handled, result = self._apply_effect(process, effect)
+            if not handled:
+                # the effect blocked; it was stored for retry and the process
+                # was registered as a waiter.
+                return
+            process.pending_send = result
+
+    def _apply_effect(self, process: Process, effect: tuple) -> Tuple[bool, object]:
+        kind = effect[0]
+        if kind == "push":
+            return self._do_push(process, effect[1], effect[2])
+        if kind == "push_at":
+            return self._do_push(process, effect[1], effect[2], at_time=effect[3])
+        if kind == "pop":
+            return self._do_pop(process, effect[1])
+        if kind == "pop_any":
+            return self._do_pop_any(process, effect[1])
+        if kind == "peek":
+            return self._do_peek(process, effect[1])
+        if kind == "tick":
+            if self.timed:
+                process.local_time += float(effect[1])
+            return True, None
+        if kind == "hbm":
+            return self._do_hbm(process, *effect[1:])
+        if kind == "time":
+            return True, process.local_time
+        raise SimulationError(f"unknown effect {effect!r} from process {process.name}")
+
+    # -- effect implementations -----------------------------------------------------------
+    def _do_push(self, process: Process, channel: Channel, token,
+                 at_time: Optional[float] = None) -> Tuple[bool, object]:
+        if channel.full:
+            effect = ("push", channel, token) if at_time is None else \
+                ("push_at", channel, token, at_time)
+            self._block(process, effect, [channel], space=True)
+            return False, None
+        if process.was_backpressured:
+            process.local_time = max(process.local_time, channel.last_pop_time)
+            process.was_backpressured = False
+        push_time = process.local_time
+        if at_time is not None and self.timed:
+            push_time = max(push_time, float(at_time))
+        channel.push(token, push_time)
+        self._wake_data_waiters(channel)
+        return True, None
+
+    def _do_pop(self, process: Process, channel: Channel) -> Tuple[bool, object]:
+        if channel.empty:
+            self._block(process, ("pop", channel), [channel], space=False)
+            return False, None
+        ready, token = channel.pop(process.local_time)
+        if self.timed:
+            process.local_time = max(process.local_time, ready)
+        self._wake_space_waiters(channel)
+        return True, token
+
+    def _do_peek(self, process: Process, channel: Channel) -> Tuple[bool, object]:
+        if channel.empty:
+            self._block(process, ("peek", channel), [channel], space=False)
+            return False, None
+        ready, token = channel.queue[0]
+        if self.timed:
+            process.local_time = max(process.local_time, ready)
+        return True, token
+
+    def _do_pop_any(self, process: Process, channels: Sequence[Channel]) -> Tuple[bool, object]:
+        best_index = -1
+        best_ready = None
+        for index, channel in enumerate(channels):
+            head = channel.head_ready_time()
+            if head is None:
+                continue
+            if best_ready is None or head < best_ready:
+                best_ready = head
+                best_index = index
+        if best_index < 0:
+            self._block(process, ("pop_any", list(channels)), list(channels), space=False)
+            return False, None
+        channel = channels[best_index]
+        ready, token = channel.pop(process.local_time)
+        if self.timed:
+            process.local_time = max(process.local_time, ready)
+        self._wake_space_waiters(channel)
+        return True, (best_index, token)
+
+    def _do_hbm(self, process: Process, nbytes: int, is_write: bool = False,
+                address: int = 0) -> Tuple[bool, object]:
+        """Issue an off-chip request.
+
+        The issuing process's clock advances only to the bandwidth-scheduled
+        finish time (requests pipeline through the access latency); the full
+        completion time is returned so load executors can stamp the fetched
+        data with it (via the ``push_at`` effect).
+        """
+        request_time = process.local_time
+        if isinstance(self.hbm, BankedHBM):
+            completion = self.hbm.access(request_time, nbytes, address=address,
+                                         is_write=is_write)
+        else:
+            completion = self.hbm.access(request_time, nbytes, is_write=is_write)
+        if self.timed:
+            process.local_time = max(process.local_time, self.hbm.issue_done(completion))
+        else:
+            completion = request_time
+        self.metrics.record_offchip(process.name, nbytes, request_time, is_write=is_write)
+        return True, completion
+
+    # -- blocking / wake-up ------------------------------------------------------------------
+    def _block(self, process: Process, effect: tuple, channels: List[Channel],
+               space: bool) -> None:
+        process.pending_effect = effect
+        process.state = ProcessState.BLOCKED
+        process.blocked_on = channels
+        if space:
+            process.was_backpressured = True
+        waiters = self._space_waiters if space else self._data_waiters
+        for channel in channels:
+            queue = waiters.setdefault(channel.channel_id, [])
+            if process not in queue:
+                queue.append(process)
+
+    def _wake(self, process: Process) -> None:
+        if process.state is ProcessState.BLOCKED:
+            process.state = ProcessState.RUNNABLE
+            process.blocked_on = []
+            self._enqueue(process)
+
+    def _wake_data_waiters(self, channel: Channel) -> None:
+        waiters = self._data_waiters.pop(channel.channel_id, None)
+        if waiters:
+            for process in waiters:
+                self._wake(process)
+
+    def _wake_space_waiters(self, channel: Channel) -> None:
+        waiters = self._space_waiters.pop(channel.channel_id, None)
+        if waiters:
+            for process in waiters:
+                self._wake(process)

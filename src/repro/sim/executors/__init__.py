@@ -1,0 +1,54 @@
+"""Executor registry: maps operator kinds to their simulator executors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ...core.errors import SimulationError
+from ...ops.base import Operator
+from .common import HardwareConfig, OpContext, OutputBuilder, push_all, push_tokens
+from . import compute, memory, routing, shape, sources
+
+#: operator kind -> executor generator function(op, ins, outs, ctx)
+EXECUTORS: Dict[str, Callable] = {
+    "Map": compute.map_executor,
+    "Accum": compute.accum_executor,
+    "Scan": compute.scan_executor,
+    "FlatMap": compute.flatmap_executor,
+    "LinearOffChipLoad": memory.linear_offchip_load_executor,
+    "LinearOffChipLoadRef": memory.linear_offchip_load_executor,
+    "LinearOffChipStore": memory.linear_offchip_store_executor,
+    "RandomOffChipLoad": memory.random_offchip_load_executor,
+    "RandomOffChipStore": memory.random_offchip_store_executor,
+    "Bufferize": memory.bufferize_executor,
+    "Streamify": memory.streamify_executor,
+    "Partition": routing.partition_executor,
+    "Reassemble": routing.reassemble_executor,
+    "EagerMerge": routing.eager_merge_executor,
+    "Flatten": shape.flatten_executor,
+    "Reshape": shape.reshape_executor,
+    "Promote": shape.promote_executor,
+    "Expand": shape.expand_executor,
+    "Repeat": shape.repeat_executor,
+    "Zip": shape.zip_executor,
+}
+
+
+def executor_for(op: Operator) -> Callable:
+    """Look up the executor for an operator instance."""
+    try:
+        return EXECUTORS[op.kind]
+    except KeyError:
+        raise SimulationError(f"no executor registered for operator kind {op.kind!r}") from None
+
+
+__all__ = [
+    "EXECUTORS",
+    "executor_for",
+    "HardwareConfig",
+    "OpContext",
+    "OutputBuilder",
+    "push_all",
+    "push_tokens",
+    "sources",
+]

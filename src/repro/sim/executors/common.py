@@ -1,0 +1,186 @@
+"""Shared infrastructure for operator executors.
+
+An *executor* is a generator implementing one operator's functional and timing
+semantics against the engine's effect protocol (see :mod:`repro.sim.engine`).
+Executors receive
+
+* the operator instance (for its parameters),
+* ``ins`` — one input :class:`~repro.sim.channel.Channel` per input port,
+* ``outs`` — a list of channels per output port (an output port may feed
+  several consumers, in which case tokens are broadcast, or none),
+* an :class:`OpContext` carrying the hardware configuration, the metrics
+  collector and lowering-derived facts (whether inputs/outputs touch on-chip
+  memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...core.dtypes import Tile, TupleValue, value_nbytes
+from ...core.stream import DONE, Data, Done, Stop, Token
+from ..channel import Channel
+from ..metrics import SimMetrics
+
+
+@dataclass
+class HardwareConfig:
+    """Hardware parameters of the simulated SDA (paper Sections 4.5 and 5.1)."""
+
+    #: per-memory-unit on-chip bandwidth in bytes/cycle (64 in the evaluation)
+    onchip_bandwidth: float = 64.0
+    #: aggregate off-chip bandwidth in bytes/cycle (1024 in the evaluation)
+    offchip_bandwidth: float = 1024.0
+    #: fixed off-chip access latency in cycles
+    offchip_latency: float = 100.0
+    #: physical compute-tile edge (the fabric operates on 16x16 BF16 tiles)
+    compute_tile: int = 16
+    #: FIFO latency in cycles between adjacent operators
+    channel_latency: float = 1.0
+    #: default FIFO capacity (None = unbounded; see DESIGN.md)
+    channel_capacity: Optional[int] = None
+    #: "roofline" (Section 4.3, the cycle-approximate model) or "detailed"
+    #: (physical-tile-granular timing used by the HDL-substitute reference)
+    timing_model: str = "roofline"
+
+
+@dataclass
+class OpContext:
+    """Per-operator context handed to its executor."""
+
+    op_name: str
+    metrics: SimMetrics
+    hardware: HardwareConfig
+    #: True when this operator's inputs are read from on-chip memory rather
+    #: than arriving directly through FIFOs (charges the Roofline memory term)
+    inputs_from_memory: bool = False
+    #: True when this operator's outputs are written to on-chip memory
+    outputs_to_memory: bool = False
+    #: collected output tokens for program sinks (filled by collector/store executors)
+    results: List[Token] = field(default_factory=list)
+
+    # -- metric helpers ------------------------------------------------------------
+    def record_element(self, cycles: float, flops: int = 0) -> None:
+        self.metrics.record_element(self.op_name, cycles, flops)
+
+    def record_onchip(self, nbytes: int) -> None:
+        self.metrics.record_onchip(self.op_name, nbytes)
+
+    def record_buffer(self, nbytes: int) -> None:
+        self.metrics.record_buffer(self.op_name, nbytes)
+
+    def roofline_cycles(self, in_bytes: float, flops: float, out_bytes: float,
+                        compute_bw: float) -> float:
+        """Per-element latency.
+
+        In the default ``roofline`` timing model this is the Section 4.3
+        equation.  The ``detailed`` model (used by the HDL-substitute reference
+        simulator, Section 4.5) instead times the element at physical-tile
+        granularity: compute is issued as 16x16x16 MAC tiles with an initiation
+        interval of one per allocated tile engine, and on-chip transfers move
+        one 16x16 physical tile per cycle, including the padding a real fabric
+        would incur for partial tiles.
+        """
+        if self.hardware.timing_model == "detailed":
+            return self._detailed_cycles(in_bytes, flops, out_bytes, compute_bw)
+        terms = [1.0]
+        if compute_bw > 0:
+            terms.append(flops / compute_bw)
+        if self.inputs_from_memory and self.hardware.onchip_bandwidth > 0:
+            terms.append(in_bytes / self.hardware.onchip_bandwidth)
+        if self.outputs_to_memory and self.hardware.onchip_bandwidth > 0:
+            terms.append(out_bytes / self.hardware.onchip_bandwidth)
+        return max(terms)
+
+    def _detailed_cycles(self, in_bytes: float, flops: float, out_bytes: float,
+                         compute_bw: float) -> float:
+        tile = self.hardware.compute_tile
+        tile_bytes = tile * tile * 2  # BF16 physical tiles
+        mac_tile_flops = 2 * tile * tile * tile
+        tile_engines = max(1, int(compute_bw // (tile * tile * 2)))
+        terms = [1.0]
+        if flops > 0:
+            mac_tiles = -(-int(flops) // mac_tile_flops)
+            terms.append(mac_tiles / tile_engines)
+        if self.inputs_from_memory and in_bytes > 0:
+            terms.append(-(-int(in_bytes) // tile_bytes))
+        if self.outputs_to_memory and out_bytes > 0:
+            terms.append(-(-int(out_bytes) // tile_bytes))
+        return float(max(terms))
+
+
+class OutputBuilder:
+    """Builds a well-formed output token sequence incrementally.
+
+    The builder holds at most one pending stop token and merges adjacent stops
+    into the highest level (the paper's absorption rule).  Methods return the
+    list of tokens that became final, which the executor pushes to its output
+    channels.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: Optional[int] = None
+
+    def data(self, value) -> List[Token]:
+        tokens: List[Token] = []
+        if self._pending is not None:
+            tokens.append(Stop(self._pending))
+            self._pending = None
+        tokens.append(Data(value))
+        return tokens
+
+    def stop(self, level: int) -> List[Token]:
+        if level >= 1:
+            self._pending = level if self._pending is None else max(self._pending, level)
+        return []
+
+    def flush(self) -> List[Token]:
+        if self._pending is None:
+            return []
+        level, self._pending = self._pending, None
+        return [Stop(level)]
+
+    def done(self) -> List[Token]:
+        return self.flush() + [DONE]
+
+    @property
+    def pending(self) -> Optional[int]:
+        return self._pending
+
+
+def push_all(channels: Sequence[Channel], token: Token):
+    """Yield push effects broadcasting ``token`` to every channel."""
+    for channel in channels:
+        yield ("push", channel, token)
+
+
+def push_tokens(channels: Sequence[Channel], tokens: Sequence[Token]):
+    """Yield push effects for a token sequence."""
+    for token in tokens:
+        for channel in channels:
+            yield ("push", channel, token)
+
+
+def token_bytes(token: Token) -> int:
+    """Byte size of a data token's payload (stop/done tokens are free)."""
+    if isinstance(token, Data):
+        return value_nbytes(token.value)
+    return 0
+
+
+def matmul_onchip_bytes(in_tile: Tile, weight_tile: Tile, out_tile: Optional[Tile],
+                        compute_tile: int = 16) -> int:
+    """Section 4.2 on-chip requirement for matmul Map/Accum operators.
+
+    ``16 x in_tile_col + |weight tile| + |output tile|`` — the 16 factor mirrors
+    the decomposition of STeP-level tiles into 16x16 hardware tiles; the output
+    tile is included only for Accum (pass ``None`` otherwise).
+    """
+    total = compute_tile * in_tile.cols * in_tile.dtype.nbytes
+    total += weight_tile.nbytes
+    if out_tile is not None:
+        total += out_tile.nbytes
+    return total

@@ -1,0 +1,192 @@
+"""Executors for the higher-order operators: Map, Accum, Scan, FlatMap.
+
+Each data element is charged the Roofline latency of Section 4.3 —
+``max(in_bytes / onchip_bw, flops / compute_bw, out_bytes / onchip_bw)`` —
+where the memory terms only apply when the operator's inputs/outputs actually
+cross on-chip memory (determined during lowering).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...core.dtypes import Tile, TupleValue, value_nbytes
+from ...core.errors import StreamProtocolError
+from ...core.stream import Data, Done, Stop, Token
+from ...ops.functions import Matmul, MatmulAccum
+from ...ops.higher_order import Accum, FlatMap, Map, Scan
+from ..channel import Channel
+from .common import OpContext, OutputBuilder, matmul_onchip_bytes, push_all, push_tokens
+
+
+def _pop_aligned(ins: Sequence[Channel]):
+    """Pop one token from every input channel; they must agree on token kind."""
+    tokens = []
+    for channel in ins:
+        token = yield ("pop", channel)
+        tokens.append(token)
+    return tokens
+
+
+def map_executor(op: Map, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
+                 ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    compute_tile = ctx.hardware.compute_tile
+    is_matmul = isinstance(op.fn, Matmul)
+    while True:
+        tokens = yield from _pop_aligned(ins)
+        first = tokens[0]
+        if isinstance(first, Done):
+            yield from push_all(out_channels, Done())
+            return
+        if isinstance(first, Stop):
+            levels = [t.level for t in tokens if isinstance(t, Stop)]
+            if len(levels) != len(tokens):
+                raise StreamProtocolError(
+                    f"{ctx.op_name}: input streams desynchronized (stop vs data)")
+            yield from push_all(out_channels, Stop(max(levels)))
+            continue
+        values = []
+        for token in tokens:
+            if not isinstance(token, Data):
+                raise StreamProtocolError(
+                    f"{ctx.op_name}: input streams desynchronized (data vs control)")
+            values.append(token.value)
+        result = op.fn(*values)
+        flops = op.fn.flops(*values)
+        in_bytes = sum(value_nbytes(v) for v in values)
+        out_bytes = value_nbytes(result)
+        cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
+        if is_matmul and isinstance(values[0], Tile) and isinstance(values[-1], Tile):
+            ctx.record_onchip(matmul_onchip_bytes(values[0], values[-1], None, compute_tile))
+        yield ("tick", cycles)
+        ctx.record_element(cycles, flops)
+        yield from push_all(out_channels, Data(result))
+
+
+def accum_executor(op: Accum, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
+                   ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    compute_tile = ctx.hardware.compute_tile
+    is_matmul_accum = isinstance(op.fn, MatmulAccum)
+    state = op.fn.init()
+    saw_value = False
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            value = token.value
+            flops = op.fn.flops(value, state)
+            state = op.fn(value, state)
+            in_bytes = value_nbytes(value)
+            state_bytes = value_nbytes(state) if state is not None else 0
+            cycles = ctx.roofline_cycles(in_bytes, flops, 0.0, op.compute_bw)
+            if is_matmul_accum and isinstance(value, TupleValue):
+                ctx.record_onchip(matmul_onchip_bytes(
+                    value[0], value[1], state if isinstance(state, Tile) else None,
+                    compute_tile))
+            else:
+                # Accum keeps its (possibly dynamically sized) accumulator on chip.
+                ctx.record_onchip(state_bytes)
+            yield ("tick", cycles)
+            ctx.record_element(cycles, flops)
+            saw_value = True
+        elif isinstance(token, Stop):
+            if token.level >= op.rank:
+                if saw_value:
+                    out_bytes = value_nbytes(state) if state is not None else 0
+                    cycles = ctx.roofline_cycles(0.0, 0.0, out_bytes, op.compute_bw)
+                    yield ("tick", cycles)
+                    yield from push_all(out_channels, Data(state))
+                if token.level > op.rank:
+                    yield from push_all(out_channels, Stop(token.level - op.rank))
+                state = op.fn.init()
+                saw_value = False
+            # stops below the reduction rank are internal to the group
+        elif isinstance(token, Done):
+            if saw_value:
+                # streams that end without a trailing top-level stop
+                yield from push_all(out_channels, Data(state))
+            yield from push_all(out_channels, Done())
+            return
+
+
+def scan_executor(op: Scan, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
+                  ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    state = op.fn.init()
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            value = token.value
+            flops = op.fn.flops(value, state)
+            state = op.fn(value, state)
+            in_bytes = value_nbytes(value)
+            out_bytes = value_nbytes(state) if state is not None else 0
+            cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
+            ctx.record_onchip(out_bytes)
+            yield ("tick", cycles)
+            ctx.record_element(cycles, flops)
+            yield from push_all(out_channels, Data(state))
+        elif isinstance(token, Stop):
+            if token.level >= op.rank:
+                state = op.fn.init()
+            yield from push_all(out_channels, token)
+        elif isinstance(token, Done):
+            yield from push_all(out_channels, Done())
+            return
+
+
+def _emit_expansion(builder: OutputBuilder, pieces, depth: int) -> List[Token]:
+    """Serialize a (possibly nested) expansion produced by a FlatMap function.
+
+    ``pieces`` is nested ``depth`` levels deep (``depth == 1`` means a flat list
+    of values).  The caller closes the whole expansion with ``stop(rank)``.
+    """
+    tokens: List[Token] = []
+    if depth <= 1:
+        for value in pieces:
+            tokens.extend(builder.data(value))
+        return tokens
+    for group in pieces:
+        tokens.extend(_emit_expansion(builder, group, depth - 1))
+        tokens.extend(builder.stop(depth - 1))
+    return tokens
+
+
+def flatmap_executor(op: FlatMap, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
+                     ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    builder = OutputBuilder()
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            value = token.value
+            pieces = op.fn(value)
+            flops = op.fn.flops(value)
+            in_bytes = value_nbytes(value)
+            out_bytes = sum(value_nbytes(p) for p in _flatten_pieces(pieces))
+            cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
+            yield ("tick", cycles)
+            ctx.record_element(cycles, flops)
+            # Each input element expands into `rank` new innermost dimensions;
+            # its expansion is closed by a stop of level `rank`.
+            tokens = _emit_expansion(builder, pieces, op.rank)
+            tokens.extend(builder.stop(op.rank))
+            yield from push_tokens(out_channels, tokens)
+        elif isinstance(token, Stop):
+            yield from push_tokens(out_channels, builder.stop(token.level + op.rank))
+        elif isinstance(token, Done):
+            yield from push_tokens(out_channels, builder.done())
+            return
+
+
+def _flatten_pieces(pieces) -> List:
+    if isinstance(pieces, (list, tuple)):
+        out: List = []
+        for piece in pieces:
+            out.extend(_flatten_pieces(piece))
+        return out
+    return [pieces]

@@ -1,0 +1,327 @@
+"""Executors for the off-chip and on-chip memory operators.
+
+Off-chip operators issue requests to the engine's HBM model (``("hbm", ...)``
+effects), which serializes them on the shared off-chip bandwidth and records
+traffic.  On-chip operators (Bufferize / Streamify) move tiles at the on-chip
+memory bandwidth and account for their buffer footprints per Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...core.dtypes import Address, BufferHandle, Tile, value_nbytes
+from ...core.errors import SimulationError, StreamProtocolError
+from ...core.stream import Data, Done, Stop, Token
+from ...ops.offchip import (LinearOffChipLoad, LinearOffChipStore, RandomOffChipLoad,
+                            RandomOffChipStore)
+from ...ops.onchip import Bufferize, Streamify
+from ..channel import Channel
+from .common import OpContext, OutputBuilder, push_all, push_tokens
+
+
+# ---------------------------------------------------------------------------
+# Off-chip operators
+# ---------------------------------------------------------------------------
+
+def _tile_from_underlying(op: LinearOffChipLoad, grid_row: int, grid_col: int) -> Tile:
+    tr, tc = op.tile_shape
+    if op.underlying is None:
+        return Tile.meta(tr, tc, op.dtype)
+    rows = slice(grid_row * tr, (grid_row + 1) * tr)
+    cols = slice(grid_col * tc, (grid_col + 1) * tc)
+    return Tile.from_array(np.asarray(op.underlying)[rows, cols], op.dtype)
+
+
+def _linear_read(op: LinearOffChipLoad, builder: OutputBuilder, ctx: OpContext,
+                 out_channels: Sequence[Channel]):
+    """One affine read of the stored tensor: a nested sweep over shape_tiled.
+
+    Each tile is fetched through the HBM model and pushed with the access's
+    completion time, so downstream consumers see the memory latency while the
+    load unit keeps issuing (pipelined requests).
+    """
+    grid_cols = op.in_mem_shape[1] // op.tile_shape[1]
+    tile_bytes = op.tile_nbytes
+    rows, cols = op.shape_tiled
+    stride_r, stride_c = op.stride_tiled
+    for i in range(rows):
+        for j in range(cols):
+            linear = i * stride_r + j * stride_c
+            grid_row, grid_col = divmod(linear, grid_cols)
+            grid_row %= max(1, op.in_mem_shape[0] // op.tile_shape[0])
+            tile = _tile_from_underlying(op, grid_row, grid_col)
+            completion = yield ("hbm", tile_bytes, False, op.base_addr + linear * tile_bytes)
+            ctx.record_element(0.0)
+            for token in builder.data(tile):
+                for channel in out_channels:
+                    yield ("push_at", channel, token, completion)
+        yield from push_tokens(out_channels, builder.stop(1))
+    yield from push_tokens(out_channels, builder.stop(2))
+
+
+def linear_offchip_load_executor(op: LinearOffChipLoad, ins: Sequence[Channel],
+                                 outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    builder = OutputBuilder()
+    read_rank = len(op.shape_tiled)
+    ctx.record_onchip(op.tile_nbytes * 2)  # double-buffered staging (Section 4.2)
+    if op.has_ref:
+        ref_channel = ins[0]
+        while True:
+            token = yield ("pop", ref_channel)
+            if isinstance(token, Data):
+                yield from _linear_read(op, builder, ctx, out_channels)
+            elif isinstance(token, Stop):
+                yield from push_tokens(out_channels, builder.stop(token.level + read_rank))
+            elif isinstance(token, Done):
+                yield from push_tokens(out_channels, builder.done())
+                return
+    else:
+        for _ in range(op.count):
+            yield from _linear_read(op, builder, ctx, out_channels)
+        yield from push_tokens(out_channels, builder.done())
+
+
+def linear_offchip_store_executor(op: LinearOffChipStore, ins: Sequence[Channel],
+                                  outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    channel = ins[0]
+    offset = 0
+    while True:
+        token = yield ("pop", channel)
+        ctx.results.append(token)
+        if isinstance(token, Data):
+            nbytes = value_nbytes(token.value)
+            yield ("hbm", nbytes, True, op.base_addr + offset)
+            offset += nbytes
+            ctx.record_element(0.0)
+        elif isinstance(token, Done):
+            return
+
+
+def random_offchip_load_executor(op: RandomOffChipLoad, ins: Sequence[Channel],
+                                 outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    builder = OutputBuilder()
+    tile_bytes = op.tile_nbytes
+    shift = 1 if op.tiles_per_access > 1 else 0
+    ctx.record_onchip(tile_bytes * 2)
+    raddr = ins[0]
+    while True:
+        token = yield ("pop", raddr)
+        if isinstance(token, Data):
+            address = _address_of(token.value)
+            for t in range(op.tiles_per_access):
+                tile = _random_tile(op, address + t)
+                completion = yield ("hbm", tile_bytes, False,
+                                    op.base_addr + (address + t) * tile_bytes)
+                ctx.record_element(0.0)
+                for out_token in builder.data(tile):
+                    for channel in out_channels:
+                        yield ("push_at", channel, out_token, completion)
+            if shift:
+                yield from push_tokens(out_channels, builder.stop(1))
+        elif isinstance(token, Stop):
+            tokens = builder.stop(token.level + shift)
+            if shift == 0:
+                # Address-stream stops pass through one-to-one; flush them
+                # immediately so consumers (e.g. the per-request reduction in
+                # dynamic-parallelization attention) observe request boundaries
+                # as soon as the last tile of the request has been fetched.
+                tokens = tokens + builder.flush()
+            yield from push_tokens(out_channels, tokens)
+        elif isinstance(token, Done):
+            yield from push_tokens(out_channels, builder.done())
+            return
+
+
+def _address_of(value) -> int:
+    from ...core.dtypes import Selector  # local import to avoid a cycle at module load
+
+    if isinstance(value, Address):
+        return value.value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, Selector):
+        # Configuration time-multiplexing feeds EagerMerge's selector output
+        # straight into RandomOffChipLoad: the selected producer index is the
+        # expert whose weights must be fetched (Figure 11).
+        return int(value.indices[0])
+    if isinstance(value, Tile):
+        if value.has_data:
+            return int(value.to_array().flat[0])
+        raise SimulationError("address tiles must carry a payload")
+    raise SimulationError(f"cannot interpret {value!r} as an off-chip address")
+
+
+def _random_tile(op: RandomOffChipLoad, index: int) -> Tile:
+    tr, tc = op.tile_shape
+    if op.underlying is None:
+        return Tile.meta(tr, tc, op.dtype)
+    underlying = np.asarray(op.underlying)
+    if underlying.ndim == 3:
+        slot = underlying[index % underlying.shape[0]]
+        return Tile.from_array(slot, op.dtype)
+    # 2-D backing store: tiles are laid out row-major along the row axis
+    rows = underlying.shape[0] // tr
+    row = (index % max(1, rows)) * tr
+    return Tile.from_array(underlying[row:row + tr, :tc], op.dtype)
+
+
+def random_offchip_store_executor(op: RandomOffChipStore, ins: Sequence[Channel],
+                                  outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    waddr, wdata = ins
+    while True:
+        addr_token = yield ("pop", waddr)
+        if isinstance(addr_token, Done):
+            yield from push_all(out_channels, Done())
+            return
+        if isinstance(addr_token, Stop):
+            yield from push_all(out_channels, addr_token)
+            continue
+        data_token = yield ("pop", wdata)
+        while isinstance(data_token, Stop):
+            data_token = yield ("pop", wdata)
+        if not isinstance(data_token, Data):
+            raise StreamProtocolError(
+                f"{ctx.op_name}: write-data stream ended before the address stream")
+        nbytes = value_nbytes(data_token.value)
+        address = _address_of(addr_token.value)
+        ctx.results.append((address, data_token.value))
+        yield ("hbm", nbytes, True, op.base_addr + address)
+        ctx.record_element(0.0)
+        yield from push_all(out_channels, Data(True))
+
+
+# ---------------------------------------------------------------------------
+# On-chip operators
+# ---------------------------------------------------------------------------
+
+def bufferize_executor(op: Bufferize, ins: Sequence[Channel],
+                       outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    items: List[Token] = []
+    item_bytes = 0
+    max_input_tile = 0
+    onchip_bw = ctx.hardware.onchip_bandwidth
+
+    def finish_buffer():
+        handle = BufferHandle(items, op.rank)
+        # Section 4.2: |input dtype| + ||buffer|| * |input dtype| * 2 (double buffering)
+        ctx.record_onchip(max_input_tile + 2 * item_bytes)
+        ctx.record_buffer(item_bytes)
+        return handle
+
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            nbytes = value_nbytes(token.value)
+            max_input_tile = max(max_input_tile, nbytes)
+            item_bytes += nbytes
+            items.append(token)
+            cycles = max(1.0, nbytes / onchip_bw if onchip_bw > 0 else 0.0)
+            yield ("tick", cycles)
+            ctx.record_element(cycles)
+        elif isinstance(token, Stop):
+            if token.level >= op.rank:
+                handle = finish_buffer()
+                yield from push_all(out_channels, Data(handle))
+                if token.level > op.rank:
+                    yield from push_all(out_channels, Stop(token.level - op.rank))
+                items, item_bytes = [], 0
+            else:
+                items.append(token)
+        elif isinstance(token, Done):
+            if items:
+                handle = finish_buffer()
+                yield from push_all(out_channels, Data(handle))
+            yield from push_all(out_channels, Done())
+            return
+
+
+def _buffer_read_tokens(op: Streamify, handle: BufferHandle, builder: OutputBuilder) -> List[Token]:
+    """Tokens for one read of a buffer (affine view or linear replay)."""
+    tokens: List[Token] = []
+    if op.out_shape is not None:
+        values = list(handle.data_values)
+        rows, cols = (op.out_shape + (1, 1))[:2] if len(op.out_shape) < 2 else op.out_shape[:2]
+        stride = op.stride or (cols, 1)
+        read_rank = len(op.out_shape)
+        for i in range(rows):
+            for j in range(cols):
+                linear = (i * stride[0] + j * stride[1]) % max(1, len(values))
+                tokens.extend(builder.data(values[linear]))
+            tokens.extend(builder.stop(1))
+        tokens.extend(builder.stop(read_rank))
+        return tokens
+    for item in handle.items:
+        if isinstance(item, Data):
+            tokens.extend(builder.data(item.value))
+        elif isinstance(item, Stop):
+            tokens.extend(builder.stop(item.level))
+    tokens.extend(builder.stop(handle.rank))
+    return tokens
+
+
+def streamify_executor(op: Streamify, ins: Sequence[Channel],
+                       outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    builder = OutputBuilder()
+    onchip_bw = ctx.hardware.onchip_bandwidth
+    read_rank = len(op.out_shape) if op.out_shape is not None else op.buffer_type.rank
+    buffers = ins[0]
+
+    def read_cost(handle: BufferHandle) -> float:
+        return max(1.0, handle.nbytes / onchip_bw if onchip_bw > 0 else 0.0)
+
+    if op.has_ref:
+        ref = ins[1]
+        extra = op.ref_extra_rank
+        handle: Optional[BufferHandle] = None
+        while True:
+            token = yield ("pop", ref)
+            if isinstance(token, Data):
+                if handle is None:
+                    buffer_token = yield ("pop", buffers)
+                    while isinstance(buffer_token, Stop):
+                        buffer_token = yield ("pop", buffers)
+                    if isinstance(buffer_token, Done):
+                        raise StreamProtocolError(
+                            f"{ctx.op_name}: reference stream outlives the buffer stream")
+                    handle = buffer_token.value
+                cycles = read_cost(handle)
+                yield ("tick", cycles)
+                ctx.record_element(cycles)
+                yield from push_tokens(out_channels, _buffer_read_tokens(op, handle, builder))
+            elif isinstance(token, Stop):
+                if token.level >= extra and extra > 0:
+                    handle = None  # the next reference subtree reads the next buffer
+                elif extra == 0:
+                    handle = None
+                yield from push_tokens(out_channels, builder.stop(token.level + read_rank))
+            elif isinstance(token, Done):
+                yield from push_tokens(out_channels, builder.done())
+                return
+    else:
+        while True:
+            token = yield ("pop", buffers)
+            if isinstance(token, Data):
+                handle = token.value
+                cycles = read_cost(handle)
+                for _ in range(op.count):
+                    yield ("tick", cycles)
+                    ctx.record_element(cycles)
+                    yield from push_tokens(out_channels,
+                                           _buffer_read_tokens(op, handle, builder))
+                if op.count > 1:
+                    yield from push_tokens(out_channels, builder.stop(read_rank + 1))
+            elif isinstance(token, Stop):
+                shift = read_rank + (1 if op.count > 1 else 0)
+                yield from push_tokens(out_channels, builder.stop(token.level + shift))
+            elif isinstance(token, Done):
+                yield from push_tokens(out_channels, builder.done())
+                return

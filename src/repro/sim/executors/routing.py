@@ -1,0 +1,185 @@
+"""Executors for the dynamic routing and merging operators.
+
+Partition, Reassemble and EagerMerge move *chunks*: the data up to (and
+including) the first stop token of level ``rank``.  Reassemble collects the
+selected inputs of each selector element in arrival order (approximated by the
+earliest-ready head token) without interleaving chunks; EagerMerge forwards
+whichever input has a chunk available first and reports the origin of every
+chunk on its selector output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ...core.dtypes import Selector
+from ...core.errors import StreamProtocolError
+from ...core.stream import Data, Done, Stop, Token
+from ...ops.routing import EagerMerge, Partition, Reassemble
+from ..channel import Channel
+from .common import OpContext, OutputBuilder, push_all, push_tokens
+
+
+def _selected_indices(value, num_targets: int) -> List[int]:
+    if isinstance(value, Selector):
+        return list(value.indices)
+    if isinstance(value, int):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        return [int(v) for v in value]
+    raise StreamProtocolError(f"cannot interpret {value!r} as a selector over {num_targets}")
+
+
+def partition_executor(op: Partition, ins: Sequence[Channel],
+                       outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    data_channel, selector_channel = ins
+    builders = [OutputBuilder() for _ in range(op.num_consumers)]
+    input_done = False
+    while True:
+        token = yield ("pop", selector_channel)
+        if isinstance(token, Done):
+            for consumer, builder in enumerate(builders):
+                yield from push_tokens(outs[consumer], builder.done())
+            return
+        if isinstance(token, Stop):
+            # the selector's outer structure is flattened into each branch's
+            # fresh dynamic outer dimension
+            continue
+        targets = _selected_indices(token.value, op.num_consumers)
+        # collect one chunk: everything up to the first stop of level >= rank
+        chunk: List[Token] = []
+        while not input_done:
+            item = yield ("pop", data_channel)
+            if isinstance(item, Done):
+                input_done = True
+                break
+            if isinstance(item, Stop) and item.level >= op.rank:
+                break
+            chunk.append(item)
+        if input_done and not chunk:
+            # The routed stream is exhausted even though selectors keep coming.
+            # This happens in dynamic parallelization (Figure 16), where the
+            # availability feedback produces more selectors than there is work:
+            # close every branch so downstream pipelines can finish.
+            for consumer, builder in enumerate(builders):
+                yield from push_tokens(outs[consumer], builder.done())
+            return
+        ctx.record_element(1.0)
+        yield ("tick", 1.0)
+        for target in targets:
+            builder = builders[target]
+            tokens: List[Token] = []
+            for item in chunk:
+                if isinstance(item, Data):
+                    tokens.extend(builder.data(item.value))
+                elif isinstance(item, Stop):
+                    tokens.extend(builder.stop(item.level))
+            tokens.extend(builder.stop(op.rank))
+            # Flush the chunk terminator immediately: the next token for this
+            # branch may be arbitrarily far away (or never come), and downstream
+            # pipelines — including the dynamic-parallelization feedback loop —
+            # must observe the chunk boundary to make progress.
+            tokens.extend(builder.flush())
+            yield from push_tokens(outs[target], tokens)
+
+
+def _collect_chunk(channel: Channel, rank: int, first: Optional[Token] = None):
+    """Pop one chunk (data up to the first stop >= rank) from ``channel``.
+
+    Returns ``(items, finished)`` where ``finished`` is True when the stream's
+    Done token was reached while collecting.
+    """
+    items: List[Token] = []
+    token = first
+    while True:
+        if token is None:
+            token = yield ("pop", channel)
+        if isinstance(token, Done):
+            return items, True
+        if isinstance(token, Stop):
+            if token.level >= rank and rank >= 1:
+                return items, False
+            if token.level < rank:
+                items.append(token)
+            # stops above the chunk rank that are not chunk terminators only
+            # occur for rank == 0 streams; they carry no data and are dropped
+        else:
+            items.append(token)
+            if rank == 0:
+                return items, False
+        token = None
+
+
+def _emit_chunk(builder: OutputBuilder, items: Sequence[Token], rank: int) -> List[Token]:
+    tokens: List[Token] = []
+    for item in items:
+        if isinstance(item, Data):
+            tokens.extend(builder.data(item.value))
+        elif isinstance(item, Stop):
+            tokens.extend(builder.stop(item.level))
+    if rank >= 1:
+        tokens.extend(builder.stop(rank))
+    return tokens
+
+
+def reassemble_executor(op: Reassemble, ins: Sequence[Channel],
+                        outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    data_channels = list(ins[:-1])
+    selector_channel = ins[-1]
+    out_channels = outs[0] if outs else []
+    builder = OutputBuilder()
+    while True:
+        token = yield ("pop", selector_channel)
+        if isinstance(token, Done):
+            yield from push_tokens(out_channels, builder.done())
+            return
+        if isinstance(token, Stop):
+            yield from push_tokens(out_channels, builder.stop(token.level + op.rank + 1))
+            continue
+        remaining = _selected_indices(token.value, op.num_producers)
+        while remaining:
+            if len(remaining) == 1:
+                index = remaining[0]
+                first = None
+            else:
+                # collect from whichever selected input has data available first
+                chans = [data_channels[i] for i in remaining]
+                which, first = yield ("pop_any", chans)
+                index = remaining[which]
+            items, _ = yield from _collect_chunk(data_channels[index], op.rank, first)
+            yield from push_tokens(out_channels, _emit_chunk(builder, items, op.rank))
+            remaining = [i for i in remaining if i != index]
+        ctx.record_element(1.0)
+        yield ("tick", 1.0)
+        # after draining every selected input, the group closes one level up
+        yield from push_tokens(out_channels, builder.stop(op.rank + 1))
+
+
+def eager_merge_executor(op: EagerMerge, ins: Sequence[Channel],
+                         outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    data_outs = outs[0] if outs else []
+    selector_outs = outs[1] if len(outs) > 1 else []
+    builder = OutputBuilder()
+    live = list(range(op.num_producers))
+    while live:
+        chans = [ins[i] for i in live]
+        which, first = yield ("pop_any", chans)
+        index = live[which]
+        if isinstance(first, Done):
+            live.remove(index)
+            continue
+        if isinstance(first, Stop):
+            # outer structure of the input streams is flattened away
+            continue
+        items, finished = yield from _collect_chunk(ins[index], op.rank, first)
+        ctx.record_element(1.0)
+        yield ("tick", 1.0)
+        # As in Partition, chunk terminators are flushed eagerly so consumers
+        # (e.g. the availability loop of dynamic parallelization) see them now.
+        tokens = _emit_chunk(builder, items, op.rank) + builder.flush()
+        yield from push_tokens(data_outs, tokens)
+        yield from push_all(selector_outs, Data(Selector(index, op.num_producers)))
+        if finished:
+            live.remove(index)
+    yield from push_tokens(data_outs, builder.done())
+    yield from push_all(selector_outs, Done())

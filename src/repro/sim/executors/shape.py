@@ -1,0 +1,196 @@
+"""Executors for the shape operators: Flatten, Reshape, Promote, Expand, Repeat, Zip.
+
+Shape operators only manipulate stop tokens; data values pass through
+untouched (Reshape additionally inserts padding values and emits the padding
+indicator stream).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...core.dtypes import TupleValue
+from ...core.errors import StreamProtocolError
+from ...core.stream import Data, Done, Stop, Token
+from ...ops.shape_ops import Expand, Flatten, Promote, Repeat, Reshape, Zip
+from ..channel import Channel
+from .common import OpContext, OutputBuilder, push_all, push_tokens
+
+
+def flatten_executor(op: Flatten, ins: Sequence[Channel],
+                     outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    span = op.max_level - op.min_level
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            yield from push_all(out_channels, token)
+        elif isinstance(token, Stop):
+            level = token.level
+            if level <= op.min_level:
+                yield from push_all(out_channels, token)
+            elif level <= op.max_level:
+                pass  # interior boundaries of the flattened range disappear
+            else:
+                yield from push_all(out_channels, Stop(level - span))
+        elif isinstance(token, Done):
+            yield from push_all(out_channels, Done())
+            return
+
+
+def reshape_executor(op: Reshape, ins: Sequence[Channel],
+                     outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    data_outs = outs[0] if outs else []
+    pad_outs = outs[1] if len(outs) > 1 else []
+    channel = ins[0]
+    data_builder = OutputBuilder()
+    pad_builder = OutputBuilder()
+
+    if op.level == 0:
+        count = 0
+        while True:
+            token = yield ("pop", channel)
+            if isinstance(token, Data):
+                yield from push_tokens(data_outs, data_builder.data(token.value))
+                yield from push_tokens(pad_outs, pad_builder.data(False))
+                count += 1
+                if count == op.chunk_size:
+                    yield from push_tokens(data_outs, data_builder.stop(1))
+                    yield from push_tokens(pad_outs, pad_builder.stop(1))
+                    count = 0
+            elif isinstance(token, (Stop, Done)):
+                if count > 0:
+                    while count < op.chunk_size:
+                        yield from push_tokens(data_outs, data_builder.data(op.pad))
+                        yield from push_tokens(pad_outs, pad_builder.data(True))
+                        count += 1
+                    count = 0
+                    yield from push_tokens(data_outs, data_builder.stop(1))
+                    yield from push_tokens(pad_outs, pad_builder.stop(1))
+                if isinstance(token, Stop):
+                    yield from push_tokens(data_outs, data_builder.stop(token.level + 1))
+                    yield from push_tokens(pad_outs, pad_builder.stop(token.level + 1))
+                else:
+                    yield from push_tokens(data_outs, data_builder.done())
+                    yield from push_tokens(pad_outs, pad_builder.done())
+                    return
+    else:
+        groups = 0
+        while True:
+            token = yield ("pop", channel)
+            if isinstance(token, Data):
+                yield from push_tokens(data_outs, data_builder.data(token.value))
+                yield from push_tokens(pad_outs, pad_builder.data(False))
+            elif isinstance(token, Stop):
+                if token.level < op.level:
+                    yield from push_tokens(data_outs, data_builder.stop(token.level))
+                    yield from push_tokens(pad_outs, pad_builder.stop(token.level))
+                elif token.level == op.level:
+                    groups += 1
+                    if groups == op.chunk_size:
+                        yield from push_tokens(data_outs, data_builder.stop(op.level + 1))
+                        yield from push_tokens(pad_outs, pad_builder.stop(op.level + 1))
+                        groups = 0
+                    else:
+                        yield from push_tokens(data_outs, data_builder.stop(op.level))
+                        yield from push_tokens(pad_outs, pad_builder.stop(op.level))
+                else:
+                    groups = 0
+                    yield from push_tokens(data_outs, data_builder.stop(token.level + 1))
+                    yield from push_tokens(pad_outs, pad_builder.stop(token.level + 1))
+            elif isinstance(token, Done):
+                yield from push_tokens(data_outs, data_builder.done())
+                yield from push_tokens(pad_outs, pad_builder.done())
+                return
+
+
+def promote_executor(op: Promote, ins: Sequence[Channel],
+                     outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    held: Optional[int] = None
+    saw_data = False
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            if held is not None:
+                yield from push_all(out_channels, Stop(held))
+                held = None
+            saw_data = True
+            yield from push_all(out_channels, token)
+        elif isinstance(token, Stop):
+            if held is not None:
+                yield from push_all(out_channels, Stop(held))
+            held = token.level
+        elif isinstance(token, Done):
+            if held is not None:
+                yield from push_all(out_channels, Stop(held + 1))
+            elif saw_data:
+                yield from push_all(out_channels, Stop(1))
+            yield from push_all(out_channels, Done())
+            return
+
+
+def expand_executor(op: Expand, ins: Sequence[Channel],
+                    outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    data_channel, ref_channel = ins
+    current = None
+    while True:
+        token = yield ("pop", ref_channel)
+        if isinstance(token, Data):
+            if current is None:
+                item = yield ("pop", data_channel)
+                while isinstance(item, Stop):
+                    item = yield ("pop", data_channel)
+                if isinstance(item, Done):
+                    raise StreamProtocolError(
+                        f"{ctx.op_name}: input stream exhausted before the reference stream")
+                current = item.value
+            yield from push_all(out_channels, Data(current))
+        elif isinstance(token, Stop):
+            if token.level >= op.rank:
+                current = None
+            yield from push_all(out_channels, token)
+        elif isinstance(token, Done):
+            yield from push_all(out_channels, Done())
+            return
+
+
+def repeat_executor(op: Repeat, ins: Sequence[Channel],
+                    outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    channel = ins[0]
+    builder = OutputBuilder()
+    while True:
+        token = yield ("pop", channel)
+        if isinstance(token, Data):
+            for _ in range(op.count):
+                yield from push_tokens(out_channels, builder.data(token.value))
+            yield from push_tokens(out_channels, builder.stop(1))
+        elif isinstance(token, Stop):
+            yield from push_tokens(out_channels, builder.stop(token.level + 1))
+        elif isinstance(token, Done):
+            yield from push_tokens(out_channels, builder.done())
+            return
+
+
+def zip_executor(op: Zip, ins: Sequence[Channel],
+                 outs: Sequence[Sequence[Channel]], ctx: OpContext):
+    out_channels = outs[0] if outs else []
+    left, right = ins
+    while True:
+        a = yield ("pop", left)
+        b = yield ("pop", right)
+        if isinstance(a, Done) or isinstance(b, Done):
+            yield from push_all(out_channels, Done())
+            return
+        if isinstance(a, Stop) and isinstance(b, Stop):
+            yield from push_all(out_channels, Stop(max(a.level, b.level)))
+            continue
+        if isinstance(a, Data) and isinstance(b, Data):
+            yield from push_all(out_channels, Data(TupleValue([a.value, b.value])))
+            continue
+        raise StreamProtocolError(
+            f"{ctx.op_name}: zipped streams have mismatched structure ({a!r} vs {b!r})")

@@ -1,0 +1,41 @@
+"""Source and sink executors.
+
+* :func:`input_source` feeds a pre-built token stream into the graph (the
+  executor for :class:`~repro.core.graph.InputStream`).
+* :func:`collector` drains a program output stream into ``ctx.results`` so the
+  runner can return the produced tokens; collector processes are the engine's
+  termination sinks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...core.errors import StreamProtocolError
+from ...core.stream import Data, Done, Stop, Token
+from ..channel import Channel
+from .common import OpContext, push_all, token_bytes
+
+
+def input_source(tokens: Sequence[Token], outs: Sequence[Sequence[Channel]], ctx: OpContext,
+                 cycles_per_token: float = 0.0):
+    """Push a pre-built token stream, optionally pacing it."""
+    if not tokens or not isinstance(tokens[-1], Done):
+        raise StreamProtocolError(
+            f"input stream for {ctx.op_name} must end with Done")
+    out_channels = outs[0] if outs else []
+    for token in tokens:
+        if cycles_per_token and isinstance(token, Data):
+            yield ("tick", cycles_per_token)
+        yield from push_all(out_channels, token)
+    ctx.record_element(0.0)
+
+
+def collector(ins: Sequence[Channel], ctx: OpContext):
+    """Drain one stream until Done, storing every token in ``ctx.results``."""
+    channel = ins[0]
+    while True:
+        token = yield ("pop", channel)
+        ctx.results.append(token)
+        if isinstance(token, Done):
+            break

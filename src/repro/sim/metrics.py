@@ -1,0 +1,130 @@
+"""Simulation metrics (paper Sections 4.2, 5.1 and Figures 12/13).
+
+The metrics the paper reports are: cycles, off-chip memory traffic, on-chip
+memory requirement, allocated compute resources, compute-resource utilization
+and off-chip memory-bandwidth utilization.  :class:`SimMetrics` accumulates
+the per-operator observations the executors record and derives those
+aggregates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator counters recorded during simulation."""
+
+    elements: int = 0
+    flops: int = 0
+    busy_cycles: float = 0.0
+    offchip_bytes_read: int = 0
+    offchip_bytes_written: int = 0
+    onchip_bytes: int = 0          # §4.2 per-operator on-chip requirement (max over time)
+    compute_bw: int = 0            # allocated FLOPs/cycle (0 for non-compute operators)
+    max_buffer_bytes: int = 0      # largest single buffer materialized (Bufferize/Accum)
+
+    @property
+    def offchip_bytes(self) -> int:
+        return self.offchip_bytes_read + self.offchip_bytes_written
+
+
+class SimMetrics:
+    """Aggregated metrics for one simulation run."""
+
+    def __init__(self) -> None:
+        self.per_op: Dict[str, OperatorStats] = defaultdict(OperatorStats)
+        self.cycles: float = 0.0
+        self.first_offchip_time: Optional[float] = None
+        self.last_offchip_time: float = 0.0
+        self.offchip_bandwidth: float = 0.0
+        self.events: int = 0
+
+    # -- recording (called by executors / the engine) -----------------------------
+    def stats(self, op_name: str) -> OperatorStats:
+        return self.per_op[op_name]
+
+    def record_element(self, op_name: str, cycles: float, flops: int = 0) -> None:
+        stats = self.per_op[op_name]
+        stats.elements += 1
+        stats.flops += flops
+        stats.busy_cycles += cycles
+
+    def record_offchip(self, op_name: str, nbytes: int, time: float,
+                       is_write: bool = False) -> None:
+        stats = self.per_op[op_name]
+        if is_write:
+            stats.offchip_bytes_written += nbytes
+        else:
+            stats.offchip_bytes_read += nbytes
+        if self.first_offchip_time is None or time < self.first_offchip_time:
+            self.first_offchip_time = time
+        self.last_offchip_time = max(self.last_offchip_time, time)
+
+    def record_onchip(self, op_name: str, nbytes: int) -> None:
+        stats = self.per_op[op_name]
+        stats.onchip_bytes = max(stats.onchip_bytes, int(nbytes))
+
+    def record_buffer(self, op_name: str, nbytes: int) -> None:
+        stats = self.per_op[op_name]
+        stats.max_buffer_bytes = max(stats.max_buffer_bytes, int(nbytes))
+
+    def record_compute_bw(self, op_name: str, compute_bw: int) -> None:
+        self.per_op[op_name].compute_bw = int(compute_bw)
+
+    # -- aggregates ----------------------------------------------------------------
+    @property
+    def offchip_traffic(self) -> int:
+        """Total off-chip bytes moved (reads + writes)."""
+        return sum(s.offchip_bytes for s in self.per_op.values())
+
+    @property
+    def offchip_traffic_read(self) -> int:
+        return sum(s.offchip_bytes_read for s in self.per_op.values())
+
+    @property
+    def offchip_traffic_written(self) -> int:
+        return sum(s.offchip_bytes_written for s in self.per_op.values())
+
+    @property
+    def onchip_memory(self) -> int:
+        """Total on-chip memory requirement (sum of per-operator requirements)."""
+        return sum(s.onchip_bytes for s in self.per_op.values())
+
+    @property
+    def total_flops(self) -> int:
+        return sum(s.flops for s in self.per_op.values())
+
+    @property
+    def allocated_compute(self) -> int:
+        """Sum of allocated compute bandwidth over compute operators (FLOPs/cycle)."""
+        return sum(s.compute_bw for s in self.per_op.values())
+
+    def compute_utilization(self, cycles: Optional[float] = None) -> float:
+        """Achieved FLOPs / (cycles × allocated FLOPs per cycle)."""
+        cycles = self.cycles if cycles is None else cycles
+        allocated = self.allocated_compute
+        if cycles <= 0 or allocated <= 0:
+            return 0.0
+        return self.total_flops / (cycles * allocated)
+
+    def offchip_bw_utilization(self, cycles: Optional[float] = None) -> float:
+        """Fraction of the off-chip bandwidth used over the whole run."""
+        cycles = self.cycles if cycles is None else cycles
+        if cycles <= 0 or self.offchip_bandwidth <= 0:
+            return 0.0
+        return min(1.0, self.offchip_traffic / (self.offchip_bandwidth * cycles))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "offchip_traffic_bytes": float(self.offchip_traffic),
+            "onchip_memory_bytes": float(self.onchip_memory),
+            "total_flops": float(self.total_flops),
+            "allocated_compute": float(self.allocated_compute),
+            "compute_utilization": self.compute_utilization(),
+            "offchip_bw_utilization": self.offchip_bw_utilization(),
+        }

@@ -1,0 +1,82 @@
+"""High-level entry points for running STeP programs on the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.graph import Program
+from ..core.stream import Token, data_values
+from .executors.common import HardwareConfig
+from .hbm import HBMModel
+from .lowering import LoweredProgram, lower
+from .metrics import SimMetrics
+
+
+@dataclass
+class SimReport:
+    """The result of one simulation run."""
+
+    cycles: float
+    metrics: SimMetrics
+    outputs: Dict[str, List[Token]] = field(default_factory=dict)
+    hardware: Optional[HardwareConfig] = None
+
+    # -- convenience accessors ------------------------------------------------------
+    @property
+    def offchip_traffic(self) -> int:
+        return self.metrics.offchip_traffic
+
+    @property
+    def onchip_memory(self) -> int:
+        return self.metrics.onchip_memory
+
+    @property
+    def total_flops(self) -> int:
+        return self.metrics.total_flops
+
+    @property
+    def allocated_compute(self) -> int:
+        return self.metrics.allocated_compute
+
+    @property
+    def compute_utilization(self) -> float:
+        return self.metrics.compute_utilization(self.cycles)
+
+    @property
+    def offchip_bw_utilization(self) -> float:
+        return self.metrics.offchip_bw_utilization(self.cycles)
+
+    def output_tokens(self, name: str) -> List[Token]:
+        return self.outputs[name]
+
+    def output_values(self, name: str) -> list:
+        return data_values(self.outputs[name])
+
+    def summary(self) -> Dict[str, float]:
+        return self.metrics.summary()
+
+
+def simulate(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,
+             hardware: Optional[HardwareConfig] = None, timed: bool = True,
+             hbm: Optional[HBMModel] = None,
+             input_rates: Optional[Dict[str, float]] = None) -> SimReport:
+    """Simulate ``program`` and return a :class:`SimReport`.
+
+    ``timed=True`` runs the cycle-approximate model (Section 4.3);
+    ``timed=False`` executes the same graph functionally with all latencies
+    collapsed to zero (useful as a reference interpreter).
+    """
+    hardware = hardware or HardwareConfig()
+    lowered = lower(program, inputs=inputs, hardware=hardware, timed=timed, hbm=hbm,
+                    input_rates=input_rates)
+    metrics = lowered.run()
+    outputs = {name: lowered.output_tokens(name) for name in lowered.sink_contexts}
+    return SimReport(cycles=metrics.cycles, metrics=metrics, outputs=outputs,
+                     hardware=hardware)
+
+
+def run_functional(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,
+                   hardware: Optional[HardwareConfig] = None) -> SimReport:
+    """Run the program purely functionally (no timing)."""
+    return simulate(program, inputs=inputs, hardware=hardware, timed=False)

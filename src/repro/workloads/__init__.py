@@ -1,0 +1,31 @@
+"""STeP workloads used by the paper's evaluation.
+
+* :mod:`repro.workloads.configs` — model / hardware configurations,
+* :mod:`repro.workloads.simple_moe` — the simplified two-expert MoE of
+  Section 3.3 (Listing 1 / Figures 6-7),
+* :mod:`repro.workloads.swiglu` — the SwiGLU layer used for validation (Fig. 8),
+* :mod:`repro.workloads.moe` — MoE layers with SwiGLU experts and the
+  static/dynamic tiling and time-multiplexing schedules (Figs. 9-13, 19-20),
+* :mod:`repro.workloads.attention` — decode attention with the three
+  parallelization schedules (Figs. 14, 15, 21),
+* :mod:`repro.workloads.qkv` — QKV generation,
+* :mod:`repro.workloads.model` — end-to-end decoder models (Fig. 17).
+"""
+
+from .configs import (
+    HardwareConfig,
+    ModelConfig,
+    MIXTRAL_8X7B,
+    QWEN3_30B_A3B,
+    scaled_config,
+    sda_hardware,
+)
+
+__all__ = [
+    "HardwareConfig",
+    "ModelConfig",
+    "MIXTRAL_8X7B",
+    "QWEN3_30B_A3B",
+    "scaled_config",
+    "sda_hardware",
+]

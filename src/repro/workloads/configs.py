@@ -1,0 +1,151 @@
+"""Model and hardware configurations used throughout the evaluation.
+
+The paper evaluates on Qwen3-30B-A3B and Mixtral-8x7B (Section 5.1).  Full-size
+configurations are provided below; most benchmarks run *scaled* variants
+(see :func:`scaled_config`) that keep the structural parameters that drive the
+paper's results (expert count, top-k, routing skew, tiling structure) while
+shrinking the hidden/intermediate dimensions so the pure-Python simulator runs
+quickly.  EXPERIMENTS.md records the scale factor used for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.errors import ConfigError
+from ..sim.executors.common import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Transformer decoder configuration (MoE models)."""
+
+    name: str
+    hidden_dim: int
+    #: per-expert FFN intermediate dimension (SwiGLU width)
+    moe_intermediate_dim: int
+    num_experts: int
+    experts_per_token: int
+    num_layers: int
+    num_attention_heads: int
+    num_kv_heads: int
+    head_dim: int
+    #: expert-popularity skew used by the synthetic routing-trace generator
+    #: (larger values concentrate tokens on fewer experts)
+    routing_skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.experts_per_token > self.num_experts:
+            raise ConfigError(
+                f"{self.name}: experts_per_token ({self.experts_per_token}) exceeds "
+                f"num_experts ({self.num_experts})")
+        if self.hidden_dim <= 0 or self.moe_intermediate_dim <= 0:
+            raise ConfigError(f"{self.name}: dimensions must be positive")
+
+    @property
+    def kv_dim(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def q_dim(self) -> int:
+        return self.num_attention_heads * self.head_dim
+
+    @property
+    def expert_ffn_params(self) -> int:
+        """Parameters of one expert (gate + up + down projections)."""
+        return 3 * self.hidden_dim * self.moe_intermediate_dim
+
+
+#: Qwen3-30B-A3B: 128 routed experts, 8 active per token (Qwen3 technical report).
+QWEN3_30B_A3B = ModelConfig(
+    name="Qwen3-30B-A3B",
+    hidden_dim=2048,
+    moe_intermediate_dim=768,
+    num_experts=128,
+    experts_per_token=8,
+    num_layers=48,
+    num_attention_heads=32,
+    num_kv_heads=4,
+    head_dim=128,
+    routing_skew=1.2,
+)
+
+#: Mixtral-8x7B: 8 experts, 2 active per token.
+MIXTRAL_8X7B = ModelConfig(
+    name="Mixtral-8x7B",
+    hidden_dim=4096,
+    moe_intermediate_dim=14336,
+    num_experts=8,
+    experts_per_token=2,
+    num_layers=32,
+    num_attention_heads=32,
+    num_kv_heads=8,
+    head_dim=128,
+    routing_skew=0.6,
+)
+
+#: Llama-3.1 dense configurations (used by the Figure 1 roofline reproduction).
+LLAMA_3_1_8B = ModelConfig(
+    name="Llama-3.1-8B",
+    hidden_dim=4096,
+    moe_intermediate_dim=14336,
+    num_experts=1,
+    experts_per_token=1,
+    num_layers=32,
+    num_attention_heads=32,
+    num_kv_heads=8,
+    head_dim=128,
+)
+
+LLAMA_3_1_70B = ModelConfig(
+    name="Llama-3.1-70B",
+    hidden_dim=8192,
+    moe_intermediate_dim=28672,
+    num_experts=1,
+    experts_per_token=1,
+    num_layers=80,
+    num_attention_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+)
+
+
+def scaled_config(config: ModelConfig, scale: int = 8,
+                  num_layers: Optional[int] = None) -> ModelConfig:
+    """Shrink a model's hidden/intermediate dimensions by ``scale``.
+
+    Expert count, top-k and routing skew — the parameters the paper's dynamic
+    optimizations actually exploit — are preserved.  Dimensions are floored at
+    the 16-element hardware tile and rounded to a multiple of it.
+    """
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1, got {scale}")
+
+    def shrink(value: int) -> int:
+        scaled = max(16, value // scale)
+        return max(16, (scaled // 16) * 16)
+
+    return replace(
+        config,
+        name=f"{config.name}-scaled{scale}x",
+        hidden_dim=shrink(config.hidden_dim),
+        moe_intermediate_dim=shrink(config.moe_intermediate_dim),
+        head_dim=shrink(config.head_dim),
+        num_layers=num_layers if num_layers is not None else config.num_layers,
+    )
+
+
+def sda_hardware(onchip_bandwidth: float = 64.0, offchip_bandwidth: float = 1024.0,
+                 offchip_latency: float = 100.0, compute_tile: int = 16) -> HardwareConfig:
+    """The hardware configuration of Section 5.1.
+
+    64 bytes/cycle per on-chip memory unit, 1024 bytes/cycle off-chip bandwidth,
+    matching recent reconfigurable dataflow accelerators.
+    """
+    return HardwareConfig(
+        onchip_bandwidth=onchip_bandwidth,
+        offchip_bandwidth=offchip_bandwidth,
+        offchip_latency=offchip_latency,
+        compute_tile=compute_tile,
+    )

@@ -1,0 +1,248 @@
+"""SwiGLU building blocks and the Figure 8 validation workload.
+
+The SwiGLU feed-forward layer (``(silu(x W1) * (x W3)) W2``) contains the
+representative computations of modern LLM layers — matrix multiplication, an
+activation function and a row-wise combination — which is why the paper uses
+it both to validate the simulator against a cycle-accurate HDL model
+(Section 4.5, Figure 8) and as the expert computation inside the MoE layers
+(Section 5.1).
+
+Two entry points:
+
+* :func:`build_swiglu_layer` — the standalone tiled SwiGLU layer swept over
+  tile sizes for Figure 8 (activations and weights stream from off-chip
+  memory, results stream back out).
+* :func:`swiglu_expert_block` — the per-expert SwiGLU pipeline used by
+  :mod:`repro.workloads.moe`, operating on an already-packed stream of input
+  tiles and loading this expert's weights from off-chip per packed tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dtypes import Tile
+from ..core.errors import ConfigError
+from ..core.graph import Program, StreamHandle
+from ..ops import (Accum, FlatMap, Flatten, LinearOffChipLoad, LinearOffChipLoadRef,
+                   LinearOffChipStore, Map, Repeat, Reshape, Zip)
+from ..ops.functions import Matmul, MatmulAccum, RetileStreamify, SwiGLUGate
+
+
+@dataclass(frozen=True)
+class SwiGLUTiling:
+    """Tile sizes for the SwiGLU layer sweep of Figure 8.
+
+    The figure sweeps (batch tile, hidden tile, intermediate tile); the hidden
+    dimension is never tiled in the evaluated configurations, so ``hidden_tile``
+    must equal the full hidden dimension.
+    """
+
+    batch_tile: int
+    hidden_tile: int
+    intermediate_tile: int
+
+    def label(self) -> str:
+        return f"({self.batch_tile},{self.hidden_tile},{self.intermediate_tile})"
+
+
+@dataclass(frozen=True)
+class SwiGLUConfig:
+    """Full problem dimensions of the SwiGLU validation layer (Figure 8)."""
+
+    batch: int = 64
+    hidden: int = 256
+    intermediate: int = 512
+    #: allocated compute bandwidth per matmul operator (FLOPs/cycle).  The
+    #: validation configuration provisions enough compute units per node that
+    #: the layer is memory-bound (Section 4.5), so cycle counts track off-chip
+    #: traffic across the tile sweep.
+    compute_bw: int = 16384
+    dtype_bytes: int = 2
+
+    def validate_tiling(self, tiling: SwiGLUTiling) -> None:
+        if self.batch % tiling.batch_tile != 0:
+            raise ConfigError(f"batch {self.batch} not divisible by tile {tiling.batch_tile}")
+        if tiling.hidden_tile != self.hidden:
+            raise ConfigError("the Figure 8 sweep keeps the hidden dimension untiled")
+        if self.intermediate % tiling.intermediate_tile != 0:
+            raise ConfigError(
+                f"intermediate {self.intermediate} not divisible by "
+                f"tile {tiling.intermediate_tile}")
+
+
+def default_figure8_tilings(config: SwiGLUConfig) -> List[SwiGLUTiling]:
+    """The 15 tile-size points of Figure 8."""
+    points = []
+    for batch_tile in (16, 32, 64):
+        for inter_tile in (16, 32, 64, 128, 256):
+            points.append(SwiGLUTiling(batch_tile, config.hidden, inter_tile))
+    return points
+
+
+def build_swiglu_layer(config: SwiGLUConfig, tiling: SwiGLUTiling,
+                       weights: Optional[Dict[str, np.ndarray]] = None,
+                       activations: Optional[np.ndarray] = None,
+                       seed: int = 0) -> Program:
+    """Build the tiled SwiGLU layer program used for simulator validation.
+
+    The layer streams activation tiles from off-chip memory; for every batch
+    tile it re-loads the W1/W3 column tiles and the W2 row tiles, computes
+    ``(silu(x W1) * (x W3)) W2`` with the reduction over intermediate tiles
+    done by a Zip + Accum(MatmulAccum) pair, and stores the result off chip.
+    """
+    config.validate_tiling(tiling)
+    if weights is None and activations is None and seed is not None:
+        weights, activations = random_swiglu_data(config, seed=seed, with_payload=False)
+    weights = weights or {}
+
+    b, h, i = tiling.batch_tile, config.hidden, tiling.intermediate_tile
+    n_batch = config.batch // b
+    n_inter = config.intermediate // i
+
+    # -- activations: [n_batch] stream of [b, hidden] tiles ---------------------------
+    x_load = LinearOffChipLoad(
+        count=1, in_mem_shape=(config.batch, h), tile_shape=(b, h),
+        shape_tiled=(n_batch, 1), stride_tiled=(1, 1),
+        underlying=activations, name="load_x")
+    x_tiles = Flatten(Flatten(x_load.output, 0, 1, name="flatten_x1").output, 0, 1,
+                      name="flatten_x2")
+
+    # -- W1 / W3 column tiles per batch tile --------------------------------------------
+    def column_weight(name: str) -> StreamHandle:
+        load = LinearOffChipLoadRef(
+            ref=x_tiles.output, in_mem_shape=(h, config.intermediate),
+            tile_shape=(h, i), shape_tiled=(1, n_inter), stride_tiled=(n_inter, 1),
+            underlying=weights.get(name), name=f"load_{name}")
+        return Flatten(load.output, 0, 1, name=f"flatten_{name}").output
+
+    w1 = column_weight("w1")
+    w3 = column_weight("w3")
+
+    # broadcast each activation tile across the intermediate tiles
+    x_rep = Repeat(x_tiles.output, count=n_inter, name="broadcast_x")
+
+    gate = Map((x_rep.output, w1), Matmul(), compute_bw=config.compute_bw, name="gate_matmul")
+    up = Map((x_rep.output, w3), Matmul(), compute_bw=config.compute_bw, name="up_matmul")
+    hidden_act = Map((gate.output, up.output), SwiGLUGate(),
+                     compute_bw=config.compute_bw, name="swiglu_gate")
+
+    # -- W2 row tiles per batch tile, reduced over the intermediate dimension ------------
+    w2_load = LinearOffChipLoadRef(
+        ref=x_tiles.output, in_mem_shape=(config.intermediate, h),
+        tile_shape=(i, h), shape_tiled=(1, n_inter), stride_tiled=(n_inter, 1),
+        underlying=weights.get("w2"), name="load_w2")
+    w2 = Flatten(w2_load.output, 0, 1, name="flatten_w2")
+
+    pairs = Zip(hidden_act.output, w2.output, name="zip_down")
+    out_tiles = Accum(pairs.output, MatmulAccum(), rank=1,
+                      compute_bw=config.compute_bw, name="down_matmul")
+
+    store = LinearOffChipStore(out_tiles.output, name="store_out")
+    return Program([store], name=f"swiglu_{tiling.label()}")
+
+
+def random_swiglu_data(config: SwiGLUConfig, seed: int = 0,
+                       with_payload: bool = True) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """Random weights/activations for functional checking (or ``None``s for sweeps)."""
+    if not with_payload:
+        return {}, None
+    rng = np.random.default_rng(seed)
+    weights = {
+        "w1": rng.standard_normal((config.hidden, config.intermediate)).astype(np.float32) * 0.05,
+        "w3": rng.standard_normal((config.hidden, config.intermediate)).astype(np.float32) * 0.05,
+        "w2": rng.standard_normal((config.intermediate, config.hidden)).astype(np.float32) * 0.05,
+    }
+    activations = rng.standard_normal((config.batch, config.hidden)).astype(np.float32)
+    return weights, activations
+
+
+def swiglu_reference(activations: np.ndarray, weights: Dict[str, np.ndarray]) -> np.ndarray:
+    """Plain numpy SwiGLU layer for functional verification."""
+    gate = activations @ weights["w1"]
+    up = activations @ weights["w3"]
+    hidden = (gate / (1.0 + np.exp(-gate.astype(np.float64)))) * up
+    return (hidden @ weights["w2"]).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# SwiGLU expert block (used inside the MoE workloads)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExpertDims:
+    """Dimensions of one SwiGLU expert."""
+
+    hidden: int
+    intermediate: int
+    #: number of column tiles the gate/up weights are split into
+    weight_col_tiles: int = 1
+    compute_bw: int = 1024
+    dtype_bytes: int = 2
+
+    @property
+    def gate_tile_cols(self) -> int:
+        return self.intermediate // self.weight_col_tiles
+
+    @property
+    def down_tile_cols(self) -> int:
+        return self.hidden // self.weight_col_tiles
+
+    @property
+    def weight_bytes(self) -> int:
+        return 3 * self.hidden * self.intermediate * self.dtype_bytes
+
+
+def swiglu_expert_block(packed: StreamHandle, dims: ExpertDims, prefix: str,
+                        weights: Optional[Dict[str, np.ndarray]] = None) -> StreamHandle:
+    """The per-expert SwiGLU pipeline of the MoE workloads.
+
+    ``packed`` is a rank-0 stream of packed input tiles (``[rows, hidden]``,
+    possibly dynamically sized rows).  For every packed tile the expert's
+    gate/up/down weights are re-loaded from off-chip memory (this is exactly
+    the reload-versus-padding trade-off that static/dynamic tiling explores),
+    and the result is a rank-0 stream of ``[rows, hidden]`` output tiles.
+    """
+    if dims.intermediate % dims.weight_col_tiles or dims.hidden % dims.weight_col_tiles:
+        raise ConfigError("weight_col_tiles must divide both intermediate and hidden dims")
+    weights = weights or {}
+    c = dims.weight_col_tiles
+
+    def load_columns(name: str, rows: int, cols: int) -> StreamHandle:
+        load = LinearOffChipLoadRef(
+            ref=packed, in_mem_shape=(rows, cols), tile_shape=(rows, cols // c),
+            shape_tiled=(1, c), stride_tiled=(c, 1), underlying=weights.get(name),
+            name=f"{prefix}_{name}")
+        return Flatten(load.output, 0, 1, name=f"{prefix}_{name}_flat").output
+
+    w1 = load_columns("w1", dims.hidden, dims.intermediate)
+    w3 = load_columns("w3", dims.hidden, dims.intermediate)
+    x_rep = Repeat(packed, count=c, name=f"{prefix}_broadcast")
+
+    gate = Map((x_rep.output, w1), Matmul(), compute_bw=dims.compute_bw,
+               name=f"{prefix}_gate")
+    up = Map((x_rep.output, w3), Matmul(), compute_bw=dims.compute_bw,
+             name=f"{prefix}_up")
+    hidden_act = Map((gate.output, up.output), SwiGLUGate(), compute_bw=dims.compute_bw,
+                     name=f"{prefix}_act")
+
+    # Down projection: W2 row tiles zipped against the activation column tiles
+    # and reduced with an inner-product matmul accumulation.
+    w2_load = LinearOffChipLoadRef(
+        ref=packed, in_mem_shape=(dims.intermediate, dims.hidden),
+        tile_shape=(dims.intermediate // c, dims.hidden), shape_tiled=(c, 1),
+        stride_tiled=(1, 1), underlying=weights.get("w2"), name=f"{prefix}_w2")
+    w2 = Flatten(w2_load.output, 0, 1, name=f"{prefix}_w2_flat")
+
+    pairs = Zip(hidden_act.output, w2.output, name=f"{prefix}_zip")
+    out = Accum(pairs.output, MatmulAccum(), rank=1, compute_bw=dims.compute_bw,
+                name=f"{prefix}_down")
+    return out.output
+
+
+def swiglu_expert_reference(rows: np.ndarray, weights: Dict[str, np.ndarray]) -> np.ndarray:
+    """Numpy reference for one expert applied to a block of rows."""
+    return swiglu_reference(rows, weights)

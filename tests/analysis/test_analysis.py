@@ -1,0 +1,175 @@
+"""Tests for the symbolic traffic/memory analysis, Pareto metrics and roofline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intensity import operational_intensity, program_flops_estimate
+from repro.analysis.memory import onchip_memory_expr, program_onchip_memory
+from repro.analysis.pareto import (ParetoPoint, closest_baseline,
+                                   memory_saving_at_matched_performance, pareto_front,
+                                   pareto_improvement_distance, speedup_at_matched_memory)
+from repro.analysis.roofline import (RooflineModel, effective_bandwidth, figure1_rows)
+from repro.analysis.traffic import offchip_traffic_expr, program_offchip_traffic
+from repro.core import symbolic as sym
+from repro.core.dims import Dim
+from repro.core.dtypes import TileType
+from repro.core.graph import InputStream, Program
+from repro.core.shape import StreamShape
+from repro.ops import Accum, Bufferize, LinearOffChipLoadRef, LinearOffChipStore, Map
+from repro.ops.functions import Matmul, RetileRow, Scale
+from repro.sim import simulate
+from repro.workloads.simple_moe import SimpleMoEConfig, build_simple_moe
+
+
+def weight_load_program():
+    ref = InputStream(StreamShape([Dim.dynamic("D")]), TileType(1, 64), name="ref").stream
+    load = LinearOffChipLoadRef(ref=ref, in_mem_shape=(64, 256), tile_shape=(64, 64),
+                                stride_tiled=(4, 1), shape_tiled=(1, 4), name="load")
+    store = LinearOffChipStore(load.output, name="store")
+    return Program([store]), load, store
+
+
+class TestTraffic:
+    def test_load_traffic_expression(self):
+        program, load, store = weight_load_program()
+        expr = offchip_traffic_expr(load)
+        # D reads of 4 tiles of 64x64 bf16 each
+        assert sym.evaluate(expr, {"D": 3}) == 3 * 4 * 64 * 64 * 2
+
+    def test_store_traffic_counts_input(self):
+        program, load, store = weight_load_program()
+        expr = offchip_traffic_expr(store)
+        assert sym.evaluate(expr, {"D": 2}) == 2 * 4 * 64 * 64 * 2
+
+    def test_non_memory_ops_contribute_zero(self):
+        x = InputStream(StreamShape([4]), TileType(1, 8), name="x").stream
+        op = Map(x, Scale(1.0))
+        assert offchip_traffic_expr(op) == sym.Const(0)
+
+    def test_program_total_and_simulated_agree(self):
+        """The symbolic frontend's traffic matches the simulator's measurement
+        once dynamic symbols are bound (Section 4.2)."""
+        cfg = SimpleMoEConfig(num_rows=8, num_experts=2, tile_rows=4)
+        built = build_simple_moe(cfg, seed=0)
+        routing = [0, 1, 0, 1, 0, 1, 0, 1]
+        activations = np.zeros((8, cfg.hidden_dim), dtype=np.float32)
+        report = simulate(built.program, built.inputs(activations, routing))
+        symbolic = program_offchip_traffic(built.program)
+        # bind every remaining symbol with the observed per-expert group counts (1 each)
+        bindings = {name: 1 for name in
+                    {s.name for s in sym.as_expr(symbolic).symbols()}}
+        assert sym.evaluate(symbolic, bindings) == report.offchip_traffic
+
+
+class TestMemory:
+    def test_offchip_op_requirement_is_double_buffered_tile(self):
+        program, load, store = weight_load_program()
+        assert sym.evaluate(onchip_memory_expr(load)) == 2 * 64 * 64 * 2
+
+    def test_bufferize_requirement(self):
+        x = InputStream(StreamShape([2, Dim.dynamic("D")]), TileType(1, 32), name="x").stream
+        buf = Bufferize(x, rank=1)
+        expr = onchip_memory_expr(buf)
+        tile_bytes = 32 * 2
+        assert sym.evaluate(expr, {"D": 5}) == tile_bytes + 2 * 5 * tile_bytes
+
+    def test_matmul_map_requirement(self):
+        a = InputStream(StreamShape([4]), TileType(8, 64), name="a").stream
+        b = InputStream(StreamShape([4]), TileType(64, 64), name="b").stream
+        op = Map((a, b), Matmul())
+        expected = 16 * 64 * 2 + 64 * 64 * 2
+        assert sym.evaluate(onchip_memory_expr(op, compute_tile=16)) == expected
+
+    def test_accum_requirement_is_output_dtype(self):
+        x = InputStream(StreamShape([2, 4]), TileType(4, 32), name="x").stream
+        op = Accum(x, RetileRow(), rank=1, out_dtype=TileType(16, 32))
+        assert sym.evaluate(onchip_memory_expr(op)) == 16 * 32 * 2
+
+    def test_program_metrics_symbolic_until_bound(self):
+        cfg = SimpleMoEConfig(num_rows=8, num_experts=2, tile_rows=None)
+        built = build_simple_moe(cfg, seed=0)
+        traffic = program_offchip_traffic(built.program)
+        # dynamic tiling leaves the per-expert read counts symbolic
+        assert isinstance(traffic, sym.Expr) and traffic.symbols()
+        bound = program_offchip_traffic(
+            built.program, {s.name: 1 for s in traffic.symbols()})
+        assert isinstance(bound, int) and bound > 0
+        memory = program_onchip_memory(built.program)
+        assert sym.maybe_evaluate(memory, {s.name: 4 for s in sym.as_expr(memory).symbols()}) > 0
+
+
+class TestIntensity:
+    def test_flops_estimate_counts_matmuls(self):
+        a = InputStream(StreamShape([3]), TileType(8, 64), name="a").stream
+        b = InputStream(StreamShape([3]), TileType(64, 64), name="b").stream
+        op = Map((a, b), Matmul())
+        store = LinearOffChipStore(op.output)
+        program = Program([store])
+        flops = program_flops_estimate(program)
+        assert sym.evaluate(flops) == 3 * 2 * 8 * 64 * 64
+
+    def test_operational_intensity_from_measurements(self):
+        program, load, store = weight_load_program()
+        assert operational_intensity(program, flops=1000.0, traffic_bytes=500.0) == 2.0
+        assert operational_intensity(program, flops=0.0, traffic_bytes=0.0) == 0.0
+
+
+class TestPareto:
+    def setup_method(self):
+        self.baseline = [
+            ParetoPoint(100, 10, "t8"),
+            ParetoPoint(60, 20, "t16"),
+            ParetoPoint(40, 40, "t32"),
+            ParetoPoint(80, 50, "dominated"),
+        ]
+
+    def test_front_excludes_dominated(self):
+        front = pareto_front(self.baseline)
+        assert {p.label for p in front} == {"t8", "t16", "t32"}
+
+    def test_pid_beyond_frontier(self):
+        point = ParetoPoint(30, 15, "dynamic")
+        assert pareto_improvement_distance(point, self.baseline) > 1.0
+
+    def test_pid_on_frontier_is_one(self):
+        assert pareto_improvement_distance(ParetoPoint(60, 20), self.baseline) == \
+            pytest.approx(1.0)
+
+    def test_pid_dominated_below_one(self):
+        assert pareto_improvement_distance(ParetoPoint(200, 200), self.baseline) < 1.0
+
+    def test_matched_comparisons(self):
+        point = ParetoPoint(30, 18, "dynamic")
+        assert closest_baseline(point, self.baseline, "memory").label == "t16"
+        assert speedup_at_matched_memory(point, self.baseline) == pytest.approx(2.0)
+        assert memory_saving_at_matched_performance(point, self.baseline) > 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pareto_improvement_distance(ParetoPoint(0, 1), self.baseline)
+        with pytest.raises(ValueError):
+            pareto_improvement_distance(ParetoPoint(1, 1), [])
+
+
+class TestRoofline:
+    def test_attainable(self):
+        platform = RooflineModel("toy", peak_compute=100.0, peak_bandwidth=10.0)
+        assert platform.attainable(1.0) == 10.0
+        assert platform.attainable(1000.0) == 100.0
+        assert platform.is_memory_bound(1.0)
+        assert platform.ridge_point() == 10.0
+
+    def test_effective_bandwidth(self):
+        assert effective_bandwidth(26.8, 0.5) == pytest.approx(13.4)
+        with pytest.raises(ValueError):
+            effective_bandwidth(10.0, 1.5)
+
+    def test_figure1_rows_match_section2_claims(self):
+        rows = figure1_rows()
+        assert len(rows) == 12
+        for row in rows:
+            assert row["effective_bandwidth_tbs"] <= row["peak_bandwidth_tbs"]
+        gpu = [r for r in rows if r["platform"] == "8xH100"]
+        sda = [r for r in rows if r["platform"].startswith("SN40L")]
+        assert max(r["fraction_of_peak"] for r in gpu) < 0.5
+        assert min(r["fraction_of_peak"] for r in sda) > 0.5

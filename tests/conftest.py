@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import InputStream, Program, StreamHandle
+from repro.core.stream import Token, data_values
+from repro.sim import run_functional, simulate
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def execute(output: StreamHandle, inputs: dict, timed: bool = False):
+    """Build a program around ``output`` and return its collected token list."""
+    program = Program([output], name="test")
+    runner = simulate if timed else run_functional
+    report = runner(program, inputs)
+    return report.output_tokens(output.name)
+
+
+def execute_values(output: StreamHandle, inputs: dict, timed: bool = False):
+    """Like :func:`execute` but returns only the data payloads."""
+    return data_values(execute(output, inputs, timed=timed))
+
+
+@pytest.fixture
+def run_output():
+    return execute
+
+
+@pytest.fixture
+def run_values():
+    return execute_values

@@ -1,0 +1,158 @@
+"""Tests for dimension kinds and the stream-shape algebra (Section 3.1)."""
+
+import pytest
+
+from repro.core import symbolic as sym
+from repro.core.dims import (Dim, DimKind, DimRequirement, add_dims, ceil_div_dim,
+                             dims_compatible, multiply_dims)
+from repro.core.errors import ShapeError
+from repro.core.shape import StreamShape
+
+
+class TestDim:
+    def test_static(self):
+        d = Dim.static(8)
+        assert d.is_static and d.is_regular and not d.is_dynamic
+        assert d.evaluate() == 8
+
+    def test_dynamic_regular(self):
+        d = Dim.dynamic(name="D")
+        assert d.is_dynamic and d.is_regular and not d.is_ragged
+
+    def test_ragged(self):
+        d = Dim.ragged(name="R")
+        assert d.is_ragged and d.is_dynamic and not d.is_regular
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            Dim.static(-1)
+
+    def test_of_coercion(self):
+        assert Dim.of(4).is_static
+        assert Dim.of(sym.Sym("D")).kind is DimKind.DYNAMIC_REGULAR
+        d = Dim.ragged()
+        assert Dim.of(d) is d
+
+    def test_restrictiveness_ordering(self):
+        static, dynamic, ragged = Dim.static(4), Dim.dynamic(), Dim.ragged()
+        # an operator accepting ANY accepts all kinds
+        assert all(d.satisfies(DimRequirement.ANY) for d in (static, dynamic, ragged))
+        # REGULAR excludes ragged dims
+        assert static.satisfies(DimRequirement.REGULAR)
+        assert dynamic.satisfies(DimRequirement.REGULAR)
+        assert not ragged.satisfies(DimRequirement.REGULAR)
+        # STATIC excludes everything data dependent
+        assert static.satisfies(DimRequirement.STATIC)
+        assert not dynamic.satisfies(DimRequirement.STATIC)
+
+
+class TestDimArithmetic:
+    def test_multiply_static(self):
+        assert multiply_dims([Dim.static(2), Dim.static(3)]).evaluate() == 6
+
+    def test_multiply_with_dynamic(self):
+        result = multiply_dims([Dim.static(2), Dim.dynamic("D")])
+        assert result.is_dynamic and not result.is_ragged
+        assert result.evaluate({"D": 5}) == 10
+
+    def test_ragged_absorbs(self):
+        """Flattening over a ragged dimension yields a fresh ragged dimension
+        (example (1) in Section 3.1)."""
+        result = multiply_dims([Dim.static(2), Dim.ragged("R")])
+        assert result.is_ragged
+        assert result.size != sym.Sym("R") * 2
+
+    def test_ceil_div_dim(self):
+        assert ceil_div_dim(Dim.static(10), 4).evaluate() == 3
+        dyn = ceil_div_dim(Dim.dynamic("D"), 4)
+        assert dyn.evaluate({"D": 9}) == 3
+        assert ceil_div_dim(Dim.ragged("R"), 4).is_ragged
+
+    def test_add_dims(self):
+        assert add_dims(Dim.static(2), Dim.static(3)).evaluate() == 5
+        assert add_dims(Dim.ragged(), Dim.static(3)).is_ragged
+
+    def test_compatibility(self):
+        assert dims_compatible(Dim.static(4), Dim.static(4))
+        assert not dims_compatible(Dim.static(4), Dim.static(5))
+        assert dims_compatible(Dim.dynamic("D"), Dim.static(5))
+        assert dims_compatible(Dim.static(5), Dim.dynamic("D"))
+
+
+class TestStreamShape:
+    def test_rank_and_dims(self):
+        shape = StreamShape([2, 2, Dim.ragged("D0")])
+        assert shape.rank == 2 and shape.ndims == 3
+        assert shape.dim(0).is_ragged
+        assert shape.dim(2).evaluate() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            StreamShape([])
+
+    def test_inner_outer(self):
+        shape = StreamShape([4, 3, 2])
+        assert [d.evaluate() for d in shape.inner(2)] == [3, 2]
+        assert [d.evaluate() for d in shape.outer(1)] == [4]
+
+    def test_cardinality(self):
+        shape = StreamShape([4, Dim.dynamic("D")])
+        assert shape.cardinality().evaluate({"D": 3}) == 12
+
+    def test_flatten_static(self):
+        shape = StreamShape([2, 3, 4]).flatten(0, 1)
+        assert [d.evaluate() for d in shape] == [2, 12]
+
+    def test_flatten_ragged_absorbs(self):
+        shape = StreamShape([2, 2, Dim.ragged("D0")]).flatten(0, 1)
+        assert shape.ndims == 2
+        assert shape.innermost().is_ragged
+
+    def test_flatten_bad_range(self):
+        with pytest.raises(ShapeError):
+            StreamShape([2, 3]).flatten(1, 0)
+        with pytest.raises(ShapeError):
+            StreamShape([2, 3]).flatten(0, 5)
+
+    def test_reshape_split_innermost(self):
+        shape = StreamShape([Dim.dynamic("D")]).reshape_split(0, 4)
+        assert shape.ndims == 2
+        assert shape.innermost().evaluate() == 4
+        assert shape.outermost().evaluate({"D": 9}) == 3
+
+    def test_reshape_split_outer_requires_static_divisible(self):
+        with pytest.raises(ShapeError):
+            StreamShape([Dim.dynamic("D"), 4]).reshape_split(1, 2)
+        with pytest.raises(ShapeError):
+            StreamShape([6, 4]).reshape_split(1, 4)
+        shape = StreamShape([6, 4]).reshape_split(1, 3)
+        assert [d.evaluate() for d in shape] == [2, 3, 4]
+
+    def test_promote(self):
+        assert [d.evaluate() for d in StreamShape([5]).promote()] == [1, 5]
+        empty = StreamShape([0]).promote()
+        assert empty.outermost().evaluate() == 0
+
+    def test_drop_inner_and_append(self):
+        shape = StreamShape([2, 3, 4])
+        assert [d.evaluate() for d in shape.drop_inner(2)] == [2]
+        assert [d.evaluate() for d in shape.append([5])] == [2, 3, 4, 5]
+        assert [d.evaluate() for d in shape.prepend([7])] == [7, 2, 3, 4]
+
+    def test_compatible_with(self):
+        a = StreamShape([10, 1])
+        b = StreamShape([Dim.dynamic("D"), 1])
+        assert a.compatible_with(b)
+        assert not a.compatible_with(StreamShape([10, 2]))
+        assert not a.compatible_with(StreamShape([10]))
+
+    def test_substitute_and_concrete(self):
+        shape = StreamShape([Dim.dynamic("D"), 4])
+        assert shape.substitute({"D": 6}).is_static
+        assert shape.concrete({"D": 6}) == (6, 4)
+
+    def test_indexing_and_str(self):
+        shape = StreamShape([2, 3])
+        assert shape[0].evaluate() == 2
+        assert isinstance(shape[0:1], StreamShape)
+        assert str(shape) == "[2, 3]"

@@ -1,0 +1,164 @@
+"""Tests for the stop-token stream model (Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import StreamProtocolError
+from repro.core.stream import (DONE, Data, Done, Stop, StopAbsorbingEmitter, ListEmitter,
+                               data_values, infer_concrete_shape, nested_from_tokens,
+                               tokens_from_nested, validate_tokens)
+
+
+def as_sig(tokens):
+    """Compact signature of a token stream for readable assertions."""
+    out = []
+    for t in tokens:
+        if isinstance(t, Data):
+            out.append(t.value)
+        elif isinstance(t, Stop):
+            out.append(f"S{t.level}")
+        else:
+            out.append("D")
+    return out
+
+
+class TestSerialization:
+    def test_paper_example_equation_1(self):
+        """The stream of example (1): shape [2, 2, D0]."""
+        nested = [[[1, 2], [3]], [[4], [5, 6, 7]]]
+        tokens = tokens_from_nested(nested, rank=2)
+        assert as_sig(tokens) == [1, 2, "S1", 3, "S2", 4, "S1", 5, 6, 7, "S2", "D"]
+
+    def test_rank0_stream_has_no_stops(self):
+        tokens = tokens_from_nested([1, 2, 3], rank=0)
+        assert as_sig(tokens) == [1, 2, 3, "D"]
+
+    def test_rank1_stream(self):
+        tokens = tokens_from_nested([[1], [2, 3]], rank=1)
+        assert as_sig(tokens) == [1, "S1", 2, 3, "S1", "D"]
+
+    def test_wrap_applied_to_leaves(self):
+        tokens = tokens_from_nested([1, 2], rank=0, wrap=lambda v: v * 10)
+        assert data_values(tokens) == [10, 20]
+
+    def test_bad_nesting_raises(self):
+        with pytest.raises(StreamProtocolError):
+            tokens_from_nested([1, 2], rank=1)
+
+    def test_round_trip(self):
+        nested = [[[1, 2], [3]], [[4], [5, 6, 7]]]
+        tokens = tokens_from_nested(nested, rank=2)
+        assert nested_from_tokens(tokens, rank=2) == nested
+
+
+class TestValidation:
+    def test_valid_stream_passes(self):
+        validate_tokens(tokens_from_nested([[1], [2]], rank=1), rank=1)
+
+    def test_missing_done(self):
+        with pytest.raises(StreamProtocolError):
+            validate_tokens([Data(1)], rank=0)
+
+    def test_token_after_done(self):
+        with pytest.raises(StreamProtocolError):
+            validate_tokens([Data(1), DONE, Data(2), DONE], rank=0)
+
+    def test_adjacent_stops_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            validate_tokens([Data(1), Stop(1), Stop(2), DONE], rank=2)
+
+    def test_leading_stop_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            validate_tokens([Stop(1), Data(1), DONE], rank=1)
+
+    def test_stop_above_rank_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            validate_tokens([Data(1), Stop(3), DONE], rank=2)
+
+    def test_stop_level_zero_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            Stop(0)
+
+
+class TestShapeInference:
+    def test_regular_shape(self):
+        tokens = tokens_from_nested([[[1, 2], [3, 4]], [[5, 6], [7, 8]]], rank=2)
+        assert infer_concrete_shape(tokens, rank=2) == [2, 2, 2]
+
+    def test_ragged_dimension_reported_as_none(self):
+        tokens = tokens_from_nested([[[1, 2], [3]], [[4], [5, 6, 7]]], rank=2)
+        assert infer_concrete_shape(tokens, rank=2) == [2, 2, None]
+
+
+class TestEmitter:
+    def test_adjacent_stops_merge_to_highest(self):
+        emitter = ListEmitter()
+        emitter.data("a")
+        emitter.stop(1)
+        emitter.stop(2)
+        emitter.data("b")
+        emitter.stop(1)
+        emitter.done()
+        assert as_sig(emitter.tokens) == ["a", "S2", "b", "S1", "D"]
+
+    def test_pending_stop_flushed_before_done(self):
+        emitter = ListEmitter()
+        emitter.data("a")
+        emitter.stop(3)
+        emitter.done()
+        assert as_sig(emitter.tokens) == ["a", "S3", "D"]
+
+    def test_no_output_until_flush(self):
+        emitter = ListEmitter()
+        emitter.stop(1)
+        assert emitter.tokens == []
+        assert emitter.pending == 1
+        emitter.flush()
+        assert as_sig(emitter.tokens) == ["S1"]
+
+
+# -- property-based tests -----------------------------------------------------
+
+leaf = st.integers(min_value=0, max_value=99)
+
+
+def nested_strategy(rank: int):
+    strategy = st.lists(leaf, min_size=0, max_size=4)
+    for _ in range(rank):
+        strategy = st.lists(strategy, min_size=0, max_size=3)
+    return strategy
+
+
+def _prune_empty(node, depth):
+    """Remove recursively empty groups (the encoding elides empty tensors)."""
+    if depth == 0:
+        return node
+    pruned = [_prune_empty(child, depth - 1) for child in node]
+    return [child for child in pruned if not _recursively_empty(child)]
+
+
+def _recursively_empty(node):
+    if isinstance(node, list):
+        return all(_recursively_empty(child) for child in node) if node else True
+    return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=3).flatmap(
+    lambda rank: st.tuples(st.just(rank), nested_strategy(rank))))
+def test_round_trip_property(case):
+    """Serialization followed by parsing reproduces the nested structure,
+    modulo empty tensors (which the stop-token encoding elides)."""
+    rank, nested = case
+    expected = _prune_empty(nested, rank)
+    tokens = tokens_from_nested(nested, rank=rank)
+    validate_tokens(tokens, rank=rank)
+    assert nested_from_tokens(tokens, rank=rank) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_strategy(2))
+def test_validate_always_accepts_serializer_output(nested):
+    tokens = tokens_from_nested(nested, rank=2)
+    validate_tokens(tokens, rank=2)
+    assert data_values(tokens) == [x for outer in nested for inner in outer for x in inner]

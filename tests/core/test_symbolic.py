@@ -1,0 +1,130 @@
+"""Tests for the symbolic-expression engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import symbolic as sym
+from repro.core.errors import SymbolicError
+
+
+class TestConstruction:
+    def test_constants_fold(self):
+        assert sym.as_expr(3) == sym.Const(3)
+        assert (sym.Const(2) + 3).evaluate() == 5
+        assert (sym.Const(2) * 3 * 4).evaluate() == 24
+
+    def test_symbols_keep_names(self):
+        d = sym.Sym("D0")
+        assert str(d) == "D0"
+        assert d.symbols() == frozenset({d})
+
+    def test_bool_rejected(self):
+        with pytest.raises(SymbolicError):
+            sym.as_expr(True)
+
+    def test_non_integer_float_rejected(self):
+        with pytest.raises(SymbolicError):
+            sym.as_expr(1.5)
+
+    def test_integer_float_accepted(self):
+        assert sym.as_expr(4.0) == sym.Const(4)
+
+
+class TestAlgebra:
+    def test_addition_with_symbols(self):
+        d = sym.Sym("D")
+        expr = d + 3 + 2
+        assert expr.evaluate({"D": 5}) == 10
+
+    def test_multiplication_by_zero_collapses(self):
+        d = sym.Sym("D")
+        assert (d * 0) == sym.Const(0)
+
+    def test_subtraction(self):
+        d = sym.Sym("D")
+        assert (d - 2).evaluate({d: 10}) == 8
+        assert (10 - d).evaluate({d: 2}) == 8
+
+    def test_ceil_div(self):
+        d = sym.Sym("D")
+        expr = sym.ceil_div(d, 4)
+        assert expr.evaluate({"D": 9}) == 3
+        assert expr.evaluate({"D": 8}) == 2
+        assert sym.ceil_div(9, 4) == sym.Const(3)
+
+    def test_floor_div(self):
+        assert (sym.Const(9) // 4).evaluate() == 2
+
+    def test_div_by_one_is_identity(self):
+        d = sym.Sym("D")
+        assert sym.ceil_div(d, 1) is d
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(SymbolicError):
+            sym.ceil_div(sym.Sym("D"), 0)
+
+    def test_max_folding(self):
+        d = sym.Sym("D")
+        assert sym.smax(3, 7, 5) == sym.Const(7)
+        assert sym.smax(d, d) is d
+        assert sym.smax(d, 3).evaluate({"D": 10}) == 10
+        assert sym.smax(d, 3).evaluate({"D": 1}) == 3
+
+    def test_sum_and_product_helpers(self):
+        assert sym.ssum([]) == sym.Const(0)
+        assert sym.sprod([]) == sym.Const(1)
+        d = sym.Sym("D")
+        assert sym.ssum([d, 1, 2]).evaluate({"D": 3}) == 6
+        assert sym.sprod([d, 2]).evaluate({"D": 3}) == 6
+
+
+class TestSubstitution:
+    def test_subs_by_name_and_object(self):
+        d = sym.Sym("D")
+        e = d * 2 + 1
+        assert e.subs({"D": 4}).evaluate() == 9
+        assert e.subs({d: 4}).evaluate() == 9
+
+    def test_subs_with_expression(self):
+        d, e = sym.Sym("D"), sym.Sym("E")
+        expr = d + 1
+        assert expr.subs({d: e * 2}).evaluate({"E": 3}) == 7
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(SymbolicError):
+            (sym.Sym("D") + 1).evaluate()
+
+    def test_maybe_evaluate_returns_int_when_bound(self):
+        d = sym.Sym("D")
+        assert sym.maybe_evaluate(d + 1, {"D": 2}) == 3
+        assert isinstance(sym.maybe_evaluate(d + 1, {}), sym.Expr)
+
+
+class TestEqualityHashing:
+    def test_structural_equality(self):
+        a = sym.Sym("D") + 3
+        b = 3 + sym.Sym("D")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_int_comparison(self):
+        assert sym.Const(5) == 5
+        assert not (sym.Const(5) == 6)
+
+    def test_fresh_symbols_are_unique(self):
+        sym.reset_symbol_counter()
+        a, b = sym.fresh_symbol("T"), sym.fresh_symbol("T")
+        assert a.name != b.name
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=512))
+def test_ceil_div_matches_python(n, d):
+    assert sym.ceil_div(n, d).evaluate() == -(-n // d)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=6))
+def test_sum_matches_python(values):
+    exprs = [sym.Sym(f"x{i}") for i in range(len(values))]
+    bindings = {f"x{i}": v for i, v in enumerate(values)}
+    assert sym.ssum(exprs).evaluate(bindings) == sum(values)
+    assert sym.smax(*exprs).evaluate(bindings) == max(values)

@@ -1,0 +1,95 @@
+"""Tests for the synthetic trace generators (AzureLLMInference / HH-RLHF substitutes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.expert_routing import (expert_bin_counts, generate_routing_trace,
+                                       representative_iteration, tokens_per_expert)
+from repro.data.kv_traces import (VarianceClass, generate_request_lengths, make_batch,
+                                  make_batches_by_variance, representative_trace)
+from repro.workloads.configs import MIXTRAL_8X7B, QWEN3_30B_A3B, scaled_config
+
+
+class TestKVTraces:
+    def test_population_bounds(self):
+        lengths = generate_request_lengths(num_requests=1000, max_length=4096, min_length=16)
+        assert lengths.min() >= 16 and lengths.max() <= 4096
+        assert len(lengths) == 1000
+
+    def test_deterministic_by_seed(self):
+        a = generate_request_lengths(seed=7)
+        b = generate_request_lengths(seed=7)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, generate_request_lengths(seed=8))
+
+    def test_make_batch_wraps(self):
+        batch = make_batch([1, 2, 3], batch_size=5, start=2)
+        assert batch == [3, 1, 2, 3, 1]
+
+    def test_variance_classes_ordered(self):
+        batches = make_batches_by_variance(batch_size=32, num_requests=1000,
+                                           samples_per_class=2, seed=0)
+        low = np.mean([t.std for t in batches[VarianceClass.LOW]])
+        med = np.mean([t.std for t in batches[VarianceClass.MEDIUM]])
+        high = np.mean([t.std for t in batches[VarianceClass.HIGH]])
+        assert low < med < high
+
+    def test_trace_properties(self):
+        trace = representative_trace(batch_size=16, variance=VarianceClass.MEDIUM,
+                                     num_requests=500)
+        assert trace.batch_size == 16
+        assert trace.total_tokens == sum(trace)
+        assert trace.mean > 0
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            generate_request_lengths(num_requests=0)
+        with pytest.raises(ValueError):
+            make_batch([], 4)
+
+
+class TestExpertRouting:
+    def setup_method(self):
+        self.model = scaled_config(QWEN3_30B_A3B, scale=32)
+
+    def test_topk_unique_experts(self):
+        trace = generate_routing_trace(self.model, batch_size=8, num_iterations=3, seed=0)
+        assert trace.batch_size == 8 and trace.num_iterations == 3
+        for iteration in trace.assignments:
+            for token_experts in iteration:
+                assert len(token_experts) == self.model.experts_per_token
+                assert len(set(token_experts)) == len(token_experts)
+                assert all(0 <= e < self.model.num_experts for e in token_experts)
+
+    def test_bin_counts_sum_to_tokens_times_topk(self):
+        trace = generate_routing_trace(self.model, batch_size=16, seed=1)
+        counts = trace.bin_counts(0)
+        assert counts.sum() == 16 * self.model.experts_per_token
+
+    def test_skew_increases_concentration(self):
+        flat = generate_routing_trace(self.model, batch_size=64, seed=0, skew=0.0)
+        skewed = generate_routing_trace(self.model, batch_size=64, seed=0, skew=2.0)
+        assert skewed.bin_count_std(0) > flat.bin_count_std(0)
+
+    def test_representative_iteration_close_to_mean_std(self):
+        trace = generate_routing_trace(self.model, batch_size=32, num_iterations=10, seed=0)
+        chosen = representative_iteration(trace)
+        stds = [trace.bin_count_std(i) for i in range(trace.num_iterations)]
+        chosen_std = float(np.std(expert_bin_counts(chosen, self.model.num_experts)))
+        assert abs(chosen_std - np.mean(stds)) <= max(stds) - min(stds) + 1e-9
+
+    def test_mixtral_routing(self):
+        mixtral = scaled_config(MIXTRAL_8X7B, scale=32)
+        trace = generate_routing_trace(mixtral, batch_size=8, seed=0)
+        assert sum(tokens_per_expert(trace.iteration(0), mixtral.num_experts)) == 16
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=5))
+def test_routing_trace_batch_property(batch, seed):
+    model = scaled_config(MIXTRAL_8X7B, scale=32)
+    trace = generate_routing_trace(model, batch_size=batch, num_iterations=1, seed=seed)
+    counts = trace.bin_counts(0)
+    assert counts.sum() == batch * model.experts_per_token
+    assert (counts >= 0).all()

@@ -1,0 +1,131 @@
+"""Smoke tests for the per-figure experiment harness (at the tiny smoke scale).
+
+Each test asserts the *direction* of the paper's claim: dynamic tiling reaches
+or beats the static Pareto frontier, time-multiplexing trades a small slowdown
+for large resource savings, dynamic parallelization wins when load is
+imbalanced, and the two simulators agree on traffic.
+"""
+
+import pytest
+
+from repro.experiments import figure1, figure8, figure9_10, figure12_13, figure14, \
+    figure15, figure17, figure19_20, figure21
+from repro.experiments.common import SMOKE_SCALE
+from repro.experiments.report import format_summary, format_table
+from repro.experiments.runner import FIGURES, main
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9_10.run(SMOKE_SCALE, large_batch=False)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12_13.run(SMOKE_SCALE)
+
+
+class TestFigure1:
+    def test_gpu_below_half_sda_above(self):
+        result = figure1.run(SMOKE_SCALE)
+        assert result["gpu_max_fraction"] < 0.5
+        assert result["sda_min_fraction"] > 0.5
+        assert len(result["rows"]) == 12
+
+
+class TestFigure8:
+    def test_models_agree(self):
+        result = figure8.run(SMOKE_SCALE)
+        assert result["traffic_identical"]
+        assert result["pearson_correlation"] > 0.7
+        assert len(result["rows"]) >= 6
+
+
+class TestFigure9And19:
+    def test_dynamic_tiling_reaches_frontier(self, fig9):
+        for model, payload in fig9["per_model"].items():
+            summary = payload["summary"]
+            assert summary["pid"] >= 0.95, f"{model}: dynamic tiling dominated by static"
+            assert summary["speedup_at_matched_memory"] >= 0.95
+
+    def test_traffic_view_consistent(self, fig9):
+        fig19 = figure19_20.run(SMOKE_SCALE, large_batch=False)
+        for model, payload in fig19["per_model"].items():
+            base_rows = fig9["per_model"][model]["rows"]
+            assert len(payload["rows"]) == len(base_rows)
+            dynamic = [r for r in payload["rows"] if r["tile_rows"] is None][0]
+            static_traffic = [r["offchip_traffic_bytes"] for r in payload["rows"]
+                              if r["tile_rows"] is not None]
+            assert dynamic["offchip_traffic_bytes"] <= max(static_traffic)
+
+
+class TestFigure12And13:
+    def test_time_multiplexing_saves_resources(self, fig12):
+        for tiling in ("static", "dynamic"):
+            summary = fig12[tiling]["summary"]
+            assert summary["utilization_gain"] > 1.5
+            assert summary["compute_saving_fraction"] > 0.3
+
+    def test_allocated_compute_scales_with_regions(self, fig12):
+        rows = fig12["static"]["rows"]
+        by_regions = {r["parallel_regions"]: r for r in rows}
+        regions = sorted(by_regions)
+        assert by_regions[regions[0]]["allocated_compute_flops_per_cycle"] < \
+            by_regions[regions[-1]]["allocated_compute_flops_per_cycle"]
+
+
+class TestFigure14And15:
+    def test_dynamic_parallelization_speedups_sane(self):
+        """At the tiny smoke scale (batch 16) the variance trend is noisy, so
+        this test only checks that the experiment produces sane speedups for
+        every class; the paper-trend assertion (speedup grows with variance)
+        lives in the benchmark harness, which runs the batch-64 default scale.
+        """
+        result = figure14.run(SMOKE_SCALE)
+        speedups = result["speedup_by_variance"]
+        assert set(speedups) == {"low", "medium", "high"}
+        assert all(0.7 < value < 3.0 for value in speedups.values())
+
+    def test_coarse_grained_penalty_at_small_batch(self):
+        result = figure15.run(SMOKE_SCALE)
+        assert result["smallest_batch_speedup"] > 1.3
+        assert result["smallest_batch_speedup"] >= result["largest_batch_speedup"] - 0.05
+
+
+class TestFigure17:
+    def test_dynamic_schedule_wins(self):
+        result = figure17.run(SMOKE_SCALE)
+        for model, payload in result["per_model"].items():
+            summary = payload["summary"]
+            assert summary["speedup_vs_static_mem"] > 0.9
+            assert summary["compute_saving_vs_static"] >= 0.0 or \
+                "Mixtral" in model  # Mixtral keeps spatial experts (no time-mux)
+
+
+class TestFigure21:
+    def test_dynamic_is_best_on_geomean(self):
+        result = figure21.run(SMOKE_SCALE)
+        norm = result["geomean_normalized"]
+        assert norm["dynamic"] == pytest.approx(1.0)
+        assert norm["interleave"] >= 0.95
+        assert norm["coarse"] > 1.0
+
+
+class TestRunnerAndReport:
+    def test_format_table_and_summary(self):
+        table = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}])
+        assert "a" in table and "10" in table
+        assert "(no rows)" in format_table([])
+        assert "x: 1.500" in format_summary({"x": 1.5})
+
+    def test_registry_covers_all_figures(self):
+        assert set(FIGURES) == {"1", "8", "9", "10", "12", "13", "14", "15", "17",
+                                "19", "20", "21"}
+
+    def test_cli_single_figure(self, capsys):
+        assert main(["--figure", "1", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_cli_rejects_unknown_figure(self):
+        assert main(["--figure", "99", "--smoke"]) == 2

@@ -1,0 +1,120 @@
+"""Tests for the hardware function library used by the higher-order operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import Tile, TupleValue
+from repro.core.errors import ShapeError, TypeMismatchError
+from repro.ops.functions import (ElemAdd, ElemMul, Exp, Matmul, MatmulAccum, RetileCol,
+                                 RetileRow, RetileStreamify, RowMax, RowSum, Scale, SiLU,
+                                 SplitCols, SumAccum, SwiGLUGate)
+
+
+def tile(array):
+    return Tile.from_array(np.asarray(array, dtype=np.float32))
+
+
+class TestElementWise:
+    def test_add_and_mul(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        assert np.allclose(ElemAdd()(tile(a), tile(b)).to_array(), a + b, atol=1e-5)
+        assert np.allclose(ElemMul()(tile(a), tile(b)).to_array(), a * b, atol=1e-5)
+        assert ElemAdd().flops(tile(a), tile(b)) == 6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ElemAdd()(tile(np.zeros((2, 3))), tile(np.zeros((3, 2))))
+
+    def test_meta_tiles_stay_meta(self):
+        out = ElemAdd()(Tile.meta(2, 3), Tile.meta(2, 3))
+        assert not out.has_data and out.shape == (2, 3)
+
+    def test_scale_silu_exp(self, rng):
+        a = rng.standard_normal((2, 4))
+        assert np.allclose(Scale(2.5)(tile(a)).to_array(), a * 2.5, atol=1e-5)
+        silu = SiLU()(tile(a)).to_array()
+        assert np.allclose(silu, a / (1 + np.exp(-a)), atol=1e-4)
+        assert np.allclose(Exp()(tile(a)).to_array(), np.exp(a), atol=1e-4)
+
+    def test_swiglu_gate(self, rng):
+        g, u = rng.standard_normal((2, 4)), rng.standard_normal((2, 4))
+        expected = (g / (1 + np.exp(-g))) * u
+        assert np.allclose(SwiGLUGate()(tile(g), tile(u)).to_array(), expected, atol=1e-4)
+
+
+class TestMatmul:
+    def test_forward(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        out = Matmul()(tile(a), tile(b))
+        assert np.allclose(out.to_array(), a @ b, atol=1e-4)
+        assert Matmul().flops(tile(a), tile(b)) == 2 * 3 * 4 * 5
+
+    def test_transpose_b(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        out = Matmul(transpose_b=True)(tile(a), tile(b))
+        assert np.allclose(out.to_array(), a @ b.T, atol=1e-4)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            Matmul()(Tile.meta(3, 4), Tile.meta(5, 6))
+
+    def test_meta_output_shape(self):
+        out = Matmul()(Tile.meta(3, 4), Tile.meta(4, 6))
+        assert out.shape == (3, 6) and not out.has_data
+
+
+class TestAccumFunctions:
+    def test_sum_accum(self, rng):
+        fn = SumAccum()
+        a, b = rng.standard_normal((2, 2)), rng.standard_normal((2, 2))
+        state = fn(tile(a), fn.init())
+        state = fn(tile(b), state)
+        assert np.allclose(state.to_array(), a + b, atol=1e-5)
+
+    def test_matmul_accum_over_tuples(self, rng):
+        fn = MatmulAccum()
+        a1, b1 = rng.standard_normal((2, 3)), rng.standard_normal((3, 4))
+        a2, b2 = rng.standard_normal((2, 3)), rng.standard_normal((3, 4))
+        state = fn(TupleValue([tile(a1), tile(b1)]), fn.init())
+        state = fn(TupleValue([tile(a2), tile(b2)]), state)
+        assert np.allclose(state.to_array(), a1 @ b1 + a2 @ b2, atol=1e-4)
+        with pytest.raises(TypeMismatchError):
+            fn(tile(a1), None)
+
+    def test_retile_row_and_col(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((1, 3))
+        stacked = RetileRow()(tile(b), RetileRow()(tile(a), None))
+        assert stacked.shape == (3, 3)
+        assert np.allclose(stacked.to_array(), np.vstack([a, b]), atol=1e-5)
+        c, d = rng.standard_normal((2, 3)), rng.standard_normal((2, 2))
+        wide = RetileCol()(tile(d), RetileCol()(tile(c), None))
+        assert wide.shape == (2, 5)
+
+    def test_retile_mismatch(self):
+        with pytest.raises(ShapeError):
+            RetileRow()(Tile.meta(1, 4), Tile.meta(1, 5))
+
+
+class TestSplitters:
+    def test_retile_streamify(self, rng):
+        a = rng.standard_normal((5, 3))
+        pieces = RetileStreamify(2)(tile(a))
+        assert [p.rows for p in pieces] == [2, 2, 1]
+        assert np.allclose(np.vstack([p.to_array() for p in pieces]), a, atol=1e-5)
+
+    def test_split_cols(self):
+        pieces = SplitCols(4)(Tile.meta(2, 10))
+        assert [p.cols for p in pieces] == [4, 4, 2]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ShapeError):
+            RetileStreamify(0)
+        with pytest.raises(ShapeError):
+            SplitCols(-1)
+
+
+class TestReductions:
+    def test_row_max_and_sum(self, rng):
+        a = rng.standard_normal((3, 5))
+        assert np.allclose(RowMax()(tile(a)).to_array(), a.max(axis=1, keepdims=True), atol=1e-5)
+        assert np.allclose(RowSum()(tile(a)).to_array(), a.sum(axis=1, keepdims=True), atol=1e-5)

@@ -1,0 +1,186 @@
+"""Shape-semantics tests for the STeP operators (Appendix B.1, Tables 3-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.dtypes import BufferType, SelectorType, Tile, TileType, TupleType
+from repro.core.errors import ShapeError, TypeMismatchError
+from repro.core.graph import InputStream
+from repro.core.shape import StreamShape
+from repro.ops import (Accum, Bufferize, EagerMerge, Expand, FlatMap, Flatten,
+                       LinearOffChipLoad, LinearOffChipLoadRef, LinearOffChipStore, Map,
+                       Partition, Promote, RandomOffChipLoad, RandomOffChipStore,
+                       Reassemble, Repeat, Reshape, Scan, Streamify, Zip)
+from repro.ops.functions import Matmul, RetileRow, RetileStreamify, Scale, SumAccum
+
+
+def stream(shape, dtype=None, name="in"):
+    return InputStream(StreamShape(shape), dtype or TileType(1, 64), name=name).stream
+
+
+def dims(handle):
+    return [str(d) for d in handle.shape]
+
+
+class TestHigherOrder:
+    def test_map_preserves_shape(self):
+        x = stream([4, 2])
+        assert Map(x, Scale(1.0)).output.shape.concrete() == (4, 2)
+
+    def test_map_requires_function(self):
+        with pytest.raises(TypeMismatchError):
+            Map(stream([4]), fn=lambda t: t)
+
+    def test_accum_drops_inner_dims(self):
+        x = stream([4, Dim.dynamic("D"), 2])
+        out = Accum(x, SumAccum(), rank=2).output
+        assert out.shape.ndims == 1 and str(out.shape) == "[4]"
+
+    def test_accum_rank_exceeding_input_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Accum(stream([4]), SumAccum(), rank=1)
+
+    def test_scan_preserves_shape(self):
+        x = stream([4, 3])
+        assert Scan(x, SumAccum(), rank=1).output.shape.concrete() == (4, 3)
+
+    def test_flatmap_appends_dimensions(self):
+        x = stream([4])
+        out = FlatMap(x, RetileStreamify(1), rank=1).output
+        assert out.shape.ndims == 2
+        assert out.shape.innermost().is_ragged
+        fixed = FlatMap(x, RetileStreamify(1), rank=1, expansion=[4]).output
+        assert fixed.shape.concrete() == (4, 4)
+
+
+class TestShapeOps:
+    def test_flatten(self):
+        x = stream([2, 3, 4])
+        assert Flatten(x, 0, 1).output.shape.concrete() == (2, 12)
+
+    def test_reshape_innermost_pads(self):
+        x = stream([Dim.dynamic("D")])
+        op = Reshape(x, chunk_size=4, level=0, pad=Tile.meta(1, 64))
+        assert op.data.shape.ndims == 2
+        assert op.padding.dtype.nbytes() == 1
+        with pytest.raises(ShapeError):
+            Reshape(x, chunk_size=4, level=0)  # missing pad value
+
+    def test_reshape_outer_static(self):
+        x = stream([6, 4])
+        op = Reshape(x, chunk_size=3, level=1, pad=None)
+        assert op.data.shape.concrete() == (2, 3, 4)
+
+    def test_promote(self):
+        assert Promote(stream([5])).output.shape.concrete() == (1, 5)
+
+    def test_expand_takes_reference_shape(self):
+        data = stream([2, 1, 1], name="data")
+        ref = stream([2, Dim.ragged("R"), 2], name="ref")
+        out = Expand(data, ref, rank=2).output
+        assert out.shape.ndims == 3
+        assert out.dtype == data.dtype
+
+    def test_expand_rank_bounds(self):
+        with pytest.raises(ShapeError):
+            Expand(stream([2]), stream([2], name="r"), rank=1)
+
+    def test_repeat_adds_inner_dim(self):
+        assert Repeat(stream([5]), count=3).output.shape.concrete() == (5, 3)
+
+    def test_zip_produces_tuple(self):
+        a, b = stream([4, 2], name="a"), stream([4, 2], name="b")
+        out = Zip(a, b).output
+        assert isinstance(out.dtype, TupleType)
+        assert out.shape.concrete() == (4, 2)
+        with pytest.raises(ShapeError):
+            Zip(stream([4], name="c"), stream([4, 2], name="d"))
+
+
+class TestRouting:
+    def test_partition_shapes(self):
+        x = stream([10, 1])
+        sel = stream([10], dtype=SelectorType(2), name="sel")
+        op = Partition(x, sel, rank=1, num_consumers=2)
+        assert len(op.branches) == 2
+        for branch in op.branches:
+            assert branch.shape.ndims == 2
+            assert branch.shape.outermost().is_dynamic
+            assert branch.shape.innermost().evaluate() == 1
+
+    def test_partition_selector_rank_checked(self):
+        x = stream([10, 1])
+        bad_sel = stream([10, 1], dtype=SelectorType(2), name="sel")
+        with pytest.raises(ShapeError):
+            Partition(x, bad_sel, rank=1, num_consumers=2)
+
+    def test_reassemble_adds_dimension(self):
+        sel = stream([10], dtype=SelectorType(2), name="sel")
+        branches = [stream([Dim.dynamic(), 1], name=f"b{i}") for i in range(2)]
+        out = Reassemble(branches, sel, rank=1).output
+        assert out.shape.ndims == 3  # selector dims + new group dim + chunk dims
+
+    def test_reassemble_requires_matching_ranks(self):
+        sel = stream([10], dtype=SelectorType(2), name="sel")
+        with pytest.raises(ShapeError):
+            Reassemble([stream([4, 1], name="a"), stream([4], name="b")], sel, rank=1)
+
+    def test_eager_merge_outputs(self):
+        branches = [stream([Dim.dynamic(), 1], name=f"b{i}") for i in range(3)]
+        op = EagerMerge(branches, rank=1)
+        assert op.data.shape.ndims == 2
+        assert isinstance(op.selector.dtype, SelectorType)
+        assert op.selector.dtype.num_targets == 3
+
+
+class TestMemoryOps:
+    def test_linear_load_shape_matches_figure2(self):
+        """Figure 2: a (64,256) tensor read as (64,64) tiles with shape (1,4)."""
+        ref = stream([Dim.dynamic("D1")], name="ref")
+        op = LinearOffChipLoadRef(ref=ref, in_mem_shape=(64, 256), tile_shape=(64, 64),
+                                  stride_tiled=(4, 1), shape_tiled=(1, 4))
+        assert str(op.output.shape) == "[D1, 1, 4]"
+        assert op.output.dtype.concrete_shape() == (64, 64)
+
+    def test_linear_load_static_variant(self):
+        op = LinearOffChipLoad(count=3, in_mem_shape=(32, 32), tile_shape=(32, 32))
+        assert op.output.shape.concrete() == (3, 1, 1)
+
+    def test_linear_load_tiling_must_divide(self):
+        with pytest.raises(ShapeError):
+            LinearOffChipLoad(count=1, in_mem_shape=(60, 64), tile_shape=(32, 64))
+
+    def test_linear_store_is_sink(self):
+        op = LinearOffChipStore(stream([4]))
+        assert op.outputs == []
+
+    def test_random_load_keeps_address_shape(self):
+        addr = stream([8, Dim.ragged("L")], name="addr")
+        op = RandomOffChipLoad(addr, tile_shape=(128, 64))
+        assert op.output.shape.ndims == 2
+        multi = RandomOffChipLoad(addr, tile_shape=(128, 64), tiles_per_access=3)
+        assert multi.output.shape.ndims == 3
+
+    def test_random_store_ack(self):
+        addr = stream([8], name="addr")
+        data = stream([8], name="data")
+        op = RandomOffChipStore(addr, data)
+        assert op.outputs[0].shape.concrete() == (8,)
+
+    def test_bufferize_and_streamify(self):
+        x = stream([2, Dim.ragged("R"), 2])
+        buf = Bufferize(x, rank=2)
+        assert isinstance(buf.output.dtype, BufferType)
+        assert buf.output.shape.concrete() == (2,)
+        ref = stream([2, Dim.dynamic("N")], name="ref")
+        out = Streamify(buf.output, ref).output
+        assert out.shape.ndims == 2 + 2  # ref dims + buffered dims
+        with pytest.raises(TypeMismatchError):
+            Bufferize(buf.output, rank=1)  # cannot buffer buffers
+
+    def test_streamify_affine_requires_static_buffer(self):
+        x = stream([2, Dim.ragged("R")])
+        buf = Bufferize(x, rank=1)
+        with pytest.raises(ShapeError):
+            Streamify(buf.output, out_shape=(1, 4), stride=(4, 1))

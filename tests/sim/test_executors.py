@@ -1,0 +1,301 @@
+"""Functional tests for the operator executors.
+
+Each test builds a tiny program around one operator, runs it through the
+engine in functional (untimed) mode and checks the produced token stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import selectors_to_tokens, tiles_to_tokens
+from repro.core.dims import Dim
+from repro.core.dtypes import Address, AddressType, BufferHandle, Selector, SelectorType, \
+    Tile, TileType
+from repro.core.graph import InputStream
+from repro.core.shape import StreamShape
+from repro.core.stream import Data, Done, Stop, data_values, tokens_from_nested, \
+    validate_tokens
+from repro.ops import (Accum, Bufferize, EagerMerge, Expand, FlatMap, Flatten,
+                       LinearOffChipLoad, LinearOffChipLoadRef, LinearOffChipStore, Map,
+                       Partition, Promote, RandomOffChipLoad, RandomOffChipStore,
+                       Reassemble, Repeat, Reshape, Scan, Streamify, Zip)
+from repro.ops.functions import (Matmul, RetileRow, RetileStreamify, Scale, SumAccum)
+from repro.core.graph import Program
+from repro.sim import run_functional
+
+from ..conftest import execute, execute_values
+
+
+def signature(tokens):
+    out = []
+    for t in tokens:
+        if isinstance(t, Data):
+            out.append("d")
+        elif isinstance(t, Stop):
+            out.append(f"S{t.level}")
+        else:
+            out.append("D")
+    return out
+
+
+def scalar_tile(value, cols=2):
+    return Tile.from_array(np.full((1, cols), float(value), dtype=np.float32))
+
+
+def tile_values(tokens):
+    return [t.value.to_array()[0, 0] for t in tokens if isinstance(t, Data)]
+
+
+def make_input(shape, dtype=None, name="in"):
+    return InputStream(StreamShape(shape), dtype or TileType(1, 2), name=name).stream
+
+
+class TestMapScan:
+    def test_map_scales_values(self):
+        x = make_input([3])
+        out = Map(x, Scale(2.0)).output
+        tokens = execute(out, {"in": tokens_from_nested([scalar_tile(v) for v in (1, 2, 3)], 0)})
+        assert tile_values(tokens) == [2.0, 4.0, 6.0]
+        assert signature(tokens) == ["d", "d", "d", "D"]
+
+    def test_map_two_inputs_lockstep(self):
+        a = make_input([2, 2], name="a")
+        b = make_input([2, 2], name="b")
+        out = Map((a, b), Matmul()).output
+        a_tokens = tokens_from_nested([[Tile.from_array(np.eye(2, dtype=np.float32))] * 2] * 2, 1)
+        b_tokens = tokens_from_nested([[scalar_tile(3, 2)] * 2] * 2, 1)
+        # matmul of (2x2 identity) @ (1x2) is shape-incompatible; use 2x2 @ 2x2
+        b_tokens = tokens_from_nested(
+            [[Tile.from_array(np.full((2, 2), 3.0, dtype=np.float32))] * 2] * 2, 1)
+        tokens = execute(out, {"a": a_tokens, "b": b_tokens})
+        assert signature(tokens) == ["d", "d", "S1", "d", "d", "S1", "D"]
+        assert np.allclose(tokens[0].value.to_array(), 3.0)
+
+    def test_scan_emits_running_state(self):
+        x = make_input([2, 2])
+        out = Scan(x, SumAccum(), rank=1).output
+        tokens = execute(out, {"in": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2)], [scalar_tile(5), scalar_tile(7)]], 1)})
+        assert tile_values(tokens) == [1, 3, 5, 12]
+        assert signature(tokens) == ["d", "d", "S1", "d", "d", "S1", "D"]
+
+
+class TestAccum:
+    def test_reduces_groups(self):
+        x = make_input([2, 3])
+        out = Accum(x, SumAccum(), rank=1).output
+        tokens = execute(out, {"in": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2), scalar_tile(3)],
+             [scalar_tile(10), scalar_tile(20), scalar_tile(30)]], 1)})
+        assert tile_values(tokens) == [6, 60]
+        assert signature(tokens) == ["d", "d", "D"]
+
+    def test_rank2_reduction_keeps_outer_stop_structure(self):
+        x = make_input([2, 2, 2])
+        out = Accum(x, SumAccum(), rank=2).output
+        nested = [[[scalar_tile(1), scalar_tile(1)], [scalar_tile(1), scalar_tile(1)]],
+                  [[scalar_tile(2), scalar_tile(2)], [scalar_tile(2), scalar_tile(2)]]]
+        tokens = execute(out, {"in": tokens_from_nested(nested, 2)})
+        assert tile_values(tokens) == [4, 8]
+
+    def test_retile_row_packs(self):
+        x = make_input([2, 2])
+        out = Accum(x, RetileRow(), rank=1).output
+        tokens = execute(out, {"in": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2)], [scalar_tile(3), scalar_tile(4)]], 1)})
+        tiles = [t.value for t in tokens if isinstance(t, Data)]
+        assert [t.rows for t in tiles] == [2, 2]
+
+
+class TestFlatMap:
+    def test_expansion_and_structure(self):
+        x = make_input([2])
+        out = FlatMap(x, RetileStreamify(1), rank=1).output
+        packed = [Tile.from_array(np.arange(4, dtype=np.float32).reshape(2, 2)),
+                  Tile.from_array(np.arange(2, dtype=np.float32).reshape(1, 2))]
+        tokens = execute(out, {"in": tiles_to_tokens(packed)})
+        assert signature(tokens) == ["d", "d", "S1", "d", "S1", "D"]
+
+
+class TestShapeExecutors:
+    def test_flatten_drops_inner_boundary(self):
+        x = make_input([2, 2])
+        out = Flatten(x, 0, 1).output
+        tokens = execute(out, {"in": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2)], [scalar_tile(3), scalar_tile(4)]], 1)})
+        assert signature(tokens) == ["d", "d", "d", "d", "D"]
+
+    def test_reshape_pads_last_chunk(self):
+        x = make_input([Dim.dynamic("D")])
+        op = Reshape(x, chunk_size=2, level=0, pad=scalar_tile(0))
+        data_tokens = execute(op.data, {"in": tiles_to_tokens([scalar_tile(v) for v in (1, 2, 3)])})
+        assert signature(data_tokens) == ["d", "d", "S1", "d", "d", "S1", "D"]
+        assert tile_values(data_tokens) == [1, 2, 3, 0]
+        pad_tokens = execute(op.padding, {"in": tiles_to_tokens([scalar_tile(v) for v in (1, 2, 3)])})
+        assert [t.value for t in pad_tokens if isinstance(t, Data)] == [False, False, False, True]
+
+    def test_promote_adds_outer_stop(self):
+        x = make_input([3])
+        out = Promote(x).output
+        tokens = execute(out, {"in": tiles_to_tokens([scalar_tile(v) for v in (1, 2, 3)])})
+        assert signature(tokens) == ["d", "d", "d", "S1", "D"]
+
+    def test_promote_of_empty_stream(self):
+        x = make_input([0])
+        out = Promote(x).output
+        tokens = execute(out, {"in": tokens_from_nested([], 0)})
+        assert signature(tokens) == ["D"]
+
+    def test_repeat(self):
+        x = make_input([2])
+        out = Repeat(x, count=3).output
+        tokens = execute(out, {"in": tiles_to_tokens([scalar_tile(7), scalar_tile(9)])})
+        assert signature(tokens) == ["d", "d", "d", "S1", "d", "d", "d", "S1", "D"]
+        assert tile_values(tokens) == [7, 7, 7, 9, 9, 9]
+
+    def test_expand_follows_reference(self):
+        data = make_input([2], name="data")
+        ref = make_input([2, Dim.ragged("L")], name="ref")
+        out = Expand(data, ref, rank=1).output
+        ref_tokens = tokens_from_nested([[scalar_tile(0)] * 3, [scalar_tile(0)] * 2], 1)
+        tokens = execute(out, {"data": tiles_to_tokens([scalar_tile(5), scalar_tile(6)]),
+                               "ref": ref_tokens})
+        assert tile_values(tokens) == [5, 5, 5, 6, 6]
+        assert signature(tokens) == ["d", "d", "d", "S1", "d", "d", "S1", "D"]
+
+    def test_zip_pairs_elements(self):
+        a = make_input([2], name="a")
+        b = make_input([2], name="b")
+        out = Zip(a, b).output
+        tokens = execute(out, {"a": tiles_to_tokens([scalar_tile(1), scalar_tile(2)]),
+                               "b": tiles_to_tokens([scalar_tile(3), scalar_tile(4)])})
+        pairs = [t.value for t in tokens if isinstance(t, Data)]
+        assert [p[0].to_array()[0, 0] for p in pairs] == [1, 2]
+        assert [p[1].to_array()[0, 0] for p in pairs] == [3, 4]
+
+
+class TestRoutingExecutors:
+    def test_partition_routes_by_selector(self):
+        x = make_input([4, 1], name="x")
+        sel = InputStream(StreamShape([4]), SelectorType(2), name="sel").stream
+        op = Partition(x, sel, rank=1, num_consumers=2)
+        inputs = {
+            "x": tokens_from_nested([[scalar_tile(v)] for v in (1, 2, 3, 4)], 1),
+            "sel": selectors_to_tokens([0, 1, 0, 1], 2),
+        }
+        program = Program([op.outputs[0], op.outputs[1]])
+        report = run_functional(program, inputs)
+        left = report.output_tokens(op.outputs[0].name)
+        right = report.output_tokens(op.outputs[1].name)
+        assert tile_values(left) == [1, 3]
+        assert tile_values(right) == [2, 4]
+        assert signature(left) == ["d", "S1", "d", "S1", "D"]
+
+    def test_partition_multi_hot_broadcasts(self):
+        x = make_input([2, 1], name="x")
+        sel = InputStream(StreamShape([2]), SelectorType(2), name="sel").stream
+        op = Partition(x, sel, rank=1, num_consumers=2)
+        inputs = {
+            "x": tokens_from_nested([[scalar_tile(1)], [scalar_tile(2)]], 1),
+            "sel": selectors_to_tokens([[0, 1], [1]], 2),
+        }
+        program = Program(list(op.outputs))
+        report = run_functional(program, inputs)
+        assert tile_values(report.output_tokens(op.outputs[0].name)) == [1]
+        assert tile_values(report.output_tokens(op.outputs[1].name)) == [1, 2]
+
+    def test_reassemble_gathers_in_selector_order(self):
+        sel = InputStream(StreamShape([4]), SelectorType(2), name="sel").stream
+        b0 = make_input([2, 1], name="b0")
+        b1 = make_input([2, 1], name="b1")
+        out = Reassemble([b0, b1], sel, rank=1).output
+        inputs = {
+            "sel": selectors_to_tokens([0, 1, 1, 0], 2),
+            "b0": tokens_from_nested([[scalar_tile(10)], [scalar_tile(11)]], 1),
+            "b1": tokens_from_nested([[scalar_tile(20)], [scalar_tile(21)]], 1),
+        }
+        tokens = execute(out, inputs)
+        assert tile_values(tokens) == [10, 20, 21, 11]
+        # each selector group closes with an incremented stop token (Figure 4)
+        assert signature(tokens) == ["d", "S2", "d", "S2", "d", "S2", "d", "S2", "D"]
+
+    def test_eager_merge_reports_origin(self):
+        b0 = make_input([2, 1], name="b0")
+        b1 = make_input([1, 1], name="b1")
+        op = EagerMerge([b0, b1], rank=1)
+        inputs = {
+            "b0": tokens_from_nested([[scalar_tile(1)], [scalar_tile(2)]], 1),
+            "b1": tokens_from_nested([[scalar_tile(9)]], 1),
+        }
+        program = Program([op.data, op.selector])
+        report = run_functional(program, inputs)
+        data = report.output_tokens(op.data.name)
+        selectors = report.output_values(op.selector.name)
+        assert sorted(tile_values(data)) == [1, 2, 9]
+        assert len(selectors) == 3
+        assert {s.indices[0] for s in selectors} == {0, 1}
+
+
+class TestMemoryExecutors:
+    def test_linear_load_reads_underlying(self):
+        stored = np.arange(64 * 128, dtype=np.float32).reshape(64, 128)
+        ref = make_input([2], name="ref")
+        op = LinearOffChipLoadRef(ref=ref, in_mem_shape=(64, 128), tile_shape=(64, 64),
+                                  stride_tiled=(2, 1), shape_tiled=(1, 2),
+                                  underlying=stored)
+        tokens = execute(op.output, {"ref": tiles_to_tokens([scalar_tile(0), scalar_tile(0)])},
+                         timed=True)
+        tiles = [t.value for t in tokens if isinstance(t, Data)]
+        assert len(tiles) == 4  # two reads of two tiles each
+        assert np.allclose(tiles[0].to_array(), stored[:, :64])
+        assert np.allclose(tiles[1].to_array(), stored[:, 64:])
+        assert signature(tokens) == ["d", "d", "S2", "d", "d", "S2", "D"]
+
+    def test_linear_store_collects_and_counts_traffic(self):
+        x = make_input([3])
+        store = LinearOffChipStore(x, name="store")
+        program = Program([store])
+        report = run_functional(program, {"in": tiles_to_tokens(
+            [scalar_tile(v, cols=4) for v in (1, 2, 3)])})
+        assert report.metrics.offchip_traffic == 3 * 4 * 2
+        assert len(report.output_tokens("store")) == 4  # 3 data + Done
+
+    def test_random_load_and_store(self):
+        addr = InputStream(StreamShape([2, Dim.ragged("L")]), AddressType(), name="addr").stream
+        load = RandomOffChipLoad(addr, tile_shape=(4, 8))
+        addr_tokens = tokens_from_nested([[Address(0), Address(1)], [Address(2)]], 1)
+        tokens = execute(load.output, {"addr": addr_tokens}, timed=True)
+        assert signature(tokens) == ["d", "d", "S1", "d", "S1", "D"]
+        tiles = [t.value for t in tokens if isinstance(t, Data)]
+        assert all(t.shape == (4, 8) for t in tiles)
+
+        waddr = InputStream(StreamShape([2]), AddressType(), name="waddr").stream
+        wdata = make_input([2], name="wdata")
+        store = RandomOffChipStore(waddr, wdata, name="rstore")
+        acks = execute(store.outputs[0], {
+            "waddr": tiles_to_tokens([Address(0), Address(4)]),
+            "wdata": tiles_to_tokens([scalar_tile(1), scalar_tile(2)]),
+        })
+        assert [t.value for t in acks if isinstance(t, Data)] == [True, True]
+
+    def test_bufferize_streamify_round_trip(self):
+        x = make_input([2, 2], name="x")
+        buffers = Bufferize(x, rank=1)
+        replay = Streamify(buffers.output, count=2)
+        tokens = execute(replay.output, {"x": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2)], [scalar_tile(3), scalar_tile(4)]], 1)})
+        # each buffer (a row of 2 tiles) is replayed twice
+        assert tile_values(tokens) == [1, 2, 1, 2, 3, 4, 3, 4]
+        validate_tokens(tokens, rank=replay.output.rank)
+
+    def test_bufferize_records_buffer_bytes(self):
+        x = make_input([1, 3], name="x")
+        buffers = Bufferize(x, rank=1)
+        program = Program([buffers.output])
+        report = run_functional(program, {"x": tokens_from_nested(
+            [[scalar_tile(1), scalar_tile(2), scalar_tile(3)]], 1)})
+        handle = report.output_values(buffers.output.name)[0]
+        assert isinstance(handle, BufferHandle)
+        assert handle.num_values == 3
+        assert report.metrics.per_op["bufferize_%d" % buffers.node_id].max_buffer_bytes > 0 or \
+            report.metrics.per_op[buffers.name].max_buffer_bytes > 0

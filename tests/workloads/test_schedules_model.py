@@ -1,0 +1,105 @@
+"""Tests for the schedule descriptors and the end-to-end model composition."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.data.expert_routing import generate_routing_trace, representative_iteration
+from repro.data.kv_traces import VarianceClass, representative_trace
+from repro.schedules import (ParallelizationSchedule, TilingSchedule, dynamic_tiling,
+                             parallelization, static_tiling, time_multiplexing)
+from repro.schedules.parallelization import region_loads
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
+from repro.workloads.model import (ScheduleChoice, default_schedules, evaluate_end_to_end,
+                                   evaluate_layer)
+
+
+class TestTilingSchedule:
+    def test_static_and_dynamic(self):
+        s = static_tiling(32)
+        assert not s.is_dynamic and s.label() == "tile=32" and s.expressible_in_revet()
+        d = dynamic_tiling()
+        assert d.is_dynamic and not d.expressible_in_revet()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TilingSchedule("static")
+        with pytest.raises(ConfigError):
+            TilingSchedule("dynamic", tile_rows=4)
+        with pytest.raises(ConfigError):
+            TilingSchedule("adaptive")
+
+
+class TestTimeMultiplexSchedule:
+    def test_properties(self):
+        s = time_multiplexing(128, 4)
+        assert s.experts_per_region == 32
+        assert s.compute_saving == 32.0
+        assert not s.is_fully_spatial
+        assert time_multiplexing(8, 8).is_fully_spatial
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            time_multiplexing(10, 3)
+
+
+class TestParallelizationSchedule:
+    def test_static_assignments(self):
+        coarse = parallelization("coarse", num_regions=4, coarse_chunk=2)
+        assert coarse.static_assignment(8) == [0, 0, 1, 1, 2, 2, 3, 3]
+        interleave = parallelization("interleave", num_regions=4)
+        assert interleave.static_assignment(6) == [0, 1, 2, 3, 0, 1]
+        assert interleave.label() == "Static (Interleave)"
+
+    def test_dynamic_has_no_static_assignment(self):
+        with pytest.raises(ConfigError):
+            parallelization("dynamic").static_assignment(4)
+
+    def test_region_loads(self):
+        loads = region_loads([0, 1, 0], [10, 5, 2], 2)
+        assert loads == [12, 5]
+
+
+class TestEndToEndModel:
+    def setup_method(self):
+        from dataclasses import replace
+        base = scaled_config(QWEN3_30B_A3B, scale=32)
+        self.model = replace(base, num_experts=8, experts_per_token=2, name="tiny-qwen")
+        self.batch = 8
+        trace = generate_routing_trace(self.model, batch_size=self.batch, seed=0)
+        self.assignments = representative_iteration(trace)
+        self.kv_lengths = list(representative_trace(batch_size=self.batch,
+                                                    num_requests=200, seed=0))
+
+    def test_default_schedules_shape(self):
+        schedules = default_schedules(self.model)
+        assert set(schedules) == {"static_mem", "static_perf", "dynamic"}
+        # small expert pools skip configuration time-multiplexing
+        assert schedules["dynamic"].moe_num_regions is None
+
+    def test_layer_breakdown_and_scaling(self):
+        schedule = ScheduleChoice("dynamic", moe_tile_rows=None,
+                                  attention_strategy="dynamic")
+        result = evaluate_end_to_end(self.model, schedule, self.batch, self.kv_lengths,
+                                     self.assignments, num_layers=3,
+                                     hardware=sda_hardware())
+        assert set(result.breakdown.cycles) == {"qkv", "attention", "moe"}
+        assert result.total_cycles == pytest.approx(result.breakdown.layer_cycles * 3)
+        assert result.onchip_memory == result.breakdown.layer_memory
+        assert result.total_traffic > 0
+
+    def test_dynamic_vs_static_comparison(self):
+        dynamic = ScheduleChoice("dynamic", moe_tile_rows=None, attention_strategy="dynamic")
+        static = ScheduleChoice("static", moe_tile_rows=4, attention_strategy="interleave")
+        results = {}
+        for schedule in (dynamic, static):
+            results[schedule.name] = evaluate_end_to_end(
+                self.model, schedule, self.batch, self.kv_lengths, self.assignments,
+                num_layers=2, hardware=sda_hardware())
+        assert results["dynamic"].breakdown.offchip_traffic["moe"] <= \
+            results["static"].breakdown.offchip_traffic["moe"]
+
+    def test_batch_mismatch_rejected(self):
+        schedule = ScheduleChoice("static", moe_tile_rows=4, attention_strategy="interleave")
+        with pytest.raises(ConfigError):
+            evaluate_end_to_end(self.model, schedule, self.batch, self.kv_lengths[:-1],
+                                self.assignments)
