@@ -6,14 +6,31 @@ EXPERIMENTS.md), prints the regenerated rows/series, and asserts the figure's
 qualitative claim (who wins, in which direction, roughly by how much).
 Experiments are long-running sweeps, so each benchmark executes a single
 measured round.
+
+Everything collected under this directory is marked ``benchmark`` and excluded
+from the default (tier-1) pytest run — see ``[tool.pytest.ini_options]`` in
+``pyproject.toml``.  Run the benchmarks explicitly with::
+
+    python -m pytest -m benchmark benchmarks
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import DEFAULT_SCALE
-from repro.experiments.report import format_summary, format_table
+
+_BENCHMARK_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # this hook sees every collected item, not just this directory's, so
+    # restrict the marker to items that actually live under benchmarks/
+    for item in items:
+        if _BENCHMARK_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.benchmark)
 
 
 @pytest.fixture(scope="session")
@@ -29,10 +46,3 @@ def run_once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
-
-
-def print_rows(title: str, rows, summary=None) -> None:
-    print(f"\n=== {title} ===")
-    print(format_table(rows))
-    if summary:
-        print(format_summary(summary, title="summary"))

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure1
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig01_roofline(run_once, scale):

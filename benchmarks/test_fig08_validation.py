@@ -8,7 +8,7 @@ require a strong positive correlation and identical off-chip traffic.
 
 from repro.experiments import figure8
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig08_simulator_validation(run_once, scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure9_10
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig09_dynamic_tiling_small_batch(run_once, scale):

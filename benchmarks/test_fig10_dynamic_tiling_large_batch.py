@@ -2,7 +2,7 @@
 
 from repro.experiments import figure9_10
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig10_dynamic_tiling_large_batch(run_once, scale):

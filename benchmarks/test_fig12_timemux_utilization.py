@@ -2,7 +2,7 @@
 
 from repro.experiments import figure12_13
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig12_utilization_improves(run_once, scale):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import figure12_13
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig13_resource_savings(run_once, scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure14
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig14_dynamic_vs_interleaved(run_once, scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure17
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig17_end_to_end(run_once, scale):

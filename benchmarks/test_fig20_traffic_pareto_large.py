@@ -2,7 +2,7 @@
 
 from repro.experiments import figure19_20
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig20_traffic_vs_memory_large_batch(run_once, scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure21
 
-from .conftest import print_rows
+from repro.experiments.report import print_rows
 
 
 def test_fig21_ablation(run_once, scale):

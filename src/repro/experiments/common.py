@@ -41,6 +41,8 @@ class ExperimentScale:
     moe_large_batch: int = 512
     #: attention batch size (Figures 14, 21)
     attention_batch: int = 64
+    #: number of batch sizes swept by the Figure 15 batch sweep
+    batch_sweep_points: int = 8
     #: static tile sweeps
     moe_tiles_small_batch: Tuple[int, ...] = (8, 16, 32, 64)
     moe_tiles_large_batch: Tuple[int, ...] = (16, 64, 256, 512)
@@ -63,6 +65,7 @@ SMOKE_SCALE = ExperimentScale(
     moe_batch=16,
     moe_large_batch=64,
     attention_batch=16,
+    batch_sweep_points=4,
     moe_tiles_small_batch=(4, 8, 16),
     moe_tiles_large_batch=(8, 32),
     timemux_regions=(None, 8, 4),

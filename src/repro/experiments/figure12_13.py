@@ -13,35 +13,48 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sim import simulate
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from ..workloads.configs import ModelConfig
-from ..workloads.moe import MoELayerConfig, build_moe_layer
 from .common import DEFAULT_SCALE, ExperimentScale, hardware, moe_routing, qwen_model
 
 
+def region_sweep_spec(model: ModelConfig, batch: int, tile_rows: Optional[int],
+                      regions: Sequence[Optional[int]],
+                      scale: ExperimentScale) -> SweepSpec:
+    """The time-multiplexing region sweep as a sweep grid."""
+    assignments = [list(a) for a in moe_routing(model, batch, scale)]
+    tiling = "dynamic" if tile_rows is None else f"tile{tile_rows}"
+    return SweepSpec(
+        name=f"fig12_13-{model.name}-b{batch}-{tiling}",
+        task="moe_layer",
+        base={"model": model, "batch": batch, "assignments": assignments,
+              "tile_rows": tile_rows, "combine_output": False,
+              "hardware": hardware(scale)},
+        axes={"num_regions": list(regions)},
+        seed=scale.seed,
+    )
+
+
 def sweep_regions(model: ModelConfig, batch: int, tile_rows: Optional[int],
-                  regions: Sequence[Optional[int]], scale: ExperimentScale) -> List[dict]:
+                  regions: Sequence[Optional[int]], scale: ExperimentScale,
+                  runner: Optional[SweepRunner] = None) -> List[dict]:
     """Simulate the MoE layer for every parallel-region count."""
-    assignments = moe_routing(model, batch, scale)
-    hw = hardware(scale)
+    spec = region_sweep_spec(model, batch, tile_rows, regions, scale)
     rows: List[dict] = []
-    for num_regions in regions:
-        config = MoELayerConfig(model=model, batch=batch, tile_rows=tile_rows,
-                                num_regions=num_regions, combine_output=False)
-        program = build_moe_layer(config)
-        report = simulate(program.program, program.inputs(assignments), hardware=hw)
+    for result in resolve_runner(runner).run(spec):
+        num_regions = result.point.kwargs()["num_regions"]
         effective_regions = num_regions if num_regions is not None else model.num_experts
         rows.append({
             "model": model.name,
             "tiling": "dynamic" if tile_rows is None else f"tile={tile_rows}",
             "parallel_regions": effective_regions,
             "experts_per_region": model.num_experts // effective_regions,
-            "cycles": report.cycles,
-            "compute_utilization": report.compute_utilization,
-            "allocated_compute_flops_per_cycle": report.allocated_compute,
-            "onchip_memory_bytes": report.onchip_memory,
-            "offchip_bw_utilization": report.offchip_bw_utilization,
-            "total_flops": report.total_flops,
+            "cycles": result["cycles"],
+            "compute_utilization": result["compute_utilization"],
+            "allocated_compute_flops_per_cycle": result["allocated_compute_flops_per_cycle"],
+            "onchip_memory_bytes": result["onchip_memory_bytes"],
+            "offchip_bw_utilization": result["offchip_bw_utilization"],
+            "total_flops": result["total_flops"],
         })
     return rows
 
@@ -71,14 +84,17 @@ def summarize(rows: Sequence[dict]) -> dict:
     }
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE, static_tile: int = 32) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE, static_tile: int = 32,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate Figures 12 and 13."""
     model = qwen_model(scale)
     regions = [r for r in scale.timemux_regions
                if r is None or model.num_experts % r == 0]
     static_tile = min(static_tile, max(scale.moe_batch // 2, 1))
-    static_rows = sweep_regions(model, scale.moe_batch, static_tile, regions, scale)
-    dynamic_rows = sweep_regions(model, scale.moe_batch, None, regions, scale)
+    static_rows = sweep_regions(model, scale.moe_batch, static_tile, regions, scale,
+                                runner=runner)
+    dynamic_rows = sweep_regions(model, scale.moe_batch, None, regions, scale,
+                                 runner=runner)
     return {
         "static": {"rows": static_rows, "summary": summarize(static_rows)},
         "dynamic": {"rows": dynamic_rows, "summary": summarize(dynamic_rows)},

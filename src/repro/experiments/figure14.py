@@ -4,39 +4,60 @@ Decode attention at batch 64 across batches with low / medium / high KV-cache
 length variance; dynamic parallelization's speedup over static interleaved
 parallelization grows with the variance (1.14-1.26x at low variance,
 1.47-1.57x at high variance in the paper).
+
+Each (variance class, trace, strategy) combination carries its own KV-length
+list, so the grid is expressed as a zip-mode :class:`SweepSpec` over the
+``attention_layer`` task.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..data.kv_traces import VarianceClass
-from ..sim import simulate
-from ..workloads.attention import AttentionConfig, build_attention_layer
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
 
-
-def _simulate_strategy(model, batch: int, strategy: str, lengths, scale: ExperimentScale,
-                       coarse_chunk: int = 16) -> float:
-    config = AttentionConfig(model=model, batch=batch, strategy=strategy,
-                             kv_tile_rows=64, coarse_chunk=coarse_chunk)
-    program = build_attention_layer(config)
-    report = simulate(program.program, program.inputs(list(lengths)), hardware=hardware(scale))
-    return report.cycles
+_VARIANCES = (VarianceClass.LOW, VarianceClass.MEDIUM, VarianceClass.HIGH)
+_STRATEGIES = ("interleave", "dynamic")
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 14 series (speedup vs static interleaved per variance class)."""
     model = qwen_model(scale)
     batch = scale.attention_batch
     batches = kv_batches(scale, batch)
+
+    labels: List[tuple] = []
+    lengths_axis: List[list] = []
+    strategy_axis: List[str] = []
+    for variance in _VARIANCES:
+        for sample, trace in enumerate(batches[variance]):
+            for strategy in _STRATEGIES:
+                labels.append((variance, sample, strategy))
+                lengths_axis.append(list(trace))
+                strategy_axis.append(strategy)
+
+    spec = SweepSpec(
+        name=f"fig14-{model.name}-b{batch}",
+        task="attention_layer",
+        base={"model": model, "batch": batch, "kv_tile_rows": 64,
+              "coarse_chunk": 16, "hardware": hardware(scale)},
+        axes={"lengths": lengths_axis, "strategy": strategy_axis},
+        mode="zip",
+        seed=scale.seed,
+    )
+    results = resolve_runner(runner).run(spec)
+    cycles = {label: result["cycles"] for label, result in zip(labels, results)}
+
     rows: List[dict] = []
     per_class: Dict[str, float] = {}
-    for variance in (VarianceClass.LOW, VarianceClass.MEDIUM, VarianceClass.HIGH):
+    for variance in _VARIANCES:
         speedups = []
-        for trace in batches[variance]:
-            interleave = _simulate_strategy(model, batch, "interleave", trace, scale)
-            dynamic = _simulate_strategy(model, batch, "dynamic", trace, scale)
+        for sample, trace in enumerate(batches[variance]):
+            interleave = cycles[(variance, sample, "interleave")]
+            dynamic = cycles[(variance, sample, "dynamic")]
             speedups.append(interleave / dynamic)
             rows.append({
                 "variance": variance.value,

@@ -4,41 +4,57 @@ Static coarse-grained parallelization assigns a fixed block of 16 requests per
 region, so small batches leave most regions idle; dynamic parallelization keeps
 all regions busy (2.72x faster at batch 16 in the paper) and stays ahead even
 at batch 64 due to load imbalance.
+
+The (batch, strategy) grid is expressed as a cartesian :class:`SweepSpec` over
+the ``attention_layer`` task; every point shares the same medium-variance base
+trace, which the task truncates to the point's batch size.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..data.kv_traces import VarianceClass
-from ..sim import simulate
-from ..workloads.attention import AttentionConfig, build_attention_layer
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, qwen_model
 
+_STRATEGIES = ("coarse", "dynamic")
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
-    """Regenerate the Figure 15 batch-size sweep."""
+
+def batch_sweep_spec(scale: ExperimentScale) -> SweepSpec:
+    """The Figure 15 batch-size x strategy grid."""
     model = qwen_model(scale)
     max_batch = scale.attention_batch
-    batches = kv_batches(scale, max_batch)
-    base_trace = list(batches[VarianceClass.MEDIUM][0])
-    hw = hardware(scale)
-    step = max(max_batch // 4, 1)
+    base_trace = list(kv_batches(scale, max_batch)[VarianceClass.MEDIUM][0])
+    step = max(max_batch // scale.batch_sweep_points, 1)
+    return SweepSpec(
+        name=f"fig15-{model.name}",
+        task="attention_layer",
+        base={"model": model, "lengths": base_trace, "kv_tile_rows": 64,
+              "coarse_chunk": 16, "hardware": hardware(scale)},
+        axes={"batch": list(range(step, max_batch + 1, step)),
+              "strategy": list(_STRATEGIES)},
+        seed=scale.seed,
+    )
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
+    """Regenerate the Figure 15 batch-size sweep."""
+    spec = batch_sweep_spec(scale)
+    cycles: Dict[tuple, float] = {}
+    for result in resolve_runner(runner).run(spec):
+        kwargs = result.point.kwargs()
+        cycles[(kwargs["batch"], kwargs["strategy"])] = result["cycles"]
+
     rows: List[dict] = []
-    for batch in range(step, max_batch + 1, step):
-        lengths = base_trace[:batch]
-        results = {}
-        for strategy in ("coarse", "dynamic"):
-            config = AttentionConfig(model=model, batch=batch, strategy=strategy,
-                                     kv_tile_rows=64, coarse_chunk=16)
-            program = build_attention_layer(config)
-            report = simulate(program.program, program.inputs(lengths), hardware=hw)
-            results[strategy] = report.cycles
+    for batch in spec.axes["batch"]:
+        coarse, dynamic = cycles[(batch, "coarse")], cycles[(batch, "dynamic")]
         rows.append({
             "batch": batch,
-            "coarse_cycles": results["coarse"],
-            "dynamic_cycles": results["dynamic"],
-            "speedup": results["coarse"] / results["dynamic"],
+            "coarse_cycles": coarse,
+            "dynamic_cycles": dynamic,
+            "speedup": coarse / dynamic,
         })
     return {
         "rows": rows,

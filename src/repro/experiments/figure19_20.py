@@ -7,15 +7,17 @@ the traffic trends because the layer is memory bound.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from ..sweep import SweepRunner
 from .common import DEFAULT_SCALE, ExperimentScale
 from . import figure9_10
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate Figure 19 (``large_batch=False``) or Figure 20 (``True``)."""
-    base = figure9_10.run(scale, large_batch=large_batch)
+    base = figure9_10.run(scale, large_batch=large_batch, runner=runner)
     results: Dict[str, object] = {"figure": "20" if large_batch else "19", "per_model": {}}
     for model_name, payload in base["per_model"].items():
         rows = [

@@ -5,28 +5,25 @@ dynamic parallelization across KV-length variance classes and batch classes
 (B=16, B=64 and the pipelined B=64+16 micro-batch case).  The paper reports
 geometric-mean slowdowns of 1.85x (coarse) and 1.36x (interleave) relative to
 dynamic parallelization.
+
+Every (variance, batch class, sample, batch, strategy) simulation carries its
+own KV-length list, so the full ablation grid is expressed as one zip-mode
+:class:`SweepSpec` over the ``attention_layer`` task and aggregated afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..data.kv_traces import VarianceClass
-from ..sim import simulate
-from ..workloads.attention import AttentionConfig, build_attention_layer
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
 
 _STRATEGIES = ("coarse", "interleave", "dynamic")
 
 
-def _cycles(model, batch, strategy, lengths, hw) -> float:
-    config = AttentionConfig(model=model, batch=batch, strategy=strategy,
-                             kv_tile_rows=64, coarse_chunk=16)
-    program = build_attention_layer(config)
-    return simulate(program.program, program.inputs(list(lengths)), hardware=hw).cycles
-
-
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 21 ablation grid."""
     model = qwen_model(scale)
     hw = hardware(scale)
@@ -34,25 +31,50 @@ def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
     small = max(4, big // 4)
     batch_classes = {f"B={small}": [small], f"B={big}": [big],
                      f"B={big}+{small}": [big, small]}
-    rows: List[dict] = []
-    normalized: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
 
     big_batches = kv_batches(scale, big)
     small_batches = kv_batches(scale, small)
 
-    for variance in (VarianceClass.HIGH, VarianceClass.MEDIUM, VarianceClass.LOW):
+    # enumerate every simulation of the grid, then run it as one zip sweep
+    labels: List[tuple] = []
+    batch_axis: List[int] = []
+    strategy_axis: List[str] = []
+    lengths_axis: List[list] = []
+    variances = (VarianceClass.HIGH, VarianceClass.MEDIUM, VarianceClass.LOW)
+    for variance in variances:
+        samples = min(len(big_batches[variance]), len(small_batches[variance]))
         for class_name, batch_sizes in batch_classes.items():
-            per_strategy: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
-            samples = min(len(big_batches[variance]), len(small_batches[variance]))
             for sample in range(samples):
-                totals = {s: 0.0 for s in _STRATEGIES}
                 for batch in batch_sizes:
                     source = big_batches if batch == big else small_batches
-                    lengths = list(source[variance][sample])[:batch]
                     for strategy in _STRATEGIES:
-                        totals[strategy] += _cycles(model, batch, strategy, lengths, hw)
+                        labels.append((variance, class_name, sample, batch, strategy))
+                        batch_axis.append(batch)
+                        strategy_axis.append(strategy)
+                        lengths_axis.append(list(source[variance][sample])[:batch])
+
+    spec = SweepSpec(
+        name=f"fig21-{model.name}",
+        task="attention_layer",
+        base={"model": model, "kv_tile_rows": 64, "coarse_chunk": 16, "hardware": hw},
+        axes={"batch": batch_axis, "strategy": strategy_axis, "lengths": lengths_axis},
+        mode="zip",
+        seed=scale.seed,
+    )
+    results = resolve_runner(runner).run(spec)
+    cycles = {label: result["cycles"] for label, result in zip(labels, results)}
+
+    rows: List[dict] = []
+    normalized: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
+    for variance in variances:
+        samples = min(len(big_batches[variance]), len(small_batches[variance]))
+        for class_name, batch_sizes in batch_classes.items():
+            per_strategy: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
+            for sample in range(samples):
                 for strategy in _STRATEGIES:
-                    per_strategy[strategy].append(totals[strategy])
+                    per_strategy[strategy].append(sum(
+                        cycles[(variance, class_name, sample, batch, strategy)]
+                        for batch in batch_sizes))
             means = {s: geomean(per_strategy[s]) for s in _STRATEGIES}
             for strategy in _STRATEGIES:
                 ratio = means[strategy] / means["dynamic"]

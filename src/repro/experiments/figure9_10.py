@@ -14,32 +14,42 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.pareto import (ParetoPoint, memory_saving_at_matched_performance,
                                pareto_improvement_distance, speedup_at_matched_memory)
-from ..sim import simulate
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
 from ..workloads.configs import ModelConfig
-from ..workloads.moe import MoELayerConfig, build_moe_layer
 from .common import (DEFAULT_SCALE, ExperimentScale, hardware, mixtral_model, moe_routing,
                      qwen_model)
 
 
+def tile_sweep_spec(model: ModelConfig, batch: int, tiles: Sequence[int],
+                    scale: ExperimentScale) -> SweepSpec:
+    """The static tile sweep plus the dynamic-tiling point as a sweep grid."""
+    assignments = [list(a) for a in moe_routing(model, batch, scale)]
+    return SweepSpec(
+        name=f"fig9_10-{model.name}-b{batch}",
+        task="moe_layer",
+        base={"model": model, "batch": batch, "assignments": assignments,
+              "hardware": hardware(scale)},
+        axes={"tile_rows": list(tiles) + [None]},
+        seed=scale.seed,
+    )
+
+
 def sweep_model(model: ModelConfig, batch: int, tiles: Sequence[int],
-                scale: ExperimentScale) -> List[dict]:
+                scale: ExperimentScale, runner: Optional[SweepRunner] = None) -> List[dict]:
     """Simulate the static tile sweep plus the dynamic-tiling point."""
-    assignments = moe_routing(model, batch, scale)
-    hw = hardware(scale)
+    spec = tile_sweep_spec(model, batch, tiles, scale)
     rows: List[dict] = []
-    for tile in list(tiles) + [None]:
-        config = MoELayerConfig(model=model, batch=batch, tile_rows=tile)
-        program = build_moe_layer(config)
-        report = simulate(program.program, program.inputs(assignments), hardware=hw)
+    for result in resolve_runner(runner).run(spec):
+        tile = result.point.kwargs()["tile_rows"]
         rows.append({
             "model": model.name,
             "batch": batch,
             "tiling": "dynamic" if tile is None else f"tile={tile}",
             "tile_rows": tile,
-            "cycles": report.cycles,
-            "onchip_memory_bytes": report.onchip_memory,
-            "offchip_traffic_bytes": report.offchip_traffic,
-            "total_flops": report.total_flops,
+            "cycles": result["cycles"],
+            "onchip_memory_bytes": result["onchip_memory_bytes"],
+            "offchip_traffic_bytes": result["offchip_traffic_bytes"],
+            "total_flops": result["total_flops"],
         })
     return rows
 
@@ -62,14 +72,15 @@ def summarize(rows: Sequence[dict], memory_key: str = "onchip_memory_bytes",
     }
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate Figure 9 (``large_batch=False``) or Figure 10 (``True``)."""
     batch = scale.moe_large_batch if large_batch else scale.moe_batch
     tiles = scale.moe_tiles_large_batch if large_batch else scale.moe_tiles_small_batch
     tiles = [t for t in tiles if t <= max(batch, 1)]
     results: Dict[str, object] = {"figure": "10" if large_batch else "9", "per_model": {}}
     for model in (mixtral_model(scale), qwen_model(scale)):
-        rows = sweep_model(model, batch, tiles, scale)
+        rows = sweep_model(model, batch, tiles, scale, runner=runner)
         results["per_model"][model.name] = {
             "rows": rows,
             "summary": summarize(rows),

@@ -29,6 +29,14 @@ def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
     return "\n".join([header, separator, body])
 
 
+def print_rows(title: str, rows: Sequence[Mapping], summary: Mapping | None = None) -> None:
+    """Print a titled result table (and optional summary) — the benchmark output."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+    if summary:
+        print(format_summary(summary, title="summary"))
+
+
 def format_summary(summary: Mapping, title: str = "summary") -> str:
     """Render a flat summary dictionary as ``key: value`` lines."""
     lines = [f"[{title}]"]

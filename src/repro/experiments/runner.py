@@ -5,6 +5,14 @@ Usage::
     python -m repro.experiments.runner --figure 9          # one figure
     python -m repro.experiments.runner --all               # everything
     python -m repro.experiments.runner --figure 14 --smoke # fast, tiny scale
+    python -m repro.experiments.runner --figure 15 --jobs 4   # pooled sweep
+    python -m repro.experiments.runner --all --no-cache       # force re-simulation
+
+Sweep-shaped figures execute through :class:`repro.sweep.SweepRunner`:
+``--jobs N`` fans design points out over N worker processes and results are
+memoized in an on-disk cache (``--cache-dir``, default
+``~/.cache/repro/sweeps`` or ``$REPRO_SWEEP_CACHE``), so an immediate re-run
+completes without re-simulating.  ``--no-cache`` disables the cache.
 
 Each experiment prints the regenerated rows and the headline summary the paper
 quotes; EXPERIMENTS.md records a captured run.
@@ -16,27 +24,28 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..sweep import ResultCache, SweepRunner, SweepStats, default_cache_root
 from . import (common, figure1, figure8, figure9_10, figure12_13, figure14, figure15,
                figure17, figure19_20, figure21)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
 
-#: figure id -> callable(scale) -> result dictionary
-FIGURES: Dict[str, Callable[[ExperimentScale], dict]] = {
-    "1": figure1.run,
-    "8": figure8.run,
-    "9": lambda scale: figure9_10.run(scale, large_batch=False),
-    "10": lambda scale: figure9_10.run(scale, large_batch=True),
-    "12": figure12_13.run,
-    "13": figure12_13.run,
-    "14": figure14.run,
-    "15": figure15.run,
-    "17": figure17.run,
-    "19": lambda scale: figure19_20.run(scale, large_batch=False),
-    "20": lambda scale: figure19_20.run(scale, large_batch=True),
-    "21": figure21.run,
+#: figure id -> callable(scale, sweep_runner) -> result dictionary
+FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
+    "1": lambda scale, runner: figure1.run(scale),
+    "8": lambda scale, runner: figure8.run(scale),
+    "9": lambda scale, runner: figure9_10.run(scale, large_batch=False, runner=runner),
+    "10": lambda scale, runner: figure9_10.run(scale, large_batch=True, runner=runner),
+    "12": lambda scale, runner: figure12_13.run(scale, runner=runner),
+    "13": lambda scale, runner: figure12_13.run(scale, runner=runner),
+    "14": lambda scale, runner: figure14.run(scale, runner=runner),
+    "15": lambda scale, runner: figure15.run(scale, runner=runner),
+    "17": lambda scale, runner: figure17.run(scale),
+    "19": lambda scale, runner: figure19_20.run(scale, large_batch=False, runner=runner),
+    "20": lambda scale, runner: figure19_20.run(scale, large_batch=True, runner=runner),
+    "21": lambda scale, runner: figure21.run(scale, runner=runner),
 }
 
 
@@ -74,6 +83,13 @@ def main(argv=None) -> int:
                         help="use the tiny smoke-test scale")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump raw results to this JSON file")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep execution "
+                             "(default: $REPRO_SWEEP_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk sweep result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"sweep cache directory (default: {default_cache_root()})")
     args = parser.parse_args(argv)
 
     scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
@@ -81,14 +97,31 @@ def main(argv=None) -> int:
     if args.all:
         figures = sorted(FIGURES, key=lambda f: int(f))
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    sweep_runner = SweepRunner(jobs=args.jobs, cache=cache)
+
     collected = {}
     for figure in figures:
         if figure not in FIGURES:
             print(f"unknown figure {figure!r}; available: {sorted(FIGURES)}", file=sys.stderr)
             return 2
         started = time.time()
-        result = FIGURES[figure](scale)
+        before = SweepStats()
+        before.add(sweep_runner.cumulative_stats)
+        result = FIGURES[figure](scale, sweep_runner)
         result["elapsed_seconds"] = round(time.time() - started, 2)
+        total = sweep_runner.cumulative_stats
+        if total.points > before.points:
+            result["sweep_stats"] = {
+                "points": total.points - before.points,
+                "simulated": total.simulated - before.simulated,
+                "cache_hits": total.cache_hits - before.cache_hits,
+                "jobs": sweep_runner.jobs,
+            }
+            print(f"[sweep] {result['sweep_stats']['points']} points, "
+                  f"{result['sweep_stats']['simulated']} simulated, "
+                  f"{result['sweep_stats']['cache_hits']} from cache "
+                  f"(jobs={sweep_runner.jobs})")
         collected[figure] = result
         _print_result(figure, result)
 

@@ -1,0 +1,140 @@
+"""Declarative parameter grids for simulation sweeps.
+
+A :class:`SweepSpec` names a registered simulation *task* (see
+:mod:`repro.sweep.tasks`), a set of ``base`` parameters shared by every point
+and a set of swept ``axes``.  ``mode="cartesian"`` takes the cross product of
+the axes (the tiling sweeps of Figures 9/10, the region sweeps of Figures
+12/13); ``mode="zip"`` pairs the axes element-wise (the irregular grids of
+Figures 14 and 21, where each point carries its own KV-length trace).
+
+Expanding a spec yields an ordered list of :class:`SweepPoint`\\ s.  Each
+point's ``seed`` is derived from a stable hash of the spec seed and the
+point's own parameters — *not* from its position in the grid — so a point
+keeps its seed (and therefore its cache key) when axes are reordered or a
+grid grows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import ConfigError
+from .cache import CACHE_VERSION, code_fingerprint, stable_hash
+from .tasks import task_accepts_seed
+
+#: parameters whose value may legitimately be large (KV traces, routing
+#: assignments); kept out of point labels
+_LABEL_MAX_LEN = 24
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved design point of a sweep."""
+
+    spec_name: str
+    task: str
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The task keyword arguments for this point."""
+        return dict(self.params)
+
+    def cache_key(self) -> str:
+        """Stable identity of this point: task + params (+ seed) + code state.
+
+        Deliberately excludes ``spec_name`` and ``index`` so identical points
+        reached through different sweeps share one cache entry; the derived
+        seed participates only for tasks that actually consume a seed, and the
+        simulator-source fingerprint invalidates entries when code changes.
+        """
+        payload = {
+            "task": self.task,
+            "params": dict(self.params),
+            "cache_version": CACHE_VERSION,
+            "code": code_fingerprint(),
+        }
+        if task_accepts_seed(self.task):
+            payload["seed"] = self.seed
+        return stable_hash(payload)
+
+    def label(self) -> str:
+        """A short human-readable description of the swept values."""
+        parts = []
+        for key, value in self.params:
+            text = repr(value)
+            if len(text) > _LABEL_MAX_LEN:
+                continue
+            parts.append(f"{key}={text}")
+        return f"{self.spec_name}[{self.index}]({', '.join(parts)})"
+
+
+def _derive_seed(spec_seed: int, task: str, params: Mapping[str, Any]) -> int:
+    """A deterministic 32-bit per-point seed independent of grid ordering."""
+    digest = stable_hash({"seed": spec_seed, "task": task, "params": dict(params)})
+    return int(digest[:8], 16)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named parameter grid over one registered simulation task."""
+
+    name: str
+    task: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: "cartesian" (cross product of axes) or "zip" (element-wise pairing)
+    mode: str = "cartesian"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cartesian", "zip"):
+            raise ConfigError(f"{self.name}: mode must be 'cartesian' or 'zip', "
+                              f"got {self.mode!r}")
+        overlap = set(self.base) & set(self.axes)
+        if overlap:
+            raise ConfigError(f"{self.name}: parameters {sorted(overlap)} appear in "
+                              f"both base and axes")
+        if self.mode == "zip" and self.axes:
+            lengths = {key: len(values) for key, values in self.axes.items()}
+            if len(set(lengths.values())) > 1:
+                raise ConfigError(f"{self.name}: zip-mode axes must have equal "
+                                  f"lengths, got {lengths}")
+
+    def grid(self) -> List[Dict[str, Any]]:
+        """The ordered list of swept-parameter combinations (axes only)."""
+        if not self.axes:
+            return [{}]
+        keys = list(self.axes)
+        if self.mode == "zip":
+            return [dict(zip(keys, values))
+                    for values in zip(*(self.axes[key] for key in keys))]
+        return [dict(zip(keys, values))
+                for values in itertools.product(*(self.axes[key] for key in keys))]
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid into ordered, seeded :class:`SweepPoint`\\ s."""
+        points: List[SweepPoint] = []
+        for index, combo in enumerate(self.grid()):
+            params = {**dict(self.base), **combo}
+            points.append(SweepPoint(
+                spec_name=self.name,
+                task=self.task,
+                index=index,
+                params=tuple(sorted(params.items())),
+                seed=_derive_seed(self.seed, self.task, params),
+            ))
+        return points
+
+    def __len__(self) -> int:
+        if not self.axes:
+            return 1
+        if self.mode == "zip":
+            return len(next(iter(self.axes.values())))
+        result = 1
+        for values in self.axes.values():
+            result *= len(values)
+        return result

@@ -1,0 +1,130 @@
+"""Registered simulation tasks — the picklable unit of sweep work.
+
+A *task* is a module-level function mapping plain, picklable parameters
+(model/hardware dataclasses, batch sizes, routing assignments, KV-length
+lists) to a flat metrics dictionary.  Workers rebuild the dataflow program
+from those parameters inside their own process, so nothing unpicklable (token
+streams, lowered programs, executor generators) ever crosses the pool
+boundary, and the returned dictionary is exactly what the result cache
+stores.
+
+Tasks are looked up by name via :data:`TASKS` / :func:`get_task`; new
+subsystems register theirs with :func:`register_task`.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.errors import ConfigError
+from ..sim import simulate
+from ..sim.executors.common import HardwareConfig
+from ..sim.runner import SimReport
+from ..workloads.attention import AttentionConfig, build_attention_layer
+from ..workloads.configs import ModelConfig
+from ..workloads.moe import MoELayerConfig, build_moe_layer
+
+#: task name -> callable(**params) -> metrics dict
+TASKS: Dict[str, Callable[..., Dict[str, float]]] = {}
+
+
+def register_task(name: str):
+    """Decorator registering a sweep task under ``name``.
+
+    Tasks must accept picklable keyword arguments only and return a flat,
+    JSON-able metrics dictionary (see :func:`report_metrics`).  A task that
+    accepts a ``seed`` parameter (directly or via ``**kwargs``) receives the
+    point's deterministic derived seed when the spec does not set one.
+    """
+
+    def wrap(func: Callable[..., Dict[str, float]]):
+        if name in TASKS:
+            raise ConfigError(f"sweep task {name!r} is already registered")
+        TASKS[name] = func
+        # a pre-registration query may have cached "unknown task ⇒ seedless"
+        task_accepts_seed.cache_clear()
+        return func
+
+    return wrap
+
+
+def get_task(name: str) -> Callable[..., Dict[str, float]]:
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise ConfigError(f"unknown sweep task {name!r}; "
+                          f"registered: {sorted(TASKS)}") from None
+
+
+@functools.lru_cache(maxsize=None)
+def task_accepts_seed(name: str) -> bool:
+    """Whether the task consumes a ``seed`` keyword (directly or via ``**kwargs``).
+
+    Tasks that don't are pure functions of their other parameters: the runner
+    skips seed injection and :meth:`SweepPoint.cache_key` leaves the derived
+    seed out of their keys, so identical simulations share cache entries
+    across spec seeds.  Returns False for unregistered names (the run itself
+    reports those).
+    """
+    if name not in TASKS:
+        return False
+    params = inspect.signature(TASKS[name]).parameters
+    return "seed" in params or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                                   for p in params.values())
+
+
+def report_metrics(report: SimReport) -> Dict[str, float]:
+    """The flat, JSON-able metric payload every task returns (and the cache stores)."""
+    return {
+        "cycles": float(report.cycles),
+        "offchip_traffic_bytes": float(report.offchip_traffic),
+        "onchip_memory_bytes": float(report.onchip_memory),
+        "total_flops": float(report.total_flops),
+        "allocated_compute_flops_per_cycle": float(report.allocated_compute),
+        "compute_utilization": float(report.compute_utilization),
+        "offchip_bw_utilization": float(report.offchip_bw_utilization),
+    }
+
+
+@register_task("moe_layer")
+def moe_layer(model: ModelConfig, batch: int, assignments: Sequence[Sequence[int]],
+              hardware: HardwareConfig, tile_rows: Optional[int] = 32,
+              num_regions: Optional[int] = None,
+              combine_output: bool = True) -> Dict[str, float]:
+    """Simulate one MoE-layer design point (Figures 9/10/12/13/19/20).
+
+    Deliberately seedless: the routing ``assignments`` fully determine the
+    result (``MoELayerConfig.seed`` only shapes payload weights, which timing
+    sweeps never materialize), so cache entries are shared across spec seeds.
+    """
+    config = MoELayerConfig(model=model, batch=batch, tile_rows=tile_rows,
+                            num_regions=num_regions, combine_output=combine_output)
+    program = build_moe_layer(config)
+    assignments = [list(a) for a in assignments]
+    report = simulate(program.program, program.inputs(assignments), hardware=hardware)
+    return report_metrics(report)
+
+
+@register_task("attention_layer")
+def attention_layer(model: ModelConfig, batch: int, strategy: str,
+                    lengths: Sequence[int], hardware: HardwareConfig,
+                    kv_tile_rows: int = 64,
+                    coarse_chunk: int = 16) -> Dict[str, float]:
+    """Simulate one decode-attention design point (Figures 14/15/21).
+
+    ``lengths`` may be longer than ``batch``; the first ``batch`` entries are
+    used, so batch-size sweeps can share one base trace.  Deliberately
+    seedless: the KV trace fully determines the result, so cache entries are
+    shared across spec seeds.
+    """
+    lengths = list(lengths)[:batch]
+    if len(lengths) < batch:
+        raise ConfigError(f"attention_layer: {len(lengths)} KV lengths for "
+                          f"batch {batch}")
+    config = AttentionConfig(model=model, batch=batch, strategy=strategy,
+                             kv_tile_rows=kv_tile_rows, coarse_chunk=coarse_chunk)
+    program = build_attention_layer(config)
+    report = simulate(program.program, program.inputs(lengths), hardware=hardware)
+    return report_metrics(report)

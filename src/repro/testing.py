@@ -1,0 +1,30 @@
+"""Small helpers for exercising programs in tests and examples.
+
+These wrappers build a one-output :class:`~repro.core.graph.Program` around a
+stream handle and run it through the simulator, so tests can assert on the
+produced token stream without repeating the boilerplate.  They live in the
+package (rather than in ``tests/conftest.py``) so both the ``tests/`` and
+``benchmarks/`` trees — and downstream users writing their own checks — can
+import them absolutely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .core.graph import Program, StreamHandle
+from .core.stream import Token, data_values
+from .sim import run_functional, simulate
+
+
+def execute(output: StreamHandle, inputs: Dict, timed: bool = False) -> List[Token]:
+    """Build a program around ``output`` and return its collected token list."""
+    program = Program([output], name="test")
+    runner = simulate if timed else run_functional
+    report = runner(program, inputs)
+    return report.output_tokens(output.name)
+
+
+def execute_values(output: StreamHandle, inputs: Dict, timed: bool = False) -> list:
+    """Like :func:`execute` but returns only the data payloads."""
+    return data_values(execute(output, inputs, timed=timed))

@@ -1,31 +1,22 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The execution helpers live in :mod:`repro.testing` so test modules can import
+them absolutely (``from repro.testing import execute``) instead of relying on
+relative imports into this conftest, which break under rootdir-based
+collection.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core.graph import InputStream, Program, StreamHandle
-from repro.core.stream import Token, data_values
-from repro.sim import run_functional, simulate
+from repro.testing import execute, execute_values
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
-
-
-def execute(output: StreamHandle, inputs: dict, timed: bool = False):
-    """Build a program around ``output`` and return its collected token list."""
-    program = Program([output], name="test")
-    runner = simulate if timed else run_functional
-    report = runner(program, inputs)
-    return report.output_tokens(output.name)
-
-
-def execute_values(output: StreamHandle, inputs: dict, timed: bool = False):
-    """Like :func:`execute` but returns only the data payloads."""
-    return data_values(execute(output, inputs, timed=timed))
 
 
 @pytest.fixture

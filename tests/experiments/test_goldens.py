@@ -1,0 +1,116 @@
+"""Golden-value smoke regressions for the figure experiments.
+
+``goldens_smoke.json`` pins the headline metrics of a fixed figure subset at
+``SMOKE_SCALE``.  The simulator is deterministic (see
+``tests/sim/test_determinism.py``), so drift here means the timing model, a
+workload builder or a schedule changed behaviour — if the change is
+intentional, regenerate the file::
+
+    PYTHONPATH=src python tests/experiments/test_goldens.py --regenerate
+
+Tolerances are relative and deliberately loose (2%) so benign refactors
+(operator naming, float summation order) do not trip them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figure9_10, figure12_13, figure15
+from repro.experiments.common import SMOKE_SCALE
+
+GOLDENS_PATH = Path(__file__).parent / "goldens_smoke.json"
+REL_TOL = 0.02
+
+
+def compute_goldens() -> dict:
+    """The golden payload: every value here is asserted against the file."""
+    goldens = {"scale": "smoke", "figures": {}}
+
+    fig9 = figure9_10.run(SMOKE_SCALE)
+    goldens["figures"]["figure9"] = {
+        model: {
+            "pid": payload["summary"]["pid"],
+            "speedup_at_matched_memory": payload["summary"]["speedup_at_matched_memory"],
+            "dynamic_cycles": _dynamic_row(payload)["cycles"],
+            "dynamic_offchip_traffic_bytes":
+                _dynamic_row(payload)["offchip_traffic_bytes"],
+            "dynamic_onchip_memory_bytes":
+                _dynamic_row(payload)["onchip_memory_bytes"],
+        }
+        for model, payload in fig9["per_model"].items()
+    }
+
+    fig12 = figure12_13.run(SMOKE_SCALE)
+    goldens["figures"]["figure12_13"] = {
+        tiling: {
+            "utilization_gain": fig12[tiling]["summary"]["utilization_gain"],
+            "compute_saving_fraction":
+                fig12[tiling]["summary"]["compute_saving_fraction"],
+            "memory_saving_fraction":
+                fig12[tiling]["summary"]["memory_saving_fraction"],
+        }
+        for tiling in ("static", "dynamic")
+    }
+
+    fig15 = figure15.run(SMOKE_SCALE)
+    goldens["figures"]["figure15"] = {
+        "smallest_batch_speedup": fig15["smallest_batch_speedup"],
+        "largest_batch_speedup": fig15["largest_batch_speedup"],
+        "max_speedup": fig15["max_speedup"],
+        "dynamic_cycles_by_batch": {str(row["batch"]): row["dynamic_cycles"]
+                                    for row in fig15["rows"]},
+    }
+    return goldens
+
+
+def _dynamic_row(payload: dict) -> dict:
+    return [row for row in payload["rows"] if row["tile_rows"] is None][0]
+
+
+def _flatten(prefix: str, value):
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _flatten(f"{prefix}.{key}" if prefix else str(key), sub)
+    else:
+        yield prefix, value
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    assert GOLDENS_PATH.exists(), \
+        f"{GOLDENS_PATH} missing; run this module with --regenerate"
+    return dict(_flatten("", json.loads(GOLDENS_PATH.read_text())))
+
+
+@pytest.fixture(scope="module")
+def current():
+    return dict(_flatten("", compute_goldens()))
+
+
+def test_no_metrics_added_or_removed(recorded, current):
+    assert set(recorded) == set(current)
+
+
+def test_headline_metrics_match_goldens(recorded, current):
+    mismatches = []
+    for key, expected in recorded.items():
+        actual = current[key]
+        if isinstance(expected, float):
+            if actual != pytest.approx(expected, rel=REL_TOL):
+                mismatches.append(f"{key}: recorded {expected!r}, got {actual!r}")
+        elif actual != expected:
+            mismatches.append(f"{key}: recorded {expected!r}, got {actual!r}")
+    assert not mismatches, "golden drift:\n  " + "\n  ".join(mismatches)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDENS_PATH.write_text(json.dumps(compute_goldens(), indent=2, sort_keys=True)
+                                + "\n")
+        print(f"wrote {GOLDENS_PATH}")
+    else:
+        print(__doc__)

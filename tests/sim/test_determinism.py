@@ -1,0 +1,72 @@
+"""Engine determinism: the same workload and seed must reproduce exactly.
+
+The sweep cache (and the serial-vs-pooled equivalence in
+``tests/sweep/test_runner.py``) is only sound if a simulation run is a pure
+function of (program, inputs, hardware).  These tests pin that property for
+both the timed and the functional engine, down to the produced output tokens.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.data.expert_routing import generate_routing_trace, representative_iteration
+from repro.sim import run_functional, simulate
+from repro.workloads.attention import AttentionConfig, build_attention_layer
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
+from repro.workloads.moe import MoELayerConfig, build_moe_layer
+
+
+def _tiny_model(num_experts: int = 4, top_k: int = 2):
+    return replace(scaled_config(QWEN3_30B_A3B, scale=32), name=f"tiny-{num_experts}e",
+                   num_experts=num_experts, experts_per_token=top_k)
+
+
+class TestMoEDeterminism:
+    def test_timed_run_reproduces_cycles_and_traffic(self):
+        model = _tiny_model()
+        trace = generate_routing_trace(model, batch_size=8, num_iterations=2, seed=7)
+        assignments = representative_iteration(trace)
+        reports = []
+        for _ in range(2):
+            built = build_moe_layer(MoELayerConfig(model=model, batch=8, tile_rows=4))
+            reports.append(simulate(built.program, built.inputs(assignments),
+                                    hardware=sda_hardware()))
+        first, second = reports
+        assert first.cycles == second.cycles
+        assert first.offchip_traffic == second.offchip_traffic
+        assert first.onchip_memory == second.onchip_memory
+        assert first.total_flops == second.total_flops
+
+    def test_functional_run_reproduces_output_tokens(self):
+        model = _tiny_model(num_experts=3, top_k=2)
+        assignments = [(0, 1), (1, 2), (0, 2), (0, 1)]
+        x = np.random.default_rng(11).standard_normal(
+            (4, model.hidden_dim)).astype(np.float32) * 0.1
+        outputs = []
+        for _ in range(2):
+            cfg = MoELayerConfig(model=model, batch=4, tile_rows=2,
+                                 with_payload=True, collect_output=True)
+            built = build_moe_layer(cfg)
+            report = run_functional(built.program,
+                                    built.inputs(assignments, activations=x))
+            outputs.append(np.vstack([np.asarray(v.to_array())
+                                      for v in report.output_values(built.output_name)]))
+        assert np.array_equal(outputs[0], outputs[1])
+
+
+class TestAttentionDeterminism:
+    def test_dynamic_parallelization_is_deterministic(self):
+        model = _tiny_model()
+        lengths = [64, 640, 128, 320, 64, 1280, 192, 64]
+        cycles = set()
+        traffic = set()
+        for _ in range(2):
+            cfg = AttentionConfig(model=model, batch=8, strategy="dynamic",
+                                  kv_tile_rows=64, coarse_chunk=4)
+            built = build_attention_layer(cfg)
+            report = simulate(built.program, built.inputs(lengths),
+                              hardware=sda_hardware())
+            cycles.add(report.cycles)
+            traffic.add(report.offchip_traffic)
+        assert len(cycles) == 1 and len(traffic) == 1

@@ -23,7 +23,7 @@ from repro.ops.functions import (Matmul, RetileRow, RetileStreamify, Scale, SumA
 from repro.core.graph import Program
 from repro.sim import run_functional
 
-from ..conftest import execute, execute_values
+from repro.testing import execute, execute_values
 
 
 def signature(tokens):

@@ -1,0 +1,98 @@
+"""Canonicalization, stable hashing and the on-disk result cache."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.sweep import ResultCache, canonicalize, code_fingerprint, \
+    default_cache_root, stable_hash
+from repro.sweep.cache import CACHE_ENV_VAR
+from repro.workloads.configs import QWEN3_30B_A3B, sda_hardware
+
+
+@dataclass(frozen=True)
+class PointA:
+    x: int = 1
+
+
+@dataclass(frozen=True)
+class PointB:
+    x: int = 1
+
+
+class TestStableHash:
+    def test_dict_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert stable_hash((1, 2, 3)) == stable_hash([1, 2, 3])
+
+    def test_distinct_dataclass_types_do_not_collide(self):
+        assert stable_hash(PointA()) != stable_hash(PointB())
+
+    def test_dataclass_field_change_changes_hash(self):
+        assert stable_hash(PointA(x=1)) != stable_hash(PointA(x=2))
+
+    def test_numpy_scalars_and_arrays(self):
+        assert stable_hash(np.int64(7)) == stable_hash(7)
+        assert stable_hash(np.array([1, 2])) == stable_hash([1, 2])
+
+    def test_config_dataclasses_hash_deterministically(self):
+        assert stable_hash(QWEN3_30B_A3B) == stable_hash(QWEN3_30B_A3B)
+        assert stable_hash(sda_hardware()) == \
+            stable_hash(sda_hardware(onchip_bandwidth=64.0))
+        assert stable_hash(sda_hardware()) != \
+            stable_hash(sda_hardware(onchip_bandwidth=32.0))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+    def test_canonical_enum_tagging(self):
+        from repro.data.kv_traces import VarianceClass
+        payload = canonicalize(VarianceClass.HIGH)
+        assert payload["__enum__"] == "VarianceClass"
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"point": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 12.5})
+        assert cache.get(key) == {"cycles": 12.5}
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("x")
+        cache.put(key, {"cycles": 1.0})
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(stable_hash(i), {"cycles": float(i)})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_entries_are_plain_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("y")
+        cache.put(key, {"cycles": 3.0})
+        assert json.loads(cache.path_for(key).read_text()) == {"cycles": 3.0}
+
+    def test_code_fingerprint_is_stable_and_hexadecimal(self):
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        int(first, 16)
+        assert len(first) == 64
+
+    def test_default_root_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "env-cache"))
+        assert default_cache_root() == tmp_path / "env-cache"
+        assert ResultCache().root == tmp_path / "env-cache"

@@ -1,0 +1,128 @@
+"""SweepSpec grid expansion, ordering and seed/cache-key stability."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.sweep import SweepSpec, task_accepts_seed
+from repro.sweep.tasks import TASKS
+
+
+@pytest.fixture
+def seeded_task():
+    """A temporarily registered task that consumes the derived seed."""
+    name = "_spec_seeded_probe_task"
+    TASKS[name] = lambda seed=0: {"seed": float(seed)}
+    task_accepts_seed.cache_clear()
+    yield name
+    del TASKS[name]
+    task_accepts_seed.cache_clear()
+
+
+class TestGridExpansion:
+    def test_cartesian_cross_product_in_order(self):
+        spec = SweepSpec(name="s", task="moe_layer",
+                         axes={"a": [1, 2], "b": ["x", "y", "z"]})
+        grid = spec.grid()
+        assert len(grid) == len(spec) == 6
+        assert grid[0] == {"a": 1, "b": "x"}
+        assert grid[1] == {"a": 1, "b": "y"}
+        assert grid[-1] == {"a": 2, "b": "z"}
+
+    def test_zip_pairs_elementwise(self):
+        spec = SweepSpec(name="s", task="moe_layer", mode="zip",
+                         axes={"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        assert spec.grid() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"},
+                               {"a": 3, "b": "z"}]
+        assert len(spec) == 3
+
+    def test_no_axes_yields_single_point(self):
+        spec = SweepSpec(name="s", task="moe_layer", base={"a": 1})
+        assert len(spec) == 1
+        points = spec.points()
+        assert len(points) == 1
+        assert points[0].kwargs() == {"a": 1}
+
+    def test_base_merged_into_every_point(self):
+        spec = SweepSpec(name="s", task="moe_layer", base={"c": 7},
+                         axes={"a": [1, 2]})
+        for point, expected in zip(spec.points(), (1, 2)):
+            assert point.kwargs() == {"a": expected, "c": 7}
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="s", task="moe_layer", mode="zip",
+                      axes={"a": [1, 2], "b": [1]})
+
+    def test_base_axis_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="s", task="moe_layer", base={"a": 1}, axes={"a": [2]})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="s", task="moe_layer", mode="diagonal")
+
+
+class TestSeedsAndKeys:
+    def test_point_seed_follows_params_not_position(self):
+        forward = SweepSpec(name="s", task="moe_layer", axes={"a": [1, 2, 3]})
+        backward = SweepSpec(name="s", task="moe_layer", axes={"a": [3, 2, 1]})
+        by_params_fwd = {p.kwargs()["a"]: p for p in forward.points()}
+        by_params_bwd = {p.kwargs()["a"]: p for p in backward.points()}
+        for a in (1, 2, 3):
+            assert by_params_fwd[a].seed == by_params_bwd[a].seed
+            assert by_params_fwd[a].cache_key() == by_params_bwd[a].cache_key()
+
+    def test_cache_key_ignores_spec_name(self):
+        one = SweepSpec(name="one", task="moe_layer", axes={"a": [1]}).points()[0]
+        two = SweepSpec(name="two", task="moe_layer", axes={"a": [1]}).points()[0]
+        assert one.cache_key() == two.cache_key()
+
+    def test_cache_key_changes_with_params_seed_and_task(self, seeded_task):
+        base = SweepSpec(name="s", task=seeded_task, axes={"a": [1]}).points()[0]
+        other_param = SweepSpec(name="s", task=seeded_task, axes={"a": [2]}).points()[0]
+        other_seed = SweepSpec(name="s", task=seeded_task, axes={"a": [1]},
+                               seed=1).points()[0]
+        other_task = SweepSpec(name="s", task="attention_layer",
+                               axes={"a": [1]}).points()[0]
+        keys = {base.cache_key(), other_param.cache_key(), other_seed.cache_key(),
+                other_task.cache_key()}
+        assert len(keys) == 4
+
+    def test_spec_seed_distinguishes_points(self):
+        seeded = {spec_seed: SweepSpec(name="s", task="moe_layer",
+                                       axes={"a": [1]}, seed=spec_seed).points()[0].seed
+                  for spec_seed in (0, 1)}
+        assert seeded[0] != seeded[1]
+
+    def test_seedless_task_key_ignores_spec_seed(self):
+        # the shipped tasks take no seed (their inputs fully determine the
+        # result), so identical simulations share one cache entry across seeds
+        for task in ("moe_layer", "attention_layer"):
+            one = SweepSpec(name="s", task=task, axes={"a": [1]}, seed=0).points()[0]
+            two = SweepSpec(name="s", task=task, axes={"a": [1]}, seed=9).points()[0]
+            assert one.cache_key() == two.cache_key()
+
+    def test_late_registration_clears_seedless_cache(self):
+        # querying an unknown task caches "seedless"; registering it must
+        # invalidate that verdict
+        from repro.sweep import register_task
+        name = "_late_registered_probe_task"
+        spec = SweepSpec(name="s", task=name, axes={"a": [1]}, seed=0)
+        key_before = spec.points()[0].cache_key()
+        assert not task_accepts_seed(name)
+        try:
+            register_task(name)(lambda seed=0: {"seed": float(seed)})
+            assert task_accepts_seed(name)
+            assert spec.points()[0].cache_key() != key_before
+        finally:
+            del TASKS[name]
+            task_accepts_seed.cache_clear()
+
+    def test_label_mentions_spec_and_small_params(self):
+        point = SweepSpec(name="tiles", task="moe_layer",
+                          base={"huge": list(range(100))},
+                          axes={"tile_rows": [16]}).points()[0]
+        label = point.label()
+        assert "tiles[0]" in label
+        assert "tile_rows=16" in label
+        assert "huge" not in label
