@@ -1,15 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: build, inspect and simulate a small STeP program.
+"""Quickstart: declare a scenario, run it, read the metrics.
 
-The program loads a weight matrix from off-chip memory once per input tile,
-multiplies, and stores the result — a miniature version of the streaming
-pipelines used throughout the paper.  It shows the three things the frontend
-gives you:
+Part 1 uses the public scenario API (``repro.api``): a workload (what to
+compute), a grid of unified schedules (how to schedule it), and ``run`` —
+which simulates every cell, in parallel if asked, with on-disk result caching.
 
-1. symbolic stream shapes you can inspect while building the graph,
-2. a functional execution mode to check results against numpy,
-3. the cycle-approximate simulation with the performance metrics of Section 4
-   (cycles, off-chip traffic, on-chip memory, operational intensity).
+Part 2 (advanced) drops to the low-level graph builder the adapters wrap:
+symbolic stream shapes, functional execution against numpy, and the raw
+cycle-approximate simulation of Section 4.
 
 Run with::
 
@@ -17,6 +15,41 @@ Run with::
 """
 
 import numpy as np
+
+# --------------------------------------------------------------------------
+# Part 1 — the scenario API (the 10-line experiment)
+# --------------------------------------------------------------------------
+
+from repro.api import MoEWorkload, Scenario, Schedule, run
+from repro.data.expert_routing import generate_routing_trace, representative_iteration
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config
+
+
+def scenario_api_demo():
+    model = scaled_config(QWEN3_30B_A3B, scale=32)
+    routing = representative_iteration(
+        generate_routing_trace(model, batch_size=16, seed=0))
+    result = run(Scenario(
+        name="quickstart-tiling",
+        workloads=MoEWorkload(model=model, batch=16, assignments=routing),
+        schedules={"tile=4": Schedule.static("tile=4", 4),
+                   "tile=8": Schedule.static("tile=8", 8),
+                   "dynamic": Schedule.dynamic()}))
+
+    print("scenario API: MoE layer, static tiles vs dynamic tiling")
+    print(f"{'schedule':<10}{'cycles':>10}{'off-chip bytes':>16}{'on-chip bytes':>15}")
+    for row in result.rows:
+        print(f"{row.schedule:<10}{row['cycles']:>10,.0f}"
+              f"{row['offchip_traffic_bytes']:>16,.0f}"
+              f"{row['onchip_memory_bytes']:>15,.0f}")
+    print("\nSame API, registered scenarios:  run('dense-ffn'),"
+          " run('prefill-decode-mix'), ...")
+    print("Parallel + cached:               run(sc, jobs=4, cache='/tmp/sweeps')\n")
+
+
+# --------------------------------------------------------------------------
+# Part 2 (advanced) — the low-level graph builder behind the adapters
+# --------------------------------------------------------------------------
 
 from repro.analysis import program_offchip_traffic, program_onchip_memory
 from repro.core import Program, Tile
@@ -48,7 +81,8 @@ def build_program(batch_tiles: int, rows: int, hidden: int, out_dim: int,
     return Program([store, product.output], name="quickstart"), product.output.name
 
 
-def main():
+def low_level_demo():
+    print("advanced: the low-level builder the workload adapters wrap")
     rng = np.random.default_rng(0)
     batch_tiles, rows, hidden, out_dim = 8, 4, 64, 128
     weight = rng.standard_normal((hidden, out_dim)).astype(np.float32) * 0.1
@@ -73,6 +107,12 @@ def main():
     print("\ncycle-approximate simulation:")
     for key, value in report.summary().items():
         print(f"  {key:24s}: {value:,.2f}")
+
+
+def main():
+    scenario_api_demo()
+    print("=" * 70, "\n")
+    low_level_demo()
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """The paper's simplified MoE walk-through (Section 3.3, Listing 1, Figure 7).
 
-Ten activation rows are routed to two single-matmul experts, packed into tiles
-(statically padded or dynamically sized), multiplied against weights streamed
-from off-chip memory, and gathered back in the original order.  The example
-prints the stream shapes of the main regions, verifies the result against
-numpy, and contrasts the static- and dynamic-tiling schedules.
+Part 1 states the experiment in the public scenario API: one MoE workload, a
+static-tiling schedule and a dynamic-tiling schedule, one ``run`` call — the
+Section 5.2 optimization in miniature.
+
+Part 2 (advanced) is the original low-level walk-through on the ten-row,
+two-expert toy program: it prints the graph structure, carries real numpy
+payloads through the simulator and verifies the result against numpy —
+the machinery the workload adapters build on.
 
 Run with::
 
@@ -13,6 +16,38 @@ Run with::
 """
 
 import numpy as np
+
+# --------------------------------------------------------------------------
+# Part 1 — static vs dynamic tiling through the scenario API
+# --------------------------------------------------------------------------
+
+from repro.api import MoEWorkload, Scenario, Schedule, run
+from repro.data.expert_routing import generate_routing_trace, representative_iteration
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config
+
+
+def scenario_demo():
+    model = scaled_config(QWEN3_30B_A3B, scale=32)
+    routing = representative_iteration(
+        generate_routing_trace(model, batch_size=10, seed=1))
+    result = run(Scenario(
+        name="simple-moe",
+        workloads=MoEWorkload(model=model, batch=10, assignments=routing),
+        schedules={"static tile=4": Schedule.static("static tile=4", 4),
+                   "dynamic": Schedule.dynamic()}))
+
+    print("scenario API: the Section 5.2 comparison in one declaration")
+    print(f"{'schedule':<18}{'cycles':>10}{'off-chip bytes':>16}{'on-chip bytes':>15}")
+    for row in result.rows:
+        print(f"{row.schedule:<18}{row['cycles']:>10,.0f}"
+              f"{row['offchip_traffic_bytes']:>16,.0f}"
+              f"{row['onchip_memory_bytes']:>15,.0f}")
+    print("\nDynamic tiling loads each expert's weights once (no padded groups).\n")
+
+
+# --------------------------------------------------------------------------
+# Part 2 (advanced) — the low-level Listing 1 walk-through with real payloads
+# --------------------------------------------------------------------------
 
 from repro.core.builder import tokens_to_matrix
 from repro.sim import simulate
@@ -31,7 +66,8 @@ def run_variant(tile_rows, activations, routing):
     return report, error
 
 
-def main():
+def low_level_demo():
+    print("advanced: the Listing 1 toy program, functionally verified")
     rng = np.random.default_rng(7)
     activations = rng.standard_normal((10, 64)).astype(np.float32)
     routing = [0, 1, 0, 0, 1, 1, 0, 1, 0, 0]
@@ -49,8 +85,11 @@ def main():
         print(f"{label:<18}{report.cycles:>10,.0f}{report.offchip_traffic:>16,}"
               f"{report.onchip_memory:>15,}{error:>12.2e}")
 
-    print("\nDynamic tiling loads each expert's weights once (no padded groups), "
-          "which is the Section 5.2 optimization in miniature.")
+
+def main():
+    scenario_demo()
+    print("=" * 70, "\n")
+    low_level_demo()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,88 @@
+"""repro.api — the unified scenario API: one facade for workloads, schedules
+and simulation.
+
+Every result in the paper is an instance of one pattern: *build a workload
+graph under a schedule, simulate it on a hardware configuration, collect
+metrics*.  This package expresses that pattern once, in three layers:
+
+1. **Workloads** (:mod:`repro.api.workload`) — adapters wrapping the graph
+   builders in :mod:`repro.workloads` behind one protocol: ``params()``
+   (picklable constructor data), ``build(schedule, hardware)`` (the program +
+   input streams) and ``run(schedule, hardware)`` (flat metrics).  Shipped
+   adapters: :class:`MoEWorkload`, :class:`AttentionWorkload`,
+   :class:`QKVWorkload`, :class:`DecoderWorkload` (end-to-end layers) and
+   :class:`DenseFFNWorkload`.
+2. **Schedules** (:class:`repro.schedules.Schedule`) — the unified schedule
+   composes the tiling / time-multiplexing / parallelization descriptors into
+   the actual configuration the builders consume, replacing the per-call-site
+   knobs that used to be scattered across the codebase.
+3. **Scenarios** (:mod:`repro.api.scenario`) — a :class:`Scenario` is a named
+   workloads × schedules grid plus hardware and seed; :func:`run` executes it
+   through the sweep subsystem (parallel workers, on-disk result caching),
+   and a registry (:func:`register_scenario` / :func:`get_scenario`) makes
+   scenarios addressable by name.
+
+A complete experiment in ten lines::
+
+    from repro.api import MoEWorkload, Scenario, Schedule, run
+    from repro.data.expert_routing import generate_routing_trace, representative_iteration
+    from repro.workloads.configs import QWEN3_30B_A3B, scaled_config
+
+    model = scaled_config(QWEN3_30B_A3B, scale=32)
+    routing = representative_iteration(generate_routing_trace(model, batch_size=16, seed=0))
+    result = run(Scenario(
+        name="my-tiling-study",
+        workloads=MoEWorkload(model=model, batch=16, assignments=routing),
+        schedules={"tile=8": Schedule.static("tile=8", 8), "dynamic": Schedule.dynamic()}))
+    print({row.schedule: row["cycles"] for row in result.rows})
+
+The figure modules in :mod:`repro.experiments` are thin wrappers over this
+API, so anything they reproduce you can re-mix by declaring a new scenario.
+"""
+
+from ..schedules import (ParallelizationSchedule, Schedule, TilingSchedule,
+                         TimeMultiplexSchedule, dynamic_tiling, parallelization,
+                         static_tiling, time_multiplexing)
+from ..sweep import ResultCache, SweepRunner
+from .scenario import (SCENARIOS, Scenario, ScenarioResult, ScenarioRow, get_scenario,
+                       register_scenario, run, scenario_names)
+from .workload import (WORKLOAD_KINDS, AttentionWorkload, BuiltWorkload,
+                       DecoderWorkload, DenseFFNWorkload, MoEWorkload, QKVWorkload,
+                       Workload, WorkloadBase, register_workload, workload_from_params)
+from . import library  # registers the built-in scenarios  # noqa: F401
+
+__all__ = [
+    # workloads
+    "Workload",
+    "WorkloadBase",
+    "BuiltWorkload",
+    "MoEWorkload",
+    "AttentionWorkload",
+    "QKVWorkload",
+    "DecoderWorkload",
+    "DenseFFNWorkload",
+    "WORKLOAD_KINDS",
+    "register_workload",
+    "workload_from_params",
+    # schedules
+    "Schedule",
+    "TilingSchedule",
+    "TimeMultiplexSchedule",
+    "ParallelizationSchedule",
+    "static_tiling",
+    "dynamic_tiling",
+    "time_multiplexing",
+    "parallelization",
+    # scenarios
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRow",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "run",
+    # execution
+    "ResultCache",
+    "SweepRunner",
+]

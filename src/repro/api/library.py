@@ -1,0 +1,115 @@
+"""Built-in registered scenarios.
+
+Importing :mod:`repro.api` registers these names (list them with
+:func:`repro.api.scenario_names`):
+
+* ``"dense-ffn"`` — a dense SwiGLU FFN layer (the single-expert degenerate of
+  the MoE) swept over static tile sizes versus dynamic tiling.  *New* with the
+  unified API: the old per-figure structure had no place for a workload
+  without routed expert traces.
+* ``"prefill-decode-mix"`` — decode attention over a bimodal batch mixing
+  long-context (prefill-heavy) and short-context requests, comparing all
+  three parallelization strategies.  Also new: the per-figure KV traces were
+  variance-classed, never bimodal.
+* ``"figure9"`` / ``"figure10"`` — the paper's MoE tiling Pareto experiment
+  expressed as a scenario (the same grid the rewired
+  :mod:`repro.experiments.figure9_10` runs, so its metrics are bit-identical
+  to the figure path).
+
+Factories take keyword overrides (``seed``, ``batch``, …; the figure
+factories take ``scale``) so one registration covers smoke tests and
+full-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..schedules import Schedule, parallelization
+from ..workloads.configs import MIXTRAL_8X7B, QWEN3_30B_A3B, scaled_config
+from .scenario import Scenario, register_scenario
+from .workload import AttentionWorkload, DenseFFNWorkload
+
+
+def tiling_schedules(tiles: Sequence[int]):
+    """Static tile sizes plus the dynamic point, as named unified schedules."""
+    schedules = {f"tile={t}": Schedule.static(f"tile={t}", tile_rows=t) for t in tiles}
+    schedules["dynamic"] = Schedule.dynamic()
+    return schedules
+
+
+@register_scenario("dense-ffn")
+def dense_ffn(model_scale: int = 32, batch: int = 16,
+              tiles: Sequence[int] = (4, 8, 16), seed: int = 0) -> Scenario:
+    """Dense-FFN tiling baseline: does dynamic tiling still pay without routing?
+
+    With every token on the one expert there is no load imbalance to absorb,
+    so the dynamic point should match the best static tile rather than beat
+    it — a sanity anchor for the MoE results.
+    """
+    model = scaled_config(MIXTRAL_8X7B, scale=model_scale)
+    return Scenario(
+        name="dense-ffn",
+        workloads=DenseFFNWorkload(model=model, batch=batch),
+        schedules=tiling_schedules([t for t in tiles if t <= batch]),
+        seed=seed,
+        description="dense SwiGLU FFN layer, static tile sweep vs dynamic tiling",
+    )
+
+
+@register_scenario("prefill-decode-mix")
+def prefill_decode_mix(model_scale: int = 32, batch: int = 16,
+                       prefill_fraction: float = 0.25, prefill_kv: int = 2048,
+                       decode_kv: int = 128, seed: int = 0) -> Scenario:
+    """Attention over a bimodal batch: a few huge-KV requests among small ones.
+
+    The KV lengths are drawn around two modes (long "prefill-heavy" contexts
+    and short decode contexts), the worst case for static work distribution —
+    one region inherits the giant requests while the rest idle.
+    """
+    model = scaled_config(QWEN3_30B_A3B, scale=model_scale)
+    rng = np.random.default_rng(seed)
+    num_prefill = max(1, int(round(batch * prefill_fraction)))
+    lengths = [int(max(16, rng.normal(prefill_kv, prefill_kv * 0.1)))
+               for _ in range(num_prefill)]
+    lengths += [int(max(16, rng.normal(decode_kv, decode_kv * 0.25)))
+                for _ in range(batch - num_prefill)]
+    rng.shuffle(lengths)
+    schedules = {
+        strategy: Schedule(name=strategy,
+                           parallelization=parallelization(strategy, num_regions=4,
+                                                           coarse_chunk=max(batch // 4, 1)))
+        for strategy in ("coarse", "interleave", "dynamic")
+    }
+    return Scenario(
+        name="prefill-decode-mix",
+        workloads=AttentionWorkload(model=model, batch=batch, lengths=lengths),
+        schedules=schedules,
+        seed=seed,
+        description="decode attention over a bimodal prefill/decode KV-length mix",
+    )
+
+
+def _figure9_10_scenario(scale, seed: Optional[int], large_batch: bool) -> Scenario:
+    from dataclasses import replace
+
+    from ..experiments import figure9_10
+    from ..experiments.common import DEFAULT_SCALE
+    scale = scale or DEFAULT_SCALE
+    if seed is not None:
+        scale = replace(scale, seed=seed)
+    return figure9_10.scenario(scale, large_batch=large_batch)
+
+
+@register_scenario("figure9")
+def figure9(scale=None, seed: Optional[int] = None) -> Scenario:
+    """The Figure 9 MoE tiling Pareto grid (small batch) as a scenario."""
+    return _figure9_10_scenario(scale, seed, large_batch=False)
+
+
+@register_scenario("figure10")
+def figure10(scale=None, seed: Optional[int] = None) -> Scenario:
+    """The Figure 10 MoE tiling Pareto grid (large batch) as a scenario."""
+    return _figure9_10_scenario(scale, seed, large_batch=True)

@@ -1,0 +1,195 @@
+"""Scenarios — the *experiment* of the unified API, and the ``run`` entry point.
+
+A :class:`Scenario` names a grid of workloads × unified schedules plus the
+hardware configuration and seed: everything needed to reproduce a figure (or
+invent a new experiment) in one declarative record.  :func:`run` expands the
+scenario into a zip-mode :class:`~repro.sweep.spec.SweepSpec` over the single
+generic ``"workload"`` sweep task and executes it on a
+:class:`~repro.sweep.runner.SweepRunner`, so every scenario inherits parallel
+pooled execution, content-hash result caching (warm reruns skip simulation
+entirely) and deterministic ordering for free.
+
+Scenarios can also be *registered* by name: ``register_scenario`` stores a
+factory, ``get_scenario`` instantiates it, and ``run("name")`` resolves it
+directly.  Registered factories accept keyword overrides, so one registration
+covers smoke-scale tests and full-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
+
+from ..core.errors import ConfigError
+from ..schedules import Schedule
+from ..sim.executors.common import HardwareConfig
+from ..sweep import ResultCache, SweepRunner, SweepSpec, SweepStats, resolve_runner
+from ..workloads.configs import sda_hardware
+from .workload import Workload
+
+
+def _as_mapping(value, default_key: Callable[[Any], str]) -> Dict[str, Any]:
+    if isinstance(value, Mapping):
+        return dict(value)
+    return {default_key(value): value}
+
+
+@dataclass
+class Scenario:
+    """One declarative experiment: workloads × schedules on one hardware config.
+
+    ``workloads`` and ``schedules`` are ordered mappings from a short label to
+    the object; passing a single :class:`Workload` or :class:`Schedule` wraps
+    it under its own label.  ``seed`` feeds the sweep spec (tasks that consume
+    seeds derive per-point seeds from it; the shipped workload task is
+    seedless — workload data fully determines the result).
+    """
+
+    name: str
+    workloads: Union[Workload, Mapping[str, Workload]]
+    schedules: Union[Schedule, Mapping[str, Schedule]]
+    hardware: Optional[HardwareConfig] = None
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a scenario needs a non-empty name")
+        self.workloads = _as_mapping(self.workloads, lambda w: w.label())
+        self.schedules = _as_mapping(self.schedules, lambda s: s.name)
+        if not self.workloads or not self.schedules:
+            raise ConfigError(f"{self.name}: needs at least one workload and one schedule")
+        if self.hardware is None:
+            self.hardware = sda_hardware()
+
+    def grid(self) -> List[Tuple[str, str]]:
+        """The (workload label, schedule label) cross product, workload-major."""
+        return [(w, s) for w in self.workloads for s in self.schedules]
+
+    def sweep_spec(self) -> SweepSpec:
+        """The scenario as a zip-mode grid over the generic ``workload`` task."""
+        pairs = self.grid()
+        return SweepSpec(
+            name=f"scenario-{self.name}",
+            task="workload",
+            base={"hardware": self.hardware},
+            axes={"workload": [self.workloads[w] for w, _ in pairs],
+                  "schedule": [self.schedules[s] for _, s in pairs]},
+            mode="zip",
+            seed=self.seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self.workloads) * len(self.schedules)
+
+
+@dataclass
+class ScenarioRow:
+    """Metrics of one (workload, schedule) cell."""
+
+    workload: str
+    schedule: str
+    metrics: Dict[str, float]
+    cached: bool = False
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+
+@dataclass
+class ScenarioResult:
+    """All cells of one scenario run, in grid order, plus execution stats."""
+
+    scenario: Scenario
+    rows: List[ScenarioRow]
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __getitem__(self, key: Tuple[str, str]) -> Dict[str, float]:
+        workload, schedule = key
+        for row in self.rows:
+            if row.workload == workload and row.schedule == schedule:
+                return row.metrics
+        raise KeyError(key)
+
+    def for_workload(self, workload: str) -> Dict[str, Dict[str, float]]:
+        """schedule label -> metrics, for one workload."""
+        return {row.schedule: row.metrics for row in self.rows
+                if row.workload == workload}
+
+    def for_schedule(self, schedule: str) -> Dict[str, Dict[str, float]]:
+        """workload label -> metrics, for one schedule."""
+        return {row.workload: row.metrics for row in self.rows
+                if row.schedule == schedule}
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """Flat row dictionaries (workload/schedule labels + metrics) for tables."""
+        return [{"workload": row.workload, "schedule": row.schedule, **row.metrics}
+                for row in self.rows]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: scenario name -> factory(**overrides) -> Scenario
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {}
+
+
+def register_scenario(name: str):
+    """Decorator registering a scenario factory under ``name``.
+
+    The factory takes only keyword arguments (scale/seed/batch overrides …)
+    and returns a fresh :class:`Scenario`.
+    """
+
+    def wrap(factory: Callable[..., Scenario]):
+        if name in SCENARIOS:
+            raise ConfigError(f"scenario {name!r} is already registered")
+        SCENARIOS[name] = factory
+        return factory
+
+    return wrap
+
+
+def get_scenario(name: str, **overrides) -> Scenario:
+    """Instantiate the registered scenario ``name`` (with factory overrides)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(f"unknown scenario {name!r}; "
+                          f"registered: {scenario_names()}") from None
+    return factory(**overrides)
+
+
+def scenario_names() -> List[str]:
+    """The registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def run(scenario: Union[Scenario, str], *, jobs: Optional[int] = None,
+        cache: Union[ResultCache, str, None] = None,
+        runner: Optional[SweepRunner] = None, **overrides) -> ScenarioResult:
+    """Execute a scenario (or a registered scenario name) and collect its grid.
+
+    ``runner`` takes precedence when given; otherwise a runner is built from
+    ``jobs``/``cache`` (defaulting to the shared serial, uncached runner).
+    Results come back in grid order; with a cache, a warm rerun satisfies
+    every cell without re-simulating (``result.stats.simulated == 0``).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario, **overrides)
+    elif overrides:
+        raise ConfigError("factory overrides only apply to registered scenario names")
+    if runner is None:
+        runner = SweepRunner(jobs=jobs, cache=cache) if (jobs or cache is not None) \
+            else resolve_runner(None)
+    results = runner.run(scenario.sweep_spec())
+    rows = [ScenarioRow(workload=w, schedule=s, metrics=result.metrics,
+                        cached=result.cached)
+            for (w, s), result in zip(scenario.grid(), results)]
+    return ScenarioResult(scenario=scenario, rows=rows, stats=runner.last_stats)

@@ -1,0 +1,317 @@
+"""Workload adapters — the *what* of a scenario.
+
+A :class:`Workload` is anything that can build a dataflow program for a given
+unified :class:`~repro.schedules.Schedule` and report the paper's metrics for
+it.  The contract is deliberately small:
+
+* ``kind`` — a stable registry name (``"moe"``, ``"attention"``, …),
+* ``params()`` — the picklable constructor parameters, so a workload can cross
+  a multiprocessing pool boundary, be content-hashed by the sweep cache and be
+  reconstructed via :func:`workload_from_params`,
+* ``build(schedule, hardware)`` — the :class:`~repro.core.graph.Program` plus
+  its runtime input token streams (a :class:`BuiltWorkload`),
+* ``run(schedule, hardware)`` — simulate and return the flat metrics
+  dictionary the sweep cache stores (``SimReport.to_dict()``).
+
+:class:`WorkloadBase` implements ``params``/``run`` generically; adapters only
+map the unified schedule onto their builder's configuration.  Composite
+workloads (:class:`DecoderWorkload`) override ``run`` instead of ``build``
+because they simulate several sub-programs.
+
+The adapters wrap the existing builders in :mod:`repro.workloads` without
+changing their semantics: a workload run through this layer produces
+bit-identical metrics to a hand-constructed ``MoELayerConfig`` /
+``AttentionConfig`` simulation (pinned by ``tests/api/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import (Any, ClassVar, Dict, Optional, Protocol, Sequence, Type,
+                    runtime_checkable)
+
+from ..core.errors import ConfigError
+from ..core.graph import Program
+from ..schedules import Schedule
+from ..sim import simulate
+from ..sim.executors.common import HardwareConfig
+from ..workloads.attention import AttentionConfig, build_attention_layer
+from ..workloads.configs import ModelConfig
+from ..workloads.model import evaluate_end_to_end
+from ..workloads.moe import MoELayerConfig, build_moe_layer
+from ..workloads.qkv import QKVConfig, build_qkv_layer
+
+#: workload kind -> adapter class, for reconstruction from plain parameters
+WORKLOAD_KINDS: Dict[str, Type["WorkloadBase"]] = {}
+
+
+def register_workload(cls: Type["WorkloadBase"]) -> Type["WorkloadBase"]:
+    """Class decorator registering an adapter under its ``kind``."""
+    kind = getattr(cls, "kind", None)
+    if not kind:
+        raise ConfigError(f"{cls.__name__} must define a non-empty `kind`")
+    if kind in WORKLOAD_KINDS:
+        raise ConfigError(f"workload kind {kind!r} is already registered")
+    WORKLOAD_KINDS[kind] = cls
+    return cls
+
+
+def workload_from_params(kind: str, params: Dict[str, Any]) -> "WorkloadBase":
+    """Reconstruct a workload from ``(kind, params())`` — the pickle-free path."""
+    try:
+        cls = WORKLOAD_KINDS[kind]
+    except KeyError:
+        raise ConfigError(f"unknown workload kind {kind!r}; "
+                          f"registered: {sorted(WORKLOAD_KINDS)}") from None
+    return cls(**params)
+
+
+@dataclass
+class BuiltWorkload:
+    """A built program plus the runtime token streams that drive it."""
+
+    program: Program
+    inputs: Dict[str, list]
+    output_name: Optional[str] = None
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Structural protocol every scenario workload satisfies."""
+
+    kind: ClassVar[str]
+
+    def params(self) -> Dict[str, Any]: ...
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload: ...
+
+    def run(self, schedule: Schedule,
+            hardware: Optional[HardwareConfig] = None) -> Dict[str, float]: ...
+
+
+class WorkloadBase:
+    """Shared implementation: ``params`` from dataclass fields, ``run`` via sim."""
+
+    kind: ClassVar[str] = ""
+
+    def params(self) -> Dict[str, Any]:
+        """The picklable constructor arguments (shallow — configs stay dataclasses)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        raise NotImplementedError
+
+    def run(self, schedule: Schedule,
+            hardware: Optional[HardwareConfig] = None) -> Dict[str, float]:
+        built = self.build(schedule, hardware)
+        report = simulate(built.program, built.inputs, hardware=hardware)
+        return report.to_dict()
+
+    def label(self) -> str:
+        return self.kind
+
+
+# ---------------------------------------------------------------------------
+# Layer adapters
+# ---------------------------------------------------------------------------
+
+@register_workload
+@dataclass
+class MoEWorkload(WorkloadBase):
+    """One MoE layer under routed ``assignments`` (Figures 9/10/12/13/19/20).
+
+    The schedule's ``tiling`` picks static/dynamic batch tiling and its
+    ``timemux`` picks the expert-region mapping.  ``combine_output=None``
+    follows the builder's constraint automatically: top-k combination for
+    spatial mappings, off for time-multiplexed ones.
+    """
+
+    kind: ClassVar[str] = "moe"
+
+    model: ModelConfig
+    batch: int
+    assignments: Sequence[Sequence[int]]
+    combine_output: Optional[bool] = None
+    compute_bw: int = 8192
+    weight_col_tiles: int = 4
+
+    def config(self, schedule: Schedule) -> MoELayerConfig:
+        num_regions = schedule.moe_num_regions
+        combine = self.combine_output
+        if combine is None:
+            combine = num_regions is None
+        return MoELayerConfig(model=self.model, batch=self.batch,
+                              tile_rows=schedule.moe_tile_rows,
+                              num_regions=num_regions, combine_output=combine,
+                              compute_bw=self.compute_bw,
+                              weight_col_tiles=self.weight_col_tiles)
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        built = build_moe_layer(self.config(schedule))
+        assignments = [list(a) for a in self.assignments]
+        return BuiltWorkload(program=built.program, inputs=built.inputs(assignments),
+                             output_name=built.output_name)
+
+    def label(self) -> str:
+        return f"moe:{self.model.name}:b{self.batch}"
+
+
+@register_workload
+@dataclass
+class DenseFFNWorkload(WorkloadBase):
+    """A dense SwiGLU FFN layer — the single-expert degenerate of the MoE.
+
+    Every token is routed to the one expert, so static-vs-dynamic tiling
+    compares padded fixed tiles against one batch-sized tile.  This baseline
+    was awkward to express before the unified API (the sweep tasks assumed
+    routed expert traces); here it is just another workload over the same
+    schedule grid.  ``timemux`` is meaningless for a single expert and is
+    ignored.
+    """
+
+    kind: ClassVar[str] = "dense_ffn"
+
+    model: ModelConfig
+    batch: int
+    compute_bw: int = 8192
+    weight_col_tiles: int = 4
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        dense = dataclasses.replace(self.model, name=f"{self.model.name}-dense",
+                                    num_experts=1, experts_per_token=1)
+        config = MoELayerConfig(model=dense, batch=self.batch,
+                                tile_rows=schedule.moe_tile_rows,
+                                num_regions=None, combine_output=True,
+                                compute_bw=self.compute_bw,
+                                weight_col_tiles=self.weight_col_tiles)
+        built = build_moe_layer(config)
+        assignments = [[0] for _ in range(self.batch)]
+        return BuiltWorkload(program=built.program, inputs=built.inputs(assignments),
+                             output_name=built.output_name)
+
+    def label(self) -> str:
+        return f"dense_ffn:{self.model.name}:b{self.batch}"
+
+
+@register_workload
+@dataclass
+class AttentionWorkload(WorkloadBase):
+    """Decode attention over a batch of KV-cache ``lengths`` (Figures 14/15/21).
+
+    The schedule's ``parallelization`` picks the work-distribution strategy and
+    the region geometry.  ``lengths`` may be longer than ``batch``; the first
+    ``batch`` entries are used, so batch-size sweeps can share one base trace.
+    """
+
+    kind: ClassVar[str] = "attention"
+
+    model: ModelConfig
+    batch: int
+    lengths: Sequence[int]
+    kv_tile_rows: int = 64
+    compute_bw: int = 256
+    initial_per_region: int = 2
+
+    def config(self, schedule: Schedule) -> AttentionConfig:
+        par = schedule.parallelization
+        return AttentionConfig(model=self.model, batch=self.batch,
+                               strategy=par.strategy, num_regions=par.num_regions,
+                               kv_tile_rows=self.kv_tile_rows,
+                               coarse_chunk=par.coarse_chunk,
+                               initial_per_region=self.initial_per_region,
+                               compute_bw=self.compute_bw)
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        lengths = list(self.lengths)[:self.batch]
+        if len(lengths) < self.batch:
+            raise ConfigError(f"attention workload: {len(lengths)} KV lengths for "
+                              f"batch {self.batch}")
+        built = build_attention_layer(self.config(schedule))
+        return BuiltWorkload(program=built.program, inputs=built.inputs(lengths),
+                             output_name=built.output_name)
+
+    def label(self) -> str:
+        return f"attention:{self.model.name}:b{self.batch}"
+
+
+@register_workload
+@dataclass
+class QKVWorkload(WorkloadBase):
+    """Batch-parallel QKV generation (the dense sub-layer of Section 5.5)."""
+
+    kind: ClassVar[str] = "qkv"
+
+    model: ModelConfig
+    batch: int
+    compute_bw: int = 8192
+    weight_col_tiles: int = 4
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        config = QKVConfig(model=self.model, batch=self.batch,
+                           num_regions=schedule.parallelization.num_regions,
+                           weight_col_tiles=self.weight_col_tiles,
+                           compute_bw=self.compute_bw)
+        built = build_qkv_layer(config)
+        return BuiltWorkload(program=built.program, inputs=built.inputs())
+
+    def label(self) -> str:
+        return f"qkv:{self.model.name}:b{self.batch}"
+
+
+@register_workload
+@dataclass
+class DecoderWorkload(WorkloadBase):
+    """An end-to-end decoder model: QKV + attention + MoE × ``num_layers``.
+
+    Composite: the three sub-layer programs are simulated separately and
+    composed exactly as :func:`repro.workloads.model.evaluate_end_to_end` does
+    (layer latency/traffic scale with the layer count, the resource footprint
+    stays that of one layer), so ``run`` is overridden instead of ``build``.
+    The flat metrics additionally carry the per-sub-layer cycle breakdown of
+    one layer (``layer_qkv_cycles`` …) used by the Figure 17 report.
+    """
+
+    kind: ClassVar[str] = "decoder"
+
+    model: ModelConfig
+    batch: int
+    kv_lengths: Sequence[int]
+    assignments: Sequence[Sequence[int]]
+    num_layers: Optional[int] = None
+    moe_compute_bw: int = 8192
+    attention_compute_bw: int = 256
+    kv_tile_rows: int = 128
+
+    def build(self, schedule: Schedule,
+              hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
+        raise ConfigError("DecoderWorkload is composite (three sub-layer programs); "
+                          "use run() — there is no single Program to build")
+
+    def run(self, schedule: Schedule,
+            hardware: Optional[HardwareConfig] = None) -> Dict[str, float]:
+        result = evaluate_end_to_end(
+            self.model, schedule, self.batch, list(self.kv_lengths),
+            [list(a) for a in self.assignments], num_layers=self.num_layers,
+            hardware=hardware, moe_compute_bw=self.moe_compute_bw,
+            attention_compute_bw=self.attention_compute_bw,
+            kv_tile_rows=self.kv_tile_rows)
+        metrics = {
+            "cycles": float(result.total_cycles),
+            "offchip_traffic_bytes": float(result.total_traffic),
+            "onchip_memory_bytes": float(result.onchip_memory),
+            "allocated_compute_flops_per_cycle": float(result.allocated_compute),
+            "num_layers": float(result.num_layers),
+        }
+        for sub, cycles in result.breakdown.cycles.items():
+            metrics[f"layer_{sub}_cycles"] = float(cycles)
+        return metrics
+
+    def label(self) -> str:
+        return f"decoder:{self.model.name}:b{self.batch}"

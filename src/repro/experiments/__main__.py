@@ -1,0 +1,11 @@
+"""``python -m repro.experiments`` — alias for the figure experiment runner.
+
+The canonical entry point used by CI's API-surface smoke job::
+
+    python -m repro.experiments --figure 9 --scale smoke
+"""
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,56 +7,60 @@ reports compute-resource utilization and cycles; Figure 13 additionally
 reports on-chip memory, allocated compute and off-chip-bandwidth utilization.
 The headline claims are a ~2.5-2.6x utilization improvement at small
 performance overhead, with large compute/memory savings.
+
+The (tiling × regions) grid is one :class:`~repro.api.Scenario`: the unified
+:class:`~repro.schedules.Schedule` composes the tiling decision with the
+time-multiplexing descriptor, so every grid cell is a plain schedule value.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from ..api import MoEWorkload, Scenario, Schedule
+from ..api import run as run_scenario
+from ..schedules import (dynamic_tiling, parallelization, static_tiling,
+                         time_multiplexing)
+from ..sweep import SweepRunner, resolve_runner
 from ..workloads.configs import ModelConfig
 from .common import DEFAULT_SCALE, ExperimentScale, hardware, moe_routing, qwen_model
 
 
-def region_sweep_spec(model: ModelConfig, batch: int, tile_rows: Optional[int],
-                      regions: Sequence[Optional[int]],
-                      scale: ExperimentScale) -> SweepSpec:
-    """The time-multiplexing region sweep as a sweep grid."""
-    assignments = [list(a) for a in moe_routing(model, batch, scale)]
-    tiling = "dynamic" if tile_rows is None else f"tile{tile_rows}"
-    return SweepSpec(
-        name=f"fig12_13-{model.name}-b{batch}-{tiling}",
-        task="moe_layer",
-        base={"model": model, "batch": batch, "assignments": assignments,
-              "tile_rows": tile_rows, "combine_output": False,
-              "hardware": hardware(scale)},
-        axes={"num_regions": list(regions)},
+def region_schedule(model: ModelConfig, tile_rows: Optional[int],
+                    num_regions: Optional[int]) -> Schedule:
+    """One grid cell: a tiling decision plus an expert-region mapping."""
+    tiling = dynamic_tiling() if tile_rows is None else static_tiling(tile_rows)
+    timemux = None if num_regions is None else \
+        time_multiplexing(model.num_experts, num_regions)
+    label = "dynamic" if tile_rows is None else f"tile{tile_rows}"
+    regions = "spatial" if num_regions is None else f"r{num_regions}"
+    return Schedule(name=f"{label}-{regions}", tiling=tiling, timemux=timemux,
+                    parallelization=parallelization("interleave"))
+
+
+def scenario(scale: ExperimentScale, static_tile: int = 32) -> Scenario:
+    """The Figure 12/13 (tiling × parallel regions) grid as one scenario."""
+    model = qwen_model(scale)
+    regions = [r for r in scale.timemux_regions
+               if r is None or model.num_experts % r == 0]
+    static_tile = min(static_tile, max(scale.moe_batch // 2, 1))
+    schedules = {}
+    for tile_rows in (static_tile, None):
+        for num_regions in regions:
+            schedule = region_schedule(model, tile_rows, num_regions)
+            schedules[schedule.name] = schedule
+    workload = MoEWorkload(
+        model=model, batch=scale.moe_batch,
+        assignments=[list(a) for a in moe_routing(model, scale.moe_batch, scale)],
+        combine_output=False)
+    return Scenario(
+        name=f"figure12_13-{scale.name}",
+        workloads={model.name: workload},
+        schedules=schedules,
+        hardware=hardware(scale),
         seed=scale.seed,
+        description="configuration time-multiplexing region sweep",
     )
-
-
-def sweep_regions(model: ModelConfig, batch: int, tile_rows: Optional[int],
-                  regions: Sequence[Optional[int]], scale: ExperimentScale,
-                  runner: Optional[SweepRunner] = None) -> List[dict]:
-    """Simulate the MoE layer for every parallel-region count."""
-    spec = region_sweep_spec(model, batch, tile_rows, regions, scale)
-    rows: List[dict] = []
-    for result in resolve_runner(runner).run(spec):
-        num_regions = result.point.kwargs()["num_regions"]
-        effective_regions = num_regions if num_regions is not None else model.num_experts
-        rows.append({
-            "model": model.name,
-            "tiling": "dynamic" if tile_rows is None else f"tile={tile_rows}",
-            "parallel_regions": effective_regions,
-            "experts_per_region": model.num_experts // effective_regions,
-            "cycles": result["cycles"],
-            "compute_utilization": result["compute_utilization"],
-            "allocated_compute_flops_per_cycle": result["allocated_compute_flops_per_cycle"],
-            "onchip_memory_bytes": result["onchip_memory_bytes"],
-            "offchip_bw_utilization": result["offchip_bw_utilization"],
-            "total_flops": result["total_flops"],
-        })
-    return rows
 
 
 def summarize(rows: Sequence[dict]) -> dict:
@@ -88,14 +92,28 @@ def run(scale: ExperimentScale = DEFAULT_SCALE, static_tile: int = 32,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate Figures 12 and 13."""
     model = qwen_model(scale)
-    regions = [r for r in scale.timemux_regions
-               if r is None or model.num_experts % r == 0]
-    static_tile = min(static_tile, max(scale.moe_batch // 2, 1))
-    static_rows = sweep_regions(model, scale.moe_batch, static_tile, regions, scale,
-                                runner=runner)
-    dynamic_rows = sweep_regions(model, scale.moe_batch, None, regions, scale,
-                                 runner=runner)
+    sc = scenario(scale, static_tile=static_tile)
+    result = run_scenario(sc, runner=resolve_runner(runner))
+    by_tiling: Dict[str, List[dict]] = {"static": [], "dynamic": []}
+    for row in result.rows:
+        schedule = sc.schedules[row.schedule]
+        tile_rows = schedule.moe_tile_rows
+        num_regions = schedule.moe_num_regions
+        effective_regions = num_regions if num_regions is not None else model.num_experts
+        by_tiling["dynamic" if tile_rows is None else "static"].append({
+            "model": model.name,
+            "tiling": "dynamic" if tile_rows is None else f"tile={tile_rows}",
+            "parallel_regions": effective_regions,
+            "experts_per_region": model.num_experts // effective_regions,
+            "cycles": row["cycles"],
+            "compute_utilization": row["compute_utilization"],
+            "allocated_compute_flops_per_cycle": row["allocated_compute_flops_per_cycle"],
+            "onchip_memory_bytes": row["onchip_memory_bytes"],
+            "offchip_bw_utilization": row["offchip_bw_utilization"],
+            "total_flops": row["total_flops"],
+        })
     return {
-        "static": {"rows": static_rows, "summary": summarize(static_rows)},
-        "dynamic": {"rows": dynamic_rows, "summary": summarize(dynamic_rows)},
+        "static": {"rows": by_tiling["static"], "summary": summarize(by_tiling["static"])},
+        "dynamic": {"rows": by_tiling["dynamic"],
+                    "summary": summarize(by_tiling["dynamic"])},
     }

@@ -5,59 +5,74 @@ length variance; dynamic parallelization's speedup over static interleaved
 parallelization grows with the variance (1.14-1.26x at low variance,
 1.47-1.57x at high variance in the paper).
 
-Each (variance class, trace, strategy) combination carries its own KV-length
-list, so the grid is expressed as a zip-mode :class:`SweepSpec` over the
-``attention_layer`` task.
+Each (variance class, trace) combination is one
+:class:`~repro.api.AttentionWorkload` carrying its own KV-length list; the two
+strategies are the scenario's schedule grid, so the whole figure is a single
+:class:`~repro.api.Scenario` cross product.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..api import AttentionWorkload, Scenario, Schedule
+from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
-from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from ..schedules import parallelization
+from ..sweep import SweepRunner, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
 
 _VARIANCES = (VarianceClass.LOW, VarianceClass.MEDIUM, VarianceClass.HIGH)
 _STRATEGIES = ("interleave", "dynamic")
 
 
+def strategy_schedules(strategies=_STRATEGIES, coarse_chunk: int = 16) -> Dict[str, Schedule]:
+    """One schedule per attention work-distribution strategy."""
+    return {s: Schedule(name=s, parallelization=parallelization(
+                s, num_regions=4, coarse_chunk=coarse_chunk))
+            for s in strategies}
+
+
+def scenario(scale: ExperimentScale, batches=None) -> Scenario:
+    """The Figure 14 (variance trace × strategy) grid as one scenario.
+
+    ``batches`` lets a caller that already generated the KV-trace batches
+    (:func:`repro.experiments.common.kv_batches`) share them.
+    """
+    model = qwen_model(scale)
+    batch = scale.attention_batch
+    if batches is None:
+        batches = kv_batches(scale, batch)
+    workloads = {
+        f"{variance.value}/{sample}": AttentionWorkload(
+            model=model, batch=batch, lengths=list(trace), kv_tile_rows=64)
+        for variance in _VARIANCES
+        for sample, trace in enumerate(batches[variance])
+    }
+    return Scenario(
+        name=f"figure14-{scale.name}",
+        workloads=workloads,
+        schedules=strategy_schedules(),
+        hardware=hardware(scale),
+        seed=scale.seed,
+        description="dynamic vs static interleaved attention parallelization",
+    )
+
+
 def run(scale: ExperimentScale = DEFAULT_SCALE,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 14 series (speedup vs static interleaved per variance class)."""
-    model = qwen_model(scale)
-    batch = scale.attention_batch
-    batches = kv_batches(scale, batch)
-
-    labels: List[tuple] = []
-    lengths_axis: List[list] = []
-    strategy_axis: List[str] = []
-    for variance in _VARIANCES:
-        for sample, trace in enumerate(batches[variance]):
-            for strategy in _STRATEGIES:
-                labels.append((variance, sample, strategy))
-                lengths_axis.append(list(trace))
-                strategy_axis.append(strategy)
-
-    spec = SweepSpec(
-        name=f"fig14-{model.name}-b{batch}",
-        task="attention_layer",
-        base={"model": model, "batch": batch, "kv_tile_rows": 64,
-              "coarse_chunk": 16, "hardware": hardware(scale)},
-        axes={"lengths": lengths_axis, "strategy": strategy_axis},
-        mode="zip",
-        seed=scale.seed,
-    )
-    results = resolve_runner(runner).run(spec)
-    cycles = {label: result["cycles"] for label, result in zip(labels, results)}
+    batches = kv_batches(scale, scale.attention_batch)
+    result = run_scenario(scenario(scale, batches=batches), runner=resolve_runner(runner))
 
     rows: List[dict] = []
     per_class: Dict[str, float] = {}
     for variance in _VARIANCES:
         speedups = []
         for sample, trace in enumerate(batches[variance]):
-            interleave = cycles[(variance, sample, "interleave")]
-            dynamic = cycles[(variance, sample, "dynamic")]
+            cell = result.for_workload(f"{variance.value}/{sample}")
+            interleave = cell["interleave"]["cycles"]
+            dynamic = cell["dynamic"]["cycles"]
             speedups.append(interleave / dynamic)
             rows.append({
                 "variance": variance.value,

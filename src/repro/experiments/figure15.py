@@ -5,51 +5,60 @@ region, so small batches leave most regions idle; dynamic parallelization keeps
 all regions busy (2.72x faster at batch 16 in the paper) and stays ahead even
 at batch 64 due to load imbalance.
 
-The (batch, strategy) grid is expressed as a cartesian :class:`SweepSpec` over
-the ``attention_layer`` task; every point shares the same medium-variance base
-trace, which the task truncates to the point's batch size.
+The batch sizes are the scenario's workloads (every
+:class:`~repro.api.AttentionWorkload` shares one medium-variance base trace,
+truncated to its batch) and the two strategies its schedules.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..api import AttentionWorkload, Scenario
+from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
-from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from ..sweep import SweepRunner, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, qwen_model
+from .figure14 import strategy_schedules
 
 _STRATEGIES = ("coarse", "dynamic")
 
 
-def batch_sweep_spec(scale: ExperimentScale) -> SweepSpec:
-    """The Figure 15 batch-size x strategy grid."""
-    model = qwen_model(scale)
+def batch_sizes(scale: ExperimentScale) -> List[int]:
+    """The swept batch sizes (evenly spaced up to the attention batch)."""
     max_batch = scale.attention_batch
-    base_trace = list(kv_batches(scale, max_batch)[VarianceClass.MEDIUM][0])
     step = max(max_batch // scale.batch_sweep_points, 1)
-    return SweepSpec(
-        name=f"fig15-{model.name}",
-        task="attention_layer",
-        base={"model": model, "lengths": base_trace, "kv_tile_rows": 64,
-              "coarse_chunk": 16, "hardware": hardware(scale)},
-        axes={"batch": list(range(step, max_batch + 1, step)),
-              "strategy": list(_STRATEGIES)},
+    return list(range(step, max_batch + 1, step))
+
+
+def scenario(scale: ExperimentScale) -> Scenario:
+    """The Figure 15 (batch size × strategy) grid as one scenario."""
+    model = qwen_model(scale)
+    base_trace = list(kv_batches(scale, scale.attention_batch)[VarianceClass.MEDIUM][0])
+    workloads = {
+        f"b{batch}": AttentionWorkload(model=model, batch=batch, lengths=base_trace,
+                                       kv_tile_rows=64)
+        for batch in batch_sizes(scale)
+    }
+    return Scenario(
+        name=f"figure15-{scale.name}",
+        workloads=workloads,
+        schedules=strategy_schedules(_STRATEGIES),
+        hardware=hardware(scale),
         seed=scale.seed,
+        description="dynamic vs static coarse-grained parallelization across batches",
     )
 
 
 def run(scale: ExperimentScale = DEFAULT_SCALE,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 15 batch-size sweep."""
-    spec = batch_sweep_spec(scale)
-    cycles: Dict[tuple, float] = {}
-    for result in resolve_runner(runner).run(spec):
-        kwargs = result.point.kwargs()
-        cycles[(kwargs["batch"], kwargs["strategy"])] = result["cycles"]
+    result = run_scenario(scenario(scale), runner=resolve_runner(runner))
 
     rows: List[dict] = []
-    for batch in spec.axes["batch"]:
-        coarse, dynamic = cycles[(batch, "coarse")], cycles[(batch, "dynamic")]
+    for batch in batch_sizes(scale):
+        cell = result.for_workload(f"b{batch}")
+        coarse, dynamic = cell["coarse"]["cycles"], cell["dynamic"]["cycles"]
         rows.append({
             "batch": batch,
             "coarse_cycles": coarse,

@@ -5,41 +5,65 @@ performance-matched static schedule, and the dynamic schedule (dynamic tiling,
 dynamic parallelization, plus configuration time-multiplexing for the
 many-expert model).  The reported quantities are speedup over the static
 schedules, on-chip memory and allocated compute.
+
+Each model is one :class:`~repro.api.DecoderWorkload` scenario whose schedule
+grid is :func:`repro.workloads.model.default_schedules` (the schedules depend
+on the model's expert pool, so the two models are separate scenarios).
+Running through :func:`repro.api.run` gives the end-to-end evaluation result
+caching and pooled execution, which the hand-wired version never had.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..api import DecoderWorkload, Scenario
+from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
+from ..sweep import SweepRunner, resolve_runner
 from ..workloads.configs import ModelConfig
-from ..workloads.model import default_schedules, evaluate_end_to_end
+from ..workloads.model import default_schedules
 from .common import (DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, mixtral_model,
                      moe_routing, qwen_model)
 
 
-def _evaluate_model(model: ModelConfig, scale: ExperimentScale) -> List[dict]:
+def scenario(model: ModelConfig, scale: ExperimentScale) -> Scenario:
+    """The Figure 17 schedule comparison for one model."""
     batch = scale.attention_batch
     kv_lengths = list(kv_batches(scale, batch)[VarianceClass.MEDIUM][0])
-    assignments = moe_routing(model, batch, scale)
-    hw = hardware(scale)
+    assignments = [list(a) for a in moe_routing(model, batch, scale)]
     static_mem_tile = min(scale.moe_tiles_small_batch)
     static_perf_tile = max(t for t in scale.moe_tiles_small_batch if t <= batch)
-    schedules = default_schedules(model, static_mem_tile=static_mem_tile,
-                                  static_perf_tile=static_perf_tile)
-    num_layers = scale.end_to_end_layers or model.num_layers
+    workload = DecoderWorkload(model=model, batch=batch, kv_lengths=kv_lengths,
+                               assignments=assignments,
+                               num_layers=scale.end_to_end_layers or model.num_layers)
+    return Scenario(
+        name=f"figure17-{model.name}-{scale.name}",
+        workloads={model.name: workload},
+        schedules=default_schedules(model, static_mem_tile=static_mem_tile,
+                                    static_perf_tile=static_perf_tile),
+        hardware=hardware(scale),
+        seed=scale.seed,
+        description="end-to-end decoder: dynamic vs matched static schedules",
+    )
+
+
+def _evaluate_model(model: ModelConfig, scale: ExperimentScale,
+                    runner: Optional[SweepRunner] = None) -> List[dict]:
+    result = run_scenario(scenario(model, scale), runner=resolve_runner(runner))
     rows = []
-    for name, schedule in schedules.items():
-        result = evaluate_end_to_end(model, schedule, batch, kv_lengths, assignments,
-                                     num_layers=num_layers, hardware=hw)
+    for row in result.rows:
+        breakdown = {key[len("layer_"):-len("_cycles")]: value
+                     for key, value in row.metrics.items()
+                     if key.startswith("layer_") and key.endswith("_cycles")}
         rows.append({
             "model": model.name,
-            "schedule": name,
-            "total_cycles": result.total_cycles,
-            "onchip_memory_bytes": result.onchip_memory,
-            "allocated_compute_flops_per_cycle": result.allocated_compute,
-            "total_traffic_bytes": result.total_traffic,
-            "layer_breakdown_cycles": dict(result.breakdown.cycles),
+            "schedule": row.schedule,
+            "total_cycles": row["cycles"],
+            "onchip_memory_bytes": row["onchip_memory_bytes"],
+            "allocated_compute_flops_per_cycle": row["allocated_compute_flops_per_cycle"],
+            "total_traffic_bytes": row["offchip_traffic_bytes"],
+            "layer_breakdown_cycles": breakdown,
         })
     return rows
 
@@ -60,10 +84,11 @@ def summarize(rows: List[dict]) -> dict:
     }
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> Dict[str, object]:
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 17 comparison for both models."""
     results: Dict[str, object] = {"per_model": {}}
     for model in (mixtral_model(scale), qwen_model(scale)):
-        rows = _evaluate_model(model, scale)
+        rows = _evaluate_model(model, scale, runner=runner)
         results["per_model"][model.name] = {"rows": rows, "summary": summarize(rows)}
     return results

@@ -6,18 +6,23 @@ dynamic parallelization across KV-length variance classes and batch classes
 geometric-mean slowdowns of 1.85x (coarse) and 1.36x (interleave) relative to
 dynamic parallelization.
 
-Every (variance, batch class, sample, batch, strategy) simulation carries its
-own KV-length list, so the full ablation grid is expressed as one zip-mode
-:class:`SweepSpec` over the ``attention_layer`` task and aggregated afterwards.
+Every unique (variance, sample, batch) simulation is one
+:class:`~repro.api.AttentionWorkload`, the three strategies are the schedule
+grid, and the overlapping batch classes are aggregated afterwards — the
+scenario cross product naturally deduplicates the simulations the old zip
+grid repeated.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..api import AttentionWorkload, Scenario
+from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
-from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from ..sweep import SweepRunner, resolve_runner
 from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
+from .figure14 import strategy_schedules
 
 _STRATEGIES = ("coarse", "interleave", "dynamic")
 
@@ -26,7 +31,6 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the Figure 21 ablation grid."""
     model = qwen_model(scale)
-    hw = hardware(scale)
     big = scale.attention_batch
     small = max(4, big // 4)
     batch_classes = {f"B={small}": [small], f"B={big}": [big],
@@ -34,47 +38,44 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
 
     big_batches = kv_batches(scale, big)
     small_batches = kv_batches(scale, small)
-
-    # enumerate every simulation of the grid, then run it as one zip sweep
-    labels: List[tuple] = []
-    batch_axis: List[int] = []
-    strategy_axis: List[str] = []
-    lengths_axis: List[list] = []
     variances = (VarianceClass.HIGH, VarianceClass.MEDIUM, VarianceClass.LOW)
+
+    # one workload per unique (variance, sample, batch) simulation; the batch
+    # classes below reuse these cells
+    workloads: Dict[str, AttentionWorkload] = {}
     for variance in variances:
         samples = min(len(big_batches[variance]), len(small_batches[variance]))
-        for class_name, batch_sizes in batch_classes.items():
-            for sample in range(samples):
-                for batch in batch_sizes:
-                    source = big_batches if batch == big else small_batches
-                    for strategy in _STRATEGIES:
-                        labels.append((variance, class_name, sample, batch, strategy))
-                        batch_axis.append(batch)
-                        strategy_axis.append(strategy)
-                        lengths_axis.append(list(source[variance][sample])[:batch])
+        for sample in range(samples):
+            for batch in (small, big):
+                source = big_batches if batch == big else small_batches
+                workloads[f"{variance.value}/{sample}/b{batch}"] = AttentionWorkload(
+                    model=model, batch=batch,
+                    lengths=list(source[variance][sample])[:batch], kv_tile_rows=64)
 
-    spec = SweepSpec(
-        name=f"fig21-{model.name}",
-        task="attention_layer",
-        base={"model": model, "kv_tile_rows": 64, "coarse_chunk": 16, "hardware": hw},
-        axes={"batch": batch_axis, "strategy": strategy_axis, "lengths": lengths_axis},
-        mode="zip",
+    sc = Scenario(
+        name=f"figure21-{scale.name}",
+        workloads=workloads,
+        schedules=strategy_schedules(_STRATEGIES),
+        hardware=hardware(scale),
         seed=scale.seed,
+        description="parallelization-strategy ablation across variance/batch classes",
     )
-    results = resolve_runner(runner).run(spec)
-    cycles = {label: result["cycles"] for label, result in zip(labels, results)}
+    result = run_scenario(sc, runner=resolve_runner(runner))
+
+    def cycles(variance, sample, batch, strategy) -> float:
+        return result[(f"{variance.value}/{sample}/b{batch}", strategy)]["cycles"]
 
     rows: List[dict] = []
     normalized: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
     for variance in variances:
         samples = min(len(big_batches[variance]), len(small_batches[variance]))
-        for class_name, batch_sizes in batch_classes.items():
+        for class_name, class_batches in batch_classes.items():
             per_strategy: Dict[str, List[float]] = {s: [] for s in _STRATEGIES}
             for sample in range(samples):
                 for strategy in _STRATEGIES:
                     per_strategy[strategy].append(sum(
-                        cycles[(variance, class_name, sample, batch, strategy)]
-                        for batch in batch_sizes))
+                        cycles(variance, sample, batch, strategy)
+                        for batch in class_batches))
             means = {s: geomean(per_strategy[s]) for s in _STRATEGIES}
             for strategy in _STRATEGIES:
                 ratio = means[strategy] / means["dynamic"]

@@ -6,6 +6,12 @@ tiling.  The rows carry latency (cycles), on-chip memory and off-chip traffic;
 Figures 9/10 plot latency versus memory, Figures 19/20 traffic versus memory.
 The headline metric is the Pareto Improvement Distance of the dynamic-tiling
 point over the static frontier (Section 5.2).
+
+The experiment is expressed through the unified scenario API: one
+:class:`~repro.api.Scenario` holds both models as
+:class:`~repro.api.MoEWorkload`\\ s and the tile grid as unified
+:class:`~repro.schedules.Schedule`\\ s (also registered as ``"figure9"`` /
+``"figure10"`` in :mod:`repro.api.library`).
 """
 
 from __future__ import annotations
@@ -14,44 +20,33 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.pareto import (ParetoPoint, memory_saving_at_matched_performance,
                                pareto_improvement_distance, speedup_at_matched_memory)
-from ..sweep import SweepRunner, SweepSpec, resolve_runner
-from ..workloads.configs import ModelConfig
+from ..api import MoEWorkload, Scenario
+from ..api import run as run_scenario
+from ..api.library import tiling_schedules
+from ..sweep import SweepRunner, resolve_runner
 from .common import (DEFAULT_SCALE, ExperimentScale, hardware, mixtral_model, moe_routing,
                      qwen_model)
 
 
-def tile_sweep_spec(model: ModelConfig, batch: int, tiles: Sequence[int],
-                    scale: ExperimentScale) -> SweepSpec:
-    """The static tile sweep plus the dynamic-tiling point as a sweep grid."""
-    assignments = [list(a) for a in moe_routing(model, batch, scale)]
-    return SweepSpec(
-        name=f"fig9_10-{model.name}-b{batch}",
-        task="moe_layer",
-        base={"model": model, "batch": batch, "assignments": assignments,
-              "hardware": hardware(scale)},
-        axes={"tile_rows": list(tiles) + [None]},
+def scenario(scale: ExperimentScale, large_batch: bool = False) -> Scenario:
+    """The Figure 9 (``large_batch=False``) / Figure 10 (``True``) grid."""
+    batch = scale.moe_large_batch if large_batch else scale.moe_batch
+    tiles = scale.moe_tiles_large_batch if large_batch else scale.moe_tiles_small_batch
+    tiles = [t for t in tiles if t <= max(batch, 1)]
+    workloads = {
+        model.name: MoEWorkload(
+            model=model, batch=batch,
+            assignments=[list(a) for a in moe_routing(model, batch, scale)])
+        for model in (mixtral_model(scale), qwen_model(scale))
+    }
+    return Scenario(
+        name=f"figure{'10' if large_batch else '9'}-{scale.name}",
+        workloads=workloads,
+        schedules=tiling_schedules(tiles),
+        hardware=hardware(scale),
         seed=scale.seed,
+        description="MoE static-tile sweep vs dynamic tiling (Pareto frontier)",
     )
-
-
-def sweep_model(model: ModelConfig, batch: int, tiles: Sequence[int],
-                scale: ExperimentScale, runner: Optional[SweepRunner] = None) -> List[dict]:
-    """Simulate the static tile sweep plus the dynamic-tiling point."""
-    spec = tile_sweep_spec(model, batch, tiles, scale)
-    rows: List[dict] = []
-    for result in resolve_runner(runner).run(spec):
-        tile = result.point.kwargs()["tile_rows"]
-        rows.append({
-            "model": model.name,
-            "batch": batch,
-            "tiling": "dynamic" if tile is None else f"tile={tile}",
-            "tile_rows": tile,
-            "cycles": result["cycles"],
-            "onchip_memory_bytes": result["onchip_memory_bytes"],
-            "offchip_traffic_bytes": result["offchip_traffic_bytes"],
-            "total_flops": result["total_flops"],
-        })
-    return rows
 
 
 def summarize(rows: Sequence[dict], memory_key: str = "onchip_memory_bytes",
@@ -76,12 +71,24 @@ def run(scale: ExperimentScale = DEFAULT_SCALE, large_batch: bool = False,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate Figure 9 (``large_batch=False``) or Figure 10 (``True``)."""
     batch = scale.moe_large_batch if large_batch else scale.moe_batch
-    tiles = scale.moe_tiles_large_batch if large_batch else scale.moe_tiles_small_batch
-    tiles = [t for t in tiles if t <= max(batch, 1)]
+    sc = scenario(scale, large_batch=large_batch)
+    result = run_scenario(sc, runner=resolve_runner(runner))
     results: Dict[str, object] = {"figure": "10" if large_batch else "9", "per_model": {}}
-    for model in (mixtral_model(scale), qwen_model(scale)):
-        rows = sweep_model(model, batch, tiles, scale, runner=runner)
-        results["per_model"][model.name] = {
+    for model_name in sc.workloads:
+        rows: List[dict] = []
+        for schedule_key, metrics in result.for_workload(model_name).items():
+            tile = sc.schedules[schedule_key].moe_tile_rows
+            rows.append({
+                "model": model_name,
+                "batch": batch,
+                "tiling": "dynamic" if tile is None else f"tile={tile}",
+                "tile_rows": tile,
+                "cycles": metrics["cycles"],
+                "onchip_memory_bytes": metrics["onchip_memory_bytes"],
+                "offchip_traffic_bytes": metrics["offchip_traffic_bytes"],
+                "total_flops": metrics["total_flops"],
+            })
+        results["per_model"][model_name] = {
             "rows": rows,
             "summary": summarize(rows),
             "traffic_summary": summarize(rows, memory_key="onchip_memory_bytes",

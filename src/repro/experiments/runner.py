@@ -42,7 +42,7 @@ FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
     "13": lambda scale, runner: figure12_13.run(scale, runner=runner),
     "14": lambda scale, runner: figure14.run(scale, runner=runner),
     "15": lambda scale, runner: figure15.run(scale, runner=runner),
-    "17": lambda scale, runner: figure17.run(scale),
+    "17": lambda scale, runner: figure17.run(scale, runner=runner),
     "19": lambda scale, runner: figure19_20.run(scale, large_batch=False, runner=runner),
     "20": lambda scale, runner: figure19_20.run(scale, large_batch=True, runner=runner),
     "21": lambda scale, runner: figure21.run(scale, runner=runner),
@@ -79,8 +79,10 @@ def main(argv=None) -> int:
     parser.add_argument("--figure", action="append", default=None,
                         help="figure number to run (repeatable); default: all")
     parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--scale", choices=("default", "smoke"), default=None,
+                        help="experiment scale preset (default: default)")
     parser.add_argument("--smoke", action="store_true",
-                        help="use the tiny smoke-test scale")
+                        help="use the tiny smoke-test scale (same as --scale smoke)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump raw results to this JSON file")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -92,7 +94,7 @@ def main(argv=None) -> int:
                         help=f"sweep cache directory (default: {default_cache_root()})")
     args = parser.parse_args(argv)
 
-    scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+    scale = SMOKE_SCALE if (args.smoke or args.scale == "smoke") else DEFAULT_SCALE
     figures = args.figure if args.figure else sorted(FIGURES, key=lambda f: int(f))
     if args.all:
         figures = sorted(FIGURES, key=lambda f: int(f))

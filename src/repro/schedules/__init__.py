@@ -12,16 +12,19 @@ Configuration time-multiplexing   explicit memory hierarchy, dynamic routing
 Dynamic parallelization           dynamic routing and merging operators
 ================================  =============================================
 
-The descriptors here are thin, serializable records that the experiments use
-to label design points; the actual graph construction lives in
-:mod:`repro.workloads`.
+The per-optimization descriptors are thin, serializable records; the unified
+:class:`Schedule` composes one of each into the complete scheduling decision
+the workload builders consume (see :mod:`repro.api`).  The actual graph
+construction lives in :mod:`repro.workloads`.
 """
 
 from .tiling import TilingSchedule, dynamic_tiling, static_tiling
 from .timemux import TimeMultiplexSchedule, time_multiplexing
 from .parallelization import ParallelizationSchedule, parallelization
+from .unified import Schedule
 
 __all__ = [
+    "Schedule",
     "TilingSchedule",
     "static_tiling",
     "dynamic_tiling",

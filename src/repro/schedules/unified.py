@@ -1,0 +1,136 @@
+"""The unified :class:`Schedule` — one object for every scheduling decision.
+
+Historically each call site carried its own scheduling knobs: the MoE builders
+took ``tile_rows`` / ``num_regions``, the attention builders took a
+``strategy`` string, and the end-to-end model bundled all three into an ad-hoc
+``ScheduleChoice`` record, while the descriptors in this package
+(:class:`~repro.schedules.tiling.TilingSchedule`,
+:class:`~repro.schedules.timemux.TimeMultiplexSchedule`,
+:class:`~repro.schedules.parallelization.ParallelizationSchedule`) were inert
+labels.  :class:`Schedule` composes those three descriptors into the *actual*
+configuration the workload builders consume (see :mod:`repro.api.workload`):
+
+* ``tiling`` drives the MoE batch-dimension tiling (Section 5.2),
+* ``timemux`` drives configuration time-multiplexing of the experts
+  (Section 5.3); ``None`` (or a fully spatial mapping) keeps one region per
+  expert,
+* ``parallelization`` drives the attention work distribution (Section 5.4)
+  and the parallel-region geometry shared by the dense layers.
+
+A schedule is a frozen, picklable value object, so it can be swept, cached
+(content-hashed by :mod:`repro.sweep.cache`) and serialized symmetrically via
+:meth:`Schedule.to_dict` / :meth:`Schedule.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.errors import ConfigError
+from .parallelization import ParallelizationSchedule, parallelization
+from .tiling import TilingSchedule, dynamic_tiling, static_tiling
+from .timemux import TimeMultiplexSchedule, time_multiplexing
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete scheduling decision for one workload design point."""
+
+    name: str
+    tiling: TilingSchedule = TilingSchedule("dynamic")
+    timemux: Optional[TimeMultiplexSchedule] = None
+    parallelization: ParallelizationSchedule = ParallelizationSchedule("interleave")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a schedule needs a non-empty name")
+        if not isinstance(self.tiling, TilingSchedule):
+            raise ConfigError(f"tiling must be a TilingSchedule, got {self.tiling!r}")
+        if self.timemux is not None and not isinstance(self.timemux, TimeMultiplexSchedule):
+            raise ConfigError(f"timemux must be a TimeMultiplexSchedule or None, "
+                              f"got {self.timemux!r}")
+        if not isinstance(self.parallelization, ParallelizationSchedule):
+            raise ConfigError(f"parallelization must be a ParallelizationSchedule, "
+                              f"got {self.parallelization!r}")
+
+    # -- the knobs the workload builders consume ------------------------------------
+    @property
+    def moe_tile_rows(self) -> Optional[int]:
+        """Static MoE batch-tile size, or ``None`` for dynamic tiling."""
+        return self.tiling.tile_rows
+
+    @property
+    def moe_num_regions(self) -> Optional[int]:
+        """Configured regions shared by the experts; ``None`` = fully spatial."""
+        if self.timemux is None or self.timemux.is_fully_spatial:
+            return None
+        return self.timemux.num_regions
+
+    @property
+    def attention_strategy(self) -> str:
+        """Attention work-distribution strategy: coarse / interleave / dynamic."""
+        return self.parallelization.strategy
+
+    @property
+    def is_fully_dynamic(self) -> bool:
+        """Dynamic tiling *and* dynamic parallelization (the paper's schedule)."""
+        return self.tiling.is_dynamic and self.parallelization.is_dynamic
+
+    def label(self) -> str:
+        parts = [self.tiling.label(), self.parallelization.label()]
+        if self.timemux is not None and not self.timemux.is_fully_spatial:
+            parts.append(self.timemux.label())
+        return f"{self.name}({', '.join(parts)})"
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON description, symmetric with :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "tiling": {"kind": self.tiling.kind, "tile_rows": self.tiling.tile_rows},
+            "timemux": None if self.timemux is None else
+                {"num_experts": self.timemux.num_experts,
+                 "num_regions": self.timemux.num_regions},
+            "parallelization": {"strategy": self.parallelization.strategy,
+                                "num_regions": self.parallelization.num_regions,
+                                "coarse_chunk": self.parallelization.coarse_chunk},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Schedule":
+        tiling = payload.get("tiling") or {}
+        timemux = payload.get("timemux")
+        par = payload.get("parallelization") or {}
+        return cls(
+            name=payload["name"],
+            tiling=TilingSchedule(tiling.get("kind", "dynamic"),
+                                  tile_rows=tiling.get("tile_rows")),
+            timemux=None if timemux is None else TimeMultiplexSchedule(**timemux),
+            parallelization=ParallelizationSchedule(
+                strategy=par.get("strategy", "interleave"),
+                num_regions=par.get("num_regions", 4),
+                coarse_chunk=par.get("coarse_chunk", 16)),
+        )
+
+    # -- common shapes ---------------------------------------------------------------
+    @classmethod
+    def static(cls, name: str, tile_rows: int, attention: str = "interleave",
+               num_regions: int = 4, coarse_chunk: int = 16) -> "Schedule":
+        """A static baseline: fixed MoE tiles, static attention distribution."""
+        return cls(name=name, tiling=static_tiling(tile_rows),
+                   parallelization=parallelization(attention, num_regions=num_regions,
+                                                   coarse_chunk=coarse_chunk))
+
+    @classmethod
+    def dynamic(cls, name: str = "dynamic", num_experts: Optional[int] = None,
+                timemux_regions: Optional[int] = None,
+                num_regions: int = 4) -> "Schedule":
+        """The paper's dynamic schedule, optionally with time-multiplexed experts."""
+        timemux = None
+        if timemux_regions is not None:
+            if num_experts is None:
+                raise ConfigError("timemux_regions requires num_experts")
+            timemux = time_multiplexing(num_experts, timemux_regions)
+        return cls(name=name, tiling=dynamic_tiling(), timemux=timemux,
+                   parallelization=parallelization("dynamic", num_regions=num_regions))

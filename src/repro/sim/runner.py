@@ -12,6 +12,57 @@ from .hbm import HBMModel
 from .lowering import LoweredProgram, lower
 from .metrics import SimMetrics
 
+#: the flat metric keys a serialized report carries — exactly the payload the
+#: sweep result cache stores (see :func:`repro.sweep.tasks.report_metrics`)
+SERIALIZED_METRIC_KEYS = (
+    "cycles",
+    "offchip_traffic_bytes",
+    "onchip_memory_bytes",
+    "total_flops",
+    "allocated_compute_flops_per_cycle",
+    "compute_utilization",
+    "offchip_bw_utilization",
+)
+
+
+class _RestoredMetrics(SimMetrics):
+    """Metrics restored from a flat payload: aggregates are stored, not derived.
+
+    A restored report has no per-operator breakdown; its aggregate accessors
+    return the serialized values verbatim so ``to_dict(from_dict(d)) == d``
+    holds bit-for-bit.
+    """
+
+    def __init__(self, payload: Dict[str, float]):
+        super().__init__()
+        missing = [key for key in SERIALIZED_METRIC_KEYS if key not in payload]
+        if missing:
+            raise KeyError(f"restored report payload is missing {missing}")
+        self._restored = {key: float(payload[key]) for key in SERIALIZED_METRIC_KEYS}
+        self.cycles = self._restored["cycles"]
+
+    @property
+    def offchip_traffic(self):
+        return self._restored["offchip_traffic_bytes"]
+
+    @property
+    def onchip_memory(self):
+        return self._restored["onchip_memory_bytes"]
+
+    @property
+    def total_flops(self):
+        return self._restored["total_flops"]
+
+    @property
+    def allocated_compute(self):
+        return self._restored["allocated_compute_flops_per_cycle"]
+
+    def compute_utilization(self, cycles: Optional[float] = None) -> float:
+        return self._restored["compute_utilization"]
+
+    def offchip_bw_utilization(self, cycles: Optional[float] = None) -> float:
+        return self._restored["offchip_bw_utilization"]
+
 
 @dataclass
 class SimReport:
@@ -55,6 +106,30 @@ class SimReport:
 
     def summary(self) -> Dict[str, float]:
         return self.metrics.summary()
+
+    # -- serialization (symmetric with the sweep cache's flat payloads) -------------
+    def to_dict(self) -> Dict[str, float]:
+        """The flat, JSON-able metric payload the sweep result cache stores."""
+        return {
+            "cycles": float(self.cycles),
+            "offchip_traffic_bytes": float(self.offchip_traffic),
+            "onchip_memory_bytes": float(self.onchip_memory),
+            "total_flops": float(self.total_flops),
+            "allocated_compute_flops_per_cycle": float(self.allocated_compute),
+            "compute_utilization": float(self.compute_utilization),
+            "offchip_bw_utilization": float(self.offchip_bw_utilization),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "SimReport":
+        """Rebuild a report from :meth:`to_dict`'s payload.
+
+        The restored report exposes the aggregate metrics bit-identically
+        (``report.to_dict() == payload``); the per-operator breakdown, output
+        tokens and hardware configuration are not serialized.
+        """
+        metrics = _RestoredMetrics(payload)
+        return cls(cycles=metrics.cycles, metrics=metrics)
 
 
 def simulate(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,

@@ -9,14 +9,19 @@ fans points out over a process pool and memoizes results in an on-disk
 :class:`ResultCache` keyed by a stable content hash, so repeated sweeps are
 near-instant and bigger grids cost only fresh points.
 
-Typical use::
+Most callers declare a :class:`repro.api.Scenario` and let the scenario API
+build the spec; direct use looks like::
 
+    from repro.api import MoEWorkload, Schedule
     from repro.sweep import ResultCache, SweepRunner, SweepSpec
 
-    spec = SweepSpec(name="tiles", task="moe_layer",
-                     base={"model": model, "batch": 64,
-                           "assignments": assignments, "hardware": hw},
-                     axes={"tile_rows": [8, 16, 32, 64, None]})
+    spec = SweepSpec(name="tiles", task="workload",
+                     base={"workload": MoEWorkload(model=model, batch=64,
+                                                   assignments=assignments),
+                           "hardware": hw},
+                     axes={"schedule": [Schedule.static(f"tile={t}", t)
+                                        for t in (8, 16, 32, 64)]
+                           + [Schedule.dynamic()]})
     runner = SweepRunner(jobs=4, cache=ResultCache())
     for result in runner.run(spec):
         print(result.point.label(), result["cycles"])

@@ -1,12 +1,17 @@
 """Registered simulation tasks — the picklable unit of sweep work.
 
-A *task* is a module-level function mapping plain, picklable parameters
-(model/hardware dataclasses, batch sizes, routing assignments, KV-length
-lists) to a flat metrics dictionary.  Workers rebuild the dataflow program
-from those parameters inside their own process, so nothing unpicklable (token
-streams, lowered programs, executor generators) ever crosses the pool
-boundary, and the returned dictionary is exactly what the result cache
-stores.
+A *task* is a module-level function mapping plain, picklable parameters to a
+flat metrics dictionary.  Workers rebuild the dataflow program from those
+parameters inside their own process, so nothing unpicklable (token streams,
+lowered programs, executor generators) ever crosses the pool boundary, and
+the returned dictionary is exactly what the result cache stores.
+
+Since the unified scenario API (:mod:`repro.api`) there is one shipped task:
+``"workload"``, which runs any :class:`repro.api.workload.Workload` adapter
+under a unified :class:`repro.schedules.Schedule`.  The per-workload wrappers
+that used to live here (``moe_layer``, ``attention_layer``) are gone — their
+parameters now travel as workload/schedule value objects, which pickle and
+content-hash like any other dataclass.
 
 Tasks are looked up by name via :data:`TASKS` / :func:`get_task`; new
 subsystems register theirs with :func:`register_task`.
@@ -16,15 +21,10 @@ from __future__ import annotations
 
 import functools
 import inspect
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict
 
 from ..core.errors import ConfigError
-from ..sim import simulate
-from ..sim.executors.common import HardwareConfig
 from ..sim.runner import SimReport
-from ..workloads.attention import AttentionConfig, build_attention_layer
-from ..workloads.configs import ModelConfig
-from ..workloads.moe import MoELayerConfig, build_moe_layer
 
 #: task name -> callable(**params) -> metrics dict
 TASKS: Dict[str, Callable[..., Dict[str, float]]] = {}
@@ -77,54 +77,17 @@ def task_accepts_seed(name: str) -> bool:
 
 def report_metrics(report: SimReport) -> Dict[str, float]:
     """The flat, JSON-able metric payload every task returns (and the cache stores)."""
-    return {
-        "cycles": float(report.cycles),
-        "offchip_traffic_bytes": float(report.offchip_traffic),
-        "onchip_memory_bytes": float(report.onchip_memory),
-        "total_flops": float(report.total_flops),
-        "allocated_compute_flops_per_cycle": float(report.allocated_compute),
-        "compute_utilization": float(report.compute_utilization),
-        "offchip_bw_utilization": float(report.offchip_bw_utilization),
-    }
+    return report.to_dict()
 
 
-@register_task("moe_layer")
-def moe_layer(model: ModelConfig, batch: int, assignments: Sequence[Sequence[int]],
-              hardware: HardwareConfig, tile_rows: Optional[int] = 32,
-              num_regions: Optional[int] = None,
-              combine_output: bool = True) -> Dict[str, float]:
-    """Simulate one MoE-layer design point (Figures 9/10/12/13/19/20).
+@register_task("workload")
+def workload(workload, schedule, hardware) -> Dict[str, float]:
+    """The generic scenario task: any workload adapter under a unified schedule.
 
-    Deliberately seedless: the routing ``assignments`` fully determine the
-    result (``MoELayerConfig.seed`` only shapes payload weights, which timing
-    sweeps never materialize), so cache entries are shared across spec seeds.
+    ``workload`` is a :class:`repro.api.workload.Workload` value object,
+    ``schedule`` a :class:`repro.schedules.Schedule`; both pickle cleanly and
+    canonicalize for cache hashing as tagged dataclasses.  Deliberately
+    seedless: the workload's data (routing assignments, KV traces) fully
+    determines the result, so cache entries are shared across spec seeds.
     """
-    config = MoELayerConfig(model=model, batch=batch, tile_rows=tile_rows,
-                            num_regions=num_regions, combine_output=combine_output)
-    program = build_moe_layer(config)
-    assignments = [list(a) for a in assignments]
-    report = simulate(program.program, program.inputs(assignments), hardware=hardware)
-    return report_metrics(report)
-
-
-@register_task("attention_layer")
-def attention_layer(model: ModelConfig, batch: int, strategy: str,
-                    lengths: Sequence[int], hardware: HardwareConfig,
-                    kv_tile_rows: int = 64,
-                    coarse_chunk: int = 16) -> Dict[str, float]:
-    """Simulate one decode-attention design point (Figures 14/15/21).
-
-    ``lengths`` may be longer than ``batch``; the first ``batch`` entries are
-    used, so batch-size sweeps can share one base trace.  Deliberately
-    seedless: the KV trace fully determines the result, so cache entries are
-    shared across spec seeds.
-    """
-    lengths = list(lengths)[:batch]
-    if len(lengths) < batch:
-        raise ConfigError(f"attention_layer: {len(lengths)} KV lengths for "
-                          f"batch {batch}")
-    config = AttentionConfig(model=model, batch=batch, strategy=strategy,
-                             kv_tile_rows=kv_tile_rows, coarse_chunk=coarse_chunk)
-    program = build_attention_layer(config)
-    report = simulate(program.program, program.inputs(lengths), hardware=hardware)
-    return report_metrics(report)
+    return workload.run(schedule, hardware)

@@ -36,22 +36,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..schedules import (Schedule, dynamic_tiling, parallelization, static_tiling,
+                         time_multiplexing)
 from ..sim import simulate
 from ..sim.executors.common import HardwareConfig
 from .attention import AttentionConfig, build_attention_layer
 from .configs import ModelConfig, sda_hardware
 from .moe import MoELayerConfig, build_moe_layer
 from .qkv import QKVConfig, build_qkv_layer
-
-
-@dataclass
-class ScheduleChoice:
-    """Per-sub-layer schedule decisions for one end-to-end variant."""
-
-    name: str
-    moe_tile_rows: Optional[int]          # None = dynamic tiling
-    attention_strategy: str               # "interleave" or "dynamic"
-    moe_num_regions: Optional[int] = None  # None = fully spatial experts
 
 
 @dataclass
@@ -85,7 +77,7 @@ class EndToEndResult:
     """End-to-end metrics for one model + schedule."""
 
     model: ModelConfig
-    schedule: ScheduleChoice
+    schedule: Schedule
     batch: int
     num_layers: int
     breakdown: LayerBreakdown
@@ -109,8 +101,8 @@ class EndToEndResult:
 
 def default_schedules(model: ModelConfig, static_mem_tile: int = 8,
                       static_perf_tile: int = 32,
-                      timemux_regions: Optional[int] = None) -> Dict[str, ScheduleChoice]:
-    """The three Figure 17 schedule variants.
+                      timemux_regions: Optional[int] = None) -> Dict[str, Schedule]:
+    """The three Figure 17 schedule variants as unified :class:`Schedule` objects.
 
     Configuration time-multiplexing is only applied to models with a large
     expert pool (the paper skips it for Mixtral-8x7B because all eight experts
@@ -120,18 +112,19 @@ def default_schedules(model: ModelConfig, static_mem_tile: int = 8,
         timemux_regions = max(4, model.num_experts // 8)
     if model.num_experts < 32:
         timemux_regions = None
+    timemux = None if timemux_regions is None else \
+        time_multiplexing(model.num_experts, timemux_regions)
     return {
-        "static_mem": ScheduleChoice("static_mem", moe_tile_rows=static_mem_tile,
-                                     attention_strategy="interleave"),
-        "static_perf": ScheduleChoice("static_perf", moe_tile_rows=static_perf_tile,
-                                      attention_strategy="interleave"),
-        "dynamic": ScheduleChoice("dynamic", moe_tile_rows=None,
-                                  attention_strategy="dynamic",
-                                  moe_num_regions=timemux_regions),
+        "static_mem": Schedule(name="static_mem", tiling=static_tiling(static_mem_tile),
+                               parallelization=parallelization("interleave")),
+        "static_perf": Schedule(name="static_perf", tiling=static_tiling(static_perf_tile),
+                                parallelization=parallelization("interleave")),
+        "dynamic": Schedule(name="dynamic", tiling=dynamic_tiling(), timemux=timemux,
+                            parallelization=parallelization("dynamic")),
     }
 
 
-def evaluate_layer(model: ModelConfig, schedule: ScheduleChoice, batch: int,
+def evaluate_layer(model: ModelConfig, schedule: Schedule, batch: int,
                    kv_lengths: Sequence[int],
                    moe_assignments: Sequence[Sequence[int]],
                    hardware: Optional[HardwareConfig] = None,
@@ -148,6 +141,8 @@ def evaluate_layer(model: ModelConfig, schedule: ScheduleChoice, batch: int,
 
     attn_cfg = AttentionConfig(model=model, batch=batch,
                                strategy=schedule.attention_strategy,
+                               num_regions=schedule.parallelization.num_regions,
+                               coarse_chunk=schedule.parallelization.coarse_chunk,
                                kv_tile_rows=kv_tile_rows,
                                compute_bw=attention_compute_bw)
     attn_prog = build_attention_layer(attn_cfg)
@@ -173,7 +168,7 @@ def _record(breakdown: LayerBreakdown, name: str, report) -> None:
     breakdown.allocated_compute[name] = report.allocated_compute
 
 
-def evaluate_end_to_end(model: ModelConfig, schedule: ScheduleChoice, batch: int,
+def evaluate_end_to_end(model: ModelConfig, schedule: Schedule, batch: int,
                         kv_lengths: Sequence[int],
                         moe_assignments: Sequence[Sequence[int]],
                         num_layers: Optional[int] = None,

@@ -1,0 +1,62 @@
+"""SimReport.to_dict / from_dict — symmetric with the sweep cache payloads."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.data.expert_routing import generate_routing_trace, representative_iteration
+from repro.sim import simulate
+from repro.sim.runner import SERIALIZED_METRIC_KEYS, SimReport
+from repro.sweep.tasks import report_metrics
+from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
+from repro.workloads.moe import MoELayerConfig, build_moe_layer
+
+
+@pytest.fixture(scope="module")
+def report() -> SimReport:
+    model = replace(scaled_config(QWEN3_30B_A3B, scale=32), name="tiny-4e",
+                    num_experts=4, experts_per_token=2)
+    trace = generate_routing_trace(model, batch_size=8, num_iterations=2, seed=0)
+    assignments = [list(a) for a in representative_iteration(trace)]
+    program = build_moe_layer(MoELayerConfig(model=model, batch=8, tile_rows=4))
+    return simulate(program.program, program.inputs(assignments),
+                    hardware=sda_hardware())
+
+
+class TestToDict:
+    def test_carries_exactly_the_cache_keys(self, report):
+        payload = report.to_dict()
+        assert tuple(payload) == SERIALIZED_METRIC_KEYS
+        assert all(isinstance(v, float) for v in payload.values())
+
+    def test_report_metrics_is_to_dict(self, report):
+        assert report_metrics(report) == report.to_dict()
+
+    def test_values_match_the_accessors(self, report):
+        payload = report.to_dict()
+        assert payload["cycles"] == report.cycles
+        assert payload["offchip_traffic_bytes"] == report.offchip_traffic
+        assert payload["onchip_memory_bytes"] == report.onchip_memory
+        assert payload["compute_utilization"] == report.compute_utilization
+
+
+class TestFromDict:
+    def test_round_trip_is_bit_identical(self, report):
+        payload = report.to_dict()
+        assert SimReport.from_dict(payload).to_dict() == payload
+
+    def test_restored_accessors_work(self, report):
+        restored = SimReport.from_dict(report.to_dict())
+        assert restored.cycles == report.cycles
+        assert restored.offchip_traffic == report.offchip_traffic
+        assert restored.total_flops == report.total_flops
+        assert restored.allocated_compute == report.allocated_compute
+        assert restored.compute_utilization == report.compute_utilization
+        assert restored.offchip_bw_utilization == report.offchip_bw_utilization
+        assert restored.summary()["cycles"] == report.cycles
+
+    def test_missing_key_rejected(self, report):
+        payload = report.to_dict()
+        payload.pop("cycles")
+        with pytest.raises(KeyError):
+            SimReport.from_dict(payload)

@@ -4,6 +4,7 @@ from dataclasses import replace
 
 import pytest
 
+from repro.api import AttentionWorkload, MoEWorkload, Schedule
 from repro.core.errors import ConfigError
 from repro.data.expert_routing import generate_routing_trace, representative_iteration
 from repro.sweep import ResultCache, SweepRunner, SweepSpec, execute_point, resolve_runner
@@ -11,17 +12,22 @@ from repro.sweep.runner import DEFAULT_RUNNER
 from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
 
 
+def tile_schedule(tile) -> Schedule:
+    return Schedule.dynamic() if tile is None else Schedule.static(f"tile={tile}", tile)
+
+
 def tiny_moe_spec(seed: int = 0, tiles=(4, 8, None)) -> SweepSpec:
+    """A tiny MoE grid over the generic ``workload`` task (the shipped task)."""
     model = replace(scaled_config(QWEN3_30B_A3B, scale=32), name="tiny-4e",
                     num_experts=4, experts_per_token=2)
     trace = generate_routing_trace(model, batch_size=8, num_iterations=2, seed=seed)
     assignments = [list(a) for a in representative_iteration(trace)]
     return SweepSpec(
         name="tiny-moe",
-        task="moe_layer",
-        base={"model": model, "batch": 8, "assignments": assignments,
+        task="workload",
+        base={"workload": MoEWorkload(model=model, batch=8, assignments=assignments),
               "hardware": sda_hardware()},
-        axes={"tile_rows": list(tiles)},
+        axes={"schedule": [tile_schedule(t) for t in tiles]},
         seed=seed,
     )
 
@@ -95,8 +101,8 @@ class TestExecution:
         spec = tiny_moe_spec()
         results = DEFAULT_RUNNER.run(spec)
         assert [r.point.index for r in results] == list(range(len(spec)))
-        tiles = [r.point.kwargs()["tile_rows"] for r in results]
-        assert tiles == list(spec.axes["tile_rows"])
+        schedules = [r.point.kwargs()["schedule"] for r in results]
+        assert schedules == list(spec.axes["schedule"])
 
     def test_unknown_task_rejected(self):
         spec = SweepSpec(name="bad", task="nonexistent", axes={"a": [1]})
@@ -123,12 +129,13 @@ class TestExecution:
         finally:
             del TASKS[name]
 
-    def test_attention_task_rejects_short_traces(self):
-        from repro.sweep.tasks import attention_layer
+    def test_attention_workload_rejects_short_traces(self):
+        from repro.sweep.tasks import get_task
         model = scaled_config(QWEN3_30B_A3B, scale=32)
+        workload = AttentionWorkload(model=model, batch=8, lengths=[64, 64])
         with pytest.raises(ConfigError):
-            attention_layer(model=model, batch=8, strategy="dynamic",
-                            lengths=[64, 64], hardware=sda_hardware())
+            get_task("workload")(workload=workload, schedule=Schedule.dynamic(),
+                                 hardware=sda_hardware())
 
     def test_resolve_runner_defaults_to_serial_uncached(self):
         assert resolve_runner(None) is DEFAULT_RUNNER

@@ -20,7 +20,7 @@ def seeded_task():
 
 class TestGridExpansion:
     def test_cartesian_cross_product_in_order(self):
-        spec = SweepSpec(name="s", task="moe_layer",
+        spec = SweepSpec(name="s", task="workload",
                          axes={"a": [1, 2], "b": ["x", "y", "z"]})
         grid = spec.grid()
         assert len(grid) == len(spec) == 6
@@ -29,43 +29,43 @@ class TestGridExpansion:
         assert grid[-1] == {"a": 2, "b": "z"}
 
     def test_zip_pairs_elementwise(self):
-        spec = SweepSpec(name="s", task="moe_layer", mode="zip",
+        spec = SweepSpec(name="s", task="workload", mode="zip",
                          axes={"a": [1, 2, 3], "b": ["x", "y", "z"]})
         assert spec.grid() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"},
                                {"a": 3, "b": "z"}]
         assert len(spec) == 3
 
     def test_no_axes_yields_single_point(self):
-        spec = SweepSpec(name="s", task="moe_layer", base={"a": 1})
+        spec = SweepSpec(name="s", task="workload", base={"a": 1})
         assert len(spec) == 1
         points = spec.points()
         assert len(points) == 1
         assert points[0].kwargs() == {"a": 1}
 
     def test_base_merged_into_every_point(self):
-        spec = SweepSpec(name="s", task="moe_layer", base={"c": 7},
+        spec = SweepSpec(name="s", task="workload", base={"c": 7},
                          axes={"a": [1, 2]})
         for point, expected in zip(spec.points(), (1, 2)):
             assert point.kwargs() == {"a": expected, "c": 7}
 
     def test_zip_length_mismatch_rejected(self):
         with pytest.raises(ConfigError):
-            SweepSpec(name="s", task="moe_layer", mode="zip",
+            SweepSpec(name="s", task="workload", mode="zip",
                       axes={"a": [1, 2], "b": [1]})
 
     def test_base_axis_overlap_rejected(self):
         with pytest.raises(ConfigError):
-            SweepSpec(name="s", task="moe_layer", base={"a": 1}, axes={"a": [2]})
+            SweepSpec(name="s", task="workload", base={"a": 1}, axes={"a": [2]})
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ConfigError):
-            SweepSpec(name="s", task="moe_layer", mode="diagonal")
+            SweepSpec(name="s", task="workload", mode="diagonal")
 
 
 class TestSeedsAndKeys:
     def test_point_seed_follows_params_not_position(self):
-        forward = SweepSpec(name="s", task="moe_layer", axes={"a": [1, 2, 3]})
-        backward = SweepSpec(name="s", task="moe_layer", axes={"a": [3, 2, 1]})
+        forward = SweepSpec(name="s", task="workload", axes={"a": [1, 2, 3]})
+        backward = SweepSpec(name="s", task="workload", axes={"a": [3, 2, 1]})
         by_params_fwd = {p.kwargs()["a"]: p for p in forward.points()}
         by_params_bwd = {p.kwargs()["a"]: p for p in backward.points()}
         for a in (1, 2, 3):
@@ -73,8 +73,8 @@ class TestSeedsAndKeys:
             assert by_params_fwd[a].cache_key() == by_params_bwd[a].cache_key()
 
     def test_cache_key_ignores_spec_name(self):
-        one = SweepSpec(name="one", task="moe_layer", axes={"a": [1]}).points()[0]
-        two = SweepSpec(name="two", task="moe_layer", axes={"a": [1]}).points()[0]
+        one = SweepSpec(name="one", task="workload", axes={"a": [1]}).points()[0]
+        two = SweepSpec(name="two", task="workload", axes={"a": [1]}).points()[0]
         assert one.cache_key() == two.cache_key()
 
     def test_cache_key_changes_with_params_seed_and_task(self, seeded_task):
@@ -82,25 +82,25 @@ class TestSeedsAndKeys:
         other_param = SweepSpec(name="s", task=seeded_task, axes={"a": [2]}).points()[0]
         other_seed = SweepSpec(name="s", task=seeded_task, axes={"a": [1]},
                                seed=1).points()[0]
-        other_task = SweepSpec(name="s", task="attention_layer",
+        other_task = SweepSpec(name="s", task="workload",
                                axes={"a": [1]}).points()[0]
         keys = {base.cache_key(), other_param.cache_key(), other_seed.cache_key(),
                 other_task.cache_key()}
         assert len(keys) == 4
 
     def test_spec_seed_distinguishes_points(self):
-        seeded = {spec_seed: SweepSpec(name="s", task="moe_layer",
+        seeded = {spec_seed: SweepSpec(name="s", task="workload",
                                        axes={"a": [1]}, seed=spec_seed).points()[0].seed
                   for spec_seed in (0, 1)}
         assert seeded[0] != seeded[1]
 
     def test_seedless_task_key_ignores_spec_seed(self):
-        # the shipped tasks take no seed (their inputs fully determine the
-        # result), so identical simulations share one cache entry across seeds
-        for task in ("moe_layer", "attention_layer"):
-            one = SweepSpec(name="s", task=task, axes={"a": [1]}, seed=0).points()[0]
-            two = SweepSpec(name="s", task=task, axes={"a": [1]}, seed=9).points()[0]
-            assert one.cache_key() == two.cache_key()
+        # the shipped generic task takes no seed (the workload's data fully
+        # determines the result), so identical simulations share one cache
+        # entry across seeds
+        one = SweepSpec(name="s", task="workload", axes={"a": [1]}, seed=0).points()[0]
+        two = SweepSpec(name="s", task="workload", axes={"a": [1]}, seed=9).points()[0]
+        assert one.cache_key() == two.cache_key()
 
     def test_late_registration_clears_seedless_cache(self):
         # querying an unknown task caches "seedless"; registering it must
@@ -119,7 +119,7 @@ class TestSeedsAndKeys:
             task_accepts_seed.cache_clear()
 
     def test_label_mentions_spec_and_small_params(self):
-        point = SweepSpec(name="tiles", task="moe_layer",
+        point = SweepSpec(name="tiles", task="workload",
                           base={"huge": list(range(100))},
                           axes={"tile_rows": [16]}).points()[0]
         label = point.label()

@@ -5,12 +5,12 @@ import pytest
 from repro.core.errors import ConfigError
 from repro.data.expert_routing import generate_routing_trace, representative_iteration
 from repro.data.kv_traces import VarianceClass, representative_trace
-from repro.schedules import (ParallelizationSchedule, TilingSchedule, dynamic_tiling,
-                             parallelization, static_tiling, time_multiplexing)
+from repro.schedules import (ParallelizationSchedule, Schedule, TilingSchedule,
+                             dynamic_tiling, parallelization, static_tiling,
+                             time_multiplexing)
 from repro.schedules.parallelization import region_loads
 from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
-from repro.workloads.model import (ScheduleChoice, default_schedules, evaluate_end_to_end,
-                                   evaluate_layer)
+from repro.workloads.model import default_schedules, evaluate_end_to_end, evaluate_layer
 
 
 class TestTilingSchedule:
@@ -59,6 +59,47 @@ class TestParallelizationSchedule:
         assert loads == [12, 5]
 
 
+class TestUnifiedSchedule:
+    def test_composition_exposes_builder_knobs(self):
+        schedule = Schedule(name="s", tiling=static_tiling(16),
+                            timemux=time_multiplexing(128, 8),
+                            parallelization=parallelization("dynamic"))
+        assert schedule.moe_tile_rows == 16
+        assert schedule.moe_num_regions == 8
+        assert schedule.attention_strategy == "dynamic"
+        assert not schedule.is_fully_dynamic  # tiling is static
+
+    def test_dynamic_defaults(self):
+        schedule = Schedule.dynamic()
+        assert schedule.moe_tile_rows is None
+        assert schedule.moe_num_regions is None
+        assert schedule.is_fully_dynamic
+
+    def test_fully_spatial_timemux_means_no_regions(self):
+        schedule = Schedule(name="s", timemux=time_multiplexing(8, 8))
+        assert schedule.moe_num_regions is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Schedule(name="")
+        with pytest.raises(ConfigError):
+            Schedule(name="s", tiling="static")
+        with pytest.raises(ConfigError):
+            Schedule(name="s", timemux=16)
+        with pytest.raises(ConfigError):
+            Schedule.dynamic(timemux_regions=4)  # needs num_experts
+
+    def test_dict_round_trip(self):
+        for schedule in (Schedule.static("tile=8", 8, attention="coarse"),
+                         Schedule.dynamic(num_experts=64, timemux_regions=8),
+                         Schedule(name="plain")):
+            assert Schedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_label_mentions_components(self):
+        label = Schedule.dynamic(num_experts=64, timemux_regions=8).label()
+        assert "dynamic" in label and "8 regions" in label
+
+
 class TestEndToEndModel:
     def setup_method(self):
         from dataclasses import replace
@@ -77,8 +118,7 @@ class TestEndToEndModel:
         assert schedules["dynamic"].moe_num_regions is None
 
     def test_layer_breakdown_and_scaling(self):
-        schedule = ScheduleChoice("dynamic", moe_tile_rows=None,
-                                  attention_strategy="dynamic")
+        schedule = Schedule.dynamic()
         result = evaluate_end_to_end(self.model, schedule, self.batch, self.kv_lengths,
                                      self.assignments, num_layers=3,
                                      hardware=sda_hardware())
@@ -88,8 +128,8 @@ class TestEndToEndModel:
         assert result.total_traffic > 0
 
     def test_dynamic_vs_static_comparison(self):
-        dynamic = ScheduleChoice("dynamic", moe_tile_rows=None, attention_strategy="dynamic")
-        static = ScheduleChoice("static", moe_tile_rows=4, attention_strategy="interleave")
+        dynamic = Schedule.dynamic()
+        static = Schedule.static("static", tile_rows=4)
         results = {}
         for schedule in (dynamic, static):
             results[schedule.name] = evaluate_end_to_end(
@@ -99,7 +139,7 @@ class TestEndToEndModel:
             results["static"].breakdown.offchip_traffic["moe"]
 
     def test_batch_mismatch_rejected(self):
-        schedule = ScheduleChoice("static", moe_tile_rows=4, attention_strategy="interleave")
+        schedule = Schedule.static("static", tile_rows=4)
         with pytest.raises(ConfigError):
             evaluate_end_to_end(self.model, schedule, self.batch, self.kv_lengths[:-1],
                                 self.assignments)
