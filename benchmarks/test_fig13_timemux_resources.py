@@ -1,6 +1,5 @@
 """Figure 13 — configuration time-multiplexing: resource usage and performance."""
 
-import pytest
 
 from repro.experiments import figure12_13
 

@@ -18,8 +18,7 @@ covers smoke-scale tests and full-scale runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
-                    Union)
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.errors import ConfigError
 from ..schedules import Schedule

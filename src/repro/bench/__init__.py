@@ -1,0 +1,38 @@
+"""Performance tracking for the simulation engine (``python -m repro.bench``).
+
+The bench subsystem runs a curated suite of registered scenarios, records
+wall-clock time, simulated cycles per second and result-cache statistics per
+scenario, and emits a schema-versioned JSON report (``BENCH_*.json``).  A
+comparison mode diffs two reports and flags regressions, which CI uses to gate
+merges against the committed baseline.
+
+Usage::
+
+    python -m repro.bench --scale smoke --json bench.json
+    python -m repro.bench --compare BENCH_PR3.json bench.json --threshold 0.2
+
+See the README's "Benchmarking" section for the full workflow.
+"""
+
+from .report import (SCHEMA_VERSION, CaseComparison, ComparisonResult, build_report,
+                     compare_reports, load_report, measure_calibration, write_report)
+from .runner import BenchResult, run_case, run_suite
+from .suite import BenchCase, bench_cases, get_case, register_case
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchCase",
+    "BenchResult",
+    "CaseComparison",
+    "ComparisonResult",
+    "bench_cases",
+    "build_report",
+    "compare_reports",
+    "get_case",
+    "load_report",
+    "measure_calibration",
+    "register_case",
+    "run_case",
+    "run_suite",
+    "write_report",
+]

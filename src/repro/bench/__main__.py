@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Measure::
+
+    python -m repro.bench --scale smoke --json bench.json
+    python -m repro.bench --suite figure15-batch-sweep --repeat 5
+
+Compare (exit code 1 on regression; used by the CI gate)::
+
+    python -m repro.bench --compare BENCH_PR3.json bench.json --threshold 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import (build_report, compare_reports, format_comparison, load_report,
+                     write_report)
+from .runner import run_suite
+from .suite import SCALES, bench_cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the scenario benchmark suite or compare two bench reports")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="benchmark scale (default: smoke)")
+    parser.add_argument("--suite", action="append", default=None, metavar="NAME",
+                        help="benchmark case to run (repeatable; default: all)")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="timed repetitions per case; the minimum is reported")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="sweep worker processes per case (default: 1)")
+    parser.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                        help="write the schema-versioned report here")
+    parser.add_argument("--no-cache-stats", action="store_true",
+                        help="skip the cold+warm result-cache measurement")
+    parser.add_argument("--list", action="store_true", help="list benchmark cases")
+    parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                        help="compare two bench reports instead of measuring")
+    parser.add_argument("--threshold", type=float, default=0.2, metavar="FRAC",
+                        help="regression threshold for --compare (default: 0.2 = 20%%)")
+    parser.add_argument("--metric", default="wall_time_s",
+                        choices=("wall_time_s", "cycles_per_second", "cache_warm_s"),
+                        help="comparison metric (default: wall_time_s)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw values (skip calibration normalization)")
+    parser.add_argument("--min-delta", type=float, default=0.01, metavar="SECONDS",
+                        help="ignore wall-time regressions smaller than this "
+                             "absolute difference (default: 0.01)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for case in bench_cases():
+            print(f"{case.name:32s} {case.description}")
+        return 0
+
+    if args.compare:
+        baseline = load_report(args.compare[0])
+        current = load_report(args.compare[1])
+        result = compare_reports(baseline, current, threshold=args.threshold,
+                                 metric=args.metric, normalize=not args.no_normalize,
+                                 min_delta_s=args.min_delta)
+        print(format_comparison(result, metric=args.metric))
+        return 0 if result.ok else 1
+
+    def progress(case):
+        print(f"bench: {case.name} ({args.scale}, repeat={args.repeat}) ...",
+              flush=True)
+
+    results = run_suite(names=args.suite, scale=args.scale, repeat=args.repeat,
+                        jobs=args.jobs, cache_stats=not args.no_cache_stats,
+                        progress=progress)
+    for result in results:
+        line = (f"  {result.name}: {result.wall_time_s:.4f}s "
+                f"({result.points} points, {result.sim_cycles:.0f} cycles, "
+                f"{result.cycles_per_second:,.0f} cyc/s")
+        if result.cache_warm_s is not None:
+            line += (f"; cache warm {result.cache_warm_s:.4f}s "
+                     f"{result.cache_warm_hits}/{result.points} hits")
+        print(line + ")")
+
+    if args.json_path:
+        report = build_report(results, scale=args.scale, repeat=args.repeat,
+                              jobs=args.jobs)
+        write_report(args.json_path, report)
+        print(f"bench report written to {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Schema-versioned benchmark reports and the regression comparison gate.
+
+A report is a plain JSON document::
+
+    {
+      "schema": "repro.bench/v1",
+      "created": "...", "scale": "smoke", "repeat": 3, "jobs": 1,
+      "python": "3.11.7", "platform": "...",
+      "calibration_s": 0.0123,
+      "suites": {"figure15-batch-sweep": {"wall_time_s": ..., ...}, ...}
+    }
+
+``calibration_s`` times a fixed pure-Python workload (independent of the
+simulator) at report-creation time.  Comparing two reports computes both the
+raw ratio and the ratio normalized by the calibration (machine-speed) factor,
+and flags a regression only when the suite is slower than the threshold under
+*both* views: normalization makes a baseline recorded on a fast developer
+machine meaningful on a slower CI runner, while the raw ratio guards against
+calibration noise flagging same-machine runs.  Genuine engine slow-downs
+inflate both ratios, so they are always caught.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .runner import BenchResult
+
+SCHEMA_VERSION = "repro.bench/v1"
+
+#: iterations of the calibration spin (fixed forever for comparability)
+_CALIBRATION_ITERS = 100_000
+
+
+def measure_calibration(repeat: int = 3) -> float:
+    """Seconds for a fixed, simulator-independent pure-Python workload."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        acc = 0
+        table = {}
+        for i in range(_CALIBRATION_ITERS):
+            table[i & 255] = acc
+            acc += i ^ (acc >> 3)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def build_report(results: List[BenchResult], scale: str, repeat: int,
+                 jobs: int) -> Dict[str, object]:
+    """Assemble the schema-versioned report document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": scale,
+        "repeat": repeat,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_s": measure_calibration(),
+        "suites": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_report(path: str, report: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        report = json.load(handle)
+    schema = report.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench report schema {schema!r} "
+            f"(expected {SCHEMA_VERSION!r})")
+    if not isinstance(report.get("suites"), dict):
+        raise ValueError(f"{path}: malformed bench report (missing 'suites')")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CaseComparison:
+    """Baseline-vs-current numbers for one suite."""
+
+    name: str
+    baseline_s: Optional[float]
+    current_s: Optional[float]
+    #: effective current/baseline ratio (> 1 means slower); the minimum of the
+    #: raw and machine-normalized ratios when a calibration is available
+    ratio: Optional[float]
+    regressed: bool
+    note: str = ""
+
+
+@dataclass
+class ComparisonResult:
+    """The full comparison; ``ok`` is False when any suite regressed."""
+
+    threshold: float
+    normalized: bool
+    cases: List[CaseComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(case.regressed for case in self.cases)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [case for case in self.cases if case.regressed]
+
+
+def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
+                    threshold: float = 0.2, metric: str = "wall_time_s",
+                    normalize: bool = True,
+                    min_delta_s: float = 0.01) -> ComparisonResult:
+    """Compare two reports; a suite regresses when its (normalized) metric
+    grew by more than ``threshold`` (0.2 = 20%).
+
+    ``min_delta_s`` is an absolute floor for wall-time metrics: sub-10ms
+    differences are scheduler jitter, not engine regressions, and a real
+    hot-path regression also shows on the larger suites.  Suites present only
+    in the current report are informational; suites that disappeared relative
+    to the baseline are flagged as regressions (the gate must not pass because
+    a benchmark silently stopped running).
+    """
+    scale_factor = 1.0
+    normalized = False
+    if normalize:
+        base_cal = baseline.get("calibration_s")
+        cur_cal = current.get("calibration_s")
+        if base_cal and cur_cal:
+            scale_factor = float(base_cal) / float(cur_cal)
+            normalized = True
+
+    result = ComparisonResult(threshold=threshold, normalized=normalized)
+    base_suites: Dict[str, dict] = baseline["suites"]  # type: ignore[assignment]
+    cur_suites: Dict[str, dict] = current["suites"]  # type: ignore[assignment]
+
+    for name, base in base_suites.items():
+        base_value = base.get(metric)
+        cur = cur_suites.get(name)
+        if cur is None:
+            result.cases.append(CaseComparison(
+                name=name, baseline_s=base_value, current_s=None, ratio=None,
+                regressed=True, note="missing from current report"))
+            continue
+        cur_value = cur.get(metric)
+        if not base_value or not cur_value:
+            result.cases.append(CaseComparison(
+                name=name, baseline_s=base_value, current_s=cur_value, ratio=None,
+                regressed=False, note=f"metric {metric!r} unavailable"))
+            continue
+        # prefer calibrations measured adjacent to this case's timing loop:
+        # they track machine-speed drift *within* a bench run, which a single
+        # report-level factor cannot
+        case_factor = scale_factor
+        base_cal = base.get("calibration_s")
+        cur_cal = cur.get("calibration_s")
+        if normalize and base_cal and cur_cal:
+            case_factor = float(base_cal) / float(cur_cal)
+        # slower-than-baseline ratio: wall times grow on slower machines,
+        # throughput shrinks.  case_factor = base_cal/cur_cal is the current
+        # machine's relative speed (< 1 when slower), and it corrects both
+        # metrics the same way: expected wall time scales by 1/case_factor and
+        # expected throughput scales by case_factor.
+        if metric == "cycles_per_second":
+            raw = float(base_value) / float(cur_value)
+        else:
+            raw = float(cur_value) / float(base_value)
+        norm = raw * case_factor
+        # regression only when slower under BOTH views: normalization corrects
+        # for machine speed across hosts, the raw ratio guards against
+        # calibration noise on the same host; real slow-downs inflate both
+        ratio = min(raw, norm) if normalized else raw
+        regressed = ratio > 1.0 + threshold
+        if regressed and metric != "cycles_per_second" and \
+                float(cur_value) - float(base_value) < min_delta_s:
+            regressed = False
+        result.cases.append(CaseComparison(
+            name=name, baseline_s=float(base_value), current_s=float(cur_value),
+            ratio=ratio, regressed=regressed))
+
+    for name, cur in cur_suites.items():
+        if name not in base_suites:
+            result.cases.append(CaseComparison(
+                name=name, baseline_s=None, current_s=cur.get(metric), ratio=None,
+                regressed=False, note="new suite (no baseline)"))
+    return result
+
+
+def format_comparison(result: ComparisonResult, metric: str = "wall_time_s") -> str:
+    """A human-readable comparison table."""
+    lines = [f"bench comparison ({metric}; threshold {result.threshold:.0%}; "
+             f"{'machine-normalized' if result.normalized else 'raw'})"]
+    width = max((len(case.name) for case in result.cases), default=4)
+    for case in result.cases:
+        if case.ratio is None:
+            lines.append(f"  {case.name:<{width}}  --        {case.note}")
+            continue
+        direction = "REGRESSED" if case.regressed else (
+            "improved" if case.ratio < 1.0 else "unchanged")
+        lines.append(
+            f"  {case.name:<{width}}  {case.baseline_s:9.4f} -> {case.current_s:9.4f}"
+            f"  x{case.ratio:5.2f}  {direction}")
+    lines.append("OK" if result.ok else
+                 f"FAIL: {len(result.regressions)} suite(s) regressed")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Benchmark execution: timed scenario runs plus cache-path statistics."""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..api import run as run_scenario
+from ..sweep import ResultCache, SweepRunner
+from .suite import BenchCase, bench_cases
+
+
+@dataclass
+class BenchResult:
+    """Measurements for one benchmark case.
+
+    Wall times are uncached end-to-end scenario runs (scenario expansion +
+    simulation) after one untimed warmup; ``wall_time_s`` is the lower
+    quartile over the repeats — on shared machines (CI runners) a low quantile
+    is far more stable than the minimum (which rewards one lucky
+    quiet-machine sample) while staying robust to slow-burst outliers, and a
+    real regression shifts the whole distribution anyway.  ``cycles_per_second``
+    is simulated cycles per wall-clock second — the engine's throughput
+    figure, comparable across commits on the same machine.  The cache fields
+    come from one cold+warm pair against a throwaway on-disk cache and track
+    the result-cache path (a warm run must satisfy every point from cache).
+    """
+
+    name: str
+    description: str
+    scale: str
+    points: int
+    wall_time_s: float
+    wall_times_s: List[float]
+    sim_cycles: float
+    cycles_per_second: float
+    simulated: int
+    cache_hits: int
+    #: machine-speed probe taken adjacent to this case's timing loop (min of a
+    #: before and an after spin); the comparison gate normalizes with it
+    calibration_s: Optional[float] = None
+    cache_cold_s: Optional[float] = None
+    cache_warm_s: Optional[float] = None
+    cache_warm_hits: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "description": self.description,
+            "scale": self.scale,
+            "points": self.points,
+            "wall_time_s": self.wall_time_s,
+            "wall_times_s": self.wall_times_s,
+            "sim_cycles": self.sim_cycles,
+            "cycles_per_second": self.cycles_per_second,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "calibration_s": self.calibration_s,
+        }
+        if self.cache_cold_s is not None:
+            payload["cache_cold_s"] = self.cache_cold_s
+            payload["cache_warm_s"] = self.cache_warm_s
+            payload["cache_warm_hits"] = self.cache_warm_hits
+        return payload
+
+
+#: keep repeating a case until this much wall time is accumulated (noise
+#: floor for sub-50ms cases) ...
+_MIN_MEASURE_S = 0.5
+#: ... but never beyond this many repetitions
+_MAX_REPEAT = 15
+
+
+def _lower_quartile(values: List[float]) -> float:
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 4]
+
+
+def run_case(case: BenchCase, scale: str = "smoke", repeat: int = 3, jobs: int = 1,
+             cache_stats: bool = True) -> BenchResult:
+    """Measure one benchmark case.
+
+    The case runs at least ``repeat`` times and keeps repeating (up to a cap,
+    which an explicit larger ``repeat`` raises) until ``_MIN_MEASURE_S`` of
+    wall time has been accumulated, so tiny cases are not noise-dominated; the
+    lower quartile of the samples is reported (see :class:`BenchResult`).
+    """
+    from .report import measure_calibration
+
+    scenario = case.scenario(scale)
+    wall_times: List[float] = []
+    last = None
+    simulated = cache_hits = 0
+    spent = 0.0
+    cal_before = measure_calibration(repeat=2)
+    run_scenario(scenario, runner=SweepRunner(jobs=jobs, cache=None))  # warmup
+    while True:
+        runner = SweepRunner(jobs=jobs, cache=None)
+        started = time.perf_counter()
+        last = run_scenario(scenario, runner=runner)
+        elapsed = time.perf_counter() - started
+        wall_times.append(elapsed)
+        spent += elapsed
+        simulated = last.stats.simulated
+        cache_hits = last.stats.cache_hits
+        wanted = max(1, repeat)
+        if len(wall_times) >= max(_MAX_REPEAT, wanted):
+            break
+        if len(wall_times) >= wanted and spent >= _MIN_MEASURE_S:
+            break
+    cal_after = measure_calibration(repeat=2)
+    sim_cycles = float(sum(row.metrics.get("cycles", 0.0) for row in last.rows))
+    best = _lower_quartile(wall_times)
+    result = BenchResult(
+        name=case.name,
+        description=case.description,
+        scale=scale,
+        points=len(last.rows),
+        wall_time_s=best,
+        wall_times_s=wall_times,
+        sim_cycles=sim_cycles,
+        cycles_per_second=sim_cycles / best if best > 0 else 0.0,
+        simulated=simulated,
+        cache_hits=cache_hits,
+        calibration_s=min(cal_before, cal_after),
+    )
+    if cache_stats:
+        _measure_cache_path(scenario, jobs, result)
+    return result
+
+
+def _measure_cache_path(scenario, jobs: int, result: BenchResult) -> None:
+    """One cold+warm pair against a throwaway cache (the warm run must not
+    re-simulate anything)."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        runner = SweepRunner(jobs=jobs, cache=cache)
+        started = time.perf_counter()
+        run_scenario(scenario, runner=runner)
+        result.cache_cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_scenario(scenario, runner=SweepRunner(jobs=1, cache=cache))
+        result.cache_warm_s = time.perf_counter() - started
+        result.cache_warm_hits = warm.stats.cache_hits
+
+
+def run_suite(names: Optional[List[str]] = None, scale: str = "smoke", repeat: int = 3,
+              jobs: int = 1, cache_stats: bool = True,
+              progress=None) -> List[BenchResult]:
+    """Run the selected benchmark cases and collect their measurements."""
+    results = []
+    for case in bench_cases(names):
+        if progress is not None:
+            progress(case)
+        results.append(run_case(case, scale=scale, repeat=repeat, jobs=jobs,
+                                cache_stats=cache_stats))
+    return results

@@ -1,0 +1,117 @@
+"""The curated benchmark suite: named scenario factories per scale.
+
+Each :class:`BenchCase` names one benchmark and builds the
+:class:`~repro.api.Scenario` to run for a given scale (``"smoke"`` or
+``"full"``).  The default suite covers the engine's distinct hot paths:
+
+* ``figure15-batch-sweep`` — attention with dynamic parallelization across
+  batch sizes (the paper's headline sweep; EagerMerge / Partition / feedback
+  loop heavy).  This is the suite the PR-3 optimization pass was tuned on.
+* ``figure14-dynamic-parallelization`` — the three parallelization strategies
+  over variance-classed KV traces.
+* ``figure9-dynamic-tiling`` — the MoE tiling Pareto grid (Bufferize /
+  Streamify / off-chip loads dominate).
+* ``figure12-timemux`` — configuration time-multiplexing region sweep.
+* ``dense-ffn`` — the dense SwiGLU FFN tiling baseline from the scenario
+  library (compute-operator bound).
+
+New benchmarks register with :func:`register_case`; anything expressible as a
+Scenario participates for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..api import Scenario, get_scenario
+from ..core.errors import ConfigError
+from ..experiments import figure9_10, figure12_13, figure14, figure15
+from ..experiments.common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
+
+#: the benchmark scales (mirrors the experiments CLI)
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": SMOKE_SCALE,
+    "full": DEFAULT_SCALE,
+}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a scenario factory parameterized by scale name."""
+
+    name: str
+    description: str
+    build: Callable[[str], Scenario]
+
+    def scenario(self, scale: str = "smoke") -> Scenario:
+        if scale not in SCALES:
+            raise ConfigError(f"unknown bench scale {scale!r}; expected one of {sorted(SCALES)}")
+        return self.build(scale)
+
+
+#: case name -> BenchCase, in registration (= report) order
+CASES: Dict[str, BenchCase] = {}
+
+
+def register_case(name: str, description: str):
+    """Decorator registering a scenario factory (``scale name -> Scenario``)."""
+
+    def wrap(build: Callable[[str], Scenario]) -> Callable[[str], Scenario]:
+        if name in CASES:
+            raise ConfigError(f"bench case {name!r} is already registered")
+        CASES[name] = BenchCase(name=name, description=description, build=build)
+        return build
+
+    return wrap
+
+
+def bench_cases(names: Optional[List[str]] = None) -> List[BenchCase]:
+    """The selected (or all) benchmark cases, in registration order."""
+    if names is None:
+        return list(CASES.values())
+    return [get_case(name) for name in names]
+
+
+def get_case(name: str) -> BenchCase:
+    try:
+        return CASES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown bench case {name!r}; registered: {sorted(CASES)}") from None
+
+
+# ---------------------------------------------------------------------------
+# Default suite
+# ---------------------------------------------------------------------------
+
+@register_case("figure15-batch-sweep",
+               "dynamic vs static coarse parallelization across batch sizes")
+def _figure15(scale: str) -> Scenario:
+    return figure15.scenario(SCALES[scale])
+
+
+@register_case("figure14-dynamic-parallelization",
+               "parallelization strategies over variance-classed KV traces")
+def _figure14(scale: str) -> Scenario:
+    return figure14.scenario(SCALES[scale])
+
+
+@register_case("figure9-dynamic-tiling",
+               "MoE static-tile Pareto grid vs dynamic tiling")
+def _figure9(scale: str) -> Scenario:
+    return figure9_10.scenario(SCALES[scale], large_batch=False)
+
+
+@register_case("figure12-timemux",
+               "configuration time-multiplexing region sweep")
+def _figure12(scale: str) -> Scenario:
+    return figure12_13.scenario(SCALES[scale])
+
+
+@register_case("dense-ffn",
+               "dense SwiGLU FFN tiling baseline (library scenario)")
+def _dense_ffn(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("dense-ffn", model_scale=16, batch=64, tiles=(8, 16, 32, 64))
+    return get_scenario("dense-ffn")

@@ -11,17 +11,15 @@ need:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from .dims import Dim
-from .dtypes import ElemType, Selector, SelectorType, Tile, TileType, elem_type
+from .dtypes import ElemType, Selector, SelectorType, Tile, TileType
 from .errors import ShapeError
 from .graph import InputStream, StreamHandle
 from .shape import StreamShape
-from .stream import (DONE, Data, Done, Stop, Token, nested_from_tokens,
-                     tokens_from_nested)
+from .stream import Data, Token, nested_from_tokens, tokens_from_nested
 
 
 def input_stream(name: str, shape, dtype) -> StreamHandle:

@@ -19,8 +19,8 @@ fresh ragged dimension rather than a closed-form expression.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Sequence, Union
 
 from . import symbolic as sym
 from .errors import ShapeError

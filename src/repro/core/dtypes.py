@@ -22,7 +22,8 @@ counts and FLOP counts flow through the machine.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from functools import lru_cache
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,8 +31,7 @@ import numpy as np
 from . import symbolic as sym
 from .dims import Dim
 from .errors import ShapeError, TypeMismatchError
-from .shape import StreamShape
-from .symbolic import Expr, ExprLike
+from .symbolic import Expr
 
 
 # ---------------------------------------------------------------------------
@@ -225,13 +225,14 @@ class Tile(Value):
     keeps large simulator sweeps cheap.
     """
 
-    __slots__ = ("rows", "cols", "dtype", "data", "tile_id")
+    __slots__ = ("rows", "cols", "dtype", "data", "tile_id", "_nbytes")
 
     def __init__(self, rows: int, cols: int, dtype: Union[str, ElemType] = BF16,
                  data: Optional[np.ndarray] = None):
         self.rows = int(rows)
         self.cols = int(cols)
         self.dtype = elem_type(dtype)
+        self._nbytes = self.rows * self.cols * self.dtype.nbytes
         if self.rows < 0 or self.cols < 0:
             raise ShapeError(f"tile shape must be non-negative, got ({rows}, {cols})")
         if data is not None:
@@ -262,6 +263,16 @@ class Tile(Value):
         """A metadata-only tile (no payload)."""
         return Tile(rows, cols, dtype, None)
 
+    @staticmethod
+    def meta_shared(rows: int, cols: int, dtype: Union[str, ElemType] = BF16) -> "Tile":
+        """A metadata-only tile, interned per (shape, dtype).
+
+        Metadata tiles carry no payload and nothing downstream mutates tiles,
+        so hot paths (load executors, the hardware-function meta fast paths)
+        share one instance per shape instead of allocating per element.
+        """
+        return _shared_meta_tile(int(rows), int(cols), elem_type(dtype))
+
     # -- properties -----------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, int]:
@@ -269,7 +280,7 @@ class Tile(Value):
 
     @property
     def nbytes(self) -> int:
-        return self.rows * self.cols * self.dtype.nbytes
+        return self._nbytes
 
     @property
     def has_data(self) -> bool:
@@ -355,6 +366,11 @@ class Address(Value):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Address({self.value})"
+
+
+@lru_cache(maxsize=1024)
+def _shared_meta_tile(rows: int, cols: int, dtype: "ElemType") -> "Tile":
+    return Tile(rows, cols, dtype, None)
 
 
 class BufferHandle(Value):

@@ -17,11 +17,11 @@ operator classes in :mod:`repro.ops` build on:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .dtypes import DataType, TileType
-from .errors import GraphError, ShapeError
+from .dtypes import DataType
+from .errors import GraphError
 from .shape import StreamShape, shape_of
 
 _node_ids = itertools.count()

@@ -15,10 +15,10 @@ including the absorbing-ragged behaviour of flattening.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Iterable, Mapping, Sequence, Tuple, Union
 
 from . import symbolic as sym
-from .dims import Dim, DimKind, DimRequirement, ceil_div_dim, dims_compatible, multiply_dims
+from .dims import Dim, DimRequirement, ceil_div_dim, dims_compatible, multiply_dims
 from .errors import ShapeError
 from .symbolic import ExprLike
 

@@ -24,8 +24,7 @@ This module provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import StreamProtocolError
 
@@ -95,6 +94,18 @@ class Done(Token):
 
 
 DONE = Done()
+
+#: interned stop tokens for the common levels — Stop instances are immutable
+#: (the level is set once), so hot paths share them instead of allocating
+_STOP_CACHE: Tuple["Stop", ...] = tuple(Stop(level) for level in range(1, 17))
+
+
+def stop_token(level: int) -> Stop:
+    """A stop token of ``level``, shared from the cache for small levels."""
+    if 1 <= level <= 16:
+        return _STOP_CACHE[level - 1]
+    return Stop(level)
+
 
 TokenStream = List[Token]
 
@@ -169,9 +180,9 @@ def tokens_from_nested(nested: Sequence, rank: int, wrap: Callable[[Any], Any] =
 def _append_stop(tokens: TokenStream, level: int) -> None:
     """Append a stop token, merging with a directly preceding stop (absorption)."""
     if tokens and isinstance(tokens[-1], Stop):
-        tokens[-1] = Stop(max(tokens[-1].level, level))
+        tokens[-1] = stop_token(max(tokens[-1].level, level))
     else:
-        tokens.append(Stop(level))
+        tokens.append(stop_token(level))
 
 
 def nested_from_tokens(tokens: Sequence[Token], rank: int,
@@ -326,7 +337,7 @@ class StopAbsorbingEmitter:
         """Flush the pending stop token, if any."""
         if self._pending is not None:
             level, self._pending = self._pending, None
-            return self._sink(Stop(level))
+            return self._sink(stop_token(level))
         return None
 
     def done(self):

@@ -17,7 +17,6 @@ and deduplicated freely.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, Mapping, Union
 
 from .errors import SymbolicError

@@ -8,7 +8,7 @@ of peak throughput reported by prior work.  Reproduced analytically from
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..analysis.roofline import figure1_rows
 from .common import DEFAULT_SCALE, ExperimentScale

@@ -27,8 +27,15 @@ import time
 from typing import Callable, Dict, Optional
 
 from ..sweep import ResultCache, SweepRunner, SweepStats, default_cache_root
-from . import (common, figure1, figure8, figure9_10, figure12_13, figure14, figure15,
-               figure17, figure19_20, figure21)
+from . import (figure1,
+    figure8,
+    figure9_10,
+    figure12_13,
+    figure14,
+    figure15,
+    figure17,
+    figure19_20,
+    figure21)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
 

@@ -10,7 +10,7 @@ here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type
+from typing import Dict, Type
 
 from ..core.graph import OperatorBase, StreamHandle
 from ..core.errors import GraphError, TypeMismatchError

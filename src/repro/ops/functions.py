@@ -23,12 +23,15 @@ metadata-only tile of the correct shape so large sweeps avoid real arithmetic.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List
 
 import numpy as np
 
 from ..core.dtypes import Tile, TupleValue
 from ..core.errors import ShapeError, TypeMismatchError
+
+#: shared metadata-only result tiles (interned per shape/dtype in core.dtypes)
+_meta_tile = Tile.meta_shared
 
 
 def _payloads_available(*tiles: Tile) -> bool:
@@ -95,7 +98,7 @@ class ElemWise(MapFunction):
             raise ShapeError(f"{self.name} requires equal tile shapes, got {a.shape} vs {b.shape}")
         if _payloads_available(a, b):
             return Tile.from_array(type(self)._np_op(a.to_array(), b.to_array()), a.dtype)
-        return Tile.meta(a.rows, a.cols, a.dtype)
+        return _meta_tile(a.rows, a.cols, a.dtype)
 
     def flops(self, a, b) -> int:
         return _as_tile(a).num_elements * self._flops_per_element
@@ -123,7 +126,7 @@ class Scale(MapFunction):
         a = _as_tile(a)
         if a.has_data:
             return Tile.from_array(a.to_array() * self.factor, a.dtype)
-        return Tile.meta(a.rows, a.cols, a.dtype)
+        return _meta_tile(a.rows, a.cols, a.dtype)
 
     def flops(self, a) -> int:
         return _as_tile(a).num_elements
@@ -139,7 +142,7 @@ class SiLU(MapFunction):
         if a.has_data:
             x = a.to_array().astype(np.float64)
             return Tile.from_array(x / (1.0 + np.exp(-x)), a.dtype)
-        return Tile.meta(a.rows, a.cols, a.dtype)
+        return _meta_tile(a.rows, a.cols, a.dtype)
 
     def flops(self, a) -> int:
         # sigmoid (≈4 ops) + multiply
@@ -158,7 +161,7 @@ class SwiGLUGate(MapFunction):
         if _payloads_available(gate, up):
             g = gate.to_array().astype(np.float64)
             return Tile.from_array((g / (1.0 + np.exp(-g))) * up.to_array(), gate.dtype)
-        return Tile.meta(gate.rows, gate.cols, gate.dtype)
+        return _meta_tile(gate.rows, gate.cols, gate.dtype)
 
     def flops(self, gate, up) -> int:
         return 6 * _as_tile(gate).num_elements
@@ -171,7 +174,7 @@ class Exp(MapFunction):
         a = _as_tile(a)
         if a.has_data:
             return Tile.from_array(np.exp(a.to_array().astype(np.float64)), a.dtype)
-        return Tile.meta(a.rows, a.cols, a.dtype)
+        return _meta_tile(a.rows, a.cols, a.dtype)
 
     def flops(self, a) -> int:
         return 4 * _as_tile(a).num_elements
@@ -207,7 +210,7 @@ class Matmul(MapFunction):
         if _payloads_available(a, b):
             rhs = b.to_array().T if self.transpose_b else b.to_array()
             return Tile.from_array(a.to_array() @ rhs, a.dtype)
-        return Tile.meta(m, n, a.dtype)
+        return _meta_tile(m, n, a.dtype)
 
     def flops(self, a, b) -> int:
         a, b = _as_tile(a), _as_tile(b)
@@ -224,7 +227,7 @@ class RowMax(MapFunction):
         a = _as_tile(a)
         if a.has_data:
             return Tile.from_array(a.to_array().max(axis=1, keepdims=True), a.dtype)
-        return Tile.meta(a.rows, 1, a.dtype)
+        return _meta_tile(a.rows, 1, a.dtype)
 
     def flops(self, a) -> int:
         return _as_tile(a).num_elements
@@ -239,7 +242,7 @@ class RowSum(MapFunction):
         a = _as_tile(a)
         if a.has_data:
             return Tile.from_array(a.to_array().sum(axis=1, keepdims=True), a.dtype)
-        return Tile.meta(a.rows, 1, a.dtype)
+        return _meta_tile(a.rows, 1, a.dtype)
 
     def flops(self, a) -> int:
         return _as_tile(a).num_elements
@@ -266,7 +269,7 @@ class SumAccum(AccumFunction):
             raise ShapeError(f"SumAccum shapes differ: {state.shape} vs {value.shape}")
         if _payloads_available(value, state):
             return Tile.from_array(state.to_array() + value.to_array(), value.dtype)
-        return Tile.meta(value.rows, value.cols, value.dtype)
+        return _meta_tile(value.rows, value.cols, value.dtype)
 
     def flops(self, value, state) -> int:
         return _as_tile(value).num_elements
@@ -322,7 +325,7 @@ class RetileRow(AccumFunction):
                 f"RetileRow requires equal column counts, got {state.cols} vs {value.cols}")
         if _payloads_available(value, state):
             return Tile.from_array(np.vstack([state.to_array(), value.to_array()]), value.dtype)
-        return Tile.meta(state.rows + value.rows, value.cols, value.dtype)
+        return _meta_tile(state.rows + value.rows, value.cols, value.dtype)
 
     def flops(self, value, state) -> int:
         return 0  # data movement only
@@ -346,7 +349,7 @@ class RetileCol(AccumFunction):
                 f"RetileCol requires equal row counts, got {state.rows} vs {value.rows}")
         if _payloads_available(value, state):
             return Tile.from_array(np.hstack([state.to_array(), value.to_array()]), value.dtype)
-        return Tile.meta(value.rows, state.cols + value.cols, value.dtype)
+        return _meta_tile(value.rows, state.cols + value.cols, value.dtype)
 
     def flops(self, value, state) -> int:
         return 0
@@ -381,7 +384,7 @@ class RetileStreamify(FlatMapFunction):
             if value.has_data:
                 pieces.append(Tile.from_array(value.to_array()[start:start + rows], value.dtype))
             else:
-                pieces.append(Tile.meta(rows, value.cols, value.dtype))
+                pieces.append(_meta_tile(rows, value.cols, value.dtype))
         return pieces
 
     def flops(self, value) -> int:
@@ -407,7 +410,7 @@ class SplitCols(FlatMapFunction):
                 pieces.append(
                     Tile.from_array(value.to_array()[:, start:start + cols], value.dtype))
             else:
-                pieces.append(Tile.meta(value.rows, cols, value.dtype))
+                pieces.append(_meta_tile(value.rows, cols, value.dtype))
         return pieces
 
     def flops(self, value) -> int:
@@ -422,4 +425,4 @@ def zero_tile(rows: int, cols: int, dtype="bf16", with_data: bool = False) -> Ti
     """A zero tile of the given shape, optionally carrying a real payload."""
     if with_data:
         return Tile.zeros(rows, cols, dtype)
-    return Tile.meta(rows, cols, dtype)
+    return _meta_tile(rows, cols, dtype)

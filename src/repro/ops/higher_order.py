@@ -12,11 +12,9 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..core.dims import Dim
-from ..core.dtypes import DataType, TileType
+from ..core.dtypes import DataType
 from ..core.errors import ShapeError, TypeMismatchError
 from ..core.graph import StreamHandle
-from ..core.shape import StreamShape
-from ..core.symbolic import fresh_symbol
 from .base import Operator
 from .functions import AccumFunction, FlatMapFunction, MapFunction
 

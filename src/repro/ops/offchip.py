@@ -9,12 +9,12 @@ program's total off-chip traffic (and hence operational intensity) by summing
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.dims import Dim
-from ..core.dtypes import AddressType, ElemType, TileType, elem_type
+from ..core.dtypes import ElemType, TileType, elem_type
 from ..core.errors import ShapeError
 from ..core.graph import StreamHandle
 from ..core.shape import StreamShape

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core.dims import Dim
-from ..core.dtypes import BufferType, DataType, TileType
+from ..core.dtypes import BufferType
 from ..core.errors import ShapeError, TypeMismatchError
 from ..core.graph import StreamHandle
 from ..core.shape import StreamShape

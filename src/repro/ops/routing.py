@@ -18,11 +18,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core.dims import Dim
-from ..core.dtypes import DataType, SelectorType
-from ..core.errors import ShapeError, TypeMismatchError
+from ..core.dtypes import SelectorType
+from ..core.errors import ShapeError
 from ..core.graph import StreamHandle
 from ..core.shape import StreamShape
-from ..core.symbolic import fresh_symbol, ssum
 from .base import Operator
 
 

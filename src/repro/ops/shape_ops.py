@@ -9,14 +9,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
-from ..core.dims import Dim
-from ..core.dtypes import BOOL, DataType, TileType, TupleType
-from ..core.errors import ShapeError, TypeMismatchError
+from ..core.dtypes import TileType, TupleType
+from ..core.errors import ShapeError
 from ..core.graph import StreamHandle
-from ..core.shape import StreamShape
-from ..core.symbolic import fresh_symbol
 from .base import Operator
 
 

@@ -6,6 +6,10 @@ popping an element advances the consumer's clock to at least that time.
 Channels may be bounded, in which case a full channel back-pressures the
 producer until the consumer pops (the slot "frees" at the consumer's pop
 time), mirroring hardware FIFO behaviour.
+
+The waiter lists live directly on the channel (rather than in engine-side
+dictionaries keyed by channel id) so the engine's per-push/per-pop wakeup
+check is a plain attribute load on the hot path.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ class Channel:
 
     __slots__ = ("channel_id", "name", "capacity", "latency", "queue",
                  "last_pop_time", "total_pushed", "total_popped", "closed",
-                 "max_occupancy")
+                 "max_occupancy", "data_waiters", "space_waiters")
 
     def __init__(self, name: str = "", capacity: Optional[int] = None, latency: float = 1.0):
         self.channel_id = next(_channel_ids)
@@ -41,6 +45,9 @@ class Channel:
         self.total_popped = 0
         self.closed = False
         self.max_occupancy = 0
+        #: engine processes waiting for data / space on this channel
+        self.data_waiters: List = []
+        self.space_waiters: List = []
 
     # -- queries -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -62,17 +69,19 @@ class Channel:
     # -- operations --------------------------------------------------------------
     def push(self, token: Token, time: float) -> None:
         """Append a token that becomes visible at ``time + latency``."""
-        self.queue.append((time + self.latency, token))
+        queue = self.queue
+        queue.append((time + self.latency, token))
         self.total_pushed += 1
-        if len(self.queue) > self.max_occupancy:
-            self.max_occupancy = len(self.queue)
+        if len(queue) > self.max_occupancy:
+            self.max_occupancy = len(queue)
 
     def pop(self, time: float) -> Tuple[float, Token]:
         """Remove the head element; returns ``(visible_time, token)``."""
-        ready, token = self.queue.popleft()
+        entry = self.queue.popleft()
         self.total_popped += 1
-        self.last_pop_time = max(time, ready)
-        return ready, token
+        ready = entry[0]
+        self.last_pop_time = ready if ready > time else time
+        return entry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Channel({self.name}, occ={len(self.queue)}, "

@@ -10,8 +10,17 @@ tuples, which the engine services synchronously:
 ``("pop_any", chs)``   pop from whichever channel has the earliest-ready
                        head token (blocks while all are empty); returns
                        ``(index, token)``.
+``("pop_each", chs)``  pop one token from every channel, in order (blocks
+                       on each empty channel); returns the token list.
+``("pop_run", ch, n)`` pop up to ``n`` immediately available tokens
+                       (blocks while empty); returns a non-empty list.
 ``("peek", ch)``       like pop but leaves the token in place.
 ``("push", ch, tok)``  append a token (blocks while the channel is full).
+``("push_all", chs, tok)``      broadcast one token to every channel.
+``("push_many", chs, toks)``    broadcast a token run to every channel
+                                (tokens outer, channels inner).
+``("push_many_at", chs, toks, t)``  like push_many with an explicit
+                                visibility timestamp (cf. ``push_at``).
 ``("tick", cycles)``   advance the process clock by ``cycles``.
 ``("hbm", nbytes, is_write, addr)``  issue an off-chip memory request; the
                        process clock advances to its completion time.
@@ -19,7 +28,12 @@ tuples, which the engine services synchronously:
 ====================  =====================================================
 
 Processes run until they block; pushes and pops wake the relevant waiters, so
-scheduling work is proportional to the number of tokens moved.  With
+scheduling work is proportional to the number of tokens moved.  The batched
+effects (``push_many`` / ``pop_each`` / ``pop_run``) move whole token runs per
+engine round-trip while preserving the exact per-token semantics of their
+scalar counterparts: the handlers apply the same clock updates, backpressure
+bookkeeping and ``time_slack`` horizon checks at the same points a sequence of
+scalar effects would, so simulated timing is bit-identical.  With
 ``timed=False`` all latencies collapse to zero and the engine doubles as a
 functional reference interpreter.
 
@@ -31,14 +45,22 @@ communicating over time-stamped FIFOs.
 from __future__ import annotations
 
 import enum
-import heapq
-from collections import deque
-from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from ..core.errors import DeadlockError, SimulationError
 from .channel import Channel
 from .hbm import BankedHBM, HBMModel
 from .metrics import SimMetrics
+
+_INF = float("inf")
+
+#: sentinel returned by effect handlers when the process cannot continue now:
+#: either it blocked (the effect was stored for retry and the process was
+#: registered as a waiter) or a batched effect overran the horizon (the
+#: remainder was stored and the process re-enqueued).  Any other return value
+#: is the effect's result, sent into the generator on the next resume.
+_SUSPEND = object()
 
 
 class ProcessState(enum.Enum):
@@ -96,13 +118,31 @@ class Engine:
         #: priority queue of (local_time, sequence, process)
         self._runnable: List[Tuple[float, int, Process]] = []
         self._queue_seq = 0
-        #: channel -> processes waiting for data on it
-        self._data_waiters: Dict[int, List[Process]] = {}
-        #: channel -> processes waiting for space on it
-        self._space_waiters: Dict[int, List[Process]] = {}
         self.max_events = max_events
         self.time_slack = float(time_slack)
         self._events = 0
+        self._sinks_pending = 0
+        #: effect kind -> bound handler(process, effect, horizon); handlers
+        #: return the effect result, or _SUSPEND when the process parked
+        self._handlers = {
+            "push": self._do_push,
+            "push_at": self._do_push_at,
+            "push_all": self._do_push_all,
+            "push_many": self._do_push_many,
+            "push_many_at": self._do_push_many_at,
+            "push_run": self._do_push_run,       # internal resume of batched pushes
+            "tick_push_all": self._do_tick_push_all,
+            "tick_push_many": self._do_tick_push_many,
+            "hbm_push": self._do_hbm_push,
+            "pop": self._do_pop,
+            "pop_any": self._do_pop_any,
+            "pop_each": self._do_pop_each,
+            "pop_each_run": self._do_pop_each_run,  # internal resume of pop_each
+            "pop_run": self._do_pop_run,
+            "peek": self._do_peek,
+            "hbm": self._do_hbm,
+            "time": self._do_time,
+        }
 
     # -- construction --------------------------------------------------------------
     def add_channel(self, name: str = "", capacity: Optional[int] = None,
@@ -120,22 +160,28 @@ class Engine:
 
     def _enqueue(self, process: Process) -> None:
         self._queue_seq += 1
-        heapq.heappush(self._runnable, (process.local_time, self._queue_seq, process))
+        heappush(self._runnable, (process.local_time, self._queue_seq, process))
 
     # -- main loop -------------------------------------------------------------------
     def run(self) -> SimMetrics:
         """Run until every sink process finishes (or every process finishes)."""
         sinks = [p for p in self.processes if p.is_sink]
-        while self._runnable:
-            if sinks and all(p.state is ProcessState.DONE for p in sinks):
+        self._sinks_pending = sum(1 for p in sinks if p.state is not ProcessState.DONE)
+        runnable = self._runnable
+        timed = self.timed
+        slack = self.time_slack
+        track_sinks = bool(sinks)
+        while runnable:
+            if track_sinks and not self._sinks_pending:
                 break
-            _, _, process = heapq.heappop(self._runnable)
+            process = heappop(runnable)[2]
             if process.state is ProcessState.DONE:
                 continue
             process.state = ProcessState.RUNNABLE
-            horizon = float("inf")
-            if self.timed and self._runnable:
-                horizon = self._runnable[0][0] + self.time_slack
+            if timed and runnable:
+                horizon = runnable[0][0] + slack
+            else:
+                horizon = _INF
             self._advance(process, horizon)
 
         if sinks and not all(p.state is ProcessState.DONE for p in sinks):
@@ -155,119 +201,155 @@ class Engine:
         return max(p.local_time for p in self.processes)
 
     # -- process advancement ------------------------------------------------------------
-    def _advance(self, process: Process, horizon: float = float("inf")) -> None:
+    def _advance(self, process: Process, horizon: float = _INF) -> None:
         """Run ``process`` until it blocks, finishes or overruns ``horizon``."""
         generator = process.generator
+        send = generator.send
+        handlers = self._handlers
+        timed = self.timed
+        max_events = self.max_events
+        events = self._events
+        runnable_state = ProcessState.RUNNABLE
         while True:
-            if process.local_time > horizon and process.state is ProcessState.RUNNABLE:
+            if process.local_time > horizon and process.state is runnable_state:
                 # yield the CPU back to earlier-in-time processes
+                self._events = events
                 self._enqueue(process)
                 return
-            self._events += 1
-            if self._events > self.max_events:
+            events += 1
+            if events > max_events:
+                self._events = events
                 raise SimulationError(
                     f"exceeded the event budget ({self.max_events}); "
                     f"likely a livelock in the program graph")
             effect = process.pending_effect
             if effect is None:
                 try:
-                    effect = generator.send(process.pending_send)
+                    effect = send(process.pending_send)
                 except StopIteration:
                     process.state = ProcessState.DONE
                     process.pending_send = None
+                    if process.is_sink:
+                        self._sinks_pending -= 1
+                    self._events = events
                     return
                 process.pending_send = None
             else:
                 process.pending_effect = None
 
-            handled, result = self._apply_effect(process, effect)
-            if not handled:
-                # the effect blocked; it was stored for retry and the process
-                # was registered as a waiter.
+            kind = effect[0]
+            if kind == "tick":
+                if timed:
+                    process.local_time += float(effect[1])
+                process.pending_send = None
+                continue
+            try:
+                handler = handlers[kind]
+            except KeyError:
+                self._events = events
+                raise SimulationError(
+                    f"unknown effect {effect!r} from process {process.name}") from None
+            result = handler(process, effect, horizon)
+            if result is _SUSPEND:
+                self._events = events
                 return
             process.pending_send = result
 
-    def _apply_effect(self, process: Process, effect: tuple) -> Tuple[bool, object]:
-        kind = effect[0]
-        if kind == "push":
-            return self._do_push(process, effect[1], effect[2])
-        if kind == "push_at":
-            return self._do_push(process, effect[1], effect[2], at_time=effect[3])
-        if kind == "pop":
-            return self._do_pop(process, effect[1])
-        if kind == "pop_any":
-            return self._do_pop_any(process, effect[1])
-        if kind == "peek":
-            return self._do_peek(process, effect[1])
-        if kind == "tick":
-            if self.timed:
-                process.local_time += float(effect[1])
-            return True, None
-        if kind == "hbm":
-            return self._do_hbm(process, *effect[1:])
-        if kind == "time":
-            return True, process.local_time
-        raise SimulationError(f"unknown effect {effect!r} from process {process.name}")
-
-    # -- effect implementations -----------------------------------------------------------
-    def _do_push(self, process: Process, channel: Channel, token,
-                 at_time: Optional[float] = None) -> Tuple[bool, object]:
-        if channel.full:
-            effect = ("push", channel, token) if at_time is None else \
-                ("push_at", channel, token, at_time)
-            self._block(process, effect, [channel], space=True)
-            return False, None
+    # -- scalar effect implementations --------------------------------------------------
+    def _do_push(self, process: Process, effect: tuple, horizon: float):
+        channel = effect[1]
+        if channel.capacity is not None and len(channel.queue) >= channel.capacity:
+            self._block(process, effect, (channel,), space=True)
+            return _SUSPEND
         if process.was_backpressured:
-            process.local_time = max(process.local_time, channel.last_pop_time)
+            if channel.last_pop_time > process.local_time:
+                process.local_time = channel.last_pop_time
+            process.was_backpressured = False
+        queue = channel.queue
+        queue.append((process.local_time + channel.latency, effect[2]))
+        channel.total_pushed += 1
+        if len(queue) > channel.max_occupancy:
+            channel.max_occupancy = len(queue)
+        if channel.data_waiters:
+            self._wake_waiters(channel.data_waiters)
+        return None
+
+    def _do_push_at(self, process: Process, effect: tuple, horizon: float):
+        channel = effect[1]
+        if channel.full:
+            self._block(process, effect, (channel,), space=True)
+            return _SUSPEND
+        if process.was_backpressured:
+            if channel.last_pop_time > process.local_time:
+                process.local_time = channel.last_pop_time
             process.was_backpressured = False
         push_time = process.local_time
-        if at_time is not None and self.timed:
-            push_time = max(push_time, float(at_time))
-        channel.push(token, push_time)
-        self._wake_data_waiters(channel)
-        return True, None
-
-    def _do_pop(self, process: Process, channel: Channel) -> Tuple[bool, object]:
-        if channel.empty:
-            self._block(process, ("pop", channel), [channel], space=False)
-            return False, None
-        ready, token = channel.pop(process.local_time)
         if self.timed:
-            process.local_time = max(process.local_time, ready)
-        self._wake_space_waiters(channel)
-        return True, token
+            at_time = float(effect[3])
+            if at_time > push_time:
+                push_time = at_time
+        queue = channel.queue
+        queue.append((push_time + channel.latency, effect[2]))
+        channel.total_pushed += 1
+        if len(queue) > channel.max_occupancy:
+            channel.max_occupancy = len(queue)
+        if channel.data_waiters:
+            self._wake_waiters(channel.data_waiters)
+        return None
 
-    def _do_peek(self, process: Process, channel: Channel) -> Tuple[bool, object]:
-        if channel.empty:
-            self._block(process, ("peek", channel), [channel], space=False)
-            return False, None
+    def _do_pop(self, process: Process, effect: tuple, horizon: float):
+        channel = effect[1]
+        queue = channel.queue
+        if not queue:
+            self._block(process, effect, (channel,), space=False)
+            return _SUSPEND
+        ready, token = queue.popleft()
+        channel.total_popped += 1
+        local = process.local_time
+        if ready > local:
+            channel.last_pop_time = ready
+            if self.timed:
+                process.local_time = ready
+        else:
+            channel.last_pop_time = local
+        if channel.space_waiters:
+            self._wake_waiters(channel.space_waiters)
+        return token
+
+    def _do_peek(self, process: Process, effect: tuple, horizon: float):
+        channel = effect[1]
+        if not channel.queue:
+            self._block(process, effect, (channel,), space=False)
+            return _SUSPEND
         ready, token = channel.queue[0]
-        if self.timed:
-            process.local_time = max(process.local_time, ready)
-        return True, token
+        if self.timed and ready > process.local_time:
+            process.local_time = ready
+        return token
 
-    def _do_pop_any(self, process: Process, channels: Sequence[Channel]) -> Tuple[bool, object]:
+    def _do_pop_any(self, process: Process, effect: tuple, horizon: float):
+        channels = effect[1]
         best_index = -1
         best_ready = None
         for index, channel in enumerate(channels):
-            head = channel.head_ready_time()
-            if head is None:
+            queue = channel.queue
+            if not queue:
                 continue
+            head = queue[0][0]
             if best_ready is None or head < best_ready:
                 best_ready = head
                 best_index = index
         if best_index < 0:
             self._block(process, ("pop_any", list(channels)), list(channels), space=False)
-            return False, None
+            return _SUSPEND
         channel = channels[best_index]
         ready, token = channel.pop(process.local_time)
-        if self.timed:
-            process.local_time = max(process.local_time, ready)
-        self._wake_space_waiters(channel)
-        return True, (best_index, token)
+        if self.timed and ready > process.local_time:
+            process.local_time = ready
+        if channel.space_waiters:
+            self._wake_waiters(channel.space_waiters)
+        return (best_index, token)
 
-    def _do_hbm(self, process: Process, nbytes: int, is_write: bool = False,
-                address: int = 0) -> Tuple[bool, object]:
+    def _do_hbm(self, process: Process, effect: tuple, horizon: float):
         """Issue an off-chip request.
 
         The issuing process's clock advances only to the bandwidth-scheduled
@@ -275,6 +357,14 @@ class Engine:
         completion time is returned so load executors can stamp the fetched
         data with it (via the ``push_at`` effect).
         """
+        nbytes = effect[1]
+        is_write = effect[2] if len(effect) > 2 else False
+        address = effect[3] if len(effect) > 3 else 0
+        return self._hbm_access(process, nbytes, is_write, address)
+
+    def _hbm_access(self, process: Process, nbytes: int, is_write: bool,
+                    address: int) -> float:
+        """Issue one off-chip request and advance the issuer's clock."""
         request_time = process.local_time
         if isinstance(self.hbm, BankedHBM):
             completion = self.hbm.access(request_time, nbytes, address=address,
@@ -282,40 +372,249 @@ class Engine:
         else:
             completion = self.hbm.access(request_time, nbytes, is_write=is_write)
         if self.timed:
-            process.local_time = max(process.local_time, self.hbm.issue_done(completion))
+            issue_done = self.hbm.issue_done(completion)
+            if issue_done > process.local_time:
+                process.local_time = issue_done
         else:
             completion = request_time
         self.metrics.record_offchip(process.name, nbytes, request_time, is_write=is_write)
-        return True, completion
+        return completion
+
+    def _do_time(self, process: Process, effect: tuple, horizon: float):
+        return process.local_time
+
+    # -- batched effect implementations --------------------------------------------------
+    # Each batched handler services a run of scalar-equivalent operations in one
+    # engine round-trip.  Equivalence with the scalar effects requires replaying
+    # the scalar scheduler behaviour exactly: block at the same element a scalar
+    # sequence would block at (storing the remainder for retry), and re-check the
+    # time_slack horizon at every point the scalar loop would (i.e. after any
+    # operation that advanced the process clock), suspending the remainder when
+    # it is overrun.
+
+    def _do_push_all(self, process: Process, effect: tuple, horizon: float):
+        # ("push_all", channels, token): broadcast one token
+        return self._push_run(process, effect[1], (effect[2],), 0, None, horizon, None)
+
+    def _do_push_many(self, process: Process, effect: tuple, horizon: float):
+        # ("push_many", channels, tokens): broadcast a run (tokens outer)
+        return self._push_run(process, effect[1], effect[2], 0, None, horizon, None)
+
+    def _do_push_many_at(self, process: Process, effect: tuple, horizon: float):
+        # ("push_many_at", channels, tokens, at_time)
+        return self._push_run(process, effect[1], effect[2], 0, effect[3], horizon, None)
+
+    def _do_push_run(self, process: Process, effect: tuple, horizon: float):
+        # internal resume: ("push_run", channels, tokens, k, at_time, final)
+        return self._push_run(process, effect[1], effect[2], effect[3], effect[4],
+                              horizon, effect[5])
+
+    def _do_tick_push_all(self, process: Process, effect: tuple, horizon: float):
+        # ("tick_push_all", cycles, channels, token): advance the clock, then
+        # broadcast — one round-trip for the scalar tick-then-push pair.
+        if self.timed:
+            process.local_time += float(effect[1])
+            if process.local_time > horizon:
+                # the scalar sequence would be rescheduled between the tick and
+                # the push: park the push for the next turn
+                process.pending_effect = ("push_run", effect[2], (effect[3],), 0, None, None)
+                self._enqueue(process)
+                return _SUSPEND
+        return self._push_run(process, effect[2], (effect[3],), 0, None, horizon, None)
+
+    def _do_tick_push_many(self, process: Process, effect: tuple, horizon: float):
+        # ("tick_push_many", cycles, channels, tokens)
+        if self.timed:
+            process.local_time += float(effect[1])
+            if process.local_time > horizon:
+                process.pending_effect = ("push_run", effect[2], effect[3], 0, None, None)
+                self._enqueue(process)
+                return _SUSPEND
+        return self._push_run(process, effect[2], effect[3], 0, None, horizon, None)
+
+    def _do_hbm_push(self, process: Process, effect: tuple, horizon: float):
+        # ("hbm_push", nbytes, is_write, address, channels, tokens): issue the
+        # off-chip request, then push the tokens stamped with its completion
+        # time (the scalar hbm-then-push_many_at pair); returns the completion.
+        completion = self._hbm_access(process, effect[1], effect[2], effect[3])
+        if self.timed and process.local_time > horizon:
+            process.pending_effect = ("push_run", effect[4], effect[5], 0,
+                                      completion, completion)
+            self._enqueue(process)
+            return _SUSPEND
+        return self._push_run(process, effect[4], effect[5], 0, completion,
+                              horizon, completion)
+
+    def _push_run(self, process: Process, channels: Sequence[Channel],
+                  tokens: Sequence, k: int, at_time: Optional[float], horizon: float,
+                  final):
+        """Service a run of pushes; ``final`` is the result once the run completes."""
+        nchan = len(channels)
+        if nchan == 1:
+            # fast path: nearly every push run targets a single channel, whose
+            # attributes are loop-invariant (no pops can interleave mid-run)
+            channel = channels[0]
+            queue = channel.queue
+            capacity = channel.capacity
+            latency = channel.latency
+            timed = self.timed
+            ntok = len(tokens)
+            while k < ntok:
+                if capacity is not None and len(queue) >= capacity:
+                    if len(queue) > channel.max_occupancy:
+                        channel.max_occupancy = len(queue)
+                    self._block(process, ("push_run", channels, tokens, k, at_time, final),
+                                (channel,), space=True)
+                    return _SUSPEND
+                bumped = process.was_backpressured
+                if bumped:
+                    if channel.last_pop_time > process.local_time:
+                        process.local_time = channel.last_pop_time
+                    process.was_backpressured = False
+                push_time = process.local_time
+                if at_time is not None and timed and at_time > push_time:
+                    push_time = at_time
+                queue.append((push_time + latency, tokens[k]))
+                channel.total_pushed += 1
+                k += 1
+                if channel.data_waiters:
+                    self._wake_waiters(channel.data_waiters)
+                # only a backpressure bump can move the clock inside a push run,
+                # so this is the only point the scalar loop's horizon check fires
+                if bumped and k < ntok and process.local_time > horizon:
+                    if len(queue) > channel.max_occupancy:
+                        channel.max_occupancy = len(queue)
+                    process.pending_effect = ("push_run", channels, tokens, k,
+                                              at_time, final)
+                    self._enqueue(process)
+                    return _SUSPEND
+            if len(queue) > channel.max_occupancy:
+                channel.max_occupancy = len(queue)
+            return final
+
+        total = len(tokens) * nchan
+        timed = self.timed
+        while k < total:
+            channel = channels[k % nchan]
+            if channel.capacity is not None and len(channel.queue) >= channel.capacity:
+                self._block(process, ("push_run", channels, tokens, k, at_time, final),
+                            (channel,), space=True)
+                return _SUSPEND
+            bumped = process.was_backpressured
+            if bumped:
+                if channel.last_pop_time > process.local_time:
+                    process.local_time = channel.last_pop_time
+                process.was_backpressured = False
+            push_time = process.local_time
+            if at_time is not None and timed and at_time > push_time:
+                push_time = at_time
+            queue = channel.queue
+            queue.append((push_time + channel.latency, tokens[k // nchan]))
+            channel.total_pushed += 1
+            if len(queue) > channel.max_occupancy:
+                channel.max_occupancy = len(queue)
+            if channel.data_waiters:
+                self._wake_waiters(channel.data_waiters)
+            k += 1
+            # only a backpressure bump can move the clock inside a push run, so
+            # this is the only point the scalar loop's horizon check could fire
+            if bumped and k < total and process.local_time > horizon:
+                process.pending_effect = ("push_run", channels, tokens, k, at_time, final)
+                self._enqueue(process)
+                return _SUSPEND
+        return final
+
+    def _do_pop_each(self, process: Process, effect: tuple, horizon: float):
+        # ("pop_each", channels): one token from every channel, in order
+        return self._pop_each(process, effect[1], 0, [], horizon)
+
+    def _do_pop_each_run(self, process: Process, effect: tuple, horizon: float):
+        # internal resume: ("pop_each_run", channels, index, collected)
+        return self._pop_each(process, effect[1], effect[2], effect[3], horizon)
+
+    def _pop_each(self, process: Process, channels: Sequence[Channel], index: int,
+                  collected: list, horizon: float):
+        timed = self.timed
+        n = len(channels)
+        while index < n:
+            channel = channels[index]
+            if not channel.queue:
+                self._block(process, ("pop_each_run", channels, index, collected),
+                            (channel,), space=False)
+                return _SUSPEND
+            ready, token = channel.queue.popleft()
+            channel.total_popped += 1
+            local = process.local_time
+            if ready > local:
+                channel.last_pop_time = ready
+                if timed:
+                    process.local_time = ready
+            else:
+                channel.last_pop_time = local
+            if channel.space_waiters:
+                self._wake_waiters(channel.space_waiters)
+            collected.append(token)
+            index += 1
+            if index < n and process.local_time > horizon:
+                process.pending_effect = ("pop_each_run", channels, index, collected)
+                self._enqueue(process)
+                return _SUSPEND
+        return collected
+
+    def _do_pop_run(self, process: Process, effect: tuple, horizon: float):
+        # ("pop_run", channel, limit): up to `limit` immediately available tokens.
+        # Returns a partial run at the horizon — the consumer re-yields and the
+        # top-of-loop check reschedules, exactly like a scalar pop sequence.
+        channel = effect[1]
+        queue = channel.queue
+        if not queue:
+            self._block(process, effect, (channel,), space=False)
+            return _SUSPEND
+        limit = effect[2]
+        timed = self.timed
+        tokens = []
+        while queue and len(tokens) < limit:
+            ready, token = queue.popleft()
+            channel.total_popped += 1
+            local = process.local_time
+            if ready > local:
+                channel.last_pop_time = ready
+                if timed:
+                    process.local_time = ready
+            else:
+                channel.last_pop_time = local
+            if channel.space_waiters:
+                self._wake_waiters(channel.space_waiters)
+            tokens.append(token)
+            if process.local_time > horizon:
+                break
+        return tokens
 
     # -- blocking / wake-up ------------------------------------------------------------------
-    def _block(self, process: Process, effect: tuple, channels: List[Channel],
+    def _block(self, process: Process, effect: tuple, channels: Sequence[Channel],
                space: bool) -> None:
         process.pending_effect = effect
         process.state = ProcessState.BLOCKED
-        process.blocked_on = channels
+        process.blocked_on = list(channels)
         if space:
             process.was_backpressured = True
-        waiters = self._space_waiters if space else self._data_waiters
-        for channel in channels:
-            queue = waiters.setdefault(channel.channel_id, [])
-            if process not in queue:
-                queue.append(process)
+            for channel in channels:
+                waiters = channel.space_waiters
+                if process not in waiters:
+                    waiters.append(process)
+        else:
+            for channel in channels:
+                waiters = channel.data_waiters
+                if process not in waiters:
+                    waiters.append(process)
 
-    def _wake(self, process: Process) -> None:
-        if process.state is ProcessState.BLOCKED:
-            process.state = ProcessState.RUNNABLE
-            process.blocked_on = []
-            self._enqueue(process)
-
-    def _wake_data_waiters(self, channel: Channel) -> None:
-        waiters = self._data_waiters.pop(channel.channel_id, None)
-        if waiters:
-            for process in waiters:
-                self._wake(process)
-
-    def _wake_space_waiters(self, channel: Channel) -> None:
-        waiters = self._space_waiters.pop(channel.channel_id, None)
-        if waiters:
-            for process in waiters:
-                self._wake(process)
+    def _wake_waiters(self, waiters: List[Process]) -> None:
+        """Wake every process registered on ``waiters`` (a channel's list)."""
+        pending = waiters[:]
+        waiters.clear()
+        blocked_state = ProcessState.BLOCKED
+        for process in pending:
+            if process.state is blocked_state:
+                process.state = ProcessState.RUNNABLE
+                process.blocked_on = []
+                self._enqueue(process)

@@ -16,10 +16,10 @@ Executors receive
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ...core.dtypes import Tile, TupleValue, value_nbytes
-from ...core.stream import DONE, Data, Done, Stop, Token
+from ...core.dtypes import Tile, value_nbytes
+from ...core.stream import DONE, Data, Token, stop_token
 from ..channel import Channel
 from ..metrics import SimMetrics
 
@@ -84,14 +84,22 @@ class OpContext:
         """
         if self.hardware.timing_model == "detailed":
             return self._detailed_cycles(in_bytes, flops, out_bytes, compute_bw)
-        terms = [1.0]
+        best = 1.0
         if compute_bw > 0:
-            terms.append(flops / compute_bw)
-        if self.inputs_from_memory and self.hardware.onchip_bandwidth > 0:
-            terms.append(in_bytes / self.hardware.onchip_bandwidth)
-        if self.outputs_to_memory and self.hardware.onchip_bandwidth > 0:
-            terms.append(out_bytes / self.hardware.onchip_bandwidth)
-        return max(terms)
+            term = flops / compute_bw
+            if term > best:
+                best = term
+        onchip_bw = self.hardware.onchip_bandwidth
+        if onchip_bw > 0:
+            if self.inputs_from_memory:
+                term = in_bytes / onchip_bw
+                if term > best:
+                    best = term
+            if self.outputs_to_memory:
+                term = out_bytes / onchip_bw
+                if term > best:
+                    best = term
+        return best
 
     def _detailed_cycles(self, in_bytes: float, flops: float, out_bytes: float,
                          compute_bw: float) -> float:
@@ -125,12 +133,11 @@ class OutputBuilder:
         self._pending: Optional[int] = None
 
     def data(self, value) -> List[Token]:
-        tokens: List[Token] = []
-        if self._pending is not None:
-            tokens.append(Stop(self._pending))
-            self._pending = None
-        tokens.append(Data(value))
-        return tokens
+        pending = self._pending
+        if pending is None:
+            return [Data(value)]
+        self._pending = None
+        return [stop_token(pending), Data(value)]
 
     def stop(self, level: int) -> List[Token]:
         if level >= 1:
@@ -141,7 +148,7 @@ class OutputBuilder:
         if self._pending is None:
             return []
         level, self._pending = self._pending, None
-        return [Stop(level)]
+        return [stop_token(level)]
 
     def done(self) -> List[Token]:
         return self.flush() + [DONE]
@@ -151,17 +158,22 @@ class OutputBuilder:
         return self._pending
 
 
-def push_all(channels: Sequence[Channel], token: Token):
-    """Yield push effects broadcasting ``token`` to every channel."""
-    for channel in channels:
-        yield ("push", channel, token)
+def push_all(channels: Sequence[Channel], token: Token) -> tuple:
+    """The batched effect broadcasting ``token`` to every channel.
+
+    Usage: ``yield push_all(outs, token)`` — one engine round-trip regardless
+    of fan-out (previously a generator yielding one push per channel).
+    """
+    return ("push_all", channels, token)
 
 
-def push_tokens(channels: Sequence[Channel], tokens: Sequence[Token]):
-    """Yield push effects for a token sequence."""
-    for token in tokens:
-        for channel in channels:
-            yield ("push", channel, token)
+def push_tokens(channels: Sequence[Channel], tokens: Sequence[Token]) -> tuple:
+    """The batched effect pushing a token run to every channel (tokens outer).
+
+    Usage: ``yield push_tokens(outs, tokens)``.  An empty run is a no-op
+    effect, so callers may pass builder output unconditionally.
+    """
+    return ("push_many", channels, tokens)
 
 
 def token_bytes(token: Token) -> int:

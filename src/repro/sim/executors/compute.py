@@ -4,28 +4,23 @@ Each data element is charged the Roofline latency of Section 4.3 —
 ``max(in_bytes / onchip_bw, flops / compute_bw, out_bytes / onchip_bw)`` —
 where the memory terms only apply when the operator's inputs/outputs actually
 cross on-chip memory (determined during lowering).
+
+Token movement uses the engine's batched effects: multi-input operators pop
+one aligned token per input in a single ``pop_each`` round-trip, and output
+runs are pushed with ``push_all``/``push_many``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ...core.dtypes import Tile, TupleValue, value_nbytes
 from ...core.errors import StreamProtocolError
-from ...core.stream import Data, Done, Stop, Token
+from ...core.stream import DONE, Data, Done, Stop, Token, stop_token
 from ...ops.functions import Matmul, MatmulAccum
 from ...ops.higher_order import Accum, FlatMap, Map, Scan
 from ..channel import Channel
 from .common import OpContext, OutputBuilder, matmul_onchip_bytes, push_all, push_tokens
-
-
-def _pop_aligned(ins: Sequence[Channel]):
-    """Pop one token from every input channel; they must agree on token kind."""
-    tokens = []
-    for channel in ins:
-        token = yield ("pop", channel)
-        tokens.append(token)
-    return tokens
 
 
 def map_executor(op: Map, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
@@ -33,18 +28,23 @@ def map_executor(op: Map, ins: Sequence[Channel], outs: Sequence[Sequence[Channe
     out_channels = outs[0] if outs else []
     compute_tile = ctx.hardware.compute_tile
     is_matmul = isinstance(op.fn, Matmul)
+    single = ins[0] if len(ins) == 1 else None
     while True:
-        tokens = yield from _pop_aligned(ins)
-        first = tokens[0]
+        if single is not None:
+            first = yield ("pop", single)
+            tokens = (first,)
+        else:
+            tokens = yield ("pop_each", ins)
+            first = tokens[0]
         if isinstance(first, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
         if isinstance(first, Stop):
             levels = [t.level for t in tokens if isinstance(t, Stop)]
             if len(levels) != len(tokens):
                 raise StreamProtocolError(
                     f"{ctx.op_name}: input streams desynchronized (stop vs data)")
-            yield from push_all(out_channels, Stop(max(levels)))
+            yield push_all(out_channels, stop_token(max(levels)))
             continue
         values = []
         for token in tokens:
@@ -59,9 +59,8 @@ def map_executor(op: Map, ins: Sequence[Channel], outs: Sequence[Sequence[Channe
         cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
         if is_matmul and isinstance(values[0], Tile) and isinstance(values[-1], Tile):
             ctx.record_onchip(matmul_onchip_bytes(values[0], values[-1], None, compute_tile))
-        yield ("tick", cycles)
         ctx.record_element(cycles, flops)
-        yield from push_all(out_channels, Data(result))
+        yield ("tick_push_all", cycles, out_channels, Data(result))
 
 
 def accum_executor(op: Accum, ins: Sequence[Channel], outs: Sequence[Sequence[Channel]],
@@ -96,18 +95,17 @@ def accum_executor(op: Accum, ins: Sequence[Channel], outs: Sequence[Sequence[Ch
                 if saw_value:
                     out_bytes = value_nbytes(state) if state is not None else 0
                     cycles = ctx.roofline_cycles(0.0, 0.0, out_bytes, op.compute_bw)
-                    yield ("tick", cycles)
-                    yield from push_all(out_channels, Data(state))
+                    yield ("tick_push_all", cycles, out_channels, Data(state))
                 if token.level > op.rank:
-                    yield from push_all(out_channels, Stop(token.level - op.rank))
+                    yield push_all(out_channels, stop_token(token.level - op.rank))
                 state = op.fn.init()
                 saw_value = False
             # stops below the reduction rank are internal to the group
         elif isinstance(token, Done):
             if saw_value:
                 # streams that end without a trailing top-level stop
-                yield from push_all(out_channels, Data(state))
-            yield from push_all(out_channels, Done())
+                yield push_all(out_channels, Data(state))
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -126,15 +124,14 @@ def scan_executor(op: Scan, ins: Sequence[Channel], outs: Sequence[Sequence[Chan
             out_bytes = value_nbytes(state) if state is not None else 0
             cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
             ctx.record_onchip(out_bytes)
-            yield ("tick", cycles)
             ctx.record_element(cycles, flops)
-            yield from push_all(out_channels, Data(state))
+            yield ("tick_push_all", cycles, out_channels, Data(state))
         elif isinstance(token, Stop):
             if token.level >= op.rank:
                 state = op.fn.init()
-            yield from push_all(out_channels, token)
+            yield push_all(out_channels, token)
         elif isinstance(token, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -151,7 +148,7 @@ def _emit_expansion(builder: OutputBuilder, pieces, depth: int) -> List[Token]:
         return tokens
     for group in pieces:
         tokens.extend(_emit_expansion(builder, group, depth - 1))
-        tokens.extend(builder.stop(depth - 1))
+        builder.stop(depth - 1)
     return tokens
 
 
@@ -169,17 +166,16 @@ def flatmap_executor(op: FlatMap, ins: Sequence[Channel], outs: Sequence[Sequenc
             in_bytes = value_nbytes(value)
             out_bytes = sum(value_nbytes(p) for p in _flatten_pieces(pieces))
             cycles = ctx.roofline_cycles(in_bytes, flops, out_bytes, op.compute_bw)
-            yield ("tick", cycles)
             ctx.record_element(cycles, flops)
             # Each input element expands into `rank` new innermost dimensions;
             # its expansion is closed by a stop of level `rank`.
             tokens = _emit_expansion(builder, pieces, op.rank)
-            tokens.extend(builder.stop(op.rank))
-            yield from push_tokens(out_channels, tokens)
+            builder.stop(op.rank)
+            yield ("tick_push_many", cycles, out_channels, tokens)
         elif isinstance(token, Stop):
-            yield from push_tokens(out_channels, builder.stop(token.level + op.rank))
+            builder.stop(token.level + op.rank)
         elif isinstance(token, Done):
-            yield from push_tokens(out_channels, builder.done())
+            yield push_tokens(out_channels, builder.done())
             return
 
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from ...core.dtypes import Address, BufferHandle, Tile, value_nbytes
 from ...core.errors import SimulationError, StreamProtocolError
-from ...core.stream import Data, Done, Stop, Token
+from ...core.stream import DONE, Data, Done, Stop, Token, stop_token
 from ...ops.offchip import (LinearOffChipLoad, LinearOffChipStore, RandomOffChipLoad,
                             RandomOffChipStore)
 from ...ops.onchip import Bufferize, Streamify
@@ -29,7 +29,7 @@ from .common import OpContext, OutputBuilder, push_all, push_tokens
 def _tile_from_underlying(op: LinearOffChipLoad, grid_row: int, grid_col: int) -> Tile:
     tr, tc = op.tile_shape
     if op.underlying is None:
-        return Tile.meta(tr, tc, op.dtype)
+        return _meta_tile(tr, tc, op.dtype)
     rows = slice(grid_row * tr, (grid_row + 1) * tr)
     cols = slice(grid_col * tc, (grid_col + 1) * tc)
     return Tile.from_array(np.asarray(op.underlying)[rows, cols], op.dtype)
@@ -53,13 +53,11 @@ def _linear_read(op: LinearOffChipLoad, builder: OutputBuilder, ctx: OpContext,
             grid_row, grid_col = divmod(linear, grid_cols)
             grid_row %= max(1, op.in_mem_shape[0] // op.tile_shape[0])
             tile = _tile_from_underlying(op, grid_row, grid_col)
-            completion = yield ("hbm", tile_bytes, False, op.base_addr + linear * tile_bytes)
+            yield ("hbm_push", tile_bytes, False, op.base_addr + linear * tile_bytes,
+                   out_channels, builder.data(tile))
             ctx.record_element(0.0)
-            for token in builder.data(tile):
-                for channel in out_channels:
-                    yield ("push_at", channel, token, completion)
-        yield from push_tokens(out_channels, builder.stop(1))
-    yield from push_tokens(out_channels, builder.stop(2))
+        builder.stop(1)
+    builder.stop(2)
 
 
 def linear_offchip_load_executor(op: LinearOffChipLoad, ins: Sequence[Channel],
@@ -75,14 +73,14 @@ def linear_offchip_load_executor(op: LinearOffChipLoad, ins: Sequence[Channel],
             if isinstance(token, Data):
                 yield from _linear_read(op, builder, ctx, out_channels)
             elif isinstance(token, Stop):
-                yield from push_tokens(out_channels, builder.stop(token.level + read_rank))
+                builder.stop(token.level + read_rank)
             elif isinstance(token, Done):
-                yield from push_tokens(out_channels, builder.done())
+                yield push_tokens(out_channels, builder.done())
                 return
     else:
         for _ in range(op.count):
             yield from _linear_read(op, builder, ctx, out_channels)
-        yield from push_tokens(out_channels, builder.done())
+        yield push_tokens(out_channels, builder.done())
 
 
 def linear_offchip_store_executor(op: LinearOffChipStore, ins: Sequence[Channel],
@@ -115,14 +113,12 @@ def random_offchip_load_executor(op: RandomOffChipLoad, ins: Sequence[Channel],
             address = _address_of(token.value)
             for t in range(op.tiles_per_access):
                 tile = _random_tile(op, address + t)
-                completion = yield ("hbm", tile_bytes, False,
-                                    op.base_addr + (address + t) * tile_bytes)
+                yield ("hbm_push", tile_bytes, False,
+                       op.base_addr + (address + t) * tile_bytes,
+                       out_channels, builder.data(tile))
                 ctx.record_element(0.0)
-                for out_token in builder.data(tile):
-                    for channel in out_channels:
-                        yield ("push_at", channel, out_token, completion)
             if shift:
-                yield from push_tokens(out_channels, builder.stop(1))
+                builder.stop(1)
         elif isinstance(token, Stop):
             tokens = builder.stop(token.level + shift)
             if shift == 0:
@@ -131,20 +127,26 @@ def random_offchip_load_executor(op: RandomOffChipLoad, ins: Sequence[Channel],
                 # dynamic-parallelization attention) observe request boundaries
                 # as soon as the last tile of the request has been fetched.
                 tokens = tokens + builder.flush()
-            yield from push_tokens(out_channels, tokens)
+            yield push_tokens(out_channels, tokens)
         elif isinstance(token, Done):
-            yield from push_tokens(out_channels, builder.done())
+            yield push_tokens(out_channels, builder.done())
             return
 
 
+_Selector = None
+
+
 def _address_of(value) -> int:
-    from ...core.dtypes import Selector  # local import to avoid a cycle at module load
+    global _Selector
+    if _Selector is None:  # deferred import: avoids a cycle at module load
+        from ...core.dtypes import Selector as _SelectorCls
+        _Selector = _SelectorCls
 
     if isinstance(value, Address):
         return value.value
     if isinstance(value, (int, np.integer)):
         return int(value)
-    if isinstance(value, Selector):
+    if isinstance(value, _Selector):
         # Configuration time-multiplexing feeds EagerMerge's selector output
         # straight into RandomOffChipLoad: the selected producer index is the
         # expert whose weights must be fetched (Figure 11).
@@ -156,10 +158,14 @@ def _address_of(value) -> int:
     raise SimulationError(f"cannot interpret {value!r} as an off-chip address")
 
 
+#: shared metadata-only tiles (interned per shape/dtype in core.dtypes)
+_meta_tile = Tile.meta_shared
+
+
 def _random_tile(op: RandomOffChipLoad, index: int) -> Tile:
     tr, tc = op.tile_shape
     if op.underlying is None:
-        return Tile.meta(tr, tc, op.dtype)
+        return _meta_tile(tr, tc, op.dtype)
     underlying = np.asarray(op.underlying)
     if underlying.ndim == 3:
         slot = underlying[index % underlying.shape[0]]
@@ -177,10 +183,10 @@ def random_offchip_store_executor(op: RandomOffChipStore, ins: Sequence[Channel]
     while True:
         addr_token = yield ("pop", waddr)
         if isinstance(addr_token, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
         if isinstance(addr_token, Stop):
-            yield from push_all(out_channels, addr_token)
+            yield push_all(out_channels, addr_token)
             continue
         data_token = yield ("pop", wdata)
         while isinstance(data_token, Stop):
@@ -193,7 +199,7 @@ def random_offchip_store_executor(op: RandomOffChipStore, ins: Sequence[Channel]
         ctx.results.append((address, data_token.value))
         yield ("hbm", nbytes, True, op.base_addr + address)
         ctx.record_element(0.0)
-        yield from push_all(out_channels, Data(True))
+        yield push_all(out_channels, Data(True))
 
 
 # ---------------------------------------------------------------------------
@@ -229,17 +235,17 @@ def bufferize_executor(op: Bufferize, ins: Sequence[Channel],
         elif isinstance(token, Stop):
             if token.level >= op.rank:
                 handle = finish_buffer()
-                yield from push_all(out_channels, Data(handle))
+                yield push_all(out_channels, Data(handle))
                 if token.level > op.rank:
-                    yield from push_all(out_channels, Stop(token.level - op.rank))
+                    yield push_all(out_channels, stop_token(token.level - op.rank))
                 items, item_bytes = [], 0
             else:
                 items.append(token)
         elif isinstance(token, Done):
             if items:
                 handle = finish_buffer()
-                yield from push_all(out_channels, Data(handle))
-            yield from push_all(out_channels, Done())
+                yield push_all(out_channels, Data(handle))
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -255,15 +261,15 @@ def _buffer_read_tokens(op: Streamify, handle: BufferHandle, builder: OutputBuil
             for j in range(cols):
                 linear = (i * stride[0] + j * stride[1]) % max(1, len(values))
                 tokens.extend(builder.data(values[linear]))
-            tokens.extend(builder.stop(1))
-        tokens.extend(builder.stop(read_rank))
+            builder.stop(1)
+        builder.stop(read_rank)
         return tokens
     for item in handle.items:
         if isinstance(item, Data):
             tokens.extend(builder.data(item.value))
         elif isinstance(item, Stop):
-            tokens.extend(builder.stop(item.level))
-    tokens.extend(builder.stop(handle.rank))
+            builder.stop(item.level)
+    builder.stop(handle.rank)
     return tokens
 
 
@@ -294,17 +300,17 @@ def streamify_executor(op: Streamify, ins: Sequence[Channel],
                             f"{ctx.op_name}: reference stream outlives the buffer stream")
                     handle = buffer_token.value
                 cycles = read_cost(handle)
-                yield ("tick", cycles)
                 ctx.record_element(cycles)
-                yield from push_tokens(out_channels, _buffer_read_tokens(op, handle, builder))
+                yield ("tick_push_many", cycles, out_channels,
+                       _buffer_read_tokens(op, handle, builder))
             elif isinstance(token, Stop):
                 if token.level >= extra and extra > 0:
                     handle = None  # the next reference subtree reads the next buffer
                 elif extra == 0:
                     handle = None
-                yield from push_tokens(out_channels, builder.stop(token.level + read_rank))
+                builder.stop(token.level + read_rank)
             elif isinstance(token, Done):
-                yield from push_tokens(out_channels, builder.done())
+                yield push_tokens(out_channels, builder.done())
                 return
     else:
         while True:
@@ -313,15 +319,14 @@ def streamify_executor(op: Streamify, ins: Sequence[Channel],
                 handle = token.value
                 cycles = read_cost(handle)
                 for _ in range(op.count):
-                    yield ("tick", cycles)
                     ctx.record_element(cycles)
-                    yield from push_tokens(out_channels,
-                                           _buffer_read_tokens(op, handle, builder))
+                    yield ("tick_push_many", cycles, out_channels,
+                           _buffer_read_tokens(op, handle, builder))
                 if op.count > 1:
-                    yield from push_tokens(out_channels, builder.stop(read_rank + 1))
+                    builder.stop(read_rank + 1)
             elif isinstance(token, Stop):
                 shift = read_rank + (1 if op.count > 1 else 0)
-                yield from push_tokens(out_channels, builder.stop(token.level + shift))
+                builder.stop(token.level + shift)
             elif isinstance(token, Done):
-                yield from push_tokens(out_channels, builder.done())
+                yield push_tokens(out_channels, builder.done())
                 return

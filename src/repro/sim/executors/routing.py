@@ -10,11 +10,11 @@ chunk on its selector output.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence
 
 from ...core.dtypes import Selector
 from ...core.errors import StreamProtocolError
-from ...core.stream import Data, Done, Stop, Token
+from ...core.stream import DONE, Data, Done, Stop, Token
 from ...ops.routing import EagerMerge, Partition, Reassemble
 from ..channel import Channel
 from .common import OpContext, OutputBuilder, push_all, push_tokens
@@ -39,7 +39,7 @@ def partition_executor(op: Partition, ins: Sequence[Channel],
         token = yield ("pop", selector_channel)
         if isinstance(token, Done):
             for consumer, builder in enumerate(builders):
-                yield from push_tokens(outs[consumer], builder.done())
+                yield push_tokens(outs[consumer], builder.done())
             return
         if isinstance(token, Stop):
             # the selector's outer structure is flattened into each branch's
@@ -62,7 +62,7 @@ def partition_executor(op: Partition, ins: Sequence[Channel],
             # availability feedback produces more selectors than there is work:
             # close every branch so downstream pipelines can finish.
             for consumer, builder in enumerate(builders):
-                yield from push_tokens(outs[consumer], builder.done())
+                yield push_tokens(outs[consumer], builder.done())
             return
         ctx.record_element(1.0)
         yield ("tick", 1.0)
@@ -73,14 +73,14 @@ def partition_executor(op: Partition, ins: Sequence[Channel],
                 if isinstance(item, Data):
                     tokens.extend(builder.data(item.value))
                 elif isinstance(item, Stop):
-                    tokens.extend(builder.stop(item.level))
-            tokens.extend(builder.stop(op.rank))
+                    builder.stop(item.level)
+            builder.stop(op.rank)
             # Flush the chunk terminator immediately: the next token for this
             # branch may be arbitrarily far away (or never come), and downstream
             # pipelines — including the dynamic-parallelization feedback loop —
             # must observe the chunk boundary to make progress.
             tokens.extend(builder.flush())
-            yield from push_tokens(outs[target], tokens)
+            yield push_tokens(outs[target], tokens)
 
 
 def _collect_chunk(channel: Channel, rank: int, first: Optional[Token] = None):
@@ -116,9 +116,9 @@ def _emit_chunk(builder: OutputBuilder, items: Sequence[Token], rank: int) -> Li
         if isinstance(item, Data):
             tokens.extend(builder.data(item.value))
         elif isinstance(item, Stop):
-            tokens.extend(builder.stop(item.level))
+            builder.stop(item.level)
     if rank >= 1:
-        tokens.extend(builder.stop(rank))
+        builder.stop(rank)
     return tokens
 
 
@@ -131,10 +131,10 @@ def reassemble_executor(op: Reassemble, ins: Sequence[Channel],
     while True:
         token = yield ("pop", selector_channel)
         if isinstance(token, Done):
-            yield from push_tokens(out_channels, builder.done())
+            yield push_tokens(out_channels, builder.done())
             return
         if isinstance(token, Stop):
-            yield from push_tokens(out_channels, builder.stop(token.level + op.rank + 1))
+            builder.stop(token.level + op.rank + 1)
             continue
         remaining = _selected_indices(token.value, op.num_producers)
         while remaining:
@@ -147,12 +147,12 @@ def reassemble_executor(op: Reassemble, ins: Sequence[Channel],
                 which, first = yield ("pop_any", chans)
                 index = remaining[which]
             items, _ = yield from _collect_chunk(data_channels[index], op.rank, first)
-            yield from push_tokens(out_channels, _emit_chunk(builder, items, op.rank))
+            yield push_tokens(out_channels, _emit_chunk(builder, items, op.rank))
             remaining = [i for i in remaining if i != index]
         ctx.record_element(1.0)
         yield ("tick", 1.0)
         # after draining every selected input, the group closes one level up
-        yield from push_tokens(out_channels, builder.stop(op.rank + 1))
+        builder.stop(op.rank + 1)
 
 
 def eager_merge_executor(op: EagerMerge, ins: Sequence[Channel],
@@ -173,13 +173,12 @@ def eager_merge_executor(op: EagerMerge, ins: Sequence[Channel],
             continue
         items, finished = yield from _collect_chunk(ins[index], op.rank, first)
         ctx.record_element(1.0)
-        yield ("tick", 1.0)
         # As in Partition, chunk terminators are flushed eagerly so consumers
         # (e.g. the availability loop of dynamic parallelization) see them now.
         tokens = _emit_chunk(builder, items, op.rank) + builder.flush()
-        yield from push_tokens(data_outs, tokens)
-        yield from push_all(selector_outs, Data(Selector(index, op.num_producers)))
+        yield ("tick_push_many", 1.0, data_outs, tokens)
+        yield push_all(selector_outs, Data(Selector(index, op.num_producers)))
         if finished:
             live.remove(index)
-    yield from push_tokens(data_outs, builder.done())
-    yield from push_all(selector_outs, Done())
+    yield push_tokens(data_outs, builder.done())
+    yield push_all(selector_outs, DONE)

@@ -7,11 +7,11 @@ indicator stream).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ...core.dtypes import TupleValue
 from ...core.errors import StreamProtocolError
-from ...core.stream import Data, Done, Stop, Token
+from ...core.stream import DONE, Data, Done, Stop, stop_token
 from ...ops.shape_ops import Expand, Flatten, Promote, Repeat, Reshape, Zip
 from ..channel import Channel
 from .common import OpContext, OutputBuilder, push_all, push_tokens
@@ -25,17 +25,17 @@ def flatten_executor(op: Flatten, ins: Sequence[Channel],
     while True:
         token = yield ("pop", channel)
         if isinstance(token, Data):
-            yield from push_all(out_channels, token)
+            yield push_all(out_channels, token)
         elif isinstance(token, Stop):
             level = token.level
             if level <= op.min_level:
-                yield from push_all(out_channels, token)
+                yield push_all(out_channels, token)
             elif level <= op.max_level:
                 pass  # interior boundaries of the flattened range disappear
             else:
-                yield from push_all(out_channels, Stop(level - span))
+                yield push_all(out_channels, stop_token(level - span))
         elif isinstance(token, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -52,56 +52,56 @@ def reshape_executor(op: Reshape, ins: Sequence[Channel],
         while True:
             token = yield ("pop", channel)
             if isinstance(token, Data):
-                yield from push_tokens(data_outs, data_builder.data(token.value))
-                yield from push_tokens(pad_outs, pad_builder.data(False))
+                yield push_tokens(data_outs, data_builder.data(token.value))
+                yield push_tokens(pad_outs, pad_builder.data(False))
                 count += 1
                 if count == op.chunk_size:
-                    yield from push_tokens(data_outs, data_builder.stop(1))
-                    yield from push_tokens(pad_outs, pad_builder.stop(1))
+                    yield push_tokens(data_outs, data_builder.stop(1))
+                    yield push_tokens(pad_outs, pad_builder.stop(1))
                     count = 0
             elif isinstance(token, (Stop, Done)):
                 if count > 0:
                     while count < op.chunk_size:
-                        yield from push_tokens(data_outs, data_builder.data(op.pad))
-                        yield from push_tokens(pad_outs, pad_builder.data(True))
+                        yield push_tokens(data_outs, data_builder.data(op.pad))
+                        yield push_tokens(pad_outs, pad_builder.data(True))
                         count += 1
                     count = 0
-                    yield from push_tokens(data_outs, data_builder.stop(1))
-                    yield from push_tokens(pad_outs, pad_builder.stop(1))
+                    yield push_tokens(data_outs, data_builder.stop(1))
+                    yield push_tokens(pad_outs, pad_builder.stop(1))
                 if isinstance(token, Stop):
-                    yield from push_tokens(data_outs, data_builder.stop(token.level + 1))
-                    yield from push_tokens(pad_outs, pad_builder.stop(token.level + 1))
+                    yield push_tokens(data_outs, data_builder.stop(token.level + 1))
+                    yield push_tokens(pad_outs, pad_builder.stop(token.level + 1))
                 else:
-                    yield from push_tokens(data_outs, data_builder.done())
-                    yield from push_tokens(pad_outs, pad_builder.done())
+                    yield push_tokens(data_outs, data_builder.done())
+                    yield push_tokens(pad_outs, pad_builder.done())
                     return
     else:
         groups = 0
         while True:
             token = yield ("pop", channel)
             if isinstance(token, Data):
-                yield from push_tokens(data_outs, data_builder.data(token.value))
-                yield from push_tokens(pad_outs, pad_builder.data(False))
+                yield push_tokens(data_outs, data_builder.data(token.value))
+                yield push_tokens(pad_outs, pad_builder.data(False))
             elif isinstance(token, Stop):
                 if token.level < op.level:
-                    yield from push_tokens(data_outs, data_builder.stop(token.level))
-                    yield from push_tokens(pad_outs, pad_builder.stop(token.level))
+                    yield push_tokens(data_outs, data_builder.stop(token.level))
+                    yield push_tokens(pad_outs, pad_builder.stop(token.level))
                 elif token.level == op.level:
                     groups += 1
                     if groups == op.chunk_size:
-                        yield from push_tokens(data_outs, data_builder.stop(op.level + 1))
-                        yield from push_tokens(pad_outs, pad_builder.stop(op.level + 1))
+                        yield push_tokens(data_outs, data_builder.stop(op.level + 1))
+                        yield push_tokens(pad_outs, pad_builder.stop(op.level + 1))
                         groups = 0
                     else:
-                        yield from push_tokens(data_outs, data_builder.stop(op.level))
-                        yield from push_tokens(pad_outs, pad_builder.stop(op.level))
+                        yield push_tokens(data_outs, data_builder.stop(op.level))
+                        yield push_tokens(pad_outs, pad_builder.stop(op.level))
                 else:
                     groups = 0
-                    yield from push_tokens(data_outs, data_builder.stop(token.level + 1))
-                    yield from push_tokens(pad_outs, pad_builder.stop(token.level + 1))
+                    yield push_tokens(data_outs, data_builder.stop(token.level + 1))
+                    yield push_tokens(pad_outs, pad_builder.stop(token.level + 1))
             elif isinstance(token, Done):
-                yield from push_tokens(data_outs, data_builder.done())
-                yield from push_tokens(pad_outs, pad_builder.done())
+                yield push_tokens(data_outs, data_builder.done())
+                yield push_tokens(pad_outs, pad_builder.done())
                 return
 
 
@@ -115,20 +115,20 @@ def promote_executor(op: Promote, ins: Sequence[Channel],
         token = yield ("pop", channel)
         if isinstance(token, Data):
             if held is not None:
-                yield from push_all(out_channels, Stop(held))
+                yield push_all(out_channels, stop_token(held))
                 held = None
             saw_data = True
-            yield from push_all(out_channels, token)
+            yield push_all(out_channels, token)
         elif isinstance(token, Stop):
             if held is not None:
-                yield from push_all(out_channels, Stop(held))
+                yield push_all(out_channels, stop_token(held))
             held = token.level
         elif isinstance(token, Done):
             if held is not None:
-                yield from push_all(out_channels, Stop(held + 1))
+                yield push_all(out_channels, stop_token(held + 1))
             elif saw_data:
-                yield from push_all(out_channels, Stop(1))
-            yield from push_all(out_channels, Done())
+                yield push_all(out_channels, stop_token(1))
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -148,13 +148,13 @@ def expand_executor(op: Expand, ins: Sequence[Channel],
                     raise StreamProtocolError(
                         f"{ctx.op_name}: input stream exhausted before the reference stream")
                 current = item.value
-            yield from push_all(out_channels, Data(current))
+            yield push_all(out_channels, Data(current))
         elif isinstance(token, Stop):
             if token.level >= op.rank:
                 current = None
-            yield from push_all(out_channels, token)
+            yield push_all(out_channels, token)
         elif isinstance(token, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
 
 
@@ -166,31 +166,31 @@ def repeat_executor(op: Repeat, ins: Sequence[Channel],
     while True:
         token = yield ("pop", channel)
         if isinstance(token, Data):
+            tokens = []
             for _ in range(op.count):
-                yield from push_tokens(out_channels, builder.data(token.value))
-            yield from push_tokens(out_channels, builder.stop(1))
+                tokens.extend(builder.data(token.value))
+            builder.stop(1)
+            yield push_tokens(out_channels, tokens)
         elif isinstance(token, Stop):
-            yield from push_tokens(out_channels, builder.stop(token.level + 1))
+            builder.stop(token.level + 1)
         elif isinstance(token, Done):
-            yield from push_tokens(out_channels, builder.done())
+            yield push_tokens(out_channels, builder.done())
             return
 
 
 def zip_executor(op: Zip, ins: Sequence[Channel],
                  outs: Sequence[Sequence[Channel]], ctx: OpContext):
     out_channels = outs[0] if outs else []
-    left, right = ins
     while True:
-        a = yield ("pop", left)
-        b = yield ("pop", right)
+        a, b = yield ("pop_each", ins)
         if isinstance(a, Done) or isinstance(b, Done):
-            yield from push_all(out_channels, Done())
+            yield push_all(out_channels, DONE)
             return
         if isinstance(a, Stop) and isinstance(b, Stop):
-            yield from push_all(out_channels, Stop(max(a.level, b.level)))
+            yield push_all(out_channels, stop_token(max(a.level, b.level)))
             continue
         if isinstance(a, Data) and isinstance(b, Data):
-            yield from push_all(out_channels, Data(TupleValue([a.value, b.value])))
+            yield push_all(out_channels, Data(TupleValue([a.value, b.value])))
             continue
         raise StreamProtocolError(
             f"{ctx.op_name}: zipped streams have mismatched structure ({a!r} vs {b!r})")

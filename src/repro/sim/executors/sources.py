@@ -5,16 +5,23 @@
 * :func:`collector` drains a program output stream into ``ctx.results`` so the
   runner can return the produced tokens; collector processes are the engine's
   termination sinks.
+
+Both move whole token runs per engine round-trip: an unpaced source pushes its
+entire stream with one ``push_many`` effect, and the collector drains with
+``pop_run`` batches.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ...core.errors import StreamProtocolError
-from ...core.stream import Data, Done, Stop, Token
+from ...core.stream import Data, Done, Token
 from ..channel import Channel
-from .common import OpContext, push_all, token_bytes
+from .common import OpContext, push_all, push_tokens
+
+#: tokens drained per collector round-trip
+_COLLECT_BATCH = 1024
 
 
 def input_source(tokens: Sequence[Token], outs: Sequence[Sequence[Channel]], ctx: OpContext,
@@ -24,18 +31,23 @@ def input_source(tokens: Sequence[Token], outs: Sequence[Sequence[Channel]], ctx
         raise StreamProtocolError(
             f"input stream for {ctx.op_name} must end with Done")
     out_channels = outs[0] if outs else []
-    for token in tokens:
-        if cycles_per_token and isinstance(token, Data):
-            yield ("tick", cycles_per_token)
-        yield from push_all(out_channels, token)
+    if cycles_per_token:
+        for token in tokens:
+            if isinstance(token, Data):
+                yield ("tick", cycles_per_token)
+            yield push_all(out_channels, token)
+    else:
+        yield push_tokens(out_channels, list(tokens))
     ctx.record_element(0.0)
 
 
 def collector(ins: Sequence[Channel], ctx: OpContext):
     """Drain one stream until Done, storing every token in ``ctx.results``."""
     channel = ins[0]
+    results = ctx.results
     while True:
-        token = yield ("pop", channel)
-        ctx.results.append(token)
-        if isinstance(token, Done):
-            break
+        run = yield ("pop_run", channel, _COLLECT_BATCH)
+        for token in run:
+            results.append(token)
+            if isinstance(token, Done):
+                return

@@ -24,7 +24,7 @@ issuing process's clock advances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 class BandwidthLedger:

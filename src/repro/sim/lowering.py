@@ -15,14 +15,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import GraphError
-from ..core.graph import InputStream, OperatorBase, Program, StreamHandle
+from ..core.graph import InputStream, OperatorBase, Program
 from ..core.stream import Token
 from .channel import Channel
 from .engine import Engine
 from .executors import executor_for
 from .executors.common import HardwareConfig, OpContext
 from .executors import sources
-from .hbm import BankedHBM, HBMModel
+from .hbm import HBMModel
 from .metrics import SimMetrics
 
 #: operator kinds whose outputs come from (on- or off-chip) memory units
@@ -96,7 +96,11 @@ def lower(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,
     for op in program.operators:
         out_channels.update({(op.node_id, port): [] for port in range(len(op.outputs))})
 
+    #: producer handle id -> consumer operator kinds (one pass over the edges,
+    #: replacing per-operator O(V*E) consumers_of scans during context setup)
+    consumer_kinds: Dict[int, List[str]] = {}
     for handle, consumer, port in program.edges():
+        consumer_kinds.setdefault(id(handle), []).append(consumer.kind)
         channel = engine.add_channel(
             name=f"{handle.name}->{consumer.name}.in{port}",
             capacity=hardware.channel_capacity,
@@ -123,7 +127,7 @@ def lower(program: Program, inputs: Optional[Dict[str, Sequence[Token]]] = None,
             metrics=engine.metrics,
             hardware=hardware,
             inputs_from_memory=_inputs_from_memory(op),
-            outputs_to_memory=_outputs_to_memory(op, program),
+            outputs_to_memory=_outputs_to_memory(op, consumer_kinds),
         )
         contexts[op.name] = ctx
         ins = in_channels.get(op.node_id, [])
@@ -163,9 +167,9 @@ def _inputs_from_memory(op: OperatorBase) -> bool:
     return any(handle.producer.kind in _MEMORY_PRODUCERS for handle in op.inputs)
 
 
-def _outputs_to_memory(op: OperatorBase, program: Program) -> bool:
+def _outputs_to_memory(op: OperatorBase, consumer_kinds: Dict[int, List[str]]) -> bool:
     for handle in op.outputs:
-        for consumer, _ in program.consumers_of(handle):
-            if consumer.kind in _MEMORY_CONSUMERS:
+        for kind in consumer_kinds.get(id(handle), ()):
+            if kind in _MEMORY_CONSUMERS:
                 return True
     return False

@@ -9,7 +9,7 @@ from ..core.graph import Program
 from ..core.stream import Token, data_values
 from .executors.common import HardwareConfig
 from .hbm import HBMModel
-from .lowering import LoweredProgram, lower
+from .lowering import lower
 from .metrics import SimMetrics
 
 #: the flat metric keys a serialized report carries — exactly the payload the

@@ -31,9 +31,8 @@ Three schedules are compared, as in Figure 17:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..core.errors import ConfigError
 from ..schedules import (Schedule, dynamic_tiling, parallelization, static_tiling,

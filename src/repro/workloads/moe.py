@@ -24,8 +24,8 @@ simplicity"); its baseline for Figures 12/13 is built with the same
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,8 +35,17 @@ from ..core.dtypes import Tile
 from ..core.errors import ConfigError
 from ..core.graph import Program, StreamHandle
 from ..core.stream import Token
-from ..ops import (Accum, EagerMerge, FlatMap, Flatten, LinearOffChipStore, Map,
-                   Partition, Promote, RandomOffChipLoad, Reassemble, Repeat, Reshape)
+from ..ops import (Accum,
+    EagerMerge,
+    FlatMap,
+    Flatten,
+    LinearOffChipStore,
+    Map,
+    Partition,
+    Promote,
+    RandomOffChipLoad,
+    Reassemble,
+    Reshape)
 from ..ops.functions import Matmul, RetileRow, RetileStreamify, SumAccum, SwiGLUGate
 from .configs import ModelConfig
 from .swiglu import ExpertDims, swiglu_expert_block, swiglu_expert_reference
@@ -235,7 +244,6 @@ def _finalize_time_multiplexed(packed_streams: Sequence[StreamHandle],
                                config: MoELayerConfig) -> dict:
     """Configuration time-multiplexing (Figure 11): R regions share the expert pipeline."""
     model = config.model
-    dims = config.expert_dims
     experts_per_region = model.num_experts // config.num_regions
     region_outputs: List[StreamHandle] = []
 

@@ -20,16 +20,22 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.dtypes import Tile
 from ..core.errors import ConfigError
 from ..core.graph import Program, StreamHandle
-from ..ops import (Accum, FlatMap, Flatten, LinearOffChipLoad, LinearOffChipLoadRef,
-                   LinearOffChipStore, Map, Repeat, Reshape, Zip)
-from ..ops.functions import Matmul, MatmulAccum, RetileStreamify, SwiGLUGate
+from ..ops import (Accum,
+    Flatten,
+    LinearOffChipLoad,
+    LinearOffChipLoadRef,
+    LinearOffChipStore,
+    Map,
+    Repeat,
+    Zip)
+from ..ops.functions import Matmul, MatmulAccum, SwiGLUGate
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,171 @@
+"""Tests for the repro.bench performance-tracking subsystem."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (SCHEMA_VERSION, bench_cases, build_report, compare_reports,
+                         get_case, load_report, run_case, write_report)
+from repro.bench.report import format_comparison
+from repro.core.errors import ConfigError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _report(suites, calibration=0.01):
+    return {"schema": SCHEMA_VERSION, "calibration_s": calibration,
+            "suites": suites}
+
+
+class TestSuiteRegistry:
+    def test_default_suite_is_registered(self):
+        names = [case.name for case in bench_cases()]
+        assert "figure15-batch-sweep" in names
+        assert len(names) >= 5
+
+    def test_every_case_builds_a_smoke_scenario(self):
+        for case in bench_cases():
+            scenario = case.scenario("smoke")
+            assert len(scenario) > 0, case.name
+
+    def test_unknown_case_and_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            get_case("no-such-case")
+        with pytest.raises(ConfigError):
+            get_case("figure15-batch-sweep").scenario("galactic")
+
+
+class TestRunCase:
+    def test_measures_wall_time_cycles_and_cache_stats(self):
+        result = run_case(get_case("dense-ffn"), scale="smoke", repeat=1,
+                          cache_stats=True)
+        assert result.wall_time_s > 0
+        assert result.sim_cycles > 0
+        assert result.cycles_per_second > 0
+        assert result.points > 0
+        assert result.simulated == result.points  # uncached timing runs
+        assert result.cache_hits == 0
+        # the warm cache run must satisfy every point from the cache
+        assert result.cache_warm_hits == result.points
+        assert result.calibration_s and result.calibration_s > 0
+        payload = result.to_dict()
+        assert payload["wall_time_s"] == result.wall_time_s
+        assert payload["cache_warm_hits"] == result.points
+
+
+class TestReportRoundTrip:
+    def test_build_write_load(self, tmp_path):
+        result = run_case(get_case("dense-ffn"), scale="smoke", repeat=1,
+                          cache_stats=False)
+        report = build_report([result], scale="smoke", repeat=1, jobs=1)
+        assert report["schema"] == SCHEMA_VERSION
+        path = tmp_path / "bench.json"
+        write_report(str(path), report)
+        loaded = load_report(str(path))
+        assert loaded["suites"]["dense-ffn"]["wall_time_s"] == result.wall_time_s
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.bench/v999", "suites": {}}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        base = _report({"s": {"wall_time_s": 1.0}})
+        cur = _report({"s": {"wall_time_s": 1.5}})
+        result = compare_reports(base, cur, threshold=0.2)
+        assert not result.ok
+        assert result.cases[0].regressed
+        assert "REGRESSED" in format_comparison(result)
+
+    def test_improvement_and_within_threshold_pass(self):
+        base = _report({"fast": {"wall_time_s": 1.0}, "same": {"wall_time_s": 1.0}})
+        cur = _report({"fast": {"wall_time_s": 0.5}, "same": {"wall_time_s": 1.1}})
+        assert compare_reports(base, cur, threshold=0.2).ok
+
+    def test_missing_suite_is_a_regression(self):
+        base = _report({"s": {"wall_time_s": 1.0}})
+        cur = _report({})
+        result = compare_reports(base, cur)
+        assert not result.ok
+        assert result.cases[0].note == "missing from current report"
+
+    def test_new_suite_is_informational(self):
+        base = _report({})
+        cur = _report({"new": {"wall_time_s": 1.0}})
+        result = compare_reports(base, cur)
+        assert result.ok
+        assert result.cases[0].note == "new suite (no baseline)"
+
+    def test_calibration_normalization_absorbs_machine_speed(self):
+        # current machine is 2x slower overall (calibration doubled): a 2x
+        # wall-time growth is not a regression once normalized
+        base = _report({"s": {"wall_time_s": 1.0, "calibration_s": 0.01}},
+                       calibration=0.01)
+        cur = _report({"s": {"wall_time_s": 2.0, "calibration_s": 0.02}},
+                      calibration=0.02)
+        assert compare_reports(base, cur, threshold=0.2).ok
+
+    def test_real_regression_not_masked_by_normalization(self):
+        # same machine speed, 2x slower suite: regression under both views
+        base = _report({"s": {"wall_time_s": 1.0, "calibration_s": 0.01}})
+        cur = _report({"s": {"wall_time_s": 2.0, "calibration_s": 0.01}})
+        result = compare_reports(base, cur, threshold=0.2)
+        assert not result.ok
+
+    def test_throughput_metric_normalization_direction(self):
+        # a 2x slower machine halves cycles_per_second; normalization must
+        # divide the machine speed out, not amplify it
+        base = _report({"s": {"cycles_per_second": 100.0, "calibration_s": 0.01}},
+                       calibration=0.01)
+        cur = _report({"s": {"cycles_per_second": 50.0, "calibration_s": 0.02}},
+                      calibration=0.02)
+        result = compare_reports(base, cur, threshold=0.2,
+                                 metric="cycles_per_second")
+        assert result.ok
+        assert result.cases[0].ratio == pytest.approx(1.0)
+
+    def test_min_delta_floor_ignores_jitter_on_tiny_suites(self):
+        base = _report({"tiny": {"wall_time_s": 0.010}})
+        cur = _report({"tiny": {"wall_time_s": 0.015}})  # +50% but only 5ms
+        assert compare_reports(base, cur, threshold=0.2, min_delta_s=0.01).ok
+        assert not compare_reports(base, cur, threshold=0.2, min_delta_s=0.0).ok
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_a_valid_report(self):
+        path = REPO_ROOT / "BENCH_PR3.json"
+        report = load_report(str(path))
+        assert report["scale"] == "smoke"
+        names = {case.name for case in bench_cases()}
+        assert set(report["suites"]) == names
+
+
+class TestCLI:
+    def _run(self, *args):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+        return subprocess.run([sys.executable, "-m", "repro.bench", *args],
+                              capture_output=True, text=True, env=env,
+                              cwd=str(REPO_ROOT))
+
+    def test_list(self):
+        proc = self._run("--list")
+        assert proc.returncode == 0
+        assert "figure15-batch-sweep" in proc.stdout
+
+    def test_compare_exit_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps(_report({"s": {"wall_time_s": 1.0}})))
+        good.write_text(json.dumps(_report({"s": {"wall_time_s": 1.0}})))
+        bad.write_text(json.dumps(_report({"s": {"wall_time_s": 9.0}})))
+        assert self._run("--compare", str(base), str(good)).returncode == 0
+        proc = self._run("--compare", str(base), str(bad))
+        assert proc.returncode == 1
+        assert "REGRESSED" in proc.stdout

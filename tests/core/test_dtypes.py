@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import symbolic as sym
 from repro.core.dims import Dim
 from repro.core.dtypes import (BF16, F32, Address, AddressType, BufferHandle, BufferType,
                                Selector, SelectorType, Tile, TileType, TupleType,

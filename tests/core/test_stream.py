@@ -4,9 +4,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import StreamProtocolError
-from repro.core.stream import (DONE, Data, Done, Stop, StopAbsorbingEmitter, ListEmitter,
-                               data_values, infer_concrete_shape, nested_from_tokens,
-                               tokens_from_nested, validate_tokens)
+from repro.core.stream import (DONE,
+    Data,
+    Stop,
+    ListEmitter,
+    data_values,
+    infer_concrete_shape,
+    nested_from_tokens,
+    tokens_from_nested,
+    validate_tokens)
 
 
 def as_sig(tokens):

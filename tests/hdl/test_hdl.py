@@ -1,7 +1,6 @@
 """Tests for the HDL-substitute reference simulator and hierarchical tiling."""
 
 import numpy as np
-import pytest
 
 from repro.hdl.hierarchical import (hierarchical_matmul_inputs, hierarchical_matmul_program,
                                     hierarchical_matmul_reference, matmul_mac_tiles,

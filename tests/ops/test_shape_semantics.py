@@ -1,6 +1,5 @@
 """Shape-semantics tests for the STeP operators (Appendix B.1, Tables 3-7)."""
 
-import numpy as np
 import pytest
 
 from repro.core.dims import Dim
@@ -12,7 +11,7 @@ from repro.ops import (Accum, Bufferize, EagerMerge, Expand, FlatMap, Flatten,
                        LinearOffChipLoad, LinearOffChipLoadRef, LinearOffChipStore, Map,
                        Partition, Promote, RandomOffChipLoad, RandomOffChipStore,
                        Reassemble, Repeat, Reshape, Scan, Streamify, Zip)
-from repro.ops.functions import Matmul, RetileRow, RetileStreamify, Scale, SumAccum
+from repro.ops.functions import RetileStreamify, Scale, SumAccum
 
 
 def stream(shape, dtype=None, name="in"):

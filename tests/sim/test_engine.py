@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import DeadlockError
-from repro.core.stream import DONE, Data, Done, Stop
+from repro.core.stream import DONE, Data, Done
 from repro.sim.channel import Channel
 from repro.sim.engine import Engine
 from repro.sim.hbm import BandwidthLedger, BankedHBM, HBMModel
@@ -78,7 +78,7 @@ class TestEngineBasics:
 
         def consumer():
             for _ in range(4):
-                token = yield ("pop", ch)
+                yield ("pop", ch)
                 yield ("tick", 100)
         engine.add_process("consumer", consumer(), is_sink=True)
         engine.run()

@@ -5,25 +5,37 @@ engine in functional (untimed) mode and checks the produced token stream.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.builder import selectors_to_tokens, tiles_to_tokens
 from repro.core.dims import Dim
-from repro.core.dtypes import Address, AddressType, BufferHandle, Selector, SelectorType, \
-    Tile, TileType
+from repro.core.dtypes import Address, AddressType, BufferHandle, SelectorType, Tile, TileType
 from repro.core.graph import InputStream
 from repro.core.shape import StreamShape
-from repro.core.stream import Data, Done, Stop, data_values, tokens_from_nested, \
-    validate_tokens
-from repro.ops import (Accum, Bufferize, EagerMerge, Expand, FlatMap, Flatten,
-                       LinearOffChipLoad, LinearOffChipLoadRef, LinearOffChipStore, Map,
-                       Partition, Promote, RandomOffChipLoad, RandomOffChipStore,
-                       Reassemble, Repeat, Reshape, Scan, Streamify, Zip)
+from repro.core.stream import Data, Done, Stop, tokens_from_nested, validate_tokens
+from repro.ops import (Accum,
+    Bufferize,
+    EagerMerge,
+    Expand,
+    FlatMap,
+    Flatten,
+    LinearOffChipLoadRef,
+    LinearOffChipStore,
+    Map,
+    Partition,
+    Promote,
+    RandomOffChipLoad,
+    RandomOffChipStore,
+    Reassemble,
+    Repeat,
+    Reshape,
+    Scan,
+    Streamify,
+    Zip)
 from repro.ops.functions import (Matmul, RetileRow, RetileStreamify, Scale, SumAccum)
 from repro.core.graph import Program
 from repro.sim import run_functional
 
-from repro.testing import execute, execute_values
+from repro.testing import execute
 
 
 def signature(tokens):

@@ -10,7 +10,7 @@ from repro.core.stream import tokens_from_nested
 from repro.core.dtypes import Tile
 from repro.ops import Bufferize, LinearOffChipStore, Map
 from repro.ops.functions import Scale
-from repro.sim import run_functional, simulate
+from repro.sim import simulate
 from repro.sim.executors.common import HardwareConfig, OpContext, OutputBuilder
 from repro.sim.lowering import lower
 from repro.sim.metrics import SimMetrics

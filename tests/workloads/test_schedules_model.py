@@ -4,13 +4,16 @@ import pytest
 
 from repro.core.errors import ConfigError
 from repro.data.expert_routing import generate_routing_trace, representative_iteration
-from repro.data.kv_traces import VarianceClass, representative_trace
-from repro.schedules import (ParallelizationSchedule, Schedule, TilingSchedule,
-                             dynamic_tiling, parallelization, static_tiling,
-                             time_multiplexing)
+from repro.data.kv_traces import representative_trace
+from repro.schedules import (Schedule,
+    TilingSchedule,
+    dynamic_tiling,
+    parallelization,
+    static_tiling,
+    time_multiplexing)
 from repro.schedules.parallelization import region_loads
 from repro.workloads.configs import QWEN3_30B_A3B, scaled_config, sda_hardware
-from repro.workloads.model import default_schedules, evaluate_end_to_end, evaluate_layer
+from repro.workloads.model import default_schedules, evaluate_end_to_end
 
 
 class TestTilingSchedule:

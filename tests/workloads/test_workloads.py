@@ -7,10 +7,11 @@ from repro.core.builder import tokens_to_matrix
 from repro.data.expert_routing import generate_routing_trace, representative_iteration
 from repro.sim import run_functional, simulate
 from repro.workloads.attention import AttentionConfig, build_attention_layer
-from repro.workloads.configs import (MIXTRAL_8X7B, QWEN3_30B_A3B, ModelConfig, scaled_config,
-                                     sda_hardware)
-from repro.workloads.moe import (MoELayerConfig, build_moe_layer, dynamic_tiling_config,
-                                 static_tiling_config, time_multiplexed_config)
+from repro.workloads.configs import MIXTRAL_8X7B, QWEN3_30B_A3B, ModelConfig, scaled_config
+from repro.workloads.moe import (MoELayerConfig,
+    build_moe_layer,
+    static_tiling_config,
+    time_multiplexed_config)
 from repro.workloads.qkv import QKVConfig, build_qkv_layer
 from repro.workloads.simple_moe import SimpleMoEConfig, build_simple_moe
 from repro.workloads.swiglu import (SwiGLUConfig, SwiGLUTiling, build_swiglu_layer,
