@@ -50,6 +50,28 @@ from .workload import (WORKLOAD_KINDS, AttentionWorkload, BuiltWorkload,
                        DecoderWorkload, DenseFFNWorkload, MoEWorkload, QKVWorkload,
                        Workload, WorkloadBase, register_workload, workload_from_params)
 from . import library  # registers the built-in scenarios  # noqa: F401
+from ..serve import library as _serve_library  # registers serve-* scenarios  # noqa: F401
+
+
+def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 2,
+          hardware=None, kv_tile_rows: int = 64, seed: int = 0):
+    """Run one open-loop serving simulation and return its full report.
+
+    ``trace`` is a :class:`repro.serve.ArrivalTrace` (build one with
+    :func:`repro.serve.poisson_trace` / :func:`repro.serve.burst_trace` or
+    load a recorded JSON trace with :func:`repro.serve.load_trace`);
+    ``schedule`` defaults to the paper's dynamic schedule.  Returns the
+    :class:`repro.serve.ServingReport` with per-request TTFT/TPOT/e2e records,
+    percentiles, goodput and the queue-depth timeline.  For grids (rates ×
+    schedules × caps), prefer the registered ``serve-*`` scenarios or
+    :func:`repro.serve.latency_load_spec`.
+    """
+    from ..serve.scheduler import ServeConfig, simulate_serving
+
+    config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
+                         kv_tile_rows=kv_tile_rows, seed=seed)
+    return simulate_serving(config, trace, schedule, hardware=hardware)
+
 
 __all__ = [
     # workloads
@@ -82,6 +104,7 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "run",
+    "serve",
     # execution
     "ResultCache",
     "SweepRunner",

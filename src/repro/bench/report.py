@@ -103,6 +103,9 @@ class CaseComparison:
     ratio: Optional[float]
     regressed: bool
     note: str = ""
+    #: whether this case's ratio used calibration normalization (cases without
+    #: probes in either report compare raw even when others normalize)
+    normalized: bool = False
 
 
 @dataclass
@@ -165,12 +168,16 @@ def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
             continue
         # prefer calibrations measured adjacent to this case's timing loop:
         # they track machine-speed drift *within* a bench run, which a single
-        # report-level factor cannot
+        # report-level factor cannot — and they enable normalization even for
+        # reports that carry no report-level probe at all
         case_factor = scale_factor
+        case_normalized = normalized
         base_cal = base.get("calibration_s")
         cur_cal = cur.get("calibration_s")
         if normalize and base_cal and cur_cal:
             case_factor = float(base_cal) / float(cur_cal)
+            case_normalized = True
+            result.normalized = True
         # slower-than-baseline ratio: wall times grow on slower machines,
         # throughput shrinks.  case_factor = base_cal/cur_cal is the current
         # machine's relative speed (< 1 when slower), and it corrects both
@@ -184,14 +191,14 @@ def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
         # regression only when slower under BOTH views: normalization corrects
         # for machine speed across hosts, the raw ratio guards against
         # calibration noise on the same host; real slow-downs inflate both
-        ratio = min(raw, norm) if normalized else raw
+        ratio = min(raw, norm) if case_normalized else raw
         regressed = ratio > 1.0 + threshold
         if regressed and metric != "cycles_per_second" and \
                 float(cur_value) - float(base_value) < min_delta_s:
             regressed = False
         result.cases.append(CaseComparison(
             name=name, baseline_s=float(base_value), current_s=float(cur_value),
-            ratio=ratio, regressed=regressed))
+            ratio=ratio, regressed=regressed, normalized=case_normalized))
 
     for name, cur in cur_suites.items():
         if name not in base_suites:
@@ -202,9 +209,19 @@ def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
 
 
 def format_comparison(result: ComparisonResult, metric: str = "wall_time_s") -> str:
-    """A human-readable comparison table."""
-    lines = [f"bench comparison ({metric}; threshold {result.threshold:.0%}; "
-             f"{'machine-normalized' if result.normalized else 'raw'})"]
+    """A human-readable comparison table.
+
+    The header reports how ratios were computed; when only some cases carried
+    calibration probes the table says so and marks the raw-compared cases.
+    """
+    compared = [case for case in result.cases if case.ratio is not None]
+    if not result.normalized:
+        mode = "raw"
+    elif all(case.normalized for case in compared):
+        mode = "machine-normalized"
+    else:
+        mode = "partially machine-normalized ('raw' marks unnormalized cases)"
+    lines = [f"bench comparison ({metric}; threshold {result.threshold:.0%}; {mode})"]
     width = max((len(case.name) for case in result.cases), default=4)
     for case in result.cases:
         if case.ratio is None:
@@ -212,9 +229,10 @@ def format_comparison(result: ComparisonResult, metric: str = "wall_time_s") -> 
             continue
         direction = "REGRESSED" if case.regressed else (
             "improved" if case.ratio < 1.0 else "unchanged")
+        marker = "" if (case.normalized or not result.normalized) else "  (raw)"
         lines.append(
             f"  {case.name:<{width}}  {case.baseline_s:9.4f} -> {case.current_s:9.4f}"
-            f"  x{case.ratio:5.2f}  {direction}")
+            f"  x{case.ratio:5.2f}  {direction}{marker}")
     lines.append("OK" if result.ok else
                  f"FAIL: {len(result.regressions)} suite(s) regressed")
     return "\n".join(lines)

@@ -14,6 +14,9 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``figure12-timemux`` — configuration time-multiplexing region sweep.
 * ``dense-ffn`` — the dense SwiGLU FFN tiling baseline from the scenario
   library (compute-operator bound).
+* ``serve-poisson`` / ``serve-burst`` — request-level serving runs from
+  :mod:`repro.serve` (continuous-batching scheduler + step-cost simulation;
+  dominated by the serving step memoization and replay path).
 
 New benchmarks register with :func:`register_case`; anything expressible as a
 Scenario participates for free.
@@ -115,3 +118,25 @@ def _dense_ffn(scale: str) -> Scenario:
     if scale == "full":
         return get_scenario("dense-ffn", model_scale=16, batch=64, tiles=(8, 16, 32, 64))
     return get_scenario("dense-ffn")
+
+
+# The serving cases time the continuous-batching scheduler's replay path:
+# after the warmup run the step-cost memo is hot, so the repeats measure the
+# request/queue bookkeeping over hundreds of steps (the serving hot loop)
+# rather than re-simulating steps the figure cases already cover.
+
+@register_case("serve-poisson",
+               "open-loop Poisson serving, light vs overload arrival rates")
+def _serve_poisson(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("serve-poisson", num_requests=96, batch_cap=8)
+    return get_scenario("serve-poisson", rates=(40.0, 640.0), num_requests=48,
+                        output_max=12)
+
+
+@register_case("serve-burst",
+               "bursty vs steady request arrivals at equal offered load")
+def _serve_burst(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("serve-burst", num_requests=96, batch_cap=8)
+    return get_scenario("serve-burst", num_requests=48, output_max=12)

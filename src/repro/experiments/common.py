@@ -52,6 +52,18 @@ class ExperimentScale:
     traces_per_class: int = 3
     #: decoder layers evaluated end to end (None = the model's full layer count)
     end_to_end_layers: Optional[int] = None
+    #: arrival-rate ladder (requests per Mcycle) for the serving load curve
+    serve_rates: Tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0)
+    #: requests per serving trace
+    serve_requests: int = 48
+    #: continuous-batching cap of the serving experiment
+    serve_batch_cap: int = 4
+    #: decoder layers per serving step (the step-latency multiplier)
+    serve_layers: int = 2
+    #: expert-pool cap for the serving model (None keeps the full pool; the
+    #: serving default caps even at full scale because every scheduler step
+    #: simulates the MoE, unlike the one-shot figure experiments)
+    serve_max_experts: Optional[int] = 16
     seed: int = 0
 
 
@@ -71,6 +83,8 @@ SMOKE_SCALE = ExperimentScale(
     timemux_regions=(None, 8, 4),
     traces_per_class=1,
     end_to_end_layers=2,
+    serve_rates=(40.0, 160.0, 640.0),
+    serve_requests=12,
 )
 
 
@@ -87,13 +101,9 @@ def mixtral_model(scale: ExperimentScale) -> ModelConfig:
 
 
 def _cap_experts(model: ModelConfig, scale: ExperimentScale) -> ModelConfig:
-    if scale.max_experts is None or model.num_experts <= scale.max_experts:
-        return model
-    from dataclasses import replace
+    from ..workloads.configs import cap_experts
 
-    return replace(model, name=f"{model.name}-{scale.max_experts}e",
-                   num_experts=scale.max_experts,
-                   experts_per_token=min(model.experts_per_token, scale.max_experts // 2))
+    return cap_experts(model, scale.max_experts)
 
 
 def hardware(scale: ExperimentScale) -> HardwareConfig:

@@ -35,7 +35,8 @@ from . import (figure1,
     figure15,
     figure17,
     figure19_20,
-    figure21)
+    figure21,
+    serve_latency)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
 
@@ -55,9 +56,25 @@ FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
     "21": lambda scale, runner: figure21.run(scale, runner=runner),
 }
 
+#: named (non-figure) experiments, addressed positionally: the serving side
+NAMED: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
+    "serve-latency": lambda scale, runner: serve_latency.run(scale, runner=runner),
+}
+
+#: every runnable experiment: figures by number plus the named experiments
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
+    **FIGURES, **NAMED,
+}
+
+
+def _experiment_order(name: str) -> tuple:
+    """Figures first (numerically), then named experiments alphabetically."""
+    return (0, int(name), "") if name.isdigit() else (1, 0, name)
+
 
 def _print_result(figure: str, result: dict) -> None:
-    print(f"==== Figure {figure} ====")
+    title = f"Figure {figure}" if figure.isdigit() else figure
+    print(f"==== {title} ====")
     if "rows" in result:
         print(format_table(result["rows"]))
     if "per_model" in result:
@@ -82,10 +99,15 @@ def _print_result(figure: str, result: dict) -> None:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="Regenerate the paper's figures")
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures and the serving experiments")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="figure number or named experiment to run "
+                             f"(named: {sorted(NAMED)}); default: every figure")
     parser.add_argument("--figure", action="append", default=None,
                         help="figure number to run (repeatable); default: all")
-    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--all", action="store_true",
+                        help="run every figure and named experiment")
     parser.add_argument("--scale", choices=("default", "smoke"), default=None,
                         help="experiment scale preset (default: default)")
     parser.add_argument("--smoke", action="store_true",
@@ -102,22 +124,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scale = SMOKE_SCALE if (args.smoke or args.scale == "smoke") else DEFAULT_SCALE
-    figures = args.figure if args.figure else sorted(FIGURES, key=lambda f: int(f))
+    figures = list(args.experiments) + list(args.figure or [])
+    if not figures:
+        figures = sorted(FIGURES, key=_experiment_order)
     if args.all:
-        figures = sorted(FIGURES, key=lambda f: int(f))
+        figures = sorted(EXPERIMENTS, key=_experiment_order)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     sweep_runner = SweepRunner(jobs=args.jobs, cache=cache)
 
     collected = {}
     for figure in figures:
-        if figure not in FIGURES:
-            print(f"unknown figure {figure!r}; available: {sorted(FIGURES)}", file=sys.stderr)
+        if figure not in EXPERIMENTS:
+            print(f"unknown experiment {figure!r}; available: "
+                  f"{sorted(EXPERIMENTS, key=_experiment_order)}", file=sys.stderr)
             return 2
         started = time.time()
         before = SweepStats()
         before.add(sweep_runner.cumulative_stats)
-        result = FIGURES[figure](scale, sweep_runner)
+        result = EXPERIMENTS[figure](scale, sweep_runner)
         result["elapsed_seconds"] = round(time.time() - started, 2)
         total = sweep_runner.cumulative_stats
         if total.points > before.points:

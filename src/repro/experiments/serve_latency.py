@@ -1,0 +1,74 @@
+"""Serving latency versus offered load — the open-loop serving experiment.
+
+Sweeps a ladder of Poisson arrival rates (``scale.serve_rates``, requests per
+million cycles) under the static and the dynamic schedule and reports, per
+rate, the TTFT / TPOT / e2e percentiles, goodput and mean queue depth of a
+continuous-batching server simulated on the dataflow engine
+(:mod:`repro.serve`).  The curve shows the classic serving picture: flat
+latency while the server keeps up, then a queueing knee and goodput plateau
+once the offered load crosses the engine's service capacity — and how much
+further the dynamic schedule pushes that knee.
+
+The sweep executes through the ``"serve"`` task
+(:func:`repro.serve.sweep.latency_load_spec`), so points are cached and
+pool-parallel like every figure sweep.  The traffic seed is shared by every
+point: rates change the inter-arrival *scale*, not the random stream, which
+keeps the curve comparable across load levels, and the whole experiment is
+deterministic — the same scale and seed reproduce every metric bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..serve.library import SMOKE_LENGTHS, _serve_model, serve_schedules
+from ..serve.sweep import latency_load_spec
+from ..sweep import SweepRunner, resolve_runner
+from .common import DEFAULT_SCALE, ExperimentScale, hardware
+
+#: the per-rate metrics each row of the curve reports, per schedule
+_ROW_METRICS = ("ttft_p50", "ttft_p95", "tpot_p50", "e2e_p95", "goodput_rpmc",
+                "queue_queued_mean")
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
+    """Regenerate the latency-vs-load curve at the given experiment scale."""
+    runner = resolve_runner(runner)
+    model = _serve_model(scale.model_scale, max_experts=scale.serve_max_experts)
+    hw = hardware(scale)
+
+    per_schedule: Dict[str, List[Dict[str, float]]] = {}
+    for label, schedule in serve_schedules().items():
+        spec = latency_load_spec(
+            model, schedule, rates=scale.serve_rates,
+            batch_caps=(scale.serve_batch_cap,),
+            num_requests=scale.serve_requests, seed=scale.seed, hardware=hw,
+            num_layers=scale.serve_layers, name=f"serve-latency-{label}-{scale.name}",
+            **SMOKE_LENGTHS)
+        per_schedule[label] = runner.metrics(spec)
+
+    rows: List[Dict[str, float]] = []
+    for i, rate in enumerate(scale.serve_rates):
+        row: Dict[str, float] = {"rate": float(rate)}
+        for label, metrics in per_schedule.items():
+            for key in _ROW_METRICS:
+                row[f"{label}_{key}"] = metrics[i][key]
+        rows.append(row)
+
+    dynamic = per_schedule["dynamic"]
+    light, peak = dynamic[0], dynamic[-1]
+    return {
+        "rows": rows,
+        "batch_cap": scale.serve_batch_cap,
+        "num_requests": scale.serve_requests,
+        # the goodput plateau: the engine's measured service capacity
+        "peak_goodput_rpmc": max(m["goodput_rpmc"] for m in dynamic),
+        # tail-latency inflation between the lightest and heaviest load point
+        "overload_ttft_inflation": (peak["ttft_p95"] / light["ttft_p95"]
+                                    if light["ttft_p95"] > 0 else 0.0),
+        # dynamic-vs-static tail latency at the heaviest load point
+        "dynamic_ttft_p95_speedup": (
+            per_schedule["static"][-1]["ttft_p95"] / peak["ttft_p95"]
+            if peak["ttft_p95"] > 0 else 0.0),
+    }

@@ -1,0 +1,63 @@
+"""repro.serve — the request-level serving simulator.
+
+Every other subsystem evaluates *closed-loop* scenarios: one layer invocation
+at a fixed batch size.  This package models the paper's serving side — the
+north star's "heavy traffic" — as an **open-loop** system: requests arrive
+over time (:mod:`repro.serve.arrivals`), a continuous-batching scheduler
+(:mod:`repro.serve.scheduler`) admits them into prefill/decode steps at
+iteration granularity, every step is costed by simulating it as a
+:class:`~repro.serve.workload.ServeStepWorkload` on the dataflow engine under
+a unified :class:`~repro.schedules.Schedule`, and the run yields a
+:class:`~repro.serve.report.ServingReport` with TTFT / TPOT / e2e latency
+percentiles, goodput and a queue-depth timeline.
+
+Entry points, highest level first:
+
+* ``repro.api.serve(...)`` — one serving run, full report,
+* the registered ``serve-*`` scenarios (:mod:`repro.serve.library`) — named
+  grids runnable via ``repro.api.run("serve-poisson")``,
+* :func:`~repro.serve.sweep.latency_load_spec` — arrival-rate × batch-cap
+  grids on the sweep runner/cache (the ``"serve"`` task),
+* :func:`~repro.serve.scheduler.simulate_serving` — the raw simulator.
+
+Everything is deterministic: a trace is a pure function of its seed and a
+report a pure function of (config, trace, schedule, hardware).
+"""
+
+from .arrivals import (MCYCLE, ArrivalTrace, Request, burst_trace, load_trace,
+                       poisson_trace, save_trace, trace_from_lists)
+from .report import (PERCENTILE_POINTS, RequestRecord, ServingReport, StepSample,
+                     percentile, summarize)
+from .workload import ServeStepWorkload, ServeWorkload
+from .scheduler import ServeConfig, clear_step_cache, simulate_serving
+from .sweep import latency_load_spec, serve_point
+from . import library  # registers the serve-* scenarios  # noqa: F401
+
+__all__ = [
+    # arrivals
+    "MCYCLE",
+    "Request",
+    "ArrivalTrace",
+    "poisson_trace",
+    "burst_trace",
+    "trace_from_lists",
+    "load_trace",
+    "save_trace",
+    # report
+    "PERCENTILE_POINTS",
+    "RequestRecord",
+    "StepSample",
+    "ServingReport",
+    "percentile",
+    "summarize",
+    # workloads
+    "ServeStepWorkload",
+    "ServeWorkload",
+    # scheduler
+    "ServeConfig",
+    "simulate_serving",
+    "clear_step_cache",
+    # sweeps
+    "latency_load_spec",
+    "serve_point",
+]

@@ -1,0 +1,272 @@
+"""Open-loop request arrival processes for the serving simulator.
+
+Every closed-loop scenario in :mod:`repro.api` evaluates one layer invocation
+at a fixed batch; serving systems are instead driven by *requests arriving
+over time*.  This module provides the request-level traffic model:
+
+* :class:`Request` — one user request: an arrival time (in engine cycles), a
+  prompt length (prefill tokens) and an output length (decode tokens),
+* :class:`ArrivalTrace` — an ordered, immutable batch of requests plus a name;
+  traces serialize symmetrically (:meth:`ArrivalTrace.to_dict` /
+  :meth:`ArrivalTrace.from_dict`) so recorded traces can be stored as JSON and
+  replayed (see :func:`load_trace`),
+* :func:`poisson_trace` — the standard open-loop generator: exponential
+  inter-arrival times at a configurable rate with log-normal prompt/output
+  length distributions, fully determined by its seed,
+* :func:`burst_trace` — a worst-case trace: requests arrive in synchronized
+  bursts separated by idle gaps (same marginal rate as a Poisson trace, much
+  harsher queueing),
+* :func:`trace_from_lists` — explicit trace-driven arrivals for replaying
+  recorded workloads or constructing hand-crafted test cases.
+
+Rates are expressed in **requests per million cycles** (``rpmc``) so traffic
+intensity is independent of any wall-clock assumption; the simulator's own
+cycle count is the time base.  Prompt lengths are quantized to multiples of
+``prompt_quantum`` (default 16, the hardware tile) — the simulator tiles
+token batches anyway, and quantized prompts let the serving scheduler reuse
+step-cost simulations across steps with near-identical composition.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+#: one million cycles — the time base of arrival rates (requests per Mcycle)
+MCYCLE = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request: arrival time plus prompt/output token counts."""
+
+    request_id: int
+    #: arrival time in engine cycles (open-loop: independent of service times)
+    arrival: float
+    #: prefill length — tokens processed by the request's first step
+    prompt_tokens: int
+    #: decode length — tokens generated in total (>= 1; the first is produced
+    #: by the prefill step, the remainder by one decode step each)
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ConfigError(f"request {self.request_id}: negative arrival time")
+        if self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ConfigError(f"request {self.request_id}: prompt_tokens and "
+                              f"output_tokens must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"request_id": self.request_id, "arrival": self.arrival,
+                "prompt_tokens": self.prompt_tokens,
+                "output_tokens": self.output_tokens}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Request":
+        return cls(request_id=int(payload["request_id"]),
+                   arrival=float(payload["arrival"]),
+                   prompt_tokens=int(payload["prompt_tokens"]),
+                   output_tokens=int(payload["output_tokens"]))
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """An ordered, immutable request trace (the input of a serving run)."""
+
+    name: str
+    requests: Tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("an arrival trace needs a non-empty name")
+        object.__setattr__(self, "requests", tuple(self.requests))
+        arrivals = [r.arrival for r in self.requests]
+        if arrivals != sorted(arrivals):
+            raise ConfigError(f"trace {self.name!r}: requests must be sorted by arrival")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Cycles between the first and last arrival (0 for <= 1 request)."""
+        if len(self.requests) < 2:
+            return 0.0
+        return self.requests[-1].arrival - self.requests[0].arrival
+
+    @property
+    def mean_rate(self) -> float:
+        """Observed arrival rate in requests per million cycles."""
+        if self.duration <= 0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration * MCYCLE
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(r.prompt_tokens for r in self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    # -- serialization (JSON traces are the exchange format) ------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "requests": [r.to_dict() for r in self.requests]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ArrivalTrace":
+        return cls(name=payload["name"],
+                   requests=tuple(Request.from_dict(r) for r in payload["requests"]))
+
+
+def load_trace(path: os.PathLike) -> ArrivalTrace:
+    """Load a recorded arrival trace from a JSON file (see ``to_dict``)."""
+    with open(path) as handle:
+        return ArrivalTrace.from_dict(json.load(handle))
+
+
+def save_trace(trace: ArrivalTrace, path: os.PathLike) -> None:
+    """Write a trace as JSON, symmetric with :func:`load_trace`."""
+    with open(path, "w") as handle:
+        json.dump(trace.to_dict(), handle, indent=1)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+def quantize_up(value: int, quantum: int) -> int:
+    """Round ``value`` up to a positive multiple of ``quantum``.
+
+    Shared by prompt-length generation here and the serving scheduler's
+    KV-signature quantization — the two must agree on rounding semantics or
+    step-memo signatures drift from the traces they serve.
+    """
+    return max(quantum, int(math.ceil(value / quantum)) * quantum)
+
+
+def _lognormal_lengths(rng: np.random.Generator, count: int, mean: float,
+                       sigma: float, minimum: int, maximum: int) -> np.ndarray:
+    """Log-normal integer lengths with the requested mean, clipped to bounds."""
+    mu = math.log(mean) - sigma ** 2 / 2.0
+    lengths = rng.lognormal(mean=mu, sigma=sigma, size=count)
+    return np.clip(np.round(lengths), minimum, maximum).astype(int)
+
+
+#: the one source of truth for length-distribution defaults — referenced by
+#: every trace generator (and the ``"serve"`` sweep task) so steady and bursty
+#: traces can never silently drift onto different distributions
+DEFAULT_PROMPT_MEAN = 96.0
+DEFAULT_PROMPT_SIGMA = 0.5
+DEFAULT_PROMPT_MAX = 512
+DEFAULT_PROMPT_QUANTUM = 16
+DEFAULT_OUTPUT_MEAN = 8.0
+DEFAULT_OUTPUT_SIGMA = 0.4
+DEFAULT_OUTPUT_MAX = 64
+
+
+def poisson_trace(rate: float, num_requests: int, seed: int = 0,
+                  prompt_mean: float = DEFAULT_PROMPT_MEAN,
+                  prompt_sigma: float = DEFAULT_PROMPT_SIGMA,
+                  prompt_max: int = DEFAULT_PROMPT_MAX,
+                  prompt_quantum: int = DEFAULT_PROMPT_QUANTUM,
+                  output_mean: float = DEFAULT_OUTPUT_MEAN,
+                  output_sigma: float = DEFAULT_OUTPUT_SIGMA,
+                  output_max: int = DEFAULT_OUTPUT_MAX,
+                  name: Optional[str] = None) -> ArrivalTrace:
+    """A Poisson arrival trace: the standard open-loop serving workload.
+
+    ``rate`` is in requests per million cycles; inter-arrival times are
+    exponential with mean ``1e6 / rate``.  Prompt and output lengths are
+    log-normal (the heavy-tailed shape of production request traces — cf. the
+    KV-length population in :mod:`repro.data.kv_traces`), prompts quantized to
+    ``prompt_quantum`` tokens.  The same ``(rate, num_requests, seed, ...)``
+    always produces the identical trace.
+    """
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate}")
+    if num_requests <= 0:
+        raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=MCYCLE / rate, size=num_requests)
+    gaps[0] = 0.0  # the first request opens the trace
+    arrivals = np.cumsum(gaps)
+    prompts = _lognormal_lengths(rng, num_requests, prompt_mean, prompt_sigma,
+                                 prompt_quantum, prompt_max)
+    outputs = _lognormal_lengths(rng, num_requests, output_mean, output_sigma,
+                                 1, output_max)
+    requests = tuple(
+        Request(request_id=i, arrival=float(round(arrivals[i], 3)),
+                prompt_tokens=quantize_up(int(prompts[i]), prompt_quantum),
+                output_tokens=int(outputs[i]))
+        for i in range(num_requests))
+    return ArrivalTrace(name=name or f"poisson-r{rate:g}-n{num_requests}-s{seed}",
+                        requests=requests)
+
+
+def burst_trace(rate: float, num_requests: int, burst_size: int = 4, seed: int = 0,
+                name: Optional[str] = None, **length_kwargs) -> ArrivalTrace:
+    """Synchronized bursts at the same marginal rate as a Poisson trace.
+
+    ``burst_size`` requests arrive simultaneously, with the idle gap between
+    bursts stretched so the long-run rate stays ``rate`` — the adversarial
+    queueing counterpart of :func:`poisson_trace` (same offered load, much
+    worse tail latency under a small batch cap).
+    """
+    if burst_size < 1:
+        raise ConfigError(f"burst_size must be >= 1, got {burst_size}")
+    base = poisson_trace(rate=rate / burst_size,
+                         num_requests=max(1, math.ceil(num_requests / burst_size)),
+                         seed=seed, **length_kwargs)
+    prompt_mean = length_kwargs.get("prompt_mean", DEFAULT_PROMPT_MEAN)
+    prompt_sigma = length_kwargs.get("prompt_sigma", DEFAULT_PROMPT_SIGMA)
+    prompt_max = length_kwargs.get("prompt_max", DEFAULT_PROMPT_MAX)
+    prompt_quantum = length_kwargs.get("prompt_quantum", DEFAULT_PROMPT_QUANTUM)
+    output_mean = length_kwargs.get("output_mean", DEFAULT_OUTPUT_MEAN)
+    output_sigma = length_kwargs.get("output_sigma", DEFAULT_OUTPUT_SIGMA)
+    output_max = length_kwargs.get("output_max", DEFAULT_OUTPUT_MAX)
+    rng = np.random.default_rng(seed + 1)
+    requests: List[Request] = []
+    for anchor in base:
+        for _ in range(burst_size):
+            if len(requests) >= num_requests:
+                break
+            prompt = _lognormal_lengths(rng, 1, prompt_mean, prompt_sigma,
+                                        prompt_quantum, prompt_max)
+            output = _lognormal_lengths(rng, 1, output_mean, output_sigma,
+                                        1, output_max)
+            requests.append(Request(
+                request_id=len(requests), arrival=anchor.arrival,
+                prompt_tokens=quantize_up(int(prompt[0]), prompt_quantum),
+                output_tokens=int(output[0])))
+    return ArrivalTrace(name=name or f"burst{burst_size}-r{rate:g}-n{len(requests)}-s{seed}",
+                        requests=tuple(requests))
+
+
+def trace_from_lists(arrivals: Sequence[float], prompt_tokens: Sequence[int],
+                     output_tokens: Sequence[int],
+                     name: str = "trace") -> ArrivalTrace:
+    """A trace-driven arrival process from explicit per-request lists."""
+    if not (len(arrivals) == len(prompt_tokens) == len(output_tokens)):
+        raise ConfigError(
+            f"trace {name!r}: arrivals ({len(arrivals)}), prompt_tokens "
+            f"({len(prompt_tokens)}) and output_tokens ({len(output_tokens)}) "
+            f"must have equal lengths")
+    requests = tuple(
+        Request(request_id=i, arrival=float(arrivals[i]),
+                prompt_tokens=int(prompt_tokens[i]),
+                output_tokens=int(output_tokens[i]))
+        for i in range(len(arrivals)))
+    return ArrivalTrace(name=name, requests=requests)

@@ -1,0 +1,159 @@
+"""Registered ``serve-*`` scenarios — serving runs addressable by name.
+
+Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
+
+* ``"serve-poisson"`` — Poisson traffic at a ladder of arrival rates, served
+  under a static and the dynamic schedule: the latency-vs-load picture, as a
+  plain scenario grid,
+* ``"serve-batch-cap"`` — one arrival rate, swept over continuous-batching
+  caps under the dynamic schedule: how much batching headroom the engine
+  needs before queueing collapses,
+* ``"serve-burst"`` — bursty versus steady arrivals at the same marginal
+  rate: the tail-latency cost of synchronized traffic.
+
+All factories take keyword overrides; the defaults are smoke-sized (a few
+dozen requests, two decoder layers) so the scenarios run in seconds — pass
+``num_requests`` / ``rates`` / ``model_scale`` overrides for bigger studies.
+
+Workload imports are deferred into the factories: scenario registration must
+not import the serving adapters while :mod:`repro.api` is still initializing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..api.scenario import Scenario, register_scenario
+from ..schedules import Schedule
+from ..workloads.configs import QWEN3_30B_A3B, scaled_config
+
+#: default arrival-rate ladder (requests per million cycles): light load,
+#: near-saturation and overload for the smoke-sized serving model (whose
+#: service capacity at batch cap 4 measures ~200 requests per Mcycle)
+DEFAULT_RATES = (40.0, 160.0, 640.0)
+
+#: the smoke-sized request-length profile shared by the serve-* scenarios,
+#: the serve-latency experiment and examples/serving.py — one definition so
+#: the advertised surfaces always describe the same traffic
+SMOKE_LENGTHS = {"prompt_mean": 48.0, "prompt_max": 192,
+                 "output_mean": 6.0, "output_max": 24}
+
+
+def _serve_model(model_scale: int, max_experts=16):
+    from ..workloads.configs import cap_experts
+
+    return cap_experts(scaled_config(QWEN3_30B_A3B, scale=model_scale),
+                       max_experts)
+
+
+def serve_schedules(tile_rows: int = 4):
+    """The static-vs-dynamic schedule pair the serving scenarios compare."""
+    return {
+        "static": Schedule.static("static", tile_rows=tile_rows),
+        "dynamic": Schedule.dynamic(),
+    }
+
+
+@register_scenario("serve-poisson")
+def serve_poisson(model_scale: int = 32, rates: Sequence[float] = DEFAULT_RATES,
+                  num_requests: int = 16, batch_cap: int = 4, num_layers: int = 2,
+                  prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                  prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                  output_mean: float = SMOKE_LENGTHS["output_mean"],
+                  output_max: int = SMOKE_LENGTHS["output_max"],
+                  kv_tile_rows: int = 128, seed: int = 0) -> Scenario:
+    """Poisson arrival-rate ladder × (static, dynamic) schedules."""
+    from .arrivals import poisson_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    workloads = {
+        f"rate={rate:g}": ServeWorkload(
+            model=model,
+            trace=poisson_trace(rate=rate, num_requests=num_requests, seed=seed,
+                                prompt_mean=prompt_mean, prompt_max=prompt_max,
+                                output_mean=output_mean, output_max=output_max),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed)
+        for rate in rates
+    }
+    return Scenario(
+        name="serve-poisson",
+        workloads=workloads,
+        schedules=serve_schedules(),
+        seed=seed,
+        description="open-loop Poisson serving at a ladder of arrival rates",
+    )
+
+
+@register_scenario("serve-batch-cap")
+def serve_batch_cap(model_scale: int = 32, arrival_rate: float = 300.0,
+                    batch_caps: Sequence[int] = (2, 4, 8), num_requests: int = 16,
+                    num_layers: int = 2,
+                    prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                    prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                    output_mean: float = SMOKE_LENGTHS["output_mean"],
+                    output_max: int = SMOKE_LENGTHS["output_max"],
+                    kv_tile_rows: int = 128,
+                    seed: int = 0) -> Scenario:
+    """One arrival rate, swept over continuous-batching caps (dynamic schedule)."""
+    from .arrivals import poisson_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
+                          prompt_mean=prompt_mean, prompt_max=prompt_max,
+                          output_mean=output_mean, output_max=output_max)
+    workloads = {
+        f"cap={cap}": ServeWorkload(model=model, trace=trace, batch_cap=cap,
+                                    num_layers=num_layers,
+                                    kv_tile_rows=kv_tile_rows, seed=seed)
+        for cap in batch_caps
+    }
+    return Scenario(
+        name="serve-batch-cap",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="continuous-batching cap sweep at one arrival rate",
+    )
+
+
+@register_scenario("serve-burst")
+def serve_burst(model_scale: int = 32, arrival_rate: float = 150.0,
+                burst_size: int = 4, num_requests: int = 16, batch_cap: int = 4,
+                num_layers: int = 2,
+                prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                output_mean: float = SMOKE_LENGTHS["output_mean"],
+                output_max: int = SMOKE_LENGTHS["output_max"],
+                kv_tile_rows: int = 128,
+                seed: int = 0) -> Scenario:
+    """Bursty vs steady arrivals at the same marginal rate (dynamic schedule)."""
+    from .arrivals import burst_trace, poisson_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    length_kwargs = dict(prompt_mean=prompt_mean, prompt_max=prompt_max,
+                         output_mean=output_mean, output_max=output_max)
+    workloads = {
+        "steady": ServeWorkload(
+            model=model,
+            trace=poisson_trace(rate=arrival_rate, num_requests=num_requests,
+                                seed=seed, **length_kwargs),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed),
+        "burst": ServeWorkload(
+            model=model,
+            trace=burst_trace(rate=arrival_rate, num_requests=num_requests,
+                              burst_size=burst_size, seed=seed, **length_kwargs),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed),
+    }
+    return Scenario(
+        name="serve-burst",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="bursty vs steady arrivals at equal offered load",
+    )

@@ -1,0 +1,251 @@
+"""Serving-run results: per-request latency records, percentiles and timelines.
+
+A :class:`ServingReport` is the serving counterpart of
+:class:`repro.sim.runner.SimReport`: everything a latency-vs-load study needs,
+serialized symmetrically (``to_dict``/``from_dict`` round-trip bit-for-bit).
+
+Latency definitions (all in engine cycles):
+
+* **TTFT** (time to first token) — from a request's arrival to the end of the
+  step that processed its prompt (which also emits the first output token,
+  as in continuous-batching servers),
+* **TPOT** (time per output token) — the mean inter-token gap over the
+  decode phase: ``(completion - first_token) / (output_tokens - 1)``; zero
+  for single-token outputs,
+* **e2e** — arrival to completion.
+
+Percentiles use the *nearest-rank* method (the value at index
+``ceil(q/100 * n)`` of the sorted sample, 1-based): every reported percentile
+is an actually observed latency, and the computation is integer-exact, which
+keeps reports bit-identical across platforms.
+
+Goodput is completed requests per million cycles; token throughput is
+generated tokens per thousand cycles.  The queue-depth timeline records one
+:class:`StepSample` per scheduler step (start cycle, step latency, running and
+queued request counts, tokens processed), giving load curves their
+time-resolved view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+from ..core.errors import ConfigError
+from .arrivals import MCYCLE
+
+#: the percentile points every latency summary reports
+PERCENTILE_POINTS = (50, 90, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the ``ceil(q/100 * n)``-th smallest sample.
+
+    Deterministic, interpolation-free and always an observed value; ``q=0``
+    returns the minimum, ``q=100`` the maximum.  Raises on an empty sample.
+    """
+    if not values:
+        raise ConfigError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ConfigError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / max / nearest-rank percentiles of a latency sample (0s if empty)."""
+    if not values:
+        return {"mean": 0.0, "max": 0.0,
+                **{f"p{q}": 0.0 for q in PERCENTILE_POINTS}}
+    return {
+        "mean": float(sum(values) / len(values)),
+        "max": float(max(values)),
+        **{f"p{q}": percentile(values, q) for q in PERCENTILE_POINTS},
+    }
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The lifecycle of one served request, in engine cycles."""
+
+    request_id: int
+    arrival: float
+    #: end of the step that processed the prompt (first output token time)
+    first_token: float
+    #: end of the step that produced the final output token
+    completion: float
+    prompt_tokens: int
+    output_tokens: int
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token - self.arrival
+
+    @property
+    def tpot(self) -> float:
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.completion - self.first_token) / (self.output_tokens - 1)
+
+    @property
+    def e2e(self) -> float:
+        return self.completion - self.arrival
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"request_id": self.request_id, "arrival": self.arrival,
+                "first_token": self.first_token, "completion": self.completion,
+                "prompt_tokens": self.prompt_tokens,
+                "output_tokens": self.output_tokens}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RequestRecord":
+        return cls(request_id=int(payload["request_id"]),
+                   arrival=float(payload["arrival"]),
+                   first_token=float(payload["first_token"]),
+                   completion=float(payload["completion"]),
+                   prompt_tokens=int(payload["prompt_tokens"]),
+                   output_tokens=int(payload["output_tokens"]))
+
+
+@dataclass(frozen=True)
+class StepSample:
+    """One scheduler step of the queue-depth timeline."""
+
+    #: cycle at which the step was issued
+    start: float
+    #: simulated latency of the step (all layers)
+    cycles: float
+    #: requests in the running batch (prefill + decode)
+    running: int
+    #: requests admitted-but-waiting because the batch cap was reached
+    queued: int
+    #: tokens processed this step (prompt tokens for prefills, 1 per decode)
+    tokens: int
+    #: how many of the running requests were in their prefill step
+    prefills: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"start": self.start, "cycles": self.cycles, "running": self.running,
+                "queued": self.queued, "tokens": self.tokens,
+                "prefills": self.prefills}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StepSample":
+        return cls(start=float(payload["start"]), cycles=float(payload["cycles"]),
+                   running=int(payload["running"]), queued=int(payload["queued"]),
+                   tokens=int(payload["tokens"]), prefills=int(payload["prefills"]))
+
+
+@dataclass
+class ServingReport:
+    """The complete result of one serving simulation."""
+
+    #: the trace name this run served
+    trace: str
+    #: the schedule label the steps ran under
+    schedule: str
+    batch_cap: int
+    requests: Tuple[RequestRecord, ...] = ()
+    steps: Tuple[StepSample, ...] = ()
+    #: end of the last step (the makespan of the run)
+    total_cycles: float = 0.0
+    #: distinct step signatures in this run (per-run, independent of how many
+    #: were satisfied by the process-wide step memo — that independence is
+    #: what keeps reports bit-identical across warm and cold runs)
+    distinct_steps: int = 0
+
+    def __post_init__(self) -> None:
+        self.requests = tuple(self.requests)
+        self.steps = tuple(self.steps)
+
+    # -- aggregates ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    def ttft(self) -> Dict[str, float]:
+        return summarize([r.ttft for r in self.requests])
+
+    def tpot(self) -> Dict[str, float]:
+        return summarize([r.tpot for r in self.requests if r.output_tokens > 1])
+
+    def e2e(self) -> Dict[str, float]:
+        return summarize([r.e2e for r in self.requests])
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per million cycles."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.num_requests / self.total_cycles * MCYCLE
+
+    @property
+    def token_throughput(self) -> float:
+        """Generated tokens per thousand cycles."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.total_output_tokens / self.total_cycles * 1000.0
+
+    def queue_depth(self) -> Dict[str, float]:
+        """Mean / max of waiting (queued) and running requests over the steps."""
+        if not self.steps:
+            return {"queued_mean": 0.0, "queued_max": 0.0,
+                    "running_mean": 0.0, "running_max": 0.0}
+        queued = [s.queued for s in self.steps]
+        running = [s.running for s in self.steps]
+        return {
+            "queued_mean": float(sum(queued) / len(queued)),
+            "queued_max": float(max(queued)),
+            "running_mean": float(sum(running) / len(running)),
+            "running_max": float(max(running)),
+        }
+
+    # -- flat metrics (what scenario grids and the sweep cache store) ----------------
+    def metrics(self) -> Dict[str, float]:
+        """The flat, JSON-able payload a serving sweep point reports."""
+        flat: Dict[str, float] = {
+            "cycles": float(self.total_cycles),
+            "requests": float(self.num_requests),
+            "output_tokens": float(self.total_output_tokens),
+            "goodput_rpmc": float(self.goodput),
+            "tokens_per_kcycle": float(self.token_throughput),
+            "steps": float(len(self.steps)),
+            "distinct_steps": float(self.distinct_steps),
+        }
+        for prefix, summary in (("ttft", self.ttft()), ("tpot", self.tpot()),
+                                ("e2e", self.e2e())):
+            for key, value in summary.items():
+                flat[f"{prefix}_{key}"] = value
+        flat.update({f"queue_{k}": v for k, v in self.queue_depth().items()})
+        return flat
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The full report as plain JSON, symmetric with :meth:`from_dict`."""
+        return {
+            "trace": self.trace,
+            "schedule": self.schedule,
+            "batch_cap": self.batch_cap,
+            "total_cycles": self.total_cycles,
+            "distinct_steps": self.distinct_steps,
+            "requests": [r.to_dict() for r in self.requests],
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServingReport":
+        return cls(
+            trace=payload["trace"],
+            schedule=payload["schedule"],
+            batch_cap=int(payload["batch_cap"]),
+            total_cycles=float(payload["total_cycles"]),
+            distinct_steps=int(payload["distinct_steps"]),
+            requests=tuple(RequestRecord.from_dict(r) for r in payload["requests"]),
+            steps=tuple(StepSample.from_dict(s) for s in payload["steps"]),
+        )

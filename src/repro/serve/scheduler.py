@@ -1,0 +1,199 @@
+"""The continuous-batching serving scheduler (Orca-style iteration scheduling).
+
+:func:`simulate_serving` drives an open-loop :class:`~repro.serve.arrivals.
+ArrivalTrace` through a continuous-batching server:
+
+* requests wait in a FIFO **queue** until a slot in the running batch (at most
+  ``batch_cap`` requests) frees up; admission happens at *step* granularity,
+  exactly like iteration-level scheduling in Orca / vLLM,
+* a newly admitted request's first step is its **prefill** — the whole prompt
+  joins the step's token batch and the step emits the request's first output
+  token (TTFT is measured at that step's end),
+* every subsequent step **decodes** one token per running request against its
+  grown KV cache, until ``output_tokens`` tokens have been produced,
+* each step's latency comes from simulating the step as a
+  :class:`~repro.serve.workload.ServeStepWorkload` under the run's unified
+  :class:`~repro.schedules.Schedule` — so batching pressure, KV-length skew
+  and the schedule's tiling/parallelization choices all shape the serving
+  latencies through the same dataflow engine as the closed-loop experiments.
+
+Step costs are memoized on a *step signature*: the token-batch size plus the
+multiset of per-request KV lengths, quantized up to ``kv_tile_rows`` (the
+granularity at which the simulator tiles KV anyway).  Decode steps change
+signature only every ``kv_tile_rows`` generated tokens, so a serving run
+simulates a handful of distinct steps while replaying hundreds — and the
+memoization is invisible in the results: the report is a pure function of
+``(config, trace, schedule, hardware)``, bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigError
+from ..schedules import Schedule
+from ..sim.executors.common import HardwareConfig
+from ..sweep.cache import stable_hash
+from ..workloads.configs import ModelConfig, sda_hardware
+from .arrivals import ArrivalTrace, Request, quantize_up
+from .report import RequestRecord, ServingReport, StepSample
+from .workload import ServeStepWorkload
+
+#: (context key, step signature) -> step cycles, shared within the process so
+#: sweep points over the same model/schedule reuse each other's steps
+_STEP_MEMO: Dict[Tuple[str, Tuple], float] = {}
+
+
+def clear_step_cache() -> int:
+    """Drop the in-process step-cost memo (returns the number of entries)."""
+    count = len(_STEP_MEMO)
+    _STEP_MEMO.clear()
+    return count
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side configuration of a serving run (the trace is separate)."""
+
+    model: ModelConfig
+    #: maximum concurrently running requests per step (continuous batch size)
+    batch_cap: int = 8
+    #: decoder layers each step executes (latency multiplier, cf. Figure 17)
+    num_layers: int = 2
+    kv_tile_rows: int = 64
+    moe_compute_bw: int = 8192
+    attention_compute_bw: int = 256
+    #: seeds the per-step MoE routing
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_cap < 1:
+            raise ConfigError(f"batch_cap must be >= 1, got {self.batch_cap}")
+        if self.num_layers < 1:
+            raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
+
+
+@dataclass
+class _Active:
+    """A request currently in the running batch."""
+
+    request: Request
+    #: output tokens produced so far (0 = the prefill step is still ahead)
+    generated: int = 0
+    first_token: float = 0.0
+
+    @property
+    def kv_length(self) -> int:
+        """Current KV-cache length: the prompt plus every generated token."""
+        return self.request.prompt_tokens + self.generated
+
+
+def _context_key(config: ServeConfig, schedule: Schedule,
+                 hardware: HardwareConfig) -> str:
+    """The memo context: exactly the inputs that determine a step's cost.
+
+    Deliberately excludes ``batch_cap`` — it shapes which steps occur, never
+    what one costs — so batch-cap sweep points share each other's steps.
+    """
+    return stable_hash({
+        "model": config.model,
+        "num_layers": config.num_layers,
+        "kv_tile_rows": config.kv_tile_rows,
+        "moe_compute_bw": config.moe_compute_bw,
+        "attention_compute_bw": config.attention_compute_bw,
+        "seed": config.seed,
+        "schedule": schedule,
+        "hardware": hardware,
+    })
+
+
+def _step_cycles(config: ServeConfig, schedule: Schedule, hardware: HardwareConfig,
+                 context: str, num_tokens: int, kv_lengths: Tuple[int, ...],
+                 fresh: Dict[Tuple, float]) -> float:
+    signature = (num_tokens, kv_lengths)
+    key = (context, signature)
+    cycles = _STEP_MEMO.get(key)
+    if cycles is None:
+        # routing depends only on the token count (plus the run seed), so
+        # steps with equal signatures are the same simulation
+        routing_seed = (config.seed * 1_000_003 + num_tokens) & 0x7FFFFFFF
+        step = ServeStepWorkload(
+            model=config.model, num_tokens=num_tokens, kv_lengths=kv_lengths,
+            routing_seed=routing_seed, num_layers=config.num_layers,
+            kv_tile_rows=config.kv_tile_rows,
+            moe_compute_bw=config.moe_compute_bw,
+            attention_compute_bw=config.attention_compute_bw)
+        cycles = step.run(schedule, hardware)["cycles"]
+        _STEP_MEMO[key] = cycles
+    fresh[signature] = cycles
+    return cycles
+
+
+def simulate_serving(config: ServeConfig, trace: ArrivalTrace,
+                     schedule: Optional[Schedule] = None,
+                     hardware: Optional[HardwareConfig] = None) -> ServingReport:
+    """Serve ``trace`` under ``schedule`` and collect the full report.
+
+    Deterministic: the report (requests, steps, every latency) is a pure
+    function of the arguments — rerunning with the same seed reproduces it
+    bit-for-bit, memoization or not.
+    """
+    schedule = schedule or Schedule.dynamic()
+    hardware = hardware or sda_hardware()
+    context = _context_key(config, schedule, hardware)
+
+    pending = deque(trace.requests)
+    waiting: deque = deque()
+    running: List[_Active] = []
+    records: List[RequestRecord] = []
+    steps: List[StepSample] = []
+    signatures: Dict[Tuple, float] = {}
+    now = 0.0
+
+    while pending or waiting or running:
+        # arrivals up to the current step boundary join the FIFO queue ...
+        while pending and pending[0].arrival <= now:
+            waiting.append(pending.popleft())
+        # ... and fill free batch slots (iteration-granularity admission)
+        while waiting and len(running) < config.batch_cap:
+            running.append(_Active(waiting.popleft()))
+        if not running:
+            now = max(now, pending[0].arrival)
+            continue
+
+        prefills = [a for a in running if a.generated == 0]
+        num_tokens = (sum(a.request.prompt_tokens for a in prefills)
+                      + len(running) - len(prefills))
+        kv_lengths = tuple(sorted(
+            quantize_up(a.kv_length, config.kv_tile_rows) for a in running))
+        cycles = _step_cycles(config, schedule, hardware, context,
+                              num_tokens, kv_lengths, signatures)
+        steps.append(StepSample(start=now, cycles=cycles, running=len(running),
+                                queued=len(waiting), tokens=num_tokens,
+                                prefills=len(prefills)))
+        now += cycles
+
+        still: List[_Active] = []
+        for active in running:
+            if active.generated == 0:
+                active.first_token = now
+            active.generated += 1
+            if active.generated >= active.request.output_tokens:
+                records.append(RequestRecord(
+                    request_id=active.request.request_id,
+                    arrival=active.request.arrival,
+                    first_token=active.first_token,
+                    completion=now,
+                    prompt_tokens=active.request.prompt_tokens,
+                    output_tokens=active.request.output_tokens))
+            else:
+                still.append(active)
+        running = still
+
+    records.sort(key=lambda r: r.request_id)
+    return ServingReport(trace=trace.name, schedule=schedule.name,
+                         batch_cap=config.batch_cap, requests=tuple(records),
+                         steps=tuple(steps), total_cycles=now,
+                         distinct_steps=len(signatures))

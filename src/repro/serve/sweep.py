@@ -1,0 +1,100 @@
+"""Serving sweeps: the ``"serve"`` task and arrival-rate × batch-cap grids.
+
+The scenario path (:class:`~repro.serve.workload.ServeWorkload` under the
+generic ``"workload"`` task) covers grids whose points are pre-built workload
+objects.  Load studies instead sweep *generator parameters* — the arrival rate
+and the batch cap — so this module registers a dedicated ``"serve"`` sweep
+task taking plain parameters and building the trace inside the worker, which
+makes ``SweepSpec`` axes as simple as ``{"arrival_rate": [...],
+"batch_cap": [...]}`` (cartesian load grids, cached and pool-parallel like
+every other sweep).
+
+:func:`latency_load_spec` is the canonical grid: one spec per
+(schedule, model) pair, swept over arrival rates and batch caps.  The
+``seed`` lives in ``base`` so every grid point serves the *same-seed* traffic
+(rate changes the inter-arrival scale, not the random stream), which is what
+makes a latency-vs-load curve comparable across its points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.errors import ConfigError
+from ..schedules import Schedule
+from ..sim.executors.common import HardwareConfig
+from ..sweep import SweepSpec, register_task
+from ..workloads.configs import ModelConfig
+from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
+                       DEFAULT_OUTPUT_SIGMA, DEFAULT_PROMPT_MAX,
+                       DEFAULT_PROMPT_MEAN, DEFAULT_PROMPT_QUANTUM,
+                       DEFAULT_PROMPT_SIGMA, poisson_trace)
+from .scheduler import ServeConfig, simulate_serving
+
+#: the per-point knobs ``latency_load_spec`` may forward beyond the grid axes
+#: (everything the ``"serve"`` task accepts besides its required parameters)
+_FORWARDABLE_KNOBS = frozenset({
+    "kv_tile_rows", "prompt_mean", "prompt_sigma", "prompt_max",
+    "prompt_quantum", "output_mean", "output_sigma", "output_max",
+})
+
+
+@register_task("serve")
+def serve_point(model: ModelConfig, schedule: Schedule, hardware: HardwareConfig,
+                arrival_rate: float, batch_cap: int, num_requests: int,
+                seed: int = 0, num_layers: int = 2, kv_tile_rows: int = 64,
+                prompt_mean: float = DEFAULT_PROMPT_MEAN,
+                prompt_sigma: float = DEFAULT_PROMPT_SIGMA,
+                prompt_max: int = DEFAULT_PROMPT_MAX,
+                prompt_quantum: int = DEFAULT_PROMPT_QUANTUM,
+                output_mean: float = DEFAULT_OUTPUT_MEAN,
+                output_sigma: float = DEFAULT_OUTPUT_SIGMA,
+                output_max: int = DEFAULT_OUTPUT_MAX) -> Dict[str, float]:
+    """One serving design point: generate the trace, serve it, report metrics.
+
+    The trace is rebuilt from its parameters inside the worker (nothing large
+    crosses the pool boundary) — the signature accepts every
+    :func:`~repro.serve.arrivals.poisson_trace` length knob so
+    :func:`latency_load_spec` can forward them all — and the returned payload
+    carries the swept coordinates alongside the serving metrics so result
+    rows are self-describing.
+    """
+    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
+                          prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
+                          prompt_max=prompt_max, prompt_quantum=prompt_quantum,
+                          output_mean=output_mean, output_sigma=output_sigma,
+                          output_max=output_max)
+    config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
+                         kv_tile_rows=kv_tile_rows, seed=seed)
+    report = simulate_serving(config, trace, schedule, hardware=hardware)
+    return {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
+            **report.metrics()}
+
+
+def latency_load_spec(model: ModelConfig, schedule: Schedule,
+                      rates: Sequence[float], batch_caps: Sequence[int] = (8,),
+                      num_requests: int = 32, seed: int = 0,
+                      hardware: Optional[HardwareConfig] = None,
+                      num_layers: int = 2, name: Optional[str] = None,
+                      **trace_kwargs) -> SweepSpec:
+    """An arrival-rate × batch-cap load grid as a cartesian :class:`SweepSpec`."""
+    from ..workloads.configs import sda_hardware
+
+    unknown = set(trace_kwargs) - _FORWARDABLE_KNOBS
+    if unknown:
+        raise ConfigError(f"latency_load_spec: unsupported trace parameters "
+                          f"{sorted(unknown)}; forwardable: "
+                          f"{sorted(_FORWARDABLE_KNOBS)}")
+    base = {"model": model, "schedule": schedule,
+            "hardware": hardware or sda_hardware(),
+            "num_requests": num_requests, "seed": seed,
+            "num_layers": num_layers, **trace_kwargs}
+    return SweepSpec(
+        name=name or f"serve-load-{schedule.name}",
+        task="serve",
+        base=base,
+        axes={"arrival_rate": [float(r) for r in rates],
+              "batch_cap": [int(c) for c in batch_caps]},
+        mode="cartesian",
+        seed=seed,
+    )

@@ -37,7 +37,7 @@ CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 #: is folded into every cache key so code changes invalidate stale entries
 #: automatically (experiments/analysis only post-process and are excluded)
 _FINGERPRINTED_SUBPACKAGES = ("api", "core", "data", "hdl", "ops", "schedules",
-                              "sim", "workloads")
+                              "serve", "sim", "workloads")
 
 
 @functools.lru_cache(maxsize=1)
@@ -122,24 +122,54 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` on any negative path.
+
+        A missing, unreadable, truncated, corrupted or wrong-shaped entry is a
+        *miss*, never an error: the caller recomputes (and ``put`` overwrites
+        the bad entry).  A cache must not be able to fail a sweep.
+        """
         path = self.path_for(key)
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # OSError covers missing/unreadable entries (and a directory or
+            # other non-file squatting on the path); ValueError covers
+            # truncated/corrupted JSON and undecodable bytes
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            # valid JSON of the wrong shape is still corruption
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` atomically (temp file + ``os.replace``).
+
+        Concurrent writers of the same key are safe: each writes its own temp
+        file and the last rename wins with a complete payload — readers never
+        observe a torn entry.  Filesystem failures are swallowed (a cache
+        store is an optimization, not a result); serialization errors still
+        raise, since an unserializable payload is a caller bug.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            return
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -136,6 +136,21 @@ def scaled_config(config: ModelConfig, scale: int = 8,
     )
 
 
+def cap_experts(config: ModelConfig, max_experts: Optional[int]) -> ModelConfig:
+    """Shrink a model's expert pool to at most ``max_experts`` (None = keep).
+
+    Top-k is reduced alongside (half the capped pool at most) so routing stays
+    meaningful.  This is the one capping rule shared by the experiment scales
+    and the serving scenarios — subsystems must not diverge on how a scaled
+    model is derived.
+    """
+    if max_experts is None or config.num_experts <= max_experts:
+        return config
+    return replace(config, name=f"{config.name}-{max_experts}e",
+                   num_experts=max_experts,
+                   experts_per_token=min(config.experts_per_token, max_experts // 2))
+
+
 def sda_hardware(onchip_bandwidth: float = 64.0, offchip_bandwidth: float = 1024.0,
                  offchip_latency: float = 100.0, compute_tile: int = 16) -> HardwareConfig:
     """The hardware configuration of Section 5.1.

@@ -1,0 +1,163 @@
+"""Edge cases of the ``repro.bench`` comparison gate.
+
+The compare mode is a CI gate: its edge behaviour decides whether a broken
+report silently passes or a healthy run spuriously fails.  These tests pin
+the corners: empty suites, schema-version mismatches, reports without
+calibration probes, and ratios landing exactly on the regression threshold.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.report import (SCHEMA_VERSION, compare_reports, format_comparison,
+                                load_report)
+
+
+def report(suites, calibration=None, schema=SCHEMA_VERSION):
+    doc = {"schema": schema, "scale": "smoke", "suites": suites}
+    if calibration is not None:
+        doc["calibration_s"] = calibration
+    return doc
+
+
+def suite(wall, calibration=None, **extra):
+    payload = {"wall_time_s": wall, **extra}
+    if calibration is not None:
+        payload["calibration_s"] = calibration
+    return payload
+
+
+class TestEmptySuites:
+    def test_both_empty_is_ok(self):
+        result = compare_reports(report({}), report({}))
+        assert result.ok
+        assert result.cases == []
+        assert "OK" in format_comparison(result)
+
+    def test_empty_baseline_makes_current_suites_informational(self):
+        result = compare_reports(report({}), report({"a": suite(1.0)}))
+        assert result.ok
+        assert [c.note for c in result.cases] == ["new suite (no baseline)"]
+
+    def test_empty_current_flags_every_baseline_suite(self):
+        result = compare_reports(report({"a": suite(1.0), "b": suite(2.0)}),
+                                 report({}))
+        assert not result.ok
+        assert {c.name for c in result.regressions} == {"a", "b"}
+
+    def test_suite_without_the_metric_is_informational(self):
+        result = compare_reports(report({"a": suite(1.0)}),
+                                 report({"a": {"points": 3}}))
+        assert result.ok
+        assert "unavailable" in result.cases[0].note
+
+
+class TestSchemaMismatch:
+    def test_load_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(report({}, schema="repro.bench/v999")))
+        with pytest.raises(ValueError, match="unsupported bench report schema"):
+            load_report(str(path))
+
+    def test_load_rejects_missing_schema(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text(json.dumps({"suites": {}}))
+        with pytest.raises(ValueError, match="unsupported bench report schema"):
+            load_report(str(path))
+
+    def test_load_rejects_missing_suites(self, tmp_path):
+        path = tmp_path / "nosuites.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="malformed bench report"):
+            load_report(str(path))
+
+
+class TestMissingCalibration:
+    def test_no_probes_disables_normalization(self):
+        result = compare_reports(report({"a": suite(1.0)}),
+                                 report({"a": suite(1.1)}))
+        assert not result.normalized
+        assert result.cases[0].ratio == pytest.approx(1.1)
+
+    def test_one_sided_probe_disables_normalization(self):
+        result = compare_reports(report({"a": suite(1.0)}, calibration=0.01),
+                                 report({"a": suite(1.1)}))
+        assert not result.normalized
+
+    def test_case_probe_preferred_over_report_probe(self):
+        # report-level probes say the machines are equal, the case-level
+        # probes say the current machine is 2x slower: the per-case factor
+        # must win, halving the normalized ratio and clearing the regression
+        base = report({"a": suite(1.0, calibration=0.01)}, calibration=0.01)
+        cur = report({"a": suite(1.6, calibration=0.02)}, calibration=0.01)
+        result = compare_reports(base, cur)
+        assert result.normalized
+        assert result.cases[0].ratio == pytest.approx(0.8)
+        assert result.ok
+
+    def test_missing_case_probes_fall_back_to_report_probe(self):
+        base = report({"a": suite(1.0)}, calibration=0.01)
+        cur = report({"a": suite(1.6)}, calibration=0.02)
+        result = compare_reports(base, cur)
+        assert result.normalized
+        assert result.cases[0].ratio == pytest.approx(0.8)
+
+    def test_mixed_probes_labeled_partially_normalized(self):
+        # no report-level probes; only suite "a" carries case-level probes, so
+        # "b" compares raw — the table must say so instead of claiming
+        # normalization for everything
+        base = report({"a": suite(1.0, calibration=0.01), "b": suite(1.0)})
+        cur = report({"a": suite(1.1, calibration=0.01), "b": suite(1.1)})
+        result = compare_reports(base, cur)
+        by_name = {c.name: c for c in result.cases}
+        assert by_name["a"].normalized and not by_name["b"].normalized
+        text = format_comparison(result)
+        assert "partially machine-normalized" in text
+        assert "(raw)" in text.split("\n")[2]  # the "b" row carries the marker
+
+
+class TestExactlyAtThreshold:
+    def test_ratio_exactly_at_threshold_passes(self):
+        # 20% slower with a 20% threshold is *not* a regression (strict >)
+        result = compare_reports(report({"a": suite(1.0)}),
+                                 report({"a": suite(1.2)}), threshold=0.2)
+        assert result.ok
+        assert result.cases[0].ratio == pytest.approx(1.2)
+
+    def test_just_over_threshold_fails(self):
+        result = compare_reports(report({"a": suite(1.0)}),
+                                 report({"a": suite(1.21)}), threshold=0.2)
+        assert not result.ok
+
+    def test_at_threshold_after_normalization_passes(self):
+        # raw ratio 1.44 but the current machine measures 1.2x slower, so the
+        # normalized ratio lands exactly on the threshold — still a pass
+        base = report({"a": suite(1.0, calibration=0.010)})
+        cur = report({"a": suite(1.44, calibration=0.012)})
+        result = compare_reports(base, cur, threshold=0.2)
+        assert result.cases[0].ratio == pytest.approx(1.2)
+        assert result.ok
+
+    def test_min_delta_exactly_at_floor_is_not_suppressed(self):
+        # a 10ms delta with a 10ms floor: delta < floor is False, so the
+        # regression stands
+        result = compare_reports(report({"a": suite(0.010)}),
+                                 report({"a": suite(0.020)}),
+                                 threshold=0.2, min_delta_s=0.010)
+        assert not result.ok
+
+    def test_delta_just_under_floor_is_suppressed(self):
+        result = compare_reports(report({"a": suite(0.010)}),
+                                 report({"a": suite(0.0199)}),
+                                 threshold=0.2, min_delta_s=0.010)
+        assert result.ok
+
+    def test_throughput_metric_has_no_delta_floor(self):
+        # cycles_per_second regression: direction inverted, floor not applied
+        base = report({"a": {"cycles_per_second": 1000.0}})
+        cur = report({"a": {"cycles_per_second": 500.0}})
+        result = compare_reports(base, cur, metric="cycles_per_second",
+                                 threshold=0.2, min_delta_s=1e9)
+        assert not result.ok
+        assert result.cases[0].ratio == pytest.approx(2.0)

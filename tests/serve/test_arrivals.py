@@ -1,0 +1,101 @@
+"""Arrival-process tests: determinism, distribution shape, serialization."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.serve import (ArrivalTrace, Request, burst_trace, load_trace,
+                         poisson_trace, save_trace, trace_from_lists)
+
+
+class TestPoissonTrace:
+    def test_same_seed_reproduces_the_trace_exactly(self):
+        a = poisson_trace(rate=100.0, num_requests=32, seed=5)
+        b = poisson_trace(rate=100.0, num_requests=32, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = poisson_trace(rate=100.0, num_requests=32, seed=5)
+        b = poisson_trace(rate=100.0, num_requests=32, seed=6)
+        assert a != b
+
+    def test_arrivals_sorted_and_first_at_zero(self):
+        trace = poisson_trace(rate=50.0, num_requests=16, seed=0)
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+
+    def test_rate_scales_interarrival_gaps(self):
+        slow = poisson_trace(rate=10.0, num_requests=64, seed=1)
+        fast = poisson_trace(rate=1000.0, num_requests=64, seed=1)
+        assert slow.duration > fast.duration * 10
+
+    def test_observed_rate_tracks_nominal_rate(self):
+        trace = poisson_trace(rate=200.0, num_requests=500, seed=2)
+        assert trace.mean_rate == pytest.approx(200.0, rel=0.25)
+
+    def test_prompts_quantized_and_bounded(self):
+        trace = poisson_trace(rate=100.0, num_requests=64, seed=3,
+                              prompt_quantum=16, prompt_max=256)
+        for request in trace:
+            assert request.prompt_tokens % 16 == 0
+            assert 16 <= request.prompt_tokens <= 256
+            assert request.output_tokens >= 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            poisson_trace(rate=0.0, num_requests=4)
+        with pytest.raises(ConfigError):
+            poisson_trace(rate=10.0, num_requests=0)
+
+
+class TestBurstTrace:
+    def test_bursts_arrive_synchronized(self):
+        trace = burst_trace(rate=100.0, num_requests=12, burst_size=4, seed=0)
+        arrivals = [r.arrival for r in trace]
+        # every burst shares one arrival instant
+        assert len(set(arrivals)) <= (len(trace) + 3) // 4
+
+    def test_marginal_rate_matches_poisson_counterpart(self):
+        steady = poisson_trace(rate=100.0, num_requests=200, seed=4)
+        bursty = burst_trace(rate=100.0, num_requests=200, burst_size=4, seed=4)
+        assert bursty.mean_rate == pytest.approx(steady.mean_rate, rel=0.5)
+
+    def test_deterministic(self):
+        assert burst_trace(rate=50.0, num_requests=8, seed=9) == \
+            burst_trace(rate=50.0, num_requests=8, seed=9)
+
+
+class TestExplicitTraces:
+    def test_trace_from_lists(self):
+        trace = trace_from_lists([0.0, 10.0], [32, 16], [2, 4], name="tiny")
+        assert len(trace) == 2
+        assert trace.total_prompt_tokens == 48
+        assert trace.total_output_tokens == 6
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(ConfigError, match="equal lengths"):
+            trace_from_lists([0.0], [32, 16], [2, 4])
+
+    def test_rejects_unsorted_arrivals(self):
+        with pytest.raises(ConfigError, match="sorted by arrival"):
+            trace_from_lists([10.0, 0.0], [32, 16], [2, 4])
+
+    def test_rejects_degenerate_requests(self):
+        with pytest.raises(ConfigError):
+            Request(request_id=0, arrival=-1.0, prompt_tokens=16, output_tokens=1)
+        with pytest.raises(ConfigError):
+            Request(request_id=0, arrival=0.0, prompt_tokens=0, output_tokens=1)
+        with pytest.raises(ConfigError):
+            Request(request_id=0, arrival=0.0, prompt_tokens=16, output_tokens=0)
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_exact(self):
+        trace = poisson_trace(rate=80.0, num_requests=8, seed=11)
+        assert ArrivalTrace.from_dict(trace.to_dict()) == trace
+
+    def test_json_file_round_trip(self, tmp_path):
+        trace = burst_trace(rate=40.0, num_requests=6, burst_size=3, seed=2)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace

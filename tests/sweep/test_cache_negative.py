@@ -1,0 +1,192 @@
+"""Negative paths of the sweep result cache: corruption, races, staleness.
+
+The cache is an optimization layered under every sweep; these tests pin the
+contract that *nothing* that happens to the cache directory — truncated
+writes, garbage bytes, wrong-shaped JSON, directories squatting on entry
+paths, concurrent writers — may crash a sweep or hand back a bad payload.
+Every negative path must degrade to a miss followed by a recompute (and the
+recompute must repair the entry), and cache keys must change when the
+simulator code changes so stale results cannot leak across code versions.
+"""
+
+import threading
+
+import pytest
+
+from repro.sweep import ResultCache, SweepRunner, SweepSpec
+from repro.sweep import spec as spec_module
+from repro.sweep.tasks import TASKS, register_task
+
+PAYLOAD = {"cycles": 123.0, "offchip_traffic_bytes": 4.0}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _corrupt(cache: ResultCache, key: str, data: bytes) -> None:
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+
+
+class TestCorruptedEntries:
+    def test_truncated_json_is_a_miss(self, cache):
+        cache.put("k" * 64, PAYLOAD)
+        path = cache.path_for("k" * 64)
+        complete = path.read_bytes()
+        path.write_bytes(complete[: len(complete) // 2])
+        assert cache.get("k" * 64) is None
+        assert cache.misses == 1
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        _corrupt(cache, "g" * 64, b"\x00\xff not json \x80")
+        assert cache.get("g" * 64) is None
+
+    def test_empty_file_is_a_miss(self, cache):
+        _corrupt(cache, "e" * 64, b"")
+        assert cache.get("e" * 64) is None
+
+    def test_wrong_shape_json_is_a_miss(self, cache):
+        # valid JSON that is not a metrics dictionary is still corruption
+        _corrupt(cache, "l" * 64, b"[1, 2, 3]")
+        assert cache.get("l" * 64) is None
+        _corrupt(cache, "s" * 64, b'"just a string"')
+        assert cache.get("s" * 64) is None
+
+    def test_directory_on_entry_path_is_a_miss_not_a_crash(self, cache):
+        key = "d" * 64
+        cache.path_for(key).mkdir(parents=True)
+        assert cache.get(key) is None
+        # the store cannot replace a directory; it must stay silent, and the
+        # next lookup still degrades to a miss
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) is None
+
+    def test_put_overwrites_a_corrupted_entry(self, cache):
+        key = "o" * 64
+        _corrupt(cache, key, b"{truncated")
+        assert cache.get(key) is None
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+
+
+class TestRunnerFallback:
+    """A sweep over a poisoned cache recomputes and repairs, never crashes."""
+
+    def _spec(self):
+        return SweepSpec(name="neg", task="workload_counting", axes={"value": [1, 2, 3]})
+
+    @pytest.fixture(autouse=True)
+    def counting_task(self):
+        calls = {"count": 0}
+        if "workload_counting" not in TASKS:
+            @register_task("workload_counting")
+            def workload_counting(value):
+                TASKS["workload_counting"].calls["count"] += 1
+                return {"value": float(value), "cycles": float(value) * 10.0}
+            workload_counting.calls = calls
+        TASKS["workload_counting"].calls = calls
+        self.calls = calls
+
+    def test_corrupted_entries_fall_back_to_recompute(self, cache):
+        runner = SweepRunner(jobs=1, cache=cache)
+        spec = self._spec()
+        first = runner.metrics(spec)
+        assert self.calls["count"] == 3
+        # poison every entry on disk, in different ways
+        for i, point in enumerate(spec.points()):
+            data = [b"{bad", b"", b"[]"][i % 3]
+            cache.path_for(point.cache_key()).write_bytes(data)
+        second = SweepRunner(jobs=1, cache=cache).metrics(spec)
+        assert second == first
+        assert self.calls["count"] == 6  # all three recomputed ...
+        third = SweepRunner(jobs=1, cache=cache).metrics(spec)
+        assert third == first
+        assert self.calls["count"] == 6  # ... and the entries were repaired
+
+    def test_code_change_invalidates_stale_entries(self, cache, monkeypatch):
+        runner = SweepRunner(jobs=1, cache=cache)
+        spec = self._spec()
+        baseline = runner.metrics(spec)
+        assert self.calls["count"] == 3
+
+        stale_keys = {p.cache_key() for p in spec.points()}
+        # SweepPoint.cache_key resolves the fingerprint through the spec module
+        monkeypatch.setattr(spec_module, "code_fingerprint",
+                            lambda: "deadbeef-different-code")
+        fresh_keys = {p.cache_key() for p in spec.points()}
+        assert stale_keys.isdisjoint(fresh_keys), \
+            "cache keys must change when the simulator sources change"
+        # the stale entries are unreachable: the run re-simulates every point
+        rerun = SweepRunner(jobs=1, cache=cache).metrics(spec)
+        assert rerun == baseline
+        assert self.calls["count"] == 6
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_leave_one_complete_payload(self, cache):
+        key = "r" * 64
+        payloads = [{"cycles": float(i), "writer": float(i)} for i in range(8)]
+        barrier = threading.Barrier(len(payloads))
+        errors = []
+
+        def writer(payload):
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    cache.put(key, payload)
+            except Exception as exc:  # pragma: no cover - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = cache.get(key)
+        assert final in payloads  # one winner, never a torn mix
+        # and no leaked temp files from the atomic-write protocol
+        leftovers = list(cache.path_for(key).parent.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_concurrent_reader_never_sees_a_torn_entry(self, cache):
+        key = "t" * 64
+        stop = threading.Event()
+        seen_bad = []
+
+        def reader():
+            while not stop.is_set():
+                payload = cache.get(key)
+                if payload is not None and "cycles" not in payload:
+                    seen_bad.append(payload)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(200):
+                cache.put(key, {"cycles": float(i), "padding": "x" * 256})
+        finally:
+            stop.set()
+            thread.join()
+        assert not seen_bad
+        assert cache.get(key)["padding"] == "x" * 256
+
+
+class TestClearAndAccounting:
+    def test_clear_removes_corrupted_entries_too(self, cache):
+        cache.put("a" * 64, PAYLOAD)
+        _corrupt(cache, "b" * 64, b"{bad")
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert cache.get("a" * 64) is None
+
+    def test_miss_accounting_covers_negative_paths(self, cache):
+        cache.get("m" * 64)                      # absent
+        _corrupt(cache, "m" * 64, b"{bad")
+        cache.get("m" * 64)                      # corrupted
+        cache.put("m" * 64, PAYLOAD)
+        cache.get("m" * 64)                      # repaired
+        assert (cache.misses, cache.hits, cache.stores) == (2, 1, 1)
