@@ -1,9 +1,9 @@
-"""repro.api — the unified scenario API: one facade for workloads, schedules
-and simulation.
+"""repro.api — the unified experiment API: one facade for workloads,
+schedules, platforms and simulation.
 
 Every result in the paper is an instance of one pattern: *build a workload
-graph under a schedule, simulate it on a hardware configuration, collect
-metrics*.  This package expresses that pattern once, in three layers:
+graph under a schedule, simulate it on a hardware platform, collect
+metrics*.  This package expresses that pattern once, in declarative layers:
 
 1. **Workloads** (:mod:`repro.api.workload`) — adapters wrapping the graph
    builders in :mod:`repro.workloads` behind one protocol: ``params()``
@@ -16,15 +16,28 @@ metrics*.  This package expresses that pattern once, in three layers:
    composes the tiling / time-multiplexing / parallelization descriptors into
    the actual configuration the builders consume, replacing the per-call-site
    knobs that used to be scattered across the codebase.
-3. **Scenarios** (:mod:`repro.api.scenario`) — a :class:`Scenario` is a named
-   workloads × schedules grid plus hardware and seed; :func:`run` executes it
-   through the sweep subsystem (parallel workers, on-disk result caching),
-   and a registry (:func:`register_scenario` / :func:`get_scenario`) makes
-   scenarios addressable by name.
+3. **Platforms** (:mod:`repro.platforms`) — a :class:`Platform` is a named,
+   registered, JSON-round-trippable hardware configuration
+   (:func:`get_platform` / :func:`register_platform` /
+   :func:`platform_names`; presets ``"sda"``, ``"sda-hbm256"``,
+   ``"sda-detailed"``); :func:`resolve_platform` is the single resolution
+   path every subsystem uses instead of per-call-site hardware defaults.
+4. **Scenarios** (:mod:`repro.api.scenario`) — a :class:`Scenario` is a named
+   workloads × schedules × platforms grid plus a seed; :func:`run` executes
+   it through the sweep subsystem (parallel workers, on-disk result caching
+   with platform identity in every cache key), and a registry
+   (:func:`register_scenario` / :func:`get_scenario`) makes scenarios
+   addressable by name.
+5. **Experiments** (:mod:`repro.api.experiment`) — an :class:`ExperimentSpec`
+   wraps a scenario grid, a parametric :class:`~repro.sweep.SweepSpec` (the
+   serving load studies) or a native figure entry point in one serializable
+   record; :func:`experiment` resolves figures, scenarios, bench cases and
+   ``"serve-latency"`` by name and :func:`run_experiment` executes any of
+   them uniformly.
 
-A complete experiment in ten lines::
+A complete three-axis experiment in ten lines::
 
-    from repro.api import MoEWorkload, Scenario, Schedule, run
+    from repro.api import MoEWorkload, Scenario, Schedule, platform_grid, run
     from repro.data.expert_routing import generate_routing_trace, representative_iteration
     from repro.workloads.configs import QWEN3_30B_A3B, scaled_config
 
@@ -33,19 +46,26 @@ A complete experiment in ten lines::
     result = run(Scenario(
         name="my-tiling-study",
         workloads=MoEWorkload(model=model, batch=16, assignments=routing),
-        schedules={"tile=8": Schedule.static("tile=8", 8), "dynamic": Schedule.dynamic()}))
-    print({row.schedule: row["cycles"] for row in result.rows})
+        schedules={"tile=8": Schedule.static("tile=8", 8), "dynamic": Schedule.dynamic()},
+        platforms=platform_grid(onchip_bandwidths=(64.0, 256.0))))
+    print({(row.schedule, row.platform): row["cycles"] for row in result.rows})
 
 The figure modules in :mod:`repro.experiments` are thin wrappers over this
 API, so anything they reproduce you can re-mix by declaring a new scenario.
 """
 
+from ..platforms import (PLATFORMS, Platform, default_platform, get_platform,
+                         platform_grid, platform_names, register_platform,
+                         resolve_platform)
 from ..schedules import (ParallelizationSchedule, Schedule, TilingSchedule,
                          TimeMultiplexSchedule, dynamic_tiling, parallelization,
                          static_tiling, time_multiplexing)
-from ..sweep import ResultCache, SweepRunner
+from ..sweep import ResultCache, SweepRunner, SweepSpec
+from .experiment import (ExperimentResult, ExperimentSpec, experiment,
+                         experiment_descriptions, experiment_names,
+                         register_experiment, run_experiment)
 from .scenario import (SCENARIOS, Scenario, ScenarioResult, ScenarioRow, get_scenario,
-                       register_scenario, run, scenario_names)
+                       register_scenario, run, scenario_descriptions, scenario_names)
 from .workload import (WORKLOAD_KINDS, AttentionWorkload, BuiltWorkload,
                        DecoderWorkload, DenseFFNWorkload, MoEWorkload, QKVWorkload,
                        Workload, WorkloadBase, register_workload, workload_from_params)
@@ -95,6 +115,15 @@ __all__ = [
     "dynamic_tiling",
     "time_multiplexing",
     "parallelization",
+    # platforms
+    "Platform",
+    "PLATFORMS",
+    "register_platform",
+    "get_platform",
+    "platform_names",
+    "platform_grid",
+    "default_platform",
+    "resolve_platform",
     # scenarios
     "Scenario",
     "ScenarioResult",
@@ -103,9 +132,19 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "scenario_descriptions",
+    # experiments
+    "ExperimentSpec",
+    "ExperimentResult",
+    "experiment",
+    "experiment_names",
+    "experiment_descriptions",
+    "register_experiment",
+    "run_experiment",
     "run",
     "serve",
     # execution
     "ResultCache",
     "SweepRunner",
+    "SweepSpec",
 ]

@@ -96,8 +96,8 @@ def _figure9_10_scenario(scale, seed: Optional[int], large_batch: bool) -> Scena
     from dataclasses import replace
 
     from ..experiments import figure9_10
-    from ..experiments.common import DEFAULT_SCALE
-    scale = scale or DEFAULT_SCALE
+    from ..experiments.common import resolve_scale
+    scale = resolve_scale(scale if scale is not None else "default")
     if seed is not None:
         scale = replace(scale, seed=seed)
     return figure9_10.scenario(scale, large_batch=large_batch)

@@ -1,18 +1,23 @@
-"""Scenarios — the *experiment* of the unified API, and the ``run`` entry point.
+"""Scenarios — the *experiment grid* of the unified API, and the ``run`` entry point.
 
-A :class:`Scenario` names a grid of workloads × unified schedules plus the
-hardware configuration and seed: everything needed to reproduce a figure (or
-invent a new experiment) in one declarative record.  :func:`run` expands the
-scenario into a zip-mode :class:`~repro.sweep.spec.SweepSpec` over the single
-generic ``"workload"`` sweep task and executes it on a
+A :class:`Scenario` names a grid of **workloads × unified schedules ×
+platforms** plus a seed: everything needed to reproduce a figure (or invent a
+new experiment) in one declarative record.  :func:`run` expands the scenario
+into a zip-mode :class:`~repro.sweep.spec.SweepSpec` over the single generic
+``"workload"`` sweep task and executes it on a
 :class:`~repro.sweep.runner.SweepRunner`, so every scenario inherits parallel
 pooled execution, content-hash result caching (warm reruns skip simulation
-entirely) and deterministic ordering for free.
+entirely) and deterministic ordering for free.  The platform axis flows
+through the sweep like the other two: each point's cache key carries the
+:class:`~repro.platforms.Platform` (name + hardware), so points on different
+platforms never collide and reruns on the same platform always hit.
 
 Scenarios can also be *registered* by name: ``register_scenario`` stores a
 factory, ``get_scenario`` instantiates it, and ``run("name")`` resolves it
 directly.  Registered factories accept keyword overrides, so one registration
-covers smoke-scale tests and full-scale runs.
+covers smoke-scale tests and full-scale runs.  Scenarios serialize
+symmetrically (:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`) — a
+scenario is data, shippable as JSON.
 """
 
 from __future__ import annotations
@@ -21,10 +26,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.errors import ConfigError
+from ..platforms import Platform, PlatformLike, resolve_platforms
 from ..schedules import Schedule
+from ..serialize import from_jsonable, to_jsonable
 from ..sim.executors.common import HardwareConfig
-from ..sweep import ResultCache, SweepRunner, SweepSpec, SweepStats, resolve_runner
-from ..workloads.configs import sda_hardware
+from ..sweep import ResultCache, SweepRunner, SweepSpec, SweepStats, build_runner
 from .workload import Workload
 
 
@@ -36,18 +42,26 @@ def _as_mapping(value, default_key: Callable[[Any], str]) -> Dict[str, Any]:
 
 @dataclass
 class Scenario:
-    """One declarative experiment: workloads × schedules on one hardware config.
+    """One declarative experiment: workloads × schedules × platforms.
 
-    ``workloads`` and ``schedules`` are ordered mappings from a short label to
-    the object; passing a single :class:`Workload` or :class:`Schedule` wraps
-    it under its own label.  ``seed`` feeds the sweep spec (tasks that consume
-    seeds derive per-point seeds from it; the shipped workload task is
-    seedless — workload data fully determines the result).
+    ``workloads``, ``schedules`` and ``platforms`` are ordered mappings from a
+    short label to the object; passing a single :class:`Workload`,
+    :class:`Schedule`, :class:`~repro.platforms.Platform` (or registered
+    platform name, or raw :class:`HardwareConfig`) wraps it under its own
+    label.  ``platforms=None`` resolves to the default ``"sda"`` platform —
+    exactly the hardware every call site used to default to, so a scenario
+    without an explicit platform reproduces pre-platform results bit for bit.
+    ``hardware`` is the pre-platform spelling of a single-platform scenario
+    and folds into ``platforms`` (passing both is an error).  ``seed`` feeds
+    the sweep spec (tasks that consume seeds derive per-point seeds from it;
+    the shipped workload task is seedless — workload data fully determines
+    the result).
     """
 
     name: str
     workloads: Union[Workload, Mapping[str, Workload]]
     schedules: Union[Schedule, Mapping[str, Schedule]]
+    platforms: Union[PlatformLike, Mapping[str, PlatformLike]] = None
     hardware: Optional[HardwareConfig] = None
     seed: int = 0
     description: str = ""
@@ -59,38 +73,79 @@ class Scenario:
         self.schedules = _as_mapping(self.schedules, lambda s: s.name)
         if not self.workloads or not self.schedules:
             raise ConfigError(f"{self.name}: needs at least one workload and one schedule")
-        if self.hardware is None:
-            self.hardware = sda_hardware()
+        if self.hardware is not None:
+            if self.platforms is not None:
+                raise ConfigError(f"{self.name}: pass either platforms or the "
+                                  f"legacy hardware, not both")
+            self.platforms = self.hardware
+        self.platforms = resolve_platforms(self.platforms)
+        # legacy read path: the sole platform's hardware (None when swept)
+        self.hardware = (next(iter(self.platforms.values())).hardware
+                         if len(self.platforms) == 1 else None)
 
-    def grid(self) -> List[Tuple[str, str]]:
-        """The (workload label, schedule label) cross product, workload-major."""
-        return [(w, s) for w in self.workloads for s in self.schedules]
+    def grid(self) -> List[Tuple[str, str, str]]:
+        """The (workload, schedule, platform) label cross product.
+
+        Workload-major, then schedule, then platform — a single-platform
+        scenario enumerates exactly the (workload, schedule) order of the
+        pre-platform grid.
+        """
+        return [(w, s, p)
+                for w in self.workloads for s in self.schedules
+                for p in self.platforms]
 
     def sweep_spec(self) -> SweepSpec:
         """The scenario as a zip-mode grid over the generic ``workload`` task."""
-        pairs = self.grid()
+        cells = self.grid()
         return SweepSpec(
             name=f"scenario-{self.name}",
             task="workload",
-            base={"hardware": self.hardware},
-            axes={"workload": [self.workloads[w] for w, _ in pairs],
-                  "schedule": [self.schedules[s] for _, s in pairs]},
+            axes={"workload": [self.workloads[w] for w, _, _ in cells],
+                  "schedule": [self.schedules[s] for _, s, _ in cells],
+                  "platform": [self.platforms[p] for _, _, p in cells]},
             mode="zip",
             seed=self.seed,
         )
 
     def __len__(self) -> int:
-        return len(self.workloads) * len(self.schedules)
+        return len(self.workloads) * len(self.schedules) * len(self.platforms)
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON description, symmetric with :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "workloads": {label: to_jsonable(w) for label, w in self.workloads.items()},
+            "schedules": {label: s.to_dict() for label, s in self.schedules.items()},
+            "platforms": {label: p.to_dict() for label, p in self.platforms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            name=payload["name"],
+            workloads={label: from_jsonable(w)
+                       for label, w in payload["workloads"].items()},
+            schedules={label: Schedule.from_dict(s)
+                       for label, s in payload["schedules"].items()},
+            platforms={label: Platform.from_dict(p)
+                       for label, p in payload["platforms"].items()},
+            seed=int(payload.get("seed", 0)),
+            description=payload.get("description", ""),
+        )
 
 
 @dataclass
 class ScenarioRow:
-    """Metrics of one (workload, schedule) cell."""
+    """Metrics of one (workload, schedule, platform) cell."""
 
     workload: str
     schedule: str
     metrics: Dict[str, float]
     cached: bool = False
+    platform: str = ""
 
     def __getitem__(self, key: str) -> float:
         return self.metrics[key]
@@ -104,26 +159,59 @@ class ScenarioResult:
     rows: List[ScenarioRow]
     stats: SweepStats = field(default_factory=SweepStats)
 
-    def __getitem__(self, key: Tuple[str, str]) -> Dict[str, float]:
-        workload, schedule = key
-        for row in self.rows:
-            if row.workload == workload and row.schedule == schedule:
-                return row.metrics
-        raise KeyError(key)
+    def __getitem__(self, key: Tuple[str, ...]) -> Dict[str, float]:
+        """Metrics by (workload, schedule) or (workload, schedule, platform).
 
-    def for_workload(self, workload: str) -> Dict[str, Dict[str, float]]:
-        """schedule label -> metrics, for one workload."""
-        return {row.schedule: row.metrics for row in self.rows
-                if row.workload == workload}
+        The two-label form matches any platform and is unambiguous for
+        single-platform scenarios; with a swept platform axis it raises unless
+        the platform label is given too.
+        """
+        workload, schedule = key[0], key[1]
+        platform = key[2] if len(key) > 2 else None
+        matches = [row for row in self.rows
+                   if row.workload == workload and row.schedule == schedule
+                   and (platform is None or row.platform == platform)]
+        if len(matches) > 1:
+            raise KeyError(f"{key}: ambiguous across platforms "
+                           f"{[row.platform for row in matches]}; "
+                           f"use (workload, schedule, platform)")
+        if not matches:
+            raise KeyError(key)
+        return matches[0].metrics
 
-    def for_schedule(self, schedule: str) -> Dict[str, Dict[str, float]]:
-        """workload label -> metrics, for one schedule."""
-        return {row.workload: row.metrics for row in self.rows
-                if row.schedule == schedule}
+    def select(self, workload: Optional[str] = None, schedule: Optional[str] = None,
+               platform: Optional[str] = None) -> List[ScenarioRow]:
+        """The rows matching every given label, in grid order."""
+        return [row for row in self.rows
+                if (workload is None or row.workload == workload)
+                and (schedule is None or row.schedule == schedule)
+                and (platform is None or row.platform == platform)]
+
+    def _cell_key(self, row: ScenarioRow, axis: str) -> Union[str, Tuple[str, str]]:
+        label = getattr(row, axis)
+        if len(self.scenario.platforms) == 1 or axis == "platform":
+            return label
+        return (label, row.platform)
+
+    def for_workload(self, workload: str) -> Dict[Any, Dict[str, float]]:
+        """schedule label (or (schedule, platform)) -> metrics, for one workload."""
+        return {self._cell_key(row, "schedule"): row.metrics
+                for row in self.rows if row.workload == workload}
+
+    def for_schedule(self, schedule: str) -> Dict[Any, Dict[str, float]]:
+        """workload label (or (workload, platform)) -> metrics, for one schedule."""
+        return {self._cell_key(row, "workload"): row.metrics
+                for row in self.rows if row.schedule == schedule}
+
+    def for_platform(self, platform: str) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """(workload, schedule) -> metrics, for one platform."""
+        return {(row.workload, row.schedule): row.metrics
+                for row in self.rows if row.platform == platform}
 
     def to_rows(self) -> List[Dict[str, float]]:
-        """Flat row dictionaries (workload/schedule labels + metrics) for tables."""
-        return [{"workload": row.workload, "schedule": row.schedule, **row.metrics}
+        """Flat row dictionaries (axis labels + metrics) for tables."""
+        return [{"workload": row.workload, "schedule": row.schedule,
+                 "platform": row.platform, **row.metrics}
                 for row in self.rows]
 
 
@@ -166,29 +254,47 @@ def scenario_names() -> List[str]:
     return sorted(SCENARIOS)
 
 
+def scenario_descriptions() -> Dict[str, str]:
+    """scenario name -> one-line description (from the factory docstring)."""
+    described = {}
+    for name in scenario_names():
+        doc = (SCENARIOS[name].__doc__ or "").strip()
+        described[name] = doc.splitlines()[0] if doc else ""
+    return described
+
+
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
 
-def run(scenario: Union[Scenario, str], *, jobs: Optional[int] = None,
+def run(scenario, *, jobs: Optional[int] = None,
         cache: Union[ResultCache, str, None] = None,
-        runner: Optional[SweepRunner] = None, **overrides) -> ScenarioResult:
-    """Execute a scenario (or a registered scenario name) and collect its grid.
+        runner: Optional[SweepRunner] = None, **overrides):
+    """Execute a scenario, a registered scenario name, or an experiment spec.
 
     ``runner`` takes precedence when given; otherwise a runner is built from
     ``jobs``/``cache`` (defaulting to the shared serial, uncached runner).
     Results come back in grid order; with a cache, a warm rerun satisfies
     every cell without re-simulating (``result.stats.simulated == 0``).
+
+    An :class:`~repro.api.experiment.ExperimentSpec` executes through
+    :func:`~repro.api.experiment.run_experiment` and returns its
+    :class:`~repro.api.experiment.ExperimentResult`; everything else returns a
+    :class:`ScenarioResult`.
     """
+    from .experiment import ExperimentSpec, run_experiment
+
+    if isinstance(scenario, ExperimentSpec):
+        if overrides:
+            raise ConfigError("factory overrides only apply to registered names")
+        return run_experiment(scenario, jobs=jobs, cache=cache, runner=runner)
     if isinstance(scenario, str):
         scenario = get_scenario(scenario, **overrides)
     elif overrides:
         raise ConfigError("factory overrides only apply to registered scenario names")
-    if runner is None:
-        runner = SweepRunner(jobs=jobs, cache=cache) if (jobs or cache is not None) \
-            else resolve_runner(None)
+    runner = build_runner(jobs=jobs, cache=cache, runner=runner)
     results = runner.run(scenario.sweep_spec())
-    rows = [ScenarioRow(workload=w, schedule=s, metrics=result.metrics,
-                        cached=result.cached)
-            for (w, s), result in zip(scenario.grid(), results)]
+    rows = [ScenarioRow(workload=w, schedule=s, platform=p,
+                        metrics=result.metrics, cached=result.cached)
+            for (w, s, p), result in zip(scenario.grid(), results)]
     return ScenarioResult(scenario=scenario, rows=rows, stats=runner.last_stats)

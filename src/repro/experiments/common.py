@@ -18,10 +18,11 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.errors import ConfigError
 from ..data.expert_routing import generate_routing_trace, representative_iteration
 from ..data.kv_traces import VarianceClass, make_batches_by_variance
-from ..workloads.configs import (MIXTRAL_8X7B, QWEN3_30B_A3B, ModelConfig, scaled_config,
-                                 sda_hardware)
+from ..platforms import Platform, get_platform
+from ..workloads.configs import MIXTRAL_8X7B, QWEN3_30B_A3B, ModelConfig, scaled_config
 from ..sim.executors.common import HardwareConfig
 
 
@@ -106,9 +107,26 @@ def _cap_experts(model: ModelConfig, scale: ExperimentScale) -> ModelConfig:
     return cap_experts(model, scale.max_experts)
 
 
+def platform(scale: ExperimentScale) -> Platform:
+    """The evaluation platform (Section 5.1): the registered ``"sda"`` preset."""
+    return get_platform("sda")
+
+
 def hardware(scale: ExperimentScale) -> HardwareConfig:
     """The evaluation hardware configuration (Section 5.1)."""
-    return sda_hardware()
+    return platform(scale).hardware
+
+
+def resolve_scale(value) -> ExperimentScale:
+    """An :class:`ExperimentScale` from a preset name or a scale object."""
+    if isinstance(value, ExperimentScale):
+        return value
+    if value == "default":
+        return DEFAULT_SCALE
+    if value == "smoke":
+        return SMOKE_SCALE
+    raise ConfigError(f"unknown experiment scale {value!r}; "
+                      f"expected 'default', 'smoke' or an ExperimentScale")
 
 
 def moe_routing(model: ModelConfig, batch: int, scale: ExperimentScale) -> Sequence[Sequence[int]]:

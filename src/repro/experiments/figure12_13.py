@@ -23,7 +23,7 @@ from ..schedules import (dynamic_tiling, parallelization, static_tiling,
                          time_multiplexing)
 from ..sweep import SweepRunner, resolve_runner
 from ..workloads.configs import ModelConfig
-from .common import DEFAULT_SCALE, ExperimentScale, hardware, moe_routing, qwen_model
+from .common import DEFAULT_SCALE, ExperimentScale, platform, moe_routing, qwen_model
 
 
 def region_schedule(model: ModelConfig, tile_rows: Optional[int],
@@ -57,7 +57,7 @@ def scenario(scale: ExperimentScale, static_tile: int = 32) -> Scenario:
         name=f"figure12_13-{scale.name}",
         workloads={model.name: workload},
         schedules=schedules,
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="configuration time-multiplexing region sweep",
     )

@@ -20,7 +20,7 @@ from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
 from ..schedules import parallelization
 from ..sweep import SweepRunner, resolve_runner
-from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
+from .common import DEFAULT_SCALE, ExperimentScale, geomean, platform, kv_batches, qwen_model
 
 _VARIANCES = (VarianceClass.LOW, VarianceClass.MEDIUM, VarianceClass.HIGH)
 _STRATEGIES = ("interleave", "dynamic")
@@ -53,7 +53,7 @@ def scenario(scale: ExperimentScale, batches=None) -> Scenario:
         name=f"figure14-{scale.name}",
         workloads=workloads,
         schedules=strategy_schedules(),
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="dynamic vs static interleaved attention parallelization",
     )

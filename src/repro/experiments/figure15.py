@@ -18,7 +18,7 @@ from ..api import AttentionWorkload, Scenario
 from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
 from ..sweep import SweepRunner, resolve_runner
-from .common import DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, qwen_model
+from .common import DEFAULT_SCALE, ExperimentScale, platform, kv_batches, qwen_model
 from .figure14 import strategy_schedules
 
 _STRATEGIES = ("coarse", "dynamic")
@@ -44,7 +44,7 @@ def scenario(scale: ExperimentScale) -> Scenario:
         name=f"figure15-{scale.name}",
         workloads=workloads,
         schedules=strategy_schedules(_STRATEGIES),
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="dynamic vs static coarse-grained parallelization across batches",
     )

@@ -23,7 +23,7 @@ from ..data.kv_traces import VarianceClass
 from ..sweep import SweepRunner, resolve_runner
 from ..workloads.configs import ModelConfig
 from ..workloads.model import default_schedules
-from .common import (DEFAULT_SCALE, ExperimentScale, hardware, kv_batches, mixtral_model,
+from .common import (DEFAULT_SCALE, ExperimentScale, platform, kv_batches, mixtral_model,
                      moe_routing, qwen_model)
 
 
@@ -42,7 +42,7 @@ def scenario(model: ModelConfig, scale: ExperimentScale) -> Scenario:
         workloads={model.name: workload},
         schedules=default_schedules(model, static_mem_tile=static_mem_tile,
                                     static_perf_tile=static_perf_tile),
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="end-to-end decoder: dynamic vs matched static schedules",
     )

@@ -21,7 +21,7 @@ from ..api import AttentionWorkload, Scenario
 from ..api import run as run_scenario
 from ..data.kv_traces import VarianceClass
 from ..sweep import SweepRunner, resolve_runner
-from .common import DEFAULT_SCALE, ExperimentScale, geomean, hardware, kv_batches, qwen_model
+from .common import DEFAULT_SCALE, ExperimentScale, geomean, platform, kv_batches, qwen_model
 from .figure14 import strategy_schedules
 
 _STRATEGIES = ("coarse", "interleave", "dynamic")
@@ -56,7 +56,7 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
         name=f"figure21-{scale.name}",
         workloads=workloads,
         schedules=strategy_schedules(_STRATEGIES),
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="parallelization-strategy ablation across variance/batch classes",
     )

@@ -15,8 +15,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..hdl.reference import reference_simulate
+from ..platforms import get_platform
 from ..sim import simulate
-from ..workloads.configs import sda_hardware
 from ..workloads.swiglu import (SwiGLUConfig, SwiGLUTiling, build_swiglu_layer,
                                 default_figure8_tilings)
 from .common import DEFAULT_SCALE, ExperimentScale
@@ -31,7 +31,9 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
     if scale.name == "smoke":
         tilings = [t for t in tilings if t.intermediate_tile in (16, 64, 256)]
 
-    hardware = sda_hardware(onchip_bandwidth=256.0)
+    # the registered high on-chip-bandwidth preset (was an ad-hoc
+    # sda_hardware(onchip_bandwidth=256.0) before platforms were first-class)
+    hardware = get_platform("sda-hbm256").hardware
     rows: List[dict] = []
     for tiling in tilings:
         program = build_swiglu_layer(config, tiling)

@@ -24,7 +24,7 @@ from ..api import MoEWorkload, Scenario
 from ..api import run as run_scenario
 from ..api.library import tiling_schedules
 from ..sweep import SweepRunner, resolve_runner
-from .common import (DEFAULT_SCALE, ExperimentScale, hardware, mixtral_model, moe_routing,
+from .common import (DEFAULT_SCALE, ExperimentScale, platform, mixtral_model, moe_routing,
                      qwen_model)
 
 
@@ -43,7 +43,7 @@ def scenario(scale: ExperimentScale, large_batch: bool = False) -> Scenario:
         name=f"figure{'10' if large_batch else '9'}-{scale.name}",
         workloads=workloads,
         schedules=tiling_schedules(tiles),
-        hardware=hardware(scale),
+        platforms=platform(scale),
         seed=scale.seed,
         description="MoE static-tile sweep vs dynamic tiling (Pareto frontier)",
     )

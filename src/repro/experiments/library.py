@@ -1,0 +1,71 @@
+"""Registered experiment specs for the figure experiments.
+
+Importing this module (``repro.api.experiment`` does it lazily on first name
+resolution) registers every figure as an experiment, so
+``repro.api.experiment("figure15")`` — and the bare CLI id,
+``experiment("15")`` — resolves to a JSON-serializable
+:class:`~repro.api.ExperimentSpec`:
+
+* grid-shaped figures (12/13/14/15) register **scenario** payloads built from
+  their module's ``scenario(scale)`` factory — the exact grid the figure
+  runs, addressable and serializable without the post-processing wrapper,
+* figures with bespoke composition (1, 8, 17, 19, 20, 21) register **figure**
+  payloads: a declarative reference to the native entry point plus its scale,
+* figures 9/10 need no entry here — they are registered scenarios
+  (:mod:`repro.api.library`) and resolve through the scenario registry,
+* ``"serve-latency"`` registers its **sweep** payload in
+  :mod:`repro.experiments.serve_latency`.
+
+Factories take ``scale`` (a preset name or an
+:class:`~repro.experiments.common.ExperimentScale`) plus the underlying
+scenario factory's keyword overrides.
+"""
+
+from __future__ import annotations
+
+from ..api.experiment import ExperimentSpec, register_experiment
+from ..serialize import to_jsonable
+from . import serve_latency  # noqa: F401  (registers the serve-latency experiment)
+from . import figure12_13, figure14, figure15
+from .common import resolve_scale
+
+
+def _register_scenario_figure(name: str, description: str, build) -> None:
+    @register_experiment(name, description)
+    def factory(scale="default", **overrides) -> ExperimentSpec:
+        return ExperimentSpec(name=name, description=description,
+                              scenario=build(resolve_scale(scale), **overrides))
+
+
+def _register_native_figure(name: str, figure_id: str, description: str) -> None:
+    @register_experiment(name, description)
+    def factory(scale="default") -> ExperimentSpec:
+        return ExperimentSpec(name=name, description=description, figure=figure_id,
+                              params={"scale": to_jsonable(scale)})
+
+
+_register_scenario_figure(
+    "figure12", "configuration time-multiplexing region sweep (utilization view)",
+    figure12_13.scenario)
+_register_scenario_figure(
+    "figure13", "configuration time-multiplexing region sweep (resource view)",
+    figure12_13.scenario)
+_register_scenario_figure(
+    "figure14", "dynamic vs static interleaved attention parallelization",
+    figure14.scenario)
+_register_scenario_figure(
+    "figure15", "dynamic vs static coarse parallelization across batch sizes",
+    figure15.scenario)
+
+_register_native_figure(
+    "figure1", "1", "effective HBM bandwidth of GPUs vs the SDA (roofline model)")
+_register_native_figure(
+    "figure8", "8", "cycle-approximate vs HDL-substitute simulator validation")
+_register_native_figure(
+    "figure17", "17", "end-to-end decoder: dynamic vs matched static schedules")
+_register_native_figure(
+    "figure19", "19", "off-chip traffic vs on-chip memory Pareto (small batch)")
+_register_native_figure(
+    "figure20", "20", "off-chip traffic vs on-chip memory Pareto (large batch)")
+_register_native_figure(
+    "figure21", "21", "parallelization-strategy ablation across variance/batch classes")

@@ -98,6 +98,25 @@ def _print_result(figure: str, result: dict) -> None:
     print()
 
 
+def _print_listing() -> None:
+    """The ``--list`` output: experiments, scenarios and platforms by name."""
+    from ..api import experiment_descriptions, get_platform, platform_names, \
+        scenario_descriptions
+
+    def section(title: str, entries: Dict[str, str]) -> None:
+        print(title)
+        width = max(len(name) for name in entries)
+        for name, description in entries.items():
+            print(f"  {name:<{width}}  {description}")
+        print()
+
+    section("Experiments (python -m repro.experiments NAME, "
+            "repro.api.experiment(NAME)):", experiment_descriptions())
+    section("Scenarios (repro.api.run(NAME)):", scenario_descriptions())
+    section("Platforms (repro.api.get_platform(NAME), Scenario(platforms=...)):",
+            {name: get_platform(name).description for name in platform_names()})
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's figures and the serving experiments")
@@ -108,6 +127,9 @@ def main(argv=None) -> int:
                         help="figure number to run (repeatable); default: all")
     parser.add_argument("--all", action="store_true",
                         help="run every figure and named experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments, scenarios and "
+                             "platforms with descriptions, then exit")
     parser.add_argument("--scale", choices=("default", "smoke"), default=None,
                         help="experiment scale preset (default: default)")
     parser.add_argument("--smoke", action="store_true",
@@ -122,6 +144,10 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help=f"sweep cache directory (default: {default_cache_root()})")
     args = parser.parse_args(argv)
+
+    if args.list:
+        _print_listing()
+        return 0
 
     scale = SMOKE_SCALE if (args.smoke or args.scale == "smoke") else DEFAULT_SCALE
     figures = list(args.experiments) + list(args.figure or [])

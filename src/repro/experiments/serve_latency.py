@@ -9,51 +9,81 @@ latency while the server keeps up, then a queueing knee and goodput plateau
 once the offered load crosses the engine's service capacity — and how much
 further the dynamic schedule pushes that knee.
 
-The sweep executes through the ``"serve"`` task
-(:func:`repro.serve.sweep.latency_load_spec`), so points are cached and
-pool-parallel like every figure sweep.  The traffic seed is shared by every
-point: rates change the inter-arrival *scale*, not the random stream, which
-keeps the curve comparable across load levels, and the whole experiment is
-deterministic — the same scale and seed reproduce every metric bit-for-bit.
+The whole study is **one** declarative record: :func:`spec` builds the
+schedules × rates × caps grid as a single cartesian
+:class:`~repro.sweep.SweepSpec` over the ``"serve"`` task
+(:func:`repro.serve.sweep.serve_latency_spec`), registered as the
+``"serve-latency"`` experiment — ``repro.api.experiment("serve-latency")``
+returns it as a JSON-serializable :class:`~repro.api.ExperimentSpec` and
+:func:`run` post-processes the same grid into the latency-vs-load curve.
+Points are cached and pool-parallel like every figure sweep; the traffic seed
+is shared by every point (rates change the inter-arrival *scale*, not the
+random stream), and the whole experiment is deterministic — the same scale
+and seed reproduce every metric bit-for-bit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..api.experiment import ExperimentSpec, register_experiment
 from ..serve.library import SMOKE_LENGTHS, _serve_model, serve_schedules
-from ..serve.sweep import latency_load_spec
-from ..sweep import SweepRunner, resolve_runner
-from .common import DEFAULT_SCALE, ExperimentScale, hardware
+from ..serve.sweep import serve_latency_spec
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from .common import DEFAULT_SCALE, ExperimentScale, platform, resolve_scale
 
 #: the per-rate metrics each row of the curve reports, per schedule
 _ROW_METRICS = ("ttft_p50", "ttft_p95", "tpot_p50", "e2e_p95", "goodput_rpmc",
                 "queue_queued_mean")
 
 
+def spec(scale: ExperimentScale = DEFAULT_SCALE, **overrides) -> SweepSpec:
+    """The latency-vs-load grid (schedules × rates × caps) as one spec.
+
+    ``overrides`` forward to :func:`repro.serve.sweep.serve_latency_spec`
+    (``rates``, ``batch_caps``, ``num_requests``, ``seed``, ``platform`` …).
+    """
+    scale = resolve_scale(scale)
+    model = _serve_model(scale.model_scale, max_experts=scale.serve_max_experts)
+    kwargs = dict(rates=scale.serve_rates, batch_caps=(scale.serve_batch_cap,),
+                  num_requests=scale.serve_requests, seed=scale.seed,
+                  platform=platform(scale), num_layers=scale.serve_layers,
+                  name=f"serve-latency-{scale.name}", **SMOKE_LENGTHS)
+    kwargs.update(overrides)
+    return serve_latency_spec(model, serve_schedules(), **kwargs)
+
+
+@register_experiment("serve-latency",
+                     "serving latency vs offered load (continuous batching, "
+                     "static vs dynamic schedule)")
+def _serve_latency_experiment(scale="default", **overrides) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="serve-latency",
+        description="serving latency vs offered load (continuous batching, "
+                    "static vs dynamic schedule)",
+        sweep=spec(resolve_scale(scale), **overrides))
+
+
 def run(scale: ExperimentScale = DEFAULT_SCALE,
         runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Regenerate the latency-vs-load curve at the given experiment scale."""
     runner = resolve_runner(runner)
-    model = _serve_model(scale.model_scale, max_experts=scale.serve_max_experts)
-    hw = hardware(scale)
+    grid = spec(scale)
+    metrics = runner.metrics(grid)
 
-    per_schedule: Dict[str, List[Dict[str, float]]] = {}
-    for label, schedule in serve_schedules().items():
-        spec = latency_load_spec(
-            model, schedule, rates=scale.serve_rates,
-            batch_caps=(scale.serve_batch_cap,),
-            num_requests=scale.serve_requests, seed=scale.seed, hardware=hw,
-            num_layers=scale.serve_layers, name=f"serve-latency-{label}-{scale.name}",
-            **SMOKE_LENGTHS)
-        per_schedule[label] = runner.metrics(spec)
+    # the grid is schedule-major (see serve_latency_spec); one slice per
+    # schedule covers its rates × caps block
+    labels = list(serve_schedules())
+    block = len(metrics) // len(labels)
+    per_schedule: Dict[str, List[Dict[str, float]]] = {
+        label: metrics[i * block:(i + 1) * block] for i, label in enumerate(labels)}
 
     rows: List[Dict[str, float]] = []
     for i, rate in enumerate(scale.serve_rates):
         row: Dict[str, float] = {"rate": float(rate)}
-        for label, metrics in per_schedule.items():
+        for label, series in per_schedule.items():
             for key in _ROW_METRICS:
-                row[f"{label}_{key}"] = metrics[i][key]
+                row[f"{label}_{key}"] = series[i][key]
         rows.append(row)
 
     dynamic = per_schedule["dynamic"]

@@ -1,0 +1,268 @@
+"""Platforms — named, registered, serializable hardware configurations.
+
+The paper's evaluation is *hardware × workload × schedule*: Sections 4.5 and
+5.1 vary on-chip/off-chip bandwidth, the physical tile size and the timing
+model, not just workloads and schedules.  Historically the hardware side was a
+bare :class:`~repro.sim.executors.common.HardwareConfig` defaulted to
+``sda_hardware()`` independently at half a dozen call sites; this module makes
+hardware a first-class axis:
+
+* :class:`Platform` — a named wrapper over :class:`HardwareConfig` with a
+  description and a symmetric JSON form (:meth:`Platform.to_dict` /
+  :meth:`Platform.from_dict`),
+* a **registry** (:func:`register_platform` / :func:`get_platform` /
+  :func:`platform_names`) so experiments address hardware by name exactly the
+  way scenarios and workload kinds are addressed by name,
+* :func:`resolve_platform` — the one resolution path replacing every scattered
+  ``hardware or sda_hardware()`` default: accepts ``None`` (the default
+  platform), a registered name, a :class:`Platform` or a raw
+  :class:`HardwareConfig` (wrapped under a content-derived name),
+* :func:`platform_grid` — bandwidth / tile / timing sweeps as a ready-made
+  ``{label: Platform}`` axis for :class:`repro.api.Scenario`.
+
+Shipped presets (the Section 5.1 configurations):
+
+* ``"sda"`` — the default evaluation hardware (64 B/cycle on-chip per memory
+  unit, 1024 B/cycle off-chip, 100-cycle off-chip latency, 16x16 tiles);
+  identical to :func:`repro.workloads.configs.sda_hardware` — the default
+  platform changes nothing about existing results,
+* ``"sda-hbm256"`` — the high on-chip-bandwidth variant (256 B/cycle) the
+  Figure 8 validation sweep runs on,
+* ``"sda-detailed"`` — the default hardware under the ``"detailed"``
+  physical-tile timing model (Section 4.5).
+
+This module deliberately imports only the simulator-facing config type, so the
+serving, workload and API layers can all resolve platforms without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .core.errors import ConfigError
+from .sim.executors.common import HardwareConfig
+
+#: the name every unresolved ``hardware=None`` falls back to
+DEFAULT_PLATFORM = "sda"
+
+#: anything :func:`resolve_platform` accepts
+PlatformLike = Union[None, str, "Platform", HardwareConfig]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A named hardware configuration — the third axis of an experiment.
+
+    ``name`` is the platform's identity: it participates in sweep-cache
+    content hashes (two platforms with equal hardware but different names are
+    distinct design points) and labels scenario result rows.
+    """
+
+    name: str
+    hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    #: compare=False keeps the description out of equality *and* of the sweep
+    #: cache's content hashes (canonicalize skips non-compared fields): a
+    #: platform's cache identity is exactly its name + hardware
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a platform needs a non-empty name")
+        if not isinstance(self.hardware, HardwareConfig):
+            raise ConfigError(f"platform {self.name!r}: hardware must be a "
+                              f"HardwareConfig, got {self.hardware!r}")
+
+    def replace(self, name: str, description: str = "", **hardware_overrides) -> "Platform":
+        """A derived platform: same hardware with field overrides, new name."""
+        return Platform(name=name,
+                        hardware=dataclasses.replace(self.hardware, **hardware_overrides),
+                        description=description or self.description)
+
+    def label(self) -> str:
+        hw = self.hardware
+        return (f"{self.name}(onchip={hw.onchip_bandwidth:g}, "
+                f"offchip={hw.offchip_bandwidth:g}, tile={hw.compute_tile}, "
+                f"{hw.timing_model})")
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON description, symmetric with :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "hardware": {f.name: getattr(self.hardware, f.name)
+                         for f in dataclasses.fields(self.hardware)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Platform":
+        return cls(name=payload["name"],
+                   hardware=HardwareConfig(**dict(payload.get("hardware") or {})),
+                   description=payload.get("description", ""))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: platform name -> Platform
+PLATFORMS: Dict[str, Platform] = {}
+
+
+def register_platform(platform: Platform) -> Platform:
+    """Register ``platform`` under its name (duplicate names are rejected)."""
+    if not isinstance(platform, Platform):
+        raise ConfigError(f"register_platform takes a Platform, got {platform!r}")
+    if platform.name in PLATFORMS:
+        raise ConfigError(f"platform {platform.name!r} is already registered")
+    PLATFORMS[platform.name] = platform
+    return platform
+
+
+def get_platform(name: str) -> Platform:
+    """The registered platform ``name``."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise ConfigError(f"unknown platform {name!r}; "
+                          f"registered: {platform_names()}") from None
+
+
+def platform_names() -> List[str]:
+    """The registered platform names, sorted."""
+    return sorted(PLATFORMS)
+
+
+def default_platform() -> Platform:
+    """The platform every unresolved ``hardware=None`` falls back to."""
+    return PLATFORMS[DEFAULT_PLATFORM]
+
+
+def resolve_platform(value: PlatformLike = None) -> Platform:
+    """The one resolution path from any hardware-ish value to a Platform.
+
+    ``None`` resolves to the default ``"sda"`` platform (exactly the hardware
+    the old per-call-site ``hardware or sda_hardware()`` defaults produced);
+    strings go through the registry; a raw :class:`HardwareConfig` is wrapped
+    under a deterministic content-derived name (``custom-<hash8>``) so ad-hoc
+    hardware still has a stable sweep-cache identity.
+    """
+    if value is None:
+        return default_platform()
+    if isinstance(value, Platform):
+        return value
+    if isinstance(value, str):
+        return get_platform(value)
+    if isinstance(value, HardwareConfig):
+        for preset in PLATFORMS.values():
+            if preset.hardware == value:
+                return preset
+        from .sweep.cache import stable_hash
+        return Platform(name=f"custom-{stable_hash(value)[:8]}", hardware=value,
+                        description="ad-hoc hardware configuration")
+    raise ConfigError(f"cannot resolve a platform from {value!r}; expected None, "
+                      f"a registered name, a Platform or a HardwareConfig")
+
+
+def resolve_platforms(value: Union[PlatformLike, Mapping[str, PlatformLike],
+                                   Sequence[PlatformLike]]) -> Dict[str, Platform]:
+    """Normalize a platforms argument into an ordered ``{label: Platform}`` map.
+
+    Accepts a single platform-ish value, an ordered mapping from label to
+    platform-ish value, or a sequence of platform-ish values (labelled by
+    their resolved names).
+    """
+    if isinstance(value, Mapping):
+        resolved = {str(label): resolve_platform(entry)
+                    for label, entry in value.items()}
+    elif isinstance(value, (list, tuple)):
+        resolved = {}
+        for entry in value:
+            platform = resolve_platform(entry)
+            if platform.name in resolved:
+                raise ConfigError(f"duplicate platform {platform.name!r} in sequence")
+            resolved[platform.name] = platform
+    else:
+        platform = resolve_platform(value)
+        resolved = {platform.name: platform}
+    if not resolved:
+        raise ConfigError("at least one platform is required")
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# Grid helper
+# ---------------------------------------------------------------------------
+
+def platform_grid(base: PlatformLike = None, *,
+                  onchip_bandwidths: Sequence[float] = (),
+                  offchip_bandwidths: Sequence[float] = (),
+                  compute_tiles: Sequence[int] = (),
+                  timing_models: Sequence[str] = (),
+                  prefix: Optional[str] = None) -> Dict[str, Platform]:
+    """One-axis-at-a-time hardware variants of ``base`` as a platforms mapping.
+
+    Each swept value derives one platform from the base (the other parameters
+    stay at the base's values), labelled ``<prefix>-<knob><value>``.  The base
+    platform itself is always included under its own name, so the grid drops
+    straight into ``Scenario(platforms=platform_grid(...))`` with the baseline
+    for comparison::
+
+        platform_grid(onchip_bandwidths=(64, 128, 256))
+        # {"sda": ..., "sda-onchip128": ..., "sda-onchip256": ...}
+    """
+    resolved = resolve_platform(base)
+    prefix = prefix or resolved.name
+    grid: Dict[str, Platform] = {resolved.name: resolved}
+
+    def add(suffix: str, description: str, **overrides) -> None:
+        name = f"{prefix}-{suffix}"
+        if name not in grid:
+            grid[name] = resolved.replace(name, description=description, **overrides)
+
+    for bw in onchip_bandwidths:
+        if bw != resolved.hardware.onchip_bandwidth:
+            add(f"onchip{bw:g}", f"{resolved.name} at {bw:g} B/cycle on-chip",
+                onchip_bandwidth=float(bw))
+    for bw in offchip_bandwidths:
+        if bw != resolved.hardware.offchip_bandwidth:
+            add(f"offchip{bw:g}", f"{resolved.name} at {bw:g} B/cycle off-chip",
+                offchip_bandwidth=float(bw))
+    for tile in compute_tiles:
+        if tile != resolved.hardware.compute_tile:
+            add(f"tile{tile}", f"{resolved.name} with {tile}x{tile} compute tiles",
+                compute_tile=int(tile))
+    for model in timing_models:
+        if model != resolved.hardware.timing_model:
+            add(str(model), f"{resolved.name} under the {model!r} timing model",
+                timing_model=str(model))
+    return grid
+
+
+# ---------------------------------------------------------------------------
+# Shipped presets (Section 5.1 / 4.5)
+# ---------------------------------------------------------------------------
+
+#: the default evaluation hardware; HardwareConfig's field defaults *are* the
+#: Section 5.1 values, and tests/api/test_platforms.py pins this equal to
+#: repro.workloads.configs.sda_hardware() so the two definitions cannot drift
+SDA = register_platform(Platform(
+    name="sda",
+    hardware=HardwareConfig(),
+    description="Section 5.1 SDA: 64 B/cycle on-chip per memory unit, "
+                "1024 B/cycle off-chip, 100-cycle off-chip latency, 16x16 tiles",
+))
+
+#: the high on-chip-bandwidth variant the Figure 8 validation sweep uses
+SDA_HBM256 = register_platform(SDA.replace(
+    "sda-hbm256", onchip_bandwidth=256.0,
+    description="SDA with 256 B/cycle on-chip bandwidth (Figure 8 validation)",
+))
+
+#: the default hardware under the physical-tile-granular timing model
+SDA_DETAILED = register_platform(SDA.replace(
+    "sda-detailed", timing_model="detailed",
+    description="SDA under the 'detailed' physical-tile timing model (Section 4.5)",
+))

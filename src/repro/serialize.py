@@ -1,0 +1,105 @@
+"""Generic JSON round-trips for the declarative experiment records.
+
+The sweep cache already *canonicalizes* arbitrary config graphs for hashing
+(:func:`repro.sweep.cache.canonicalize`), but hashing is one-way.  This module
+provides the symmetric pair the declarative API needs:
+
+* :func:`to_jsonable` — convert any experiment value object (nested
+  dataclasses, enums, mappings, sequences, numpy scalars) into plain JSON
+  data, tagging dataclasses and enums with their module-qualified type so
+  they can be rebuilt,
+* :func:`from_jsonable` — rebuild the tagged structure.  Reconstruction is
+  restricted to dataclasses and enums defined inside the ``repro`` package —
+  a serialized spec is data, not a pickle, and must never instantiate
+  arbitrary types.
+
+Sequences deliberately come back as lists (JSON has no tuple); every config
+dataclass that requires tuples normalizes in ``__post_init__``, and the cache
+canonicalization treats lists and tuples identically, so a round-tripped spec
+hashes — and therefore caches — exactly like the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+from typing import Any
+
+from .core.errors import ConfigError
+
+#: tag keys marking reconstructible payloads
+DATACLASS_TAG = "__dataclass__"
+ENUM_TAG = "__enum__"
+
+#: the only package reconstruction may import from
+TRUSTED_PACKAGE = "repro"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into tagged, JSON-serializable data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        tag = f"{type(obj).__module__}:{type(obj).__qualname__}"
+        payload = {DATACLASS_TAG: tag}
+        for field in dataclasses.fields(obj):
+            payload[field.name] = to_jsonable(getattr(obj, field.name))
+        return payload
+    if isinstance(obj, enum.Enum):
+        return {ENUM_TAG: f"{type(obj).__module__}:{type(obj).__qualname__}",
+                "value": to_jsonable(obj.value)}
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise ConfigError(f"cannot serialize mapping with non-string key "
+                                  f"{key!r} (JSON objects need string keys)")
+        return {key: to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if hasattr(obj, "tolist") and callable(obj.tolist):
+        return to_jsonable(obj.tolist())  # numpy scalars / arrays
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ConfigError(f"cannot serialize {type(obj).__name__!r} to JSON data")
+
+
+def _resolve_type(tag: str) -> type:
+    """Import the tagged type, restricted to the ``repro`` package."""
+    try:
+        module_name, qualname = tag.split(":", 1)
+    except ValueError:
+        raise ConfigError(f"malformed type tag {tag!r}") from None
+    if module_name != TRUSTED_PACKAGE and \
+            not module_name.startswith(TRUSTED_PACKAGE + "."):
+        raise ConfigError(f"refusing to reconstruct non-{TRUSTED_PACKAGE} type {tag!r}")
+    try:
+        target: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError):
+        raise ConfigError(f"cannot resolve serialized type {tag!r}") from None
+    if not isinstance(target, type):
+        raise ConfigError(f"serialized tag {tag!r} is not a type")
+    return target
+
+
+def from_jsonable(data: Any) -> Any:
+    """Rebuild a structure produced by :func:`to_jsonable`."""
+    if isinstance(data, dict):
+        if DATACLASS_TAG in data:
+            cls = _resolve_type(data[DATACLASS_TAG])
+            if not dataclasses.is_dataclass(cls):
+                raise ConfigError(f"serialized tag {data[DATACLASS_TAG]!r} is not "
+                                  f"a dataclass")
+            names = {field.name for field in dataclasses.fields(cls) if field.init}
+            kwargs = {key: from_jsonable(value) for key, value in data.items()
+                      if key != DATACLASS_TAG and key in names}
+            return cls(**kwargs)
+        if ENUM_TAG in data:
+            cls = _resolve_type(data[ENUM_TAG])
+            if not issubclass(cls, enum.Enum):
+                raise ConfigError(f"serialized tag {data[ENUM_TAG]!r} is not an enum")
+            return cls(from_jsonable(data["value"]))
+        return {key: from_jsonable(value) for key, value in data.items()}
+    if isinstance(data, list):
+        return [from_jsonable(value) for value in data]
+    return data

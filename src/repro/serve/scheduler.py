@@ -33,10 +33,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import ConfigError
+from ..platforms import PlatformLike, resolve_platform
 from ..schedules import Schedule
 from ..sim.executors.common import HardwareConfig
 from ..sweep.cache import stable_hash
-from ..workloads.configs import ModelConfig, sda_hardware
+from ..workloads.configs import ModelConfig
 from .arrivals import ArrivalTrace, Request, quantize_up
 from .report import RequestRecord, ServingReport, StepSample
 from .workload import ServeStepWorkload
@@ -133,15 +134,21 @@ def _step_cycles(config: ServeConfig, schedule: Schedule, hardware: HardwareConf
 
 def simulate_serving(config: ServeConfig, trace: ArrivalTrace,
                      schedule: Optional[Schedule] = None,
-                     hardware: Optional[HardwareConfig] = None) -> ServingReport:
+                     hardware: PlatformLike = None) -> ServingReport:
     """Serve ``trace`` under ``schedule`` and collect the full report.
+
+    ``hardware`` resolves through the one platform path
+    (:func:`repro.platforms.resolve_platform`): ``None`` is the default
+    ``"sda"`` platform, and a registered platform name, a
+    :class:`~repro.platforms.Platform` or a raw
+    :class:`~repro.sim.executors.common.HardwareConfig` all work.
 
     Deterministic: the report (requests, steps, every latency) is a pure
     function of the arguments — rerunning with the same seed reproduces it
     bit-for-bit, memoization or not.
     """
     schedule = schedule or Schedule.dynamic()
-    hardware = hardware or sda_hardware()
+    hardware = resolve_platform(hardware).hardware
     context = _context_key(config, schedule, hardware)
 
     pending = deque(trace.requests)

@@ -9,20 +9,32 @@ makes ``SweepSpec`` axes as simple as ``{"arrival_rate": [...],
 "batch_cap": [...]}`` (cartesian load grids, cached and pool-parallel like
 every other sweep).
 
-:func:`latency_load_spec` is the canonical grid: one spec per
-(schedule, model) pair, swept over arrival rates and batch caps.  The
-``seed`` lives in ``base`` so every grid point serves the *same-seed* traffic
-(rate changes the inter-arrival scale, not the random stream), which is what
-makes a latency-vs-load curve comparable across its points.
+Hardware arrives as a named :class:`~repro.platforms.Platform` (the
+``platform`` parameter), resolved through the same single path as every other
+subsystem, so serving load grids can sweep platforms exactly like scenarios
+do and platform identity participates in every cache key.
+
+Two grid builders:
+
+* :func:`latency_load_spec` — one (schedule, model) pair swept over arrival
+  rates and batch caps,
+* :func:`serve_latency_spec` — the full latency-vs-load record: schedules ×
+  arrival rates × batch caps in **one** cartesian spec, which is what the
+  registered ``"serve-latency"`` experiment wraps (see
+  :mod:`repro.experiments.serve_latency`).
+
+The ``seed`` lives in ``base`` so every grid point serves the *same-seed*
+traffic (rate changes the inter-arrival scale, not the random stream), which
+is what makes a latency-vs-load curve comparable across its points.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..core.errors import ConfigError
+from ..platforms import Platform, PlatformLike, resolve_platform
 from ..schedules import Schedule
-from ..sim.executors.common import HardwareConfig
 from ..sweep import SweepSpec, register_task
 from ..workloads.configs import ModelConfig
 from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
@@ -31,7 +43,7 @@ from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
                        DEFAULT_PROMPT_SIGMA, poisson_trace)
 from .scheduler import ServeConfig, simulate_serving
 
-#: the per-point knobs ``latency_load_spec`` may forward beyond the grid axes
+#: the per-point knobs the load-grid builders may forward beyond the grid axes
 #: (everything the ``"serve"`` task accepts besides its required parameters)
 _FORWARDABLE_KNOBS = frozenset({
     "kv_tile_rows", "prompt_mean", "prompt_sigma", "prompt_max",
@@ -40,8 +52,9 @@ _FORWARDABLE_KNOBS = frozenset({
 
 
 @register_task("serve")
-def serve_point(model: ModelConfig, schedule: Schedule, hardware: HardwareConfig,
+def serve_point(model: ModelConfig, schedule: Schedule,
                 arrival_rate: float, batch_cap: int, num_requests: int,
+                platform: Optional[Platform] = None, hardware=None,
                 seed: int = 0, num_layers: int = 2, kv_tile_rows: int = 64,
                 prompt_mean: float = DEFAULT_PROMPT_MEAN,
                 prompt_sigma: float = DEFAULT_PROMPT_SIGMA,
@@ -54,10 +67,10 @@ def serve_point(model: ModelConfig, schedule: Schedule, hardware: HardwareConfig
 
     The trace is rebuilt from its parameters inside the worker (nothing large
     crosses the pool boundary) — the signature accepts every
-    :func:`~repro.serve.arrivals.poisson_trace` length knob so
-    :func:`latency_load_spec` can forward them all — and the returned payload
-    carries the swept coordinates alongside the serving metrics so result
-    rows are self-describing.
+    :func:`~repro.serve.arrivals.poisson_trace` length knob so the grid
+    builders can forward them all — and the returned payload carries the
+    swept coordinates alongside the serving metrics so result rows are
+    self-describing.  ``hardware`` remains accepted for pre-platform specs.
     """
     trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
@@ -66,34 +79,71 @@ def serve_point(model: ModelConfig, schedule: Schedule, hardware: HardwareConfig
                           output_max=output_max)
     config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
                          kv_tile_rows=kv_tile_rows, seed=seed)
-    report = simulate_serving(config, trace, schedule, hardware=hardware)
+    report = simulate_serving(config, trace, schedule,
+                              hardware=hardware if hardware is not None else platform)
     return {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
             **report.metrics()}
+
+
+def _load_grid_base(model: ModelConfig, platform: PlatformLike, num_requests: int,
+                    seed: int, num_layers: int,
+                    trace_kwargs: Mapping[str, object]) -> Dict[str, object]:
+    unknown = set(trace_kwargs) - _FORWARDABLE_KNOBS
+    if unknown:
+        raise ConfigError(f"serving load grid: unsupported trace parameters "
+                          f"{sorted(unknown)}; forwardable: "
+                          f"{sorted(_FORWARDABLE_KNOBS)}")
+    return {"model": model, "platform": resolve_platform(platform),
+            "num_requests": num_requests, "seed": seed,
+            "num_layers": num_layers, **trace_kwargs}
 
 
 def latency_load_spec(model: ModelConfig, schedule: Schedule,
                       rates: Sequence[float], batch_caps: Sequence[int] = (8,),
                       num_requests: int = 32, seed: int = 0,
-                      hardware: Optional[HardwareConfig] = None,
+                      hardware: PlatformLike = None,
                       num_layers: int = 2, name: Optional[str] = None,
                       **trace_kwargs) -> SweepSpec:
     """An arrival-rate × batch-cap load grid as a cartesian :class:`SweepSpec`."""
-    from ..workloads.configs import sda_hardware
-
-    unknown = set(trace_kwargs) - _FORWARDABLE_KNOBS
-    if unknown:
-        raise ConfigError(f"latency_load_spec: unsupported trace parameters "
-                          f"{sorted(unknown)}; forwardable: "
-                          f"{sorted(_FORWARDABLE_KNOBS)}")
-    base = {"model": model, "schedule": schedule,
-            "hardware": hardware or sda_hardware(),
-            "num_requests": num_requests, "seed": seed,
-            "num_layers": num_layers, **trace_kwargs}
+    base = _load_grid_base(model, hardware, num_requests, seed, num_layers,
+                           trace_kwargs)
+    base["schedule"] = schedule
     return SweepSpec(
         name=name or f"serve-load-{schedule.name}",
         task="serve",
         base=base,
         axes={"arrival_rate": [float(r) for r in rates],
+              "batch_cap": [int(c) for c in batch_caps]},
+        mode="cartesian",
+        seed=seed,
+    )
+
+
+def serve_latency_spec(model: ModelConfig, schedules: Mapping[str, Schedule],
+                       rates: Sequence[float], batch_caps: Sequence[int] = (8,),
+                       num_requests: int = 32, seed: int = 0,
+                       platform: PlatformLike = None, num_layers: int = 2,
+                       name: str = "serve-latency",
+                       **trace_kwargs) -> SweepSpec:
+    """The whole latency-vs-load study as **one** cartesian spec.
+
+    Axes are (schedule, arrival rate, batch cap), schedule-major, so the grid
+    row for schedule ``i``, rate ``j``, cap ``k`` sits at index
+    ``(i * len(rates) + j) * len(batch_caps) + k``.  Every point is identical
+    to the matching :func:`latency_load_spec` point (same task, same
+    parameters — the spec name is excluded from cache keys), so the folded
+    record shares cache entries with per-schedule grids.
+    """
+    if not schedules:
+        raise ConfigError("serve_latency_spec: at least one schedule is required")
+    base = _load_grid_base(model, platform, num_requests, seed, num_layers,
+                           trace_kwargs)
+    return SweepSpec(
+        name=name,
+        task="serve",
+        base=base,
+        axes={"schedule": list(schedules.values()),
+              "arrival_rate": [float(r) for r in rates],
               "batch_cap": [int(c) for c in batch_caps]},
         mode="cartesian",
         seed=seed,

@@ -30,11 +30,12 @@ from typing import ClassVar, Dict, Optional, Tuple
 from ..api.workload import BuiltWorkload, WorkloadBase, register_workload
 from ..core.errors import ConfigError
 from ..data.expert_routing import generate_routing_trace, representative_iteration
+from ..platforms import resolve_platform
 from ..schedules import Schedule
 from ..sim import simulate
 from ..sim.executors.common import HardwareConfig
 from ..workloads.attention import AttentionConfig, build_attention_layer
-from ..workloads.configs import ModelConfig, sda_hardware
+from ..workloads.configs import ModelConfig
 from ..workloads.moe import MoELayerConfig, build_moe_layer
 from ..workloads.qkv import QKVConfig, build_qkv_layer
 from .arrivals import ArrivalTrace
@@ -81,7 +82,7 @@ class ServeStepWorkload(WorkloadBase):
 
     def run(self, schedule: Schedule,
             hardware: Optional[HardwareConfig] = None) -> Dict[str, float]:
-        hardware = hardware or sda_hardware()
+        hardware = resolve_platform(hardware).hardware
 
         qkv = build_qkv_layer(QKVConfig(model=self.model, batch=self.num_tokens,
                                         compute_bw=self.moe_compute_bw))

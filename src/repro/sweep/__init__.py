@@ -30,7 +30,7 @@ build the spec; direct use looks like::
 from .cache import CACHE_VERSION, ResultCache, canonicalize, code_fingerprint, \
     default_cache_root, stable_hash
 from .runner import DEFAULT_RUNNER, SweepResult, SweepRunner, SweepStats, \
-    default_jobs, execute_point, resolve_runner
+    build_runner, default_jobs, execute_point, resolve_runner
 from .spec import SweepPoint, SweepSpec
 from .tasks import TASKS, get_task, register_task, report_metrics, task_accepts_seed
 
@@ -47,6 +47,7 @@ __all__ = [
     "canonicalize",
     "code_fingerprint",
     "default_cache_root",
+    "build_runner",
     "default_jobs",
     "execute_point",
     "get_task",

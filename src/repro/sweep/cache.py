@@ -50,7 +50,8 @@ def code_fingerprint() -> str:
     for routine changes.
     """
     root = Path(__file__).resolve().parent.parent
-    files = [Path(__file__).parent / "tasks.py"]
+    files = [Path(__file__).parent / "tasks.py",
+             root / "platforms.py", root / "serialize.py"]
     for sub in _FINGERPRINTED_SUBPACKAGES:
         files.extend(sorted((root / sub).rglob("*.py")))
     hasher = hashlib.sha256()
@@ -82,8 +83,11 @@ def canonicalize(obj: Any) -> Any:
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         tag = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        # compare=False fields (e.g. Platform.description) are presentation
+        # data, not identity: they stay out of the hash exactly as they stay
+        # out of dataclass equality
         fields = {f.name: canonicalize(getattr(obj, f.name))
-                  for f in dataclasses.fields(obj)}
+                  for f in dataclasses.fields(obj) if f.compare}
         return {"__dataclass__": tag, **fields}
     if isinstance(obj, enum.Enum):
         return {"__enum__": f"{type(obj).__qualname__}", "value": canonicalize(obj.value)}

@@ -164,3 +164,20 @@ DEFAULT_RUNNER = SweepRunner(jobs=1, cache=None)
 def resolve_runner(runner: Optional[SweepRunner]) -> SweepRunner:
     """The runner to use: the caller's, or the serial uncached default."""
     return runner if runner is not None else DEFAULT_RUNNER
+
+
+def build_runner(jobs: Optional[int] = None,
+                 cache: Union[ResultCache, os.PathLike, str, None] = None,
+                 runner: Optional[SweepRunner] = None) -> SweepRunner:
+    """The one resolution of the (jobs, cache, runner) execution keywords.
+
+    An explicit ``runner`` wins; otherwise ``jobs``/``cache`` build a fresh
+    runner, and with neither set the shared serial, uncached default is used.
+    Shared by :func:`repro.api.run` and :func:`repro.api.run_experiment` so
+    the two facades can never drift on execution defaults.
+    """
+    if runner is not None:
+        return runner
+    if jobs or cache is not None:
+        return SweepRunner(jobs=jobs, cache=cache)
+    return resolve_runner(None)

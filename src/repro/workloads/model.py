@@ -35,12 +35,13 @@ from typing import Dict, Optional, Sequence
 
 
 from ..core.errors import ConfigError
+from ..platforms import resolve_platform
 from ..schedules import (Schedule, dynamic_tiling, parallelization, static_tiling,
                          time_multiplexing)
 from ..sim import simulate
 from ..sim.executors.common import HardwareConfig
 from .attention import AttentionConfig, build_attention_layer
-from .configs import ModelConfig, sda_hardware
+from .configs import ModelConfig
 from .moe import MoELayerConfig, build_moe_layer
 from .qkv import QKVConfig, build_qkv_layer
 
@@ -131,7 +132,7 @@ def evaluate_layer(model: ModelConfig, schedule: Schedule, batch: int,
                    attention_compute_bw: int = 256,
                    kv_tile_rows: int = 128) -> LayerBreakdown:
     """Simulate one decoder layer's three sub-layers under ``schedule``."""
-    hardware = hardware or sda_hardware()
+    hardware = resolve_platform(hardware).hardware
     breakdown = LayerBreakdown()
 
     qkv_cfg = QKVConfig(model=model, batch=batch, compute_bw=moe_compute_bw)

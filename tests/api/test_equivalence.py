@@ -80,6 +80,51 @@ class TestAdapterEquivalence:
             assert via_api == direct.to_dict()
 
 
+class TestPlatformEquivalence:
+    def test_default_platform_reproduces_explicit_hardware_exactly(self, tiny_model,
+                                                                   routing):
+        """The platform redesign's acceptance anchor: a scenario without an
+        explicit platform (= the registered "sda" platform) produces the exact
+        metrics of the pre-platform explicit sda_hardware() path."""
+        from repro.api import Scenario
+
+        workload = MoEWorkload(model=tiny_model, batch=8, assignments=routing)
+        schedules = {"tile=4": Schedule.static("tile=4", 4),
+                     "dynamic": Schedule.dynamic()}
+        default_result = run(Scenario(name="default-platform", workloads=workload,
+                                      schedules=schedules))
+        explicit_result = run(Scenario(name="explicit-hw", workloads=workload,
+                                       schedules=schedules, hardware=sda_hardware()))
+        named_result = run(Scenario(name="named-platform", workloads=workload,
+                                    schedules=schedules, platforms="sda"))
+        assert [r.metrics for r in default_result.rows] == \
+            [r.metrics for r in explicit_result.rows] == \
+            [r.metrics for r in named_result.rows]
+        assert all(r.platform == "sda" for r in default_result.rows)
+        # and the workload-task metrics equal a direct builder simulation
+        config = MoELayerConfig(model=tiny_model, batch=8, tile_rows=4)
+        program = build_moe_layer(config)
+        direct = simulate(program.program, program.inputs(routing),
+                          hardware=sda_hardware())
+        assert default_result[("moe:tiny-4e:b8", "tile=4")] == direct.to_dict()
+
+    def test_all_three_spellings_share_cache_entries(self, tiny_model, routing,
+                                                     tmp_path):
+        """None / "sda" / sda_hardware() resolve to one cache identity."""
+        from repro.api import ResultCache, Scenario
+
+        workload = MoEWorkload(model=tiny_model, batch=8, assignments=routing)
+        schedules = {"dynamic": Schedule.dynamic()}
+        cache = ResultCache(tmp_path)
+        cold = run(Scenario(name="a", workloads=workload, schedules=schedules),
+                   cache=cache)
+        assert cold.stats.simulated == 1
+        for spelling in ({"platforms": "sda"}, {"hardware": sda_hardware()}):
+            warm = run(Scenario(name="b", workloads=workload, schedules=schedules,
+                                **spelling), cache=ResultCache(tmp_path))
+            assert warm.stats.simulated == 0, spelling
+
+
 class TestFigureEquivalence:
     def test_registered_figure9_scenario_reproduces_goldens_exactly(self):
         """The acceptance criterion: scenario metrics == pre-redesign goldens."""

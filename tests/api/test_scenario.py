@@ -40,8 +40,8 @@ class TestScenarioRecord:
 
     def test_grid_is_workload_major(self, tiny_scenario_factory):
         scenario = tiny_scenario_factory()
-        assert scenario.grid() == [("moe:tiny-4e:b8", "tile=4"),
-                                   ("moe:tiny-4e:b8", "dynamic")]
+        assert scenario.grid() == [("moe:tiny-4e:b8", "tile=4", "sda"),
+                                   ("moe:tiny-4e:b8", "dynamic", "sda")]
 
     def test_empty_scenario_rejected(self):
         with pytest.raises(ConfigError):
@@ -57,7 +57,7 @@ class TestScenarioRecord:
 class TestRun:
     def test_run_collects_grid_in_order(self, tiny_scenario_factory):
         result = run(tiny_scenario_factory())
-        assert [(r.workload, r.schedule) for r in result.rows] == \
+        assert [(r.workload, r.schedule, r.platform) for r in result.rows] == \
             result.scenario.grid()
         assert all(r["cycles"] > 0 for r in result.rows)
 
@@ -124,6 +124,108 @@ class TestRegistry:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigError):
             get_scenario("nonexistent-scenario")
+
+
+class TestPlatformAxis:
+    def test_default_platform_is_sda(self, tiny_scenario_factory):
+        scenario = tiny_scenario_factory()
+        assert list(scenario.platforms) == ["sda"]
+        # legacy read path: single-platform scenarios still expose .hardware
+        from repro.workloads.configs import sda_hardware
+        assert scenario.hardware == sda_hardware()
+
+    def test_legacy_hardware_argument_folds_into_platforms(self, tiny_scenario_factory):
+        from repro.api import get_platform
+        from repro.workloads.configs import sda_hardware
+
+        base = tiny_scenario_factory()
+        legacy = Scenario(name="legacy", workloads=base.workloads,
+                          schedules=base.schedules, hardware=sda_hardware())
+        assert legacy.platforms == {"sda": get_platform("sda")}
+        with pytest.raises(ConfigError):
+            Scenario(name="both", workloads=base.workloads, schedules=base.schedules,
+                     hardware=sda_hardware(), platforms="sda")
+
+    def test_platforms_sweep_as_third_axis(self, tiny_scenario_factory, tmp_path):
+        """The acceptance criterion: hardware sweeps through the pooled runner
+        and cache — distinct cache keys per platform, full hits on rerun."""
+        from repro.api import platform_grid
+
+        base = tiny_scenario_factory()
+        scenario = Scenario(name="hw-sweep", workloads=base.workloads,
+                            schedules=base.schedules,
+                            platforms=platform_grid(onchip_bandwidths=(64.0, 256.0)))
+        assert len(scenario) == 1 * 2 * 2  # one workload, two schedules, two platforms
+        keys = [p.cache_key() for p in scenario.sweep_spec().points()]
+        assert len(set(keys)) == len(keys)  # platform identity is in every key
+
+        cold = run(scenario, cache=ResultCache(tmp_path))
+        assert cold.stats.simulated == len(cold.rows)
+        assert [(r.workload, r.schedule, r.platform) for r in cold.rows] == \
+            scenario.grid()
+        # more on-chip bandwidth must not slow the memory-bound layer down
+        for schedule in base.schedules:
+            slow = cold[("moe:tiny-4e:b8", schedule, "sda")]
+            fast = cold[("moe:tiny-4e:b8", schedule, "sda-onchip256")]
+            assert fast["cycles"] <= slow["cycles"]
+
+        warm = run(scenario, cache=ResultCache(tmp_path))
+        assert warm.stats.simulated == 0
+        assert warm.stats.cache_hits == len(warm.rows)
+        assert [r.metrics for r in warm.rows] == [r.metrics for r in cold.rows]
+
+    def test_equal_hardware_different_name_is_a_distinct_point(self,
+                                                               tiny_scenario_factory):
+        """Platform *identity* participates in the content hash."""
+        from repro.api import Platform, get_platform
+
+        base = tiny_scenario_factory()
+        twin = Platform(name="sda-twin", hardware=get_platform("sda").hardware)
+        scenario = Scenario(name="twins", workloads=base.workloads,
+                            schedules={"dynamic": base.schedules["dynamic"]},
+                            platforms={"sda": "sda", "sda-twin": twin})
+        keys = [p.cache_key() for p in scenario.sweep_spec().points()]
+        assert len(set(keys)) == 2
+
+    def test_multi_platform_accessors(self, tiny_scenario_factory):
+        from repro.api import platform_grid
+
+        base = tiny_scenario_factory()
+        scenario = Scenario(name="acc", workloads=base.workloads,
+                            schedules={"dynamic": base.schedules["dynamic"]},
+                            platforms=platform_grid(onchip_bandwidths=(64.0, 128.0)))
+        assert scenario.hardware is None  # no single legacy hardware when swept
+        result = run(scenario)
+        with pytest.raises(KeyError):
+            result[("moe:tiny-4e:b8", "dynamic")]  # ambiguous across platforms
+        cell = result[("moe:tiny-4e:b8", "dynamic", "sda-onchip128")]
+        assert cell["cycles"] > 0
+        assert result.for_platform("sda")[("moe:tiny-4e:b8", "dynamic")]["cycles"] > 0
+        assert len(result.select(platform="sda-onchip128")) == 1
+        assert {row["platform"] for row in result.to_rows()} == \
+            {"sda", "sda-onchip128"}
+        # multi-platform for_workload keys carry the platform label
+        assert set(result.for_workload("moe:tiny-4e:b8")) == \
+            {("dynamic", "sda"), ("dynamic", "sda-onchip128")}
+
+    def test_scenario_json_round_trip(self, tiny_scenario_factory):
+        import json
+
+        from repro.api import platform_grid
+
+        base = tiny_scenario_factory()
+        scenario = Scenario(name="rt", workloads=base.workloads,
+                            schedules=base.schedules,
+                            platforms=platform_grid(onchip_bandwidths=(64.0, 256.0)),
+                            seed=5, description="round trip")
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        rebuilt = Scenario.from_dict(payload)
+        assert rebuilt.to_dict() == scenario.to_dict()
+        assert rebuilt.grid() == scenario.grid()
+        # the round-tripped scenario hashes (= caches) identically
+        original_keys = [p.cache_key() for p in scenario.sweep_spec().points()]
+        rebuilt_keys = [p.cache_key() for p in rebuilt.sweep_spec().points()]
+        assert rebuilt_keys == original_keys
 
 
 class TestBuiltInScenarios:
