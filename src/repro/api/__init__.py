@@ -93,6 +93,35 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
     return simulate_serving(config, trace, schedule, hardware=hardware)
 
 
+def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
+                routing: str = "round-robin", warmup_cycles: float = 0.0,
+                autoscaler=None, batch_cap: int = 8, num_layers: int = 2,
+                hardware=None, kv_tile_rows: int = 64, seed: int = 0):
+    """Serve one trace on a fleet of replicas and return its full report.
+
+    The fleet runs ``num_replicas`` copies of the continuous-batching engine
+    behind a dispatcher using the named ``routing`` policy (``"round-robin"``,
+    ``"least-loaded"`` or ``"least-kv"``; see
+    :func:`repro.serve.routing_policy_names`).  ``warmup_cycles`` charges each
+    replica a one-time cold-start cost before its first step; pass an
+    :class:`repro.serve.AutoscalerConfig` as ``autoscaler`` to scale the fleet
+    reactively with queue depth.  Returns the :class:`repro.serve.FleetReport`
+    with per-replica serving reports, fleet-level latency percentiles,
+    utilization/imbalance and the scaling-event timeline.  A fleet of one
+    replica with zero warm-up reproduces :func:`serve` bit-for-bit.
+    """
+    from ..serve.fleet import FleetConfig, simulate_fleet
+    from ..serve.scheduler import ServeConfig
+
+    serve_config = ServeConfig(model=model, batch_cap=batch_cap,
+                               num_layers=num_layers,
+                               kv_tile_rows=kv_tile_rows, seed=seed)
+    config = FleetConfig(serve=serve_config, num_replicas=num_replicas,
+                         routing=routing, warmup_cycles=warmup_cycles,
+                         autoscaler=autoscaler)
+    return simulate_fleet(config, trace, schedule, hardware=hardware)
+
+
 __all__ = [
     # workloads
     "Workload",
@@ -143,6 +172,7 @@ __all__ = [
     "run_experiment",
     "run",
     "serve",
+    "serve_fleet",
     # execution
     "ResultCache",
     "SweepRunner",

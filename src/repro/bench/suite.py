@@ -17,6 +17,9 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``serve-poisson`` / ``serve-burst`` — request-level serving runs from
   :mod:`repro.serve` (continuous-batching scheduler + step-cost simulation;
   dominated by the serving step memoization and replay path).
+* ``fleet-grid`` / ``fleet-autoscale`` — multi-replica fleet dispatch runs
+  (:mod:`repro.serve.fleet`; dispatcher event loop, routing-policy selection
+  and the reactive autoscaler on top of the serving replay path).
 
 New benchmarks register with :func:`register_case`; anything expressible as a
 Scenario participates for free.
@@ -140,3 +143,25 @@ def _serve_burst(scale: str) -> Scenario:
     if scale == "full":
         return get_scenario("serve-burst", num_requests=96, batch_cap=8)
     return get_scenario("serve-burst", num_requests=48, output_max=12)
+
+
+# The fleet cases add the dispatcher on top: N replica engines advanced in
+# lockstep per arrival, routing-policy selection and (for the autoscale case)
+# the reactive scaling loop with cold-start warm-ups — the fleet hot loop.
+
+@register_case("fleet-grid",
+               "multi-replica dispatch: replicas x routing x arrival rates")
+def _fleet_grid(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("fleet-grid", replicas=(1, 2, 4), num_requests=48,
+                            batch_cap=4)
+    return get_scenario("fleet-grid", num_requests=24, output_max=12)
+
+
+@register_case("fleet-autoscale",
+               "reactive autoscaling vs fixed fleets under bursty load")
+def _fleet_autoscale(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("fleet-autoscale", num_requests=64, batch_cap=4,
+                            max_replicas=4)
+    return get_scenario("fleet-autoscale", num_requests=24, output_max=12)

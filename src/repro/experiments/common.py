@@ -65,6 +65,12 @@ class ExperimentScale:
     #: serving default caps even at full scale because every scheduler step
     #: simulates the MoE, unlike the one-shot figure experiments)
     serve_max_experts: Optional[int] = 16
+    #: replica counts swept by the fleet-latency experiment
+    fleet_replicas: Tuple[int, ...] = (1, 2, 4)
+    #: routing policies swept by the fleet-latency experiment
+    fleet_routings: Tuple[str, ...] = ("round-robin", "least-loaded", "least-kv")
+    #: one-time cold-start cost charged per fleet replica (cycles)
+    fleet_warmup_cycles: float = 0.0
     seed: int = 0
 
 
@@ -86,6 +92,8 @@ SMOKE_SCALE = ExperimentScale(
     end_to_end_layers=2,
     serve_rates=(40.0, 160.0, 640.0),
     serve_requests=12,
+    fleet_replicas=(1, 2),
+    fleet_routings=("round-robin", "least-loaded"),
 )
 
 

@@ -13,8 +13,9 @@ resolution) registers every figure as an experiment, so
   payloads: a declarative reference to the native entry point plus its scale,
 * figures 9/10 need no entry here — they are registered scenarios
   (:mod:`repro.api.library`) and resolve through the scenario registry,
-* ``"serve-latency"`` registers its **sweep** payload in
-  :mod:`repro.experiments.serve_latency`.
+* ``"serve-latency"`` / ``"fleet-latency"`` register their **sweep** payloads
+  in :mod:`repro.experiments.serve_latency` /
+  :mod:`repro.experiments.fleet_latency`.
 
 Factories take ``scale`` (a preset name or an
 :class:`~repro.experiments.common.ExperimentScale`) plus the underlying
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 from ..api.experiment import ExperimentSpec, register_experiment
 from ..serialize import to_jsonable
+from . import fleet_latency  # noqa: F401  (registers the fleet-latency experiment)
 from . import serve_latency  # noqa: F401  (registers the serve-latency experiment)
 from . import figure12_13, figure14, figure15
 from .common import resolve_scale

@@ -36,6 +36,7 @@ from . import (figure1,
     figure17,
     figure19_20,
     figure21,
+    fleet_latency,
     serve_latency)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
@@ -59,6 +60,7 @@ FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
 #: named (non-figure) experiments, addressed positionally: the serving side
 NAMED: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
     "serve-latency": lambda scale, runner: serve_latency.run(scale, runner=runner),
+    "fleet-latency": lambda scale, runner: fleet_latency.run(scale, runner=runner),
 }
 
 #: every runnable experiment: figures by number plus the named experiments

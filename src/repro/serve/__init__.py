@@ -11,14 +11,24 @@ a unified :class:`~repro.schedules.Schedule`, and the run yields a
 :class:`~repro.serve.report.ServingReport` with TTFT / TPOT / e2e latency
 percentiles, goodput and a queue-depth timeline.
 
+Scaling up, :mod:`repro.serve.fleet` runs N replicas behind a dispatcher:
+pluggable routing policies (round-robin / least-loaded / least-kv), per-replica
+cold-start warm-up cost and a reactive queue-depth autoscaler, reported as a
+:class:`~repro.serve.report.FleetReport` aggregating the per-replica serving
+reports with fleet-level percentiles, utilization and the scaling timeline.
+
 Entry points, highest level first:
 
-* ``repro.api.serve(...)`` — one serving run, full report,
-* the registered ``serve-*`` scenarios (:mod:`repro.serve.library`) — named
-  grids runnable via ``repro.api.run("serve-poisson")``,
-* :func:`~repro.serve.sweep.latency_load_spec` — arrival-rate × batch-cap
-  grids on the sweep runner/cache (the ``"serve"`` task),
-* :func:`~repro.serve.scheduler.simulate_serving` — the raw simulator.
+* ``repro.api.serve(...)`` / ``repro.api.serve_fleet(...)`` — one serving
+  (or fleet) run, full report,
+* the registered ``serve-*`` / ``fleet-*`` scenarios
+  (:mod:`repro.serve.library`) — named grids runnable via
+  ``repro.api.run("serve-poisson")`` / ``run("fleet-grid")``,
+* :func:`~repro.serve.sweep.latency_load_spec` /
+  :func:`~repro.serve.sweep.fleet_latency_spec` — load grids on the sweep
+  runner/cache (the ``"serve"`` and ``"fleet"`` tasks),
+* :func:`~repro.serve.scheduler.simulate_serving` /
+  :func:`~repro.serve.fleet.simulate_fleet` — the raw simulators.
 
 Everything is deterministic: a trace is a pure function of its seed and a
 report a pure function of (config, trace, schedule, hardware).
@@ -26,12 +36,18 @@ report a pure function of (config, trace, schedule, hardware).
 
 from .arrivals import (MCYCLE, ArrivalTrace, Request, burst_trace, load_trace,
                        poisson_trace, save_trace, trace_from_lists)
-from .report import (PERCENTILE_POINTS, RequestRecord, ServingReport, StepSample,
+from .report import (PERCENTILE_POINTS, FleetReport, ReplicaReport,
+                     RequestRecord, ScalingEvent, ServingReport, StepSample,
                      percentile, summarize)
 from .workload import ServeStepWorkload, ServeWorkload
-from .scheduler import ServeConfig, clear_step_cache, simulate_serving
-from .sweep import latency_load_spec, serve_point
-from . import library  # registers the serve-* scenarios  # noqa: F401
+from .scheduler import (ReplicaEngine, ServeConfig, StepMemo, clear_step_cache,
+                        simulate_serving, step_cache_stats)
+from .fleet import (AutoscalerConfig, FleetConfig, FleetWorkload, RoutingPolicy,
+                    get_routing_policy, register_routing_policy,
+                    routing_policy_names, simulate_fleet)
+from .sweep import (fleet_latency_spec, fleet_point, latency_load_spec,
+                    serve_point)
+from . import library  # registers the serve-* / fleet-* scenarios  # noqa: F401
 
 __all__ = [
     # arrivals
@@ -48,16 +64,33 @@ __all__ = [
     "RequestRecord",
     "StepSample",
     "ServingReport",
+    "FleetReport",
+    "ReplicaReport",
+    "ScalingEvent",
     "percentile",
     "summarize",
     # workloads
     "ServeStepWorkload",
     "ServeWorkload",
+    "FleetWorkload",
     # scheduler
     "ServeConfig",
+    "ReplicaEngine",
+    "StepMemo",
     "simulate_serving",
     "clear_step_cache",
+    "step_cache_stats",
+    # fleet
+    "AutoscalerConfig",
+    "FleetConfig",
+    "RoutingPolicy",
+    "simulate_fleet",
+    "register_routing_policy",
+    "get_routing_policy",
+    "routing_policy_names",
     # sweeps
     "latency_load_spec",
     "serve_point",
+    "fleet_latency_spec",
+    "fleet_point",
 ]

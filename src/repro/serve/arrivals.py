@@ -99,16 +99,31 @@ class ArrivalTrace:
 
     @property
     def duration(self) -> float:
-        """Cycles between the first and last arrival (0 for <= 1 request)."""
+        """Cycles between the first and last arrival.
+
+        0.0 when the trace has fewer than two requests (no span to measure)
+        and also when every request arrives at the same cycle (a single
+        burst) — distinguish the two via :attr:`mean_rate`, which is 0.0 for
+        the former and ``inf`` for the latter.
+        """
         if len(self.requests) < 2:
             return 0.0
         return self.requests[-1].arrival - self.requests[0].arrival
 
     @property
     def mean_rate(self) -> float:
-        """Observed arrival rate in requests per million cycles."""
-        if self.duration <= 0:
+        """Observed arrival rate in requests per million cycles.
+
+        ``(n - 1) / duration``: the reciprocal of the mean inter-arrival gap.
+        Degenerate traces are well-defined rather than silently zero: fewer
+        than two requests carry no inter-arrival information at all, so the
+        rate is 0.0, while two or more requests landing at the *same* cycle
+        (a single burst) have a zero mean gap, so the rate is ``math.inf``.
+        """
+        if len(self.requests) < 2:
             return 0.0
+        if self.duration <= 0:
+            return math.inf
         return (len(self.requests) - 1) / self.duration * MCYCLE
 
     @property

@@ -9,7 +9,13 @@ Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
   caps under the dynamic schedule: how much batching headroom the engine
   needs before queueing collapses,
 * ``"serve-burst"`` — bursty versus steady arrivals at the same marginal
-  rate: the tail-latency cost of synchronized traffic.
+  rate: the tail-latency cost of synchronized traffic,
+* ``"fleet-grid"`` — the fleet-scale picture: replica counts × routing
+  policies × arrival rates, every cell a full multi-replica dispatch run
+  (:mod:`repro.serve.fleet`),
+* ``"fleet-autoscale"`` — reactive autoscaling against fixed fleets under
+  the same bursty traffic: what scale-up cold starts cost and what
+  over-provisioning wastes.
 
 All factories take keyword overrides; the defaults are smoke-sized (a few
 dozen requests, two decoder layers) so the scenarios run in seconds — pass
@@ -156,4 +162,85 @@ def serve_burst(model_scale: int = 32, arrival_rate: float = 150.0,
         schedules=Schedule.dynamic(),
         seed=seed,
         description="bursty vs steady arrivals at equal offered load",
+    )
+
+
+@register_scenario("fleet-grid")
+def fleet_grid(model_scale: int = 32, rates: Sequence[float] = (160.0, 640.0),
+               replicas: Sequence[int] = (1, 2),
+               routings: Sequence[str] = ("round-robin", "least-loaded"),
+               num_requests: int = 12, batch_cap: int = 2, num_layers: int = 2,
+               warmup_cycles: float = 0.0,
+               prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+               prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+               output_mean: float = SMOKE_LENGTHS["output_mean"],
+               output_max: int = SMOKE_LENGTHS["output_max"],
+               kv_tile_rows: int = 128, seed: int = 0) -> Scenario:
+    """Fleet serving grid: replica counts × routing policies × arrival rates."""
+    from .arrivals import poisson_trace
+    from .fleet import FleetWorkload
+
+    model = _serve_model(model_scale)
+    workloads = {
+        f"r{n}:{policy}:rate={rate:g}": FleetWorkload(
+            model=model,
+            trace=poisson_trace(rate=rate, num_requests=num_requests, seed=seed,
+                                prompt_mean=prompt_mean, prompt_max=prompt_max,
+                                output_mean=output_mean, output_max=output_max),
+            num_replicas=n, routing=policy, warmup_cycles=warmup_cycles,
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed)
+        for n in replicas for policy in routings for rate in rates
+    }
+    return Scenario(
+        name="fleet-grid",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="multi-replica dispatch: replicas x routing x arrival rates",
+    )
+
+
+@register_scenario("fleet-autoscale")
+def fleet_autoscale(model_scale: int = 32, arrival_rate: float = 640.0,
+                    burst_size: int = 4, num_requests: int = 16,
+                    batch_cap: int = 2, num_layers: int = 2,
+                    max_replicas: int = 3, warmup_cycles: float = 50_000.0,
+                    scale_up_depth: float = 3.0, scale_down_depth: float = 0.5,
+                    cooldown_cycles: float = 50_000.0,
+                    prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                    prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                    output_mean: float = SMOKE_LENGTHS["output_mean"],
+                    output_max: int = SMOKE_LENGTHS["output_max"],
+                    kv_tile_rows: int = 128, seed: int = 0) -> Scenario:
+    """Reactive autoscaling vs fixed fleets under the same bursty traffic."""
+    from .arrivals import burst_trace
+    from .fleet import AutoscalerConfig, FleetWorkload
+
+    model = _serve_model(model_scale)
+    trace = burst_trace(rate=arrival_rate, num_requests=num_requests,
+                        burst_size=burst_size, seed=seed,
+                        prompt_mean=prompt_mean, prompt_max=prompt_max,
+                        output_mean=output_mean, output_max=output_max)
+    common = dict(model=model, trace=trace, routing="least-loaded",
+                  batch_cap=batch_cap, num_layers=num_layers,
+                  kv_tile_rows=kv_tile_rows, seed=seed)
+    autoscaler = AutoscalerConfig(
+        min_replicas=1, max_replicas=max_replicas,
+        scale_up_depth=scale_up_depth, scale_down_depth=scale_down_depth,
+        cooldown_cycles=cooldown_cycles)
+    workloads = {
+        "fixed-min": FleetWorkload(num_replicas=1, warmup_cycles=warmup_cycles,
+                                   **common),
+        "fixed-max": FleetWorkload(num_replicas=max_replicas,
+                                   warmup_cycles=warmup_cycles, **common),
+        "autoscaled": FleetWorkload(num_replicas=1, warmup_cycles=warmup_cycles,
+                                    autoscaler=autoscaler, **common),
+    }
+    return Scenario(
+        name="fleet-autoscale",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="reactive autoscaling vs fixed fleets under bursty load",
     )

@@ -3,6 +3,11 @@
 A :class:`ServingReport` is the serving counterpart of
 :class:`repro.sim.runner.SimReport`: everything a latency-vs-load study needs,
 serialized symmetrically (``to_dict``/``from_dict`` round-trip bit-for-bit).
+A :class:`FleetReport` aggregates one :class:`ServingReport` per replica (each
+wrapped in a :class:`ReplicaReport` carrying spawn/retire lifecycle) plus the
+autoscaler's :class:`ScalingEvent` timeline into fleet-level metrics:
+combined latency percentiles over every request, per-replica utilization and
+imbalance, and the scaling history.
 
 Latency definitions (all in engine cycles):
 
@@ -30,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigError
 from .arrivals import MCYCLE
@@ -248,4 +253,225 @@ class ServingReport:
             distinct_steps=int(payload["distinct_steps"]),
             requests=tuple(RequestRecord.from_dict(r) for r in payload["requests"]),
             steps=tuple(StepSample.from_dict(s) for s in payload["steps"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-level results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaler decision on the fleet timeline."""
+
+    #: cycle at which the decision was taken (an arrival evaluation point)
+    cycle: float
+    #: ``"scale-up"`` (a cold replica spawned) or ``"scale-down"`` (retired)
+    action: str
+    #: active replicas *after* the event
+    num_replicas: int
+    #: the smoothed per-replica queue depth that triggered the decision
+    signal: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cycle": self.cycle, "action": self.action,
+                "num_replicas": self.num_replicas, "signal": self.signal}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScalingEvent":
+        return cls(cycle=float(payload["cycle"]), action=payload["action"],
+                   num_replicas=int(payload["num_replicas"]),
+                   signal=float(payload["signal"]))
+
+
+@dataclass
+class ReplicaReport:
+    """One replica's serving history plus its fleet lifecycle.
+
+    ``serving`` is a full single-engine :class:`ServingReport` — a fleet of
+    one replica with zero warm-up wraps *exactly* the report
+    :func:`~repro.serve.scheduler.simulate_serving` would produce.
+    ``retired_at`` is the cycle the autoscaler stopped routing to the replica
+    (it still drains its queue afterwards); ``None`` means active at the end.
+    """
+
+    replica_id: int
+    spawned_at: float
+    serving: ServingReport
+    retired_at: Optional[float] = None
+
+    @property
+    def busy_cycles(self) -> float:
+        """Cycles this replica spent executing steps."""
+        return float(sum(s.cycles for s in self.serving.steps))
+
+    def utilization(self, fleet_cycles: float) -> float:
+        """Busy fraction of the replica's lifetime within the fleet run.
+
+        The lifetime runs from spawn to the fleet makespan — a retired
+        replica still exists (idle) until the run ends, so early scale-downs
+        show up as low utilization rather than vanishing from the average.
+        """
+        span = max(fleet_cycles, self.serving.total_cycles) - self.spawned_at
+        if span <= 0:
+            return 0.0
+        return self.busy_cycles / span
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"replica_id": self.replica_id, "spawned_at": self.spawned_at,
+                "retired_at": self.retired_at, "serving": self.serving.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReplicaReport":
+        retired = payload.get("retired_at")
+        return cls(replica_id=int(payload["replica_id"]),
+                   spawned_at=float(payload["spawned_at"]),
+                   retired_at=None if retired is None else float(retired),
+                   serving=ServingReport.from_dict(payload["serving"]))
+
+
+@dataclass
+class FleetReport:
+    """The complete result of one multi-replica serving simulation."""
+
+    #: the trace name the fleet served
+    trace: str
+    #: the schedule label every replica ran under
+    schedule: str
+    #: the dispatcher's routing policy name
+    routing: str
+    #: replicas at simulation start (the autoscaler may add/retire more)
+    initial_replicas: int
+    #: cold-start penalty each replica paid before its first step
+    warmup_cycles: float = 0.0
+    replicas: Tuple[ReplicaReport, ...] = ()
+    scaling_events: Tuple[ScalingEvent, ...] = ()
+    #: end of the last step across the fleet (the makespan of the run)
+    total_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.replicas = tuple(self.replicas)
+        self.scaling_events = tuple(self.scaling_events)
+
+    # -- aggregates ------------------------------------------------------------------
+    @property
+    def requests(self) -> Tuple[RequestRecord, ...]:
+        """Every served request across the fleet, ordered by request id."""
+        merged = [r for replica in self.replicas for r in replica.serving.requests]
+        return tuple(sorted(merged, key=lambda r: r.request_id))
+
+    @property
+    def num_requests(self) -> int:
+        return sum(r.serving.num_requests for r in self.replicas)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.serving.total_output_tokens for r in self.replicas)
+
+    @property
+    def num_replicas(self) -> int:
+        """Replicas that existed at any point during the run."""
+        return len(self.replicas)
+
+    @property
+    def final_replicas(self) -> int:
+        """Replicas still accepting traffic when the run ended."""
+        return sum(1 for r in self.replicas if r.retired_at is None)
+
+    def ttft(self) -> Dict[str, float]:
+        return summarize([r.ttft for r in self.requests])
+
+    def tpot(self) -> Dict[str, float]:
+        return summarize([r.tpot for r in self.requests if r.output_tokens > 1])
+
+    def e2e(self) -> Dict[str, float]:
+        return summarize([r.e2e for r in self.requests])
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per million cycles of fleet makespan."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.num_requests / self.total_cycles * MCYCLE
+
+    @property
+    def token_throughput(self) -> float:
+        """Generated tokens per thousand cycles of fleet makespan."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.total_output_tokens / self.total_cycles * 1000.0
+
+    def utilization(self) -> Dict[str, float]:
+        """Mean / min / max busy fraction across the replicas."""
+        if not self.replicas:
+            return {"mean": 0.0, "min": 0.0, "max": 0.0}
+        fractions = [r.utilization(self.total_cycles) for r in self.replicas]
+        return {"mean": float(sum(fractions) / len(fractions)),
+                "min": float(min(fractions)), "max": float(max(fractions))}
+
+    @property
+    def imbalance(self) -> float:
+        """Routing skew: max over mean busy cycles per replica (1.0 = even).
+
+        0.0 when no replica did any work; a least-loaded policy should keep
+        this near 1.0 where round-robin drifts upward under skewed traffic.
+        """
+        busy = [r.busy_cycles for r in self.replicas]
+        if not busy or sum(busy) == 0:
+            return 0.0
+        return float(max(busy) / (sum(busy) / len(busy)))
+
+    # -- flat metrics (what scenario grids and the sweep cache store) ----------------
+    def metrics(self) -> Dict[str, float]:
+        """The flat, JSON-able payload a fleet sweep point reports."""
+        flat: Dict[str, float] = {
+            "cycles": float(self.total_cycles),
+            "requests": float(self.num_requests),
+            "output_tokens": float(self.total_output_tokens),
+            "goodput_rpmc": float(self.goodput),
+            "tokens_per_kcycle": float(self.token_throughput),
+            "replicas_initial": float(self.initial_replicas),
+            "replicas_total": float(self.num_replicas),
+            "replicas_final": float(self.final_replicas),
+            "scale_ups": float(sum(1 for e in self.scaling_events
+                                   if e.action == "scale-up")),
+            "scale_downs": float(sum(1 for e in self.scaling_events
+                                     if e.action == "scale-down")),
+            "imbalance": float(self.imbalance),
+        }
+        for key, value in self.utilization().items():
+            flat[f"util_{key}"] = value
+        for prefix, summary in (("ttft", self.ttft()), ("tpot", self.tpot()),
+                                ("e2e", self.e2e())):
+            for key, value in summary.items():
+                flat[f"{prefix}_{key}"] = value
+        return flat
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The full report as plain JSON, symmetric with :meth:`from_dict`."""
+        return {
+            "trace": self.trace,
+            "schedule": self.schedule,
+            "routing": self.routing,
+            "initial_replicas": self.initial_replicas,
+            "warmup_cycles": self.warmup_cycles,
+            "total_cycles": self.total_cycles,
+            "replicas": [r.to_dict() for r in self.replicas],
+            "scaling_events": [e.to_dict() for e in self.scaling_events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FleetReport":
+        return cls(
+            trace=payload["trace"],
+            schedule=payload["schedule"],
+            routing=payload["routing"],
+            initial_replicas=int(payload["initial_replicas"]),
+            warmup_cycles=float(payload["warmup_cycles"]),
+            total_cycles=float(payload["total_cycles"]),
+            replicas=tuple(ReplicaReport.from_dict(r)
+                           for r in payload["replicas"]),
+            scaling_events=tuple(ScalingEvent.from_dict(e)
+                                 for e in payload["scaling_events"]),
         )

@@ -1,7 +1,10 @@
 """The continuous-batching serving scheduler (Orca-style iteration scheduling).
 
-:func:`simulate_serving` drives an open-loop :class:`~repro.serve.arrivals.
-ArrivalTrace` through a continuous-batching server:
+:class:`ReplicaEngine` is the unit of serving capacity: one continuous-batching
+server that can be **stepped incrementally** — submit requests, advance its
+clock, step it, drain it — which is what lets :mod:`repro.serve.fleet` run N
+replicas side by side behind a dispatcher.  :func:`simulate_serving` drives an
+open-loop :class:`~repro.serve.arrivals.ArrivalTrace` through a single engine:
 
 * requests wait in a FIFO **queue** until a slot in the running batch (at most
   ``batch_cap`` requests) frees up; admission happens at *step* granularity,
@@ -23,14 +26,18 @@ granularity at which the simulator tiles KV anyway).  Decode steps change
 signature only every ``kv_tile_rows`` generated tokens, so a serving run
 simulates a handful of distinct steps while replaying hundreds — and the
 memoization is invisible in the results: the report is a pure function of
-``(config, trace, schedule, hardware)``, bit-identical across runs.
+``(config, trace, schedule, hardware)``, bit-identical across runs.  The memo
+is **bounded** (:class:`StepMemo`): fleet sweeps over replicas × rates ×
+policies touch many distinct contexts, so the process-wide cache caps its
+entry count and evicts least-recently-used entries deterministically;
+:func:`step_cache_stats` exposes hit/miss/eviction counters for debugging.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import ConfigError
 from ..platforms import PlatformLike, resolve_platform
@@ -42,16 +49,78 @@ from .arrivals import ArrivalTrace, Request, quantize_up
 from .report import RequestRecord, ServingReport, StepSample
 from .workload import ServeStepWorkload
 
+#: entry cap of the process-wide step-cost memo.  Each entry is one simulated
+#: step cost (a float keyed by context + signature); the cap bounds a fleet
+#: sweep's footprint while staying far above what any single run touches.
+STEP_MEMO_MAXSIZE = 8192
+
+
+class StepMemo:
+    """A bounded step-cost memo with deterministic LRU eviction.
+
+    ``get``/``put`` maintain least-recently-used order, so the eviction
+    sequence is a pure function of the access sequence — two processes
+    replaying the same runs evict identically.  Eviction only ever costs a
+    re-simulation (results are memo-independent), never correctness; the
+    hit/miss/eviction counters exist to make that trade-off observable.
+    """
+
+    def __init__(self, maxsize: int = STEP_MEMO_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ConfigError(f"StepMemo maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[str, Tuple], float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple[str, Tuple]) -> Optional[float]:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple[str, Tuple], value: float) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (counters included); returns the entry count."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        return {"size": len(self._entries), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
 #: (context key, step signature) -> step cycles, shared within the process so
 #: sweep points over the same model/schedule reuse each other's steps
-_STEP_MEMO: Dict[Tuple[str, Tuple], float] = {}
+_STEP_MEMO = StepMemo()
 
 
 def clear_step_cache() -> int:
     """Drop the in-process step-cost memo (returns the number of entries)."""
-    count = len(_STEP_MEMO)
-    _STEP_MEMO.clear()
-    return count
+    return _STEP_MEMO.clear()
+
+
+def step_cache_stats() -> Dict[str, int]:
+    """Size/hit/miss/eviction counters of the process-wide step memo."""
+    return _STEP_MEMO.stats()
 
 
 @dataclass(frozen=True)
@@ -127,9 +196,158 @@ def _step_cycles(config: ServeConfig, schedule: Schedule, hardware: HardwareConf
             moe_compute_bw=config.moe_compute_bw,
             attention_compute_bw=config.attention_compute_bw)
         cycles = step.run(schedule, hardware)["cycles"]
-        _STEP_MEMO[key] = cycles
+        _STEP_MEMO.put(key, cycles)
     fresh[signature] = cycles
     return cycles
+
+
+class ReplicaEngine:
+    """One continuous-batching server, steppable from the outside.
+
+    The engine owns a clock (``now``, in cycles), a FIFO waiting queue, the
+    running batch and the records/steps it has produced.  A driver — the
+    single-engine :func:`simulate_serving` loop or the fleet dispatcher in
+    :mod:`repro.serve.fleet` — feeds it requests with :meth:`submit` and moves
+    time with :meth:`advance_to` / :meth:`step` / :meth:`drain`.
+
+    The contract with the driver: a request must be submitted before the
+    engine is stepped past its arrival (submit at arrival time, after
+    ``advance_to(arrival)``).  Under that contract the engine reproduces the
+    classic single-loop scheduler exactly: a request joins the first step
+    whose start is at or after its arrival, and an idle engine's clock jumps
+    to the earliest queued arrival instead of spinning.
+
+    ``warmup_cycles`` models cold-start cost: the engine's first step ever is
+    preceded by a one-time clock penalty (weights loading, compilation —
+    whatever makes a freshly spawned replica slow).  Zero keeps the engine
+    bit-identical to the pre-fleet scheduler.
+    """
+
+    def __init__(self, config: ServeConfig, schedule: Optional[Schedule] = None,
+                 hardware: PlatformLike = None, *, warmup_cycles: float = 0.0,
+                 start_cycle: float = 0.0, replica_id: int = 0) -> None:
+        if warmup_cycles < 0:
+            raise ConfigError(f"warmup_cycles must be >= 0, got {warmup_cycles}")
+        self.config = config
+        self.schedule = schedule or Schedule.dynamic()
+        self.hardware = resolve_platform(hardware).hardware
+        self.warmup_cycles = float(warmup_cycles)
+        self.replica_id = replica_id
+        self.spawned_at = float(start_cycle)
+        self.now = float(start_cycle)
+        self._context = _context_key(config, self.schedule, self.hardware)
+        self._waiting: Deque[Request] = deque()
+        self._running: List[_Active] = []
+        self._records: List[RequestRecord] = []
+        self._steps: List[StepSample] = []
+        self._signatures: Dict[Tuple, float] = {}
+        self._warmed = self.warmup_cycles == 0.0
+
+    # -- dispatcher-visible state ----------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests on this replica (waiting + running) — the load signal."""
+        return len(self._waiting) + len(self._running)
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def kv_load(self) -> int:
+        """Aggregate KV footprint: running KV lengths plus waiting prompts."""
+        return (sum(a.kv_length for a in self._running)
+                + sum(r.prompt_tokens for r in self._waiting))
+
+    @property
+    def steps(self) -> Tuple[StepSample, ...]:
+        return tuple(self._steps)
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(s.cycles for s in self._steps)
+
+    # -- driving ---------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Queue a request (FIFO).  Call at arrival time — see the contract."""
+        self._waiting.append(request)
+
+    def step(self) -> StepSample:
+        """Run one scheduler iteration: admit, simulate, advance the clock."""
+        if not self.has_work:
+            raise ConfigError(f"replica {self.replica_id}: step() with no work")
+        if not self._running:
+            # idle engine: the step begins when the earliest queued request
+            # arrived, not at the engine's stale clock (no idle spinning)
+            self.now = max(self.now, self._waiting[0].arrival)
+        if not self._warmed:
+            # one-time cold-start penalty before the first step ever runs
+            self.now += self.warmup_cycles
+            self._warmed = True
+        while self._waiting and self._waiting[0].arrival <= self.now \
+                and len(self._running) < self.config.batch_cap:
+            self._running.append(_Active(self._waiting.popleft()))
+
+        running = self._running
+        prefills = [a for a in running if a.generated == 0]
+        num_tokens = (sum(a.request.prompt_tokens for a in prefills)
+                      + len(running) - len(prefills))
+        kv_lengths = tuple(sorted(
+            quantize_up(a.kv_length, self.config.kv_tile_rows) for a in running))
+        cycles = _step_cycles(self.config, self.schedule, self.hardware,
+                              self._context, num_tokens, kv_lengths,
+                              self._signatures)
+        sample = StepSample(start=self.now, cycles=cycles, running=len(running),
+                            queued=len(self._waiting), tokens=num_tokens,
+                            prefills=len(prefills))
+        self._steps.append(sample)
+        self.now += cycles
+
+        still: List[_Active] = []
+        for active in running:
+            if active.generated == 0:
+                active.first_token = self.now
+            active.generated += 1
+            if active.generated >= active.request.output_tokens:
+                self._records.append(RequestRecord(
+                    request_id=active.request.request_id,
+                    arrival=active.request.arrival,
+                    first_token=active.first_token,
+                    completion=self.now,
+                    prompt_tokens=active.request.prompt_tokens,
+                    output_tokens=active.request.output_tokens))
+            else:
+                still.append(active)
+        self._running = still
+        return sample
+
+    def advance_to(self, cycle: float) -> None:
+        """Step until the clock reaches ``cycle`` (or the engine runs dry).
+
+        The loop condition is strict (``now < cycle``): a step starting
+        exactly at ``cycle`` must see anything submitted at that instant, so
+        the driver submits first and steps after.
+        """
+        while self.has_work and self.now < cycle:
+            self.step()
+
+    def drain(self) -> None:
+        """Step until every queued and running request has completed."""
+        while self.has_work:
+            self.step()
+
+    def report(self, trace_name: str) -> ServingReport:
+        """The engine's history as a :class:`ServingReport` (sorted records)."""
+        records = sorted(self._records, key=lambda r: r.request_id)
+        return ServingReport(trace=trace_name, schedule=self.schedule.name,
+                             batch_cap=self.config.batch_cap,
+                             requests=tuple(records), steps=tuple(self._steps),
+                             total_cycles=self.now,
+                             distinct_steps=len(self._signatures))
 
 
 def simulate_serving(config: ServeConfig, trace: ArrivalTrace,
@@ -145,62 +363,13 @@ def simulate_serving(config: ServeConfig, trace: ArrivalTrace,
 
     Deterministic: the report (requests, steps, every latency) is a pure
     function of the arguments — rerunning with the same seed reproduces it
-    bit-for-bit, memoization or not.
+    bit-for-bit, memoization or not.  This is exactly a one-replica,
+    zero-warm-up fleet: the loop drives a single :class:`ReplicaEngine` the
+    same way the fleet dispatcher drives each of its replicas.
     """
-    schedule = schedule or Schedule.dynamic()
-    hardware = resolve_platform(hardware).hardware
-    context = _context_key(config, schedule, hardware)
-
-    pending = deque(trace.requests)
-    waiting: deque = deque()
-    running: List[_Active] = []
-    records: List[RequestRecord] = []
-    steps: List[StepSample] = []
-    signatures: Dict[Tuple, float] = {}
-    now = 0.0
-
-    while pending or waiting or running:
-        # arrivals up to the current step boundary join the FIFO queue ...
-        while pending and pending[0].arrival <= now:
-            waiting.append(pending.popleft())
-        # ... and fill free batch slots (iteration-granularity admission)
-        while waiting and len(running) < config.batch_cap:
-            running.append(_Active(waiting.popleft()))
-        if not running:
-            now = max(now, pending[0].arrival)
-            continue
-
-        prefills = [a for a in running if a.generated == 0]
-        num_tokens = (sum(a.request.prompt_tokens for a in prefills)
-                      + len(running) - len(prefills))
-        kv_lengths = tuple(sorted(
-            quantize_up(a.kv_length, config.kv_tile_rows) for a in running))
-        cycles = _step_cycles(config, schedule, hardware, context,
-                              num_tokens, kv_lengths, signatures)
-        steps.append(StepSample(start=now, cycles=cycles, running=len(running),
-                                queued=len(waiting), tokens=num_tokens,
-                                prefills=len(prefills)))
-        now += cycles
-
-        still: List[_Active] = []
-        for active in running:
-            if active.generated == 0:
-                active.first_token = now
-            active.generated += 1
-            if active.generated >= active.request.output_tokens:
-                records.append(RequestRecord(
-                    request_id=active.request.request_id,
-                    arrival=active.request.arrival,
-                    first_token=active.first_token,
-                    completion=now,
-                    prompt_tokens=active.request.prompt_tokens,
-                    output_tokens=active.request.output_tokens))
-            else:
-                still.append(active)
-        running = still
-
-    records.sort(key=lambda r: r.request_id)
-    return ServingReport(trace=trace.name, schedule=schedule.name,
-                         batch_cap=config.batch_cap, requests=tuple(records),
-                         steps=tuple(steps), total_cycles=now,
-                         distinct_steps=len(signatures))
+    engine = ReplicaEngine(config, schedule, hardware)
+    for request in trace.requests:
+        engine.advance_to(request.arrival)
+        engine.submit(request)
+    engine.drain()
+    return engine.report(trace.name)

@@ -14,14 +14,18 @@ Hardware arrives as a named :class:`~repro.platforms.Platform` (the
 subsystem, so serving load grids can sweep platforms exactly like scenarios
 do and platform identity participates in every cache key.
 
-Two grid builders:
+Three grid builders:
 
 * :func:`latency_load_spec` — one (schedule, model) pair swept over arrival
   rates and batch caps,
 * :func:`serve_latency_spec` — the full latency-vs-load record: schedules ×
   arrival rates × batch caps in **one** cartesian spec, which is what the
   registered ``"serve-latency"`` experiment wraps (see
-  :mod:`repro.experiments.serve_latency`).
+  :mod:`repro.experiments.serve_latency`),
+* :func:`fleet_latency_spec` — the fleet-scale record over the ``"fleet"``
+  task: replicas × routing policies × arrival rates in one cartesian spec
+  (the ``"fleet-latency"`` experiment, see
+  :mod:`repro.experiments.fleet_latency`).
 
 The ``seed`` lives in ``base`` so every grid point serves the *same-seed*
 traffic (rate changes the inter-arrival scale, not the random stream), which
@@ -41,6 +45,7 @@ from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
                        DEFAULT_OUTPUT_SIGMA, DEFAULT_PROMPT_MAX,
                        DEFAULT_PROMPT_MEAN, DEFAULT_PROMPT_QUANTUM,
                        DEFAULT_PROMPT_SIGMA, poisson_trace)
+from .fleet import AutoscalerConfig, FleetConfig, simulate_fleet
 from .scheduler import ServeConfig, simulate_serving
 
 #: the per-point knobs the load-grid builders may forward beyond the grid axes
@@ -114,6 +119,81 @@ def latency_load_spec(model: ModelConfig, schedule: Schedule,
         base=base,
         axes={"arrival_rate": [float(r) for r in rates],
               "batch_cap": [int(c) for c in batch_caps]},
+        mode="cartesian",
+        seed=seed,
+    )
+
+
+@register_task("fleet")
+def fleet_point(model: ModelConfig, schedule: Schedule,
+                arrival_rate: float, num_replicas: int, routing: str,
+                batch_cap: int, num_requests: int,
+                platform: Optional[Platform] = None, hardware=None,
+                seed: int = 0, num_layers: int = 2, kv_tile_rows: int = 64,
+                warmup_cycles: float = 0.0,
+                autoscaler: Optional[AutoscalerConfig] = None,
+                prompt_mean: float = DEFAULT_PROMPT_MEAN,
+                prompt_sigma: float = DEFAULT_PROMPT_SIGMA,
+                prompt_max: int = DEFAULT_PROMPT_MAX,
+                prompt_quantum: int = DEFAULT_PROMPT_QUANTUM,
+                output_mean: float = DEFAULT_OUTPUT_MEAN,
+                output_sigma: float = DEFAULT_OUTPUT_SIGMA,
+                output_max: int = DEFAULT_OUTPUT_MAX) -> Dict[str, float]:
+    """One fleet design point: generate the trace, serve it on N replicas.
+
+    Mirrors :func:`serve_point` with the fleet axes on top — the trace is
+    rebuilt inside the worker and the returned payload carries the swept
+    coordinates (rate, replica count, routing policy) alongside the
+    fleet metrics so result rows are self-describing.
+    """
+    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
+                          prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
+                          prompt_max=prompt_max, prompt_quantum=prompt_quantum,
+                          output_mean=output_mean, output_sigma=output_sigma,
+                          output_max=output_max)
+    serve = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
+                        kv_tile_rows=kv_tile_rows, seed=seed)
+    config = FleetConfig(serve=serve, num_replicas=num_replicas, routing=routing,
+                         warmup_cycles=warmup_cycles, autoscaler=autoscaler)
+    report = simulate_fleet(config, trace, schedule,
+                            hardware=hardware if hardware is not None else platform)
+    return {"arrival_rate": float(arrival_rate),
+            "num_replicas": float(num_replicas), "routing": routing,
+            **report.metrics()}
+
+
+def fleet_latency_spec(model: ModelConfig, schedule: Schedule,
+                       rates: Sequence[float],
+                       num_replicas: Sequence[int] = (1, 2, 4),
+                       routings: Sequence[str] = ("round-robin", "least-loaded",
+                                                  "least-kv"),
+                       batch_cap: int = 4, num_requests: int = 32, seed: int = 0,
+                       platform: PlatformLike = None, num_layers: int = 2,
+                       warmup_cycles: float = 0.0,
+                       autoscaler: Optional[AutoscalerConfig] = None,
+                       name: str = "fleet-latency",
+                       **trace_kwargs) -> SweepSpec:
+    """The fleet study as **one** cartesian spec over the ``"fleet"`` task.
+
+    Axes are (replicas, routing, arrival rate), replica-major, so the grid
+    row for replicas ``i``, routing ``j``, rate ``k`` sits at index
+    ``(i * len(routings) + j) * len(rates) + k``.  Every point serves the
+    *same-seed* traffic (the seed lives in ``base``), which is what makes the
+    latency-vs-replicas curves comparable across their points.
+    """
+    if not rates:
+        raise ConfigError("fleet_latency_spec: at least one arrival rate is required")
+    base = _load_grid_base(model, platform, num_requests, seed, num_layers,
+                           trace_kwargs)
+    base.update({"schedule": schedule, "batch_cap": batch_cap,
+                 "warmup_cycles": warmup_cycles, "autoscaler": autoscaler})
+    return SweepSpec(
+        name=name,
+        task="fleet",
+        base=base,
+        axes={"num_replicas": [int(n) for n in num_replicas],
+              "routing": list(routings),
+              "arrival_rate": [float(r) for r in rates]},
         mode="cartesian",
         seed=seed,
     )

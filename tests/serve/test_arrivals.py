@@ -1,5 +1,7 @@
 """Arrival-process tests: determinism, distribution shape, serialization."""
 
+import math
+
 import pytest
 
 from repro.core.errors import ConfigError
@@ -63,6 +65,37 @@ class TestBurstTrace:
     def test_deterministic(self):
         assert burst_trace(rate=50.0, num_requests=8, seed=9) == \
             burst_trace(rate=50.0, num_requests=8, seed=9)
+
+
+class TestDegenerateTraceStatistics:
+    """duration / mean_rate on traces without a measurable span.
+
+    Pre-fix, every degenerate trace reported ``mean_rate == 0.0`` — a
+    single burst of simultaneous requests (infinitely fast arrivals) was
+    indistinguishable from an empty trace (no arrivals at all).
+    """
+
+    def test_empty_trace_has_zero_duration_and_rate(self):
+        trace = trace_from_lists([], [], [], name="empty")
+        assert trace.duration == 0.0
+        assert trace.mean_rate == 0.0
+
+    def test_single_request_has_zero_duration_and_rate(self):
+        trace = trace_from_lists([5.0], [16], [2], name="solo")
+        assert trace.duration == 0.0
+        assert trace.mean_rate == 0.0
+
+    def test_single_burst_has_zero_duration_but_infinite_rate(self):
+        trace = trace_from_lists([100.0, 100.0, 100.0], [16, 16, 16],
+                                 [2, 2, 2], name="one-burst")
+        assert trace.duration == 0.0
+        assert trace.mean_rate == math.inf
+
+    def test_spread_trace_unaffected(self):
+        trace = trace_from_lists([0.0, 1_000_000.0], [16, 16], [2, 2],
+                                 name="spread")
+        assert trace.duration == 1_000_000.0
+        assert trace.mean_rate == pytest.approx(1.0)
 
 
 class TestExplicitTraces:

@@ -6,8 +6,8 @@ import pytest
 
 from repro.core.errors import ConfigError
 from repro.schedules import Schedule
-from repro.serve import (ServeConfig, clear_step_cache, poisson_trace,
-                         simulate_serving, trace_from_lists)
+from repro.serve import (ServeConfig, StepMemo, clear_step_cache, poisson_trace,
+                         simulate_serving, step_cache_stats, trace_from_lists)
 from repro.workloads.configs import QWEN3_30B_A3B, scaled_config
 
 
@@ -123,6 +123,87 @@ class TestDeterminismAndMemo:
         # config do) cost differently, but structure is identical
         assert len(a.steps) == len(b.steps)
         assert a.num_requests == b.num_requests
+
+
+class TestBoundedMemo:
+    def test_memo_evicts_lru_beyond_maxsize(self):
+        memo = StepMemo(maxsize=2)
+        memo.put(("ctx", (1,)), 1.0)
+        memo.put(("ctx", (2,)), 2.0)
+        assert memo.get(("ctx", (1,))) == 1.0  # (1,) is now most-recent
+        memo.put(("ctx", (3,)), 3.0)           # evicts (2,), the LRU entry
+        assert len(memo) == 2
+        assert memo.get(("ctx", (2,))) is None
+        assert memo.get(("ctx", (1,))) == 1.0
+        assert memo.get(("ctx", (3,))) == 3.0
+        assert memo.stats()["evictions"] == 1
+
+    def test_memo_counts_hits_and_misses(self):
+        memo = StepMemo(maxsize=4)
+        assert memo.get(("ctx", (1,))) is None
+        memo.put(("ctx", (1,)), 1.0)
+        memo.get(("ctx", (1,)))
+        memo.get(("ctx", (1,)))
+        stats = memo.stats()
+        assert stats == {"size": 1, "maxsize": 4, "hits": 2, "misses": 1,
+                         "evictions": 0}
+        assert memo.clear() == 1
+        assert memo.stats() == {"size": 0, "maxsize": 4, "hits": 0,
+                                "misses": 0, "evictions": 0}
+
+    def test_memo_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ConfigError):
+            StepMemo(maxsize=0)
+
+    def test_process_memo_reports_activity(self, model):
+        clear_step_cache()
+        trace = poisson_trace(rate=200.0, num_requests=4, seed=1,
+                              prompt_mean=32.0, prompt_max=64,
+                              output_mean=3.0, output_max=6)
+        simulate_serving(config(model), trace, Schedule.dynamic())
+        cold = step_cache_stats()
+        assert cold["size"] > 0 and cold["misses"] > 0
+        simulate_serving(config(model), trace, Schedule.dynamic())
+        warm = step_cache_stats()
+        assert warm["hits"] > cold["hits"]
+        assert warm["size"] == cold["size"]
+
+    def test_eviction_pressure_never_changes_results(self, model, monkeypatch):
+        """A memo far too small to hold one run still reproduces the report
+        bit for bit — eviction costs re-simulation, never correctness."""
+        from repro.serve import scheduler
+
+        trace = poisson_trace(rate=300.0, num_requests=6, seed=1,
+                              prompt_mean=32.0, prompt_max=64,
+                              output_mean=3.0, output_max=6)
+        clear_step_cache()
+        reference = simulate_serving(config(model), trace, Schedule.dynamic())
+        monkeypatch.setattr(scheduler, "_STEP_MEMO", StepMemo(maxsize=1))
+        squeezed = simulate_serving(config(model), trace, Schedule.dynamic())
+        assert squeezed.to_dict() == reference.to_dict()
+        stats = scheduler.step_cache_stats()
+        assert stats["maxsize"] == 1
+        assert stats["evictions"] > 0
+
+
+class TestFloatAccumulation:
+    def test_clock_is_an_exact_prefix_sum_of_steps(self, model):
+        """``now += cycles`` with ``now == start`` makes the final clock
+        *exactly* ``last.start + last.cycles`` — no tolerance, pinned so a
+        refactor can't quietly reintroduce drift between the step records
+        and the report's total."""
+        trace = poisson_trace(rate=500.0, num_requests=24, seed=9,
+                              prompt_mean=32.0, prompt_max=64,
+                              output_mean=4.0, output_max=8)
+        report = simulate_serving(config(model), trace, Schedule.dynamic())
+        assert len(report.steps) > 20
+        last = report.steps[-1]
+        assert last.start + last.cycles == report.total_cycles  # exact
+        # every step starts exactly where the previous ended, or later
+        # (an idle jump to a queued arrival) — never earlier, never drifted
+        for prev, cur in zip(report.steps, report.steps[1:]):
+            end = prev.start + prev.cycles
+            assert cur.start == end or cur.start > end
 
 
 class TestEdgeCases:
