@@ -20,7 +20,8 @@ metrics*.  This package expresses that pattern once, in declarative layers:
    registered, JSON-round-trippable hardware configuration
    (:func:`get_platform` / :func:`register_platform` /
    :func:`platform_names`; presets ``"sda"``, ``"sda-hbm256"``,
-   ``"sda-detailed"``); :func:`resolve_platform` is the single resolution
+   ``"sda-detailed"``, ``"sda-hbm-small"``); :func:`resolve_platform` is the
+   single resolution
    path every subsystem uses instead of per-call-site hardware defaults.
 4. **Scenarios** (:mod:`repro.api.scenario`) — a :class:`Scenario` is a named
    workloads × schedules × platforms grid plus a seed; :func:`run` executes
@@ -74,7 +75,8 @@ from ..serve import library as _serve_library  # registers serve-* scenarios  # 
 
 
 def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 2,
-          hardware=None, kv_tile_rows: int = 64, seed: int = 0):
+          hardware=None, kv_tile_rows: int = 64, kv_mode: str = "paged",
+          eviction_policy: str = "evict-lru", seed: int = 0):
     """Run one open-loop serving simulation and return its full report.
 
     ``trace`` is a :class:`repro.serve.ArrivalTrace` (build one with
@@ -82,30 +84,38 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
     load a recorded JSON trace with :func:`repro.serve.load_trace`);
     ``schedule`` defaults to the paper's dynamic schedule.  Returns the
     :class:`repro.serve.ServingReport` with per-request TTFT/TPOT/e2e records,
-    percentiles, goodput and the queue-depth timeline.  For grids (rates ×
-    schedules × caps), prefer the registered ``serve-*`` scenarios or
-    :func:`repro.serve.latency_load_spec`.
+    percentiles, goodput and the queue-depth timeline.  On a platform with a
+    finite ``hbm_capacity_bytes``, ``kv_mode`` (``"paged"`` or
+    ``"contiguous"``) selects the KV allocator and ``eviction_policy`` the
+    preemption victim order (see :func:`repro.serve.eviction_policy_names`);
+    both are inert — and the report bit-identical — when capacity is
+    unbounded.  For grids (rates × schedules × caps), prefer the registered
+    ``serve-*`` scenarios or :func:`repro.serve.latency_load_spec`.
     """
     from ..serve.scheduler import ServeConfig, simulate_serving
 
     config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
-                         kv_tile_rows=kv_tile_rows, seed=seed)
+                         kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
+                         eviction_policy=eviction_policy, seed=seed)
     return simulate_serving(config, trace, schedule, hardware=hardware)
 
 
 def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
                 routing: str = "round-robin", warmup_cycles: float = 0.0,
                 autoscaler=None, batch_cap: int = 8, num_layers: int = 2,
-                hardware=None, kv_tile_rows: int = 64, seed: int = 0):
+                hardware=None, kv_tile_rows: int = 64, kv_mode: str = "paged",
+                eviction_policy: str = "evict-lru", seed: int = 0):
     """Serve one trace on a fleet of replicas and return its full report.
 
     The fleet runs ``num_replicas`` copies of the continuous-batching engine
     behind a dispatcher using the named ``routing`` policy (``"round-robin"``,
-    ``"least-loaded"`` or ``"least-kv"``; see
+    ``"least-loaded"``, ``"least-kv"`` or ``"most-free-kv"``; see
     :func:`repro.serve.routing_policy_names`).  ``warmup_cycles`` charges each
     replica a one-time cold-start cost before its first step; pass an
     :class:`repro.serve.AutoscalerConfig` as ``autoscaler`` to scale the fleet
-    reactively with queue depth.  Returns the :class:`repro.serve.FleetReport`
+    reactively with queue depth.  ``kv_mode`` / ``eviction_policy`` configure
+    every replica's KV allocator exactly as in :func:`serve` (inert on
+    unbounded platforms).  Returns the :class:`repro.serve.FleetReport`
     with per-replica serving reports, fleet-level latency percentiles,
     utilization/imbalance and the scaling-event timeline.  A fleet of one
     replica with zero warm-up reproduces :func:`serve` bit-for-bit.
@@ -115,7 +125,8 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
 
     serve_config = ServeConfig(model=model, batch_cap=batch_cap,
                                num_layers=num_layers,
-                               kv_tile_rows=kv_tile_rows, seed=seed)
+                               kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
+                               eviction_policy=eviction_policy, seed=seed)
     config = FleetConfig(serve=serve_config, num_replicas=num_replicas,
                          routing=routing, warmup_cycles=warmup_cycles,
                          autoscaler=autoscaler)

@@ -33,6 +33,7 @@ from typing import (Any, ClassVar, Dict, Optional, Protocol, Sequence, Type,
 
 from ..core.errors import ConfigError
 from ..core.graph import Program
+from ..platforms import resolve_platform
 from ..schedules import Schedule
 from ..sim import simulate
 from ..sim.executors.common import HardwareConfig
@@ -106,6 +107,9 @@ class WorkloadBase:
 
     def run(self, schedule: Schedule,
             hardware: Optional[HardwareConfig] = None) -> Dict[str, float]:
+        # any platform-ish value (Platform, name, raw config, None) resolves
+        # to the raw HardwareConfig the graph simulator consumes
+        hardware = resolve_platform(hardware).hardware
         built = self.build(schedule, hardware)
         report = simulate(built.program, built.inputs, hardware=hardware)
         return report.to_dict()
@@ -296,6 +300,7 @@ class DecoderWorkload(WorkloadBase):
 
     def run(self, schedule: Schedule,
             hardware: Optional[HardwareConfig] = None) -> Dict[str, float]:
+        hardware = resolve_platform(hardware).hardware
         result = evaluate_end_to_end(
             self.model, schedule, self.batch, list(self.kv_lengths),
             [list(a) for a in self.assignments], num_layers=self.num_layers,

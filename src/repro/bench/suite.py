@@ -17,6 +17,9 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``serve-poisson`` / ``serve-burst`` — request-level serving runs from
   :mod:`repro.serve` (continuous-batching scheduler + step-cost simulation;
   dominated by the serving step memoization and replay path).
+* ``serve-overload`` — the same engine under finite HBM
+  (:mod:`repro.serve.memory`): per-step KV page-pool accounting,
+  memory-aware admission and preemption-with-recompute.
 * ``fleet-grid`` / ``fleet-autoscale`` — multi-replica fleet dispatch runs
   (:mod:`repro.serve.fleet`; dispatcher event loop, routing-policy selection
   and the reactive autoscaler on top of the serving replay path).
@@ -143,6 +146,18 @@ def _serve_burst(scale: str) -> Scenario:
     if scale == "full":
         return get_scenario("serve-burst", num_requests=96, batch_cap=8)
     return get_scenario("serve-burst", num_requests=48, output_max=12)
+
+
+# serve-overload exercises the memory-pressure path the other serving cases
+# never touch: KV page-pool accounting on every step, admission gating and
+# (on the bounded platform) eviction + requeue + prefill recompute.
+
+@register_case("serve-overload",
+               "load ladder on unbounded vs capacity-bounded HBM (paged KV)")
+def _serve_overload(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("serve-overload", num_requests=48, rates=(160.0, 640.0))
+    return get_scenario("serve-overload", num_requests=24, rates=(640.0,))
 
 
 # The fleet cases add the dispatcher on top: N replica engines advanced in

@@ -71,6 +71,12 @@ class ExperimentScale:
     fleet_routings: Tuple[str, ...] = ("round-robin", "least-loaded", "least-kv")
     #: one-time cold-start cost charged per fleet replica (cycles)
     fleet_warmup_cycles: float = 0.0
+    #: HBM budgets (in KV pages of ``kv_tile_rows`` rows) swept by the
+    #: memory-pressure experiment; ``None`` is the unbounded baseline
+    memory_capacity_pages: Tuple[Optional[int], ...] = (None, 8, 4)
+    #: TTFT budget (cycles) the memory-pressure experiment's strict goodput
+    #: counts against (requests over budget complete but aren't "good")
+    memory_ttft_slo: float = 150_000.0
     seed: int = 0
 
 
@@ -94,6 +100,7 @@ SMOKE_SCALE = ExperimentScale(
     serve_requests=12,
     fleet_replicas=(1, 2),
     fleet_routings=("round-robin", "least-loaded"),
+    memory_ttft_slo=50_000.0,
 )
 
 

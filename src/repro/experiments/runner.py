@@ -37,6 +37,7 @@ from . import (figure1,
     figure19_20,
     figure21,
     fleet_latency,
+    memory_pressure,
     serve_latency)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
@@ -61,6 +62,8 @@ FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
 NAMED: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
     "serve-latency": lambda scale, runner: serve_latency.run(scale, runner=runner),
     "fleet-latency": lambda scale, runner: fleet_latency.run(scale, runner=runner),
+    "memory-pressure": lambda scale, runner: memory_pressure.run(scale,
+                                                                 runner=runner),
 }
 
 #: every runnable experiment: figures by number plus the named experiments

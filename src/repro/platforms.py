@@ -29,7 +29,16 @@ Shipped presets (the Section 5.1 configurations):
 * ``"sda-hbm256"`` — the high on-chip-bandwidth variant (256 B/cycle) the
   Figure 8 validation sweep runs on,
 * ``"sda-detailed"`` — the default hardware under the ``"detailed"``
-  physical-tile timing model (Section 4.5).
+  physical-tile timing model (Section 4.5),
+* ``"sda-hbm-small"`` — the SDA with a deliberately tiny HBM capacity
+  (:attr:`Platform.hbm_capacity_bytes`) so KV-cache capacity cliffs are
+  reachable in smoke-sized serving runs (see :mod:`repro.serve.memory`).
+
+Beyond bandwidth, platforms can model **finite HBM capacity**:
+``hbm_capacity_bytes`` bounds the bytes available to the serving KV cache
+(``None`` — the default on every pre-existing preset — keeps memory unbounded,
+so all prior results are reproduced bit for bit).  The serving engine derives
+a page budget from it via :func:`repro.serve.memory.kv_bytes_per_row`.
 
 This module deliberately imports only the simulator-facing config type, so the
 serving, workload and API layers can all resolve platforms without cycles.
@@ -62,9 +71,14 @@ class Platform:
 
     name: str
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    #: HBM bytes available to the serving KV cache; ``None`` = unbounded
+    #: (every pre-capacity result is reproduced bit for bit).  This is a
+    #: compared field: two platforms differing only in capacity are distinct
+    #: design points with distinct sweep-cache identities.
+    hbm_capacity_bytes: Optional[int] = None
     #: compare=False keeps the description out of equality *and* of the sweep
     #: cache's content hashes (canonicalize skips non-compared fields): a
-    #: platform's cache identity is exactly its name + hardware
+    #: platform's cache identity is its name + hardware + capacity
     description: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -73,18 +87,34 @@ class Platform:
         if not isinstance(self.hardware, HardwareConfig):
             raise ConfigError(f"platform {self.name!r}: hardware must be a "
                               f"HardwareConfig, got {self.hardware!r}")
+        if self.hbm_capacity_bytes is not None and self.hbm_capacity_bytes <= 0:
+            raise ConfigError(f"platform {self.name!r}: hbm_capacity_bytes must "
+                              f"be positive or None (unbounded), got "
+                              f"{self.hbm_capacity_bytes}")
 
-    def replace(self, name: str, description: str = "", **hardware_overrides) -> "Platform":
-        """A derived platform: same hardware with field overrides, new name."""
+    def replace(self, name: str, description: str = "",
+                hbm_capacity_bytes: Union[Optional[int], str] = "inherit",
+                **hardware_overrides) -> "Platform":
+        """A derived platform: same hardware with field overrides, new name.
+
+        ``hbm_capacity_bytes`` defaults to the sentinel ``"inherit"`` (keep
+        the base platform's capacity); pass an int to bound it or ``None`` to
+        lift the bound.
+        """
+        capacity = (self.hbm_capacity_bytes if hbm_capacity_bytes == "inherit"
+                    else hbm_capacity_bytes)
         return Platform(name=name,
                         hardware=dataclasses.replace(self.hardware, **hardware_overrides),
+                        hbm_capacity_bytes=capacity,
                         description=description or self.description)
 
     def label(self) -> str:
         hw = self.hardware
+        capacity = ("" if self.hbm_capacity_bytes is None
+                    else f", hbm={format_bytes(self.hbm_capacity_bytes)}")
         return (f"{self.name}(onchip={hw.onchip_bandwidth:g}, "
                 f"offchip={hw.offchip_bandwidth:g}, tile={hw.compute_tile}, "
-                f"{hw.timing_model})")
+                f"{hw.timing_model}{capacity})")
 
     # -- serialization ---------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -92,15 +122,27 @@ class Platform:
         return {
             "name": self.name,
             "description": self.description,
+            "hbm_capacity_bytes": self.hbm_capacity_bytes,
             "hardware": {f.name: getattr(self.hardware, f.name)
                          for f in dataclasses.fields(self.hardware)},
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Platform":
+        capacity = payload.get("hbm_capacity_bytes")
         return cls(name=payload["name"],
                    hardware=HardwareConfig(**dict(payload.get("hardware") or {})),
+                   hbm_capacity_bytes=None if capacity is None else int(capacity),
                    description=payload.get("description", ""))
+
+
+def format_bytes(nbytes: int) -> str:
+    """A compact power-of-two byte label (``131072`` -> ``"128K"``)."""
+    if nbytes % (1024 * 1024) == 0:
+        return f"{nbytes // (1024 * 1024)}M"
+    if nbytes % 1024 == 0:
+        return f"{nbytes // 1024}K"
+    return str(nbytes)
 
 
 # ---------------------------------------------------------------------------
@@ -201,6 +243,7 @@ def platform_grid(base: PlatformLike = None, *,
                   offchip_bandwidths: Sequence[float] = (),
                   compute_tiles: Sequence[int] = (),
                   timing_models: Sequence[str] = (),
+                  hbm_capacities: Sequence[Optional[int]] = (),
                   prefix: Optional[str] = None) -> Dict[str, Platform]:
     """One-axis-at-a-time hardware variants of ``base`` as a platforms mapping.
 
@@ -212,6 +255,11 @@ def platform_grid(base: PlatformLike = None, *,
 
         platform_grid(onchip_bandwidths=(64, 128, 256))
         # {"sda": ..., "sda-onchip128": ..., "sda-onchip256": ...}
+
+    ``hbm_capacities`` sweeps the HBM byte budget of the serving KV cache
+    (``platform_grid(hbm_capacities=(131072, 65536))`` yields ``sda-hbm128K``
+    and ``sda-hbm64K``); a ``None`` entry derives an explicitly unbounded
+    variant of a capacity-bounded base.
     """
     resolved = resolve_platform(base)
     prefix = prefix or resolved.name
@@ -238,6 +286,14 @@ def platform_grid(base: PlatformLike = None, *,
         if model != resolved.hardware.timing_model:
             add(str(model), f"{resolved.name} under the {model!r} timing model",
                 timing_model=str(model))
+    for capacity in hbm_capacities:
+        if capacity != resolved.hbm_capacity_bytes:
+            suffix = ("hbm-unbounded" if capacity is None
+                      else f"hbm{format_bytes(int(capacity))}")
+            text = ("unbounded HBM" if capacity is None
+                    else f"{format_bytes(int(capacity))}B of KV-cache HBM")
+            add(suffix, f"{resolved.name} with {text}",
+                hbm_capacity_bytes=None if capacity is None else int(capacity))
     return grid
 
 
@@ -265,4 +321,15 @@ SDA_HBM256 = register_platform(SDA.replace(
 SDA_DETAILED = register_platform(SDA.replace(
     "sda-detailed", timing_model="detailed",
     description="SDA under the 'detailed' physical-tile timing model (Section 4.5)",
+))
+
+#: the SDA with a deliberately tiny KV-cache HBM budget: 128 KiB is a handful
+#: of KV pages for the smoke-scale serving models (see repro.serve.memory), so
+#: capacity cliffs, preemption and paged-vs-contiguous contrasts are all
+#: reachable in smoke-sized runs.  Bandwidths and timing are unchanged —
+#: contrast against "sda" isolates pure capacity effects.
+SDA_HBM_SMALL = register_platform(SDA.replace(
+    "sda-hbm-small", hbm_capacity_bytes=128 * 1024,
+    description="SDA with a tiny 128 KiB KV-cache HBM budget "
+                "(capacity-cliff studies at smoke scale)",
 ))

@@ -11,11 +11,20 @@ a unified :class:`~repro.schedules.Schedule`, and the run yields a
 :class:`~repro.serve.report.ServingReport` with TTFT / TPOT / e2e latency
 percentiles, goodput and a queue-depth timeline.
 
+Under a platform with finite ``hbm_capacity_bytes``, KV-cache bytes become a
+schedulable resource (:mod:`repro.serve.memory`): a paged allocator
+(:class:`~repro.serve.memory.KVPagePool`) backs memory-aware admission and
+preemption-with-recompute in the engine, with pluggable eviction policies
+(``evict-lru`` / ``evict-largest-kv`` / ``evict-youngest``) and a
+:class:`~repro.serve.memory.MemoryStats` block on every report.  Unbounded
+platforms (the default) skip all of it and stay bit-identical.
+
 Scaling up, :mod:`repro.serve.fleet` runs N replicas behind a dispatcher:
-pluggable routing policies (round-robin / least-loaded / least-kv), per-replica
-cold-start warm-up cost and a reactive queue-depth autoscaler, reported as a
-:class:`~repro.serve.report.FleetReport` aggregating the per-replica serving
-reports with fleet-level percentiles, utilization and the scaling timeline.
+pluggable routing policies (round-robin / least-loaded / least-kv /
+most-free-kv), per-replica cold-start warm-up cost and a reactive queue-depth
+autoscaler, reported as a :class:`~repro.serve.report.FleetReport` aggregating
+the per-replica serving reports with fleet-level percentiles, utilization and
+the scaling timeline.
 
 Entry points, highest level first:
 
@@ -40,13 +49,16 @@ from .report import (PERCENTILE_POINTS, FleetReport, ReplicaReport,
                      RequestRecord, ScalingEvent, ServingReport, StepSample,
                      percentile, summarize)
 from .workload import ServeStepWorkload, ServeWorkload
+from .memory import (EVICTION_POLICIES, KV_MODES, EvictionPolicy, KVPagePool,
+                     MemoryStats, eviction_policy_names, get_eviction_policy,
+                     kv_bytes_per_row, register_eviction_policy)
 from .scheduler import (ReplicaEngine, ServeConfig, StepMemo, clear_step_cache,
                         simulate_serving, step_cache_stats)
 from .fleet import (AutoscalerConfig, FleetConfig, FleetWorkload, RoutingPolicy,
                     get_routing_policy, register_routing_policy,
                     routing_policy_names, simulate_fleet)
 from .sweep import (fleet_latency_spec, fleet_point, latency_load_spec,
-                    serve_point)
+                    memory_pressure_spec, serve_point)
 from . import library  # registers the serve-* / fleet-* scenarios  # noqa: F401
 
 __all__ = [
@@ -73,6 +85,16 @@ __all__ = [
     "ServeStepWorkload",
     "ServeWorkload",
     "FleetWorkload",
+    # memory
+    "KV_MODES",
+    "KVPagePool",
+    "MemoryStats",
+    "kv_bytes_per_row",
+    "EvictionPolicy",
+    "EVICTION_POLICIES",
+    "register_eviction_policy",
+    "get_eviction_policy",
+    "eviction_policy_names",
     # scheduler
     "ServeConfig",
     "ReplicaEngine",
@@ -93,4 +115,5 @@ __all__ = [
     "serve_point",
     "fleet_latency_spec",
     "fleet_point",
+    "memory_pressure_spec",
 ]

@@ -7,9 +7,11 @@ across a *fleet* of them.  This module adds the dispatcher layer:
 * **Routing policies** behind a registry (:func:`register_routing_policy` /
   :func:`get_routing_policy`): ``"round-robin"`` cycles over the active
   replicas, ``"least-loaded"`` picks the smallest queue depth
-  (waiting + running requests) and ``"least-kv"`` the smallest aggregate KV
-  footprint — the serving analogue of the schedule registry pattern, so
-  policies are a sweepable axis,
+  (waiting + running requests), ``"least-kv"`` the smallest aggregate KV
+  footprint (in ``kv_tile_rows``-quantized rows) and ``"most-free-kv"`` the
+  most unreserved KV pages on capacity-bounded platforms — the serving
+  analogue of the schedule registry pattern, so policies are a sweepable
+  axis,
 * **Warm-up cost**: every replica is cold until its first step and pays
   ``warmup_cycles`` once (weights loading / compilation), which is what makes
   reactive scale-up a latency trade-off instead of a free lunch,
@@ -131,14 +133,42 @@ class LeastLoadedPolicy(RoutingPolicy):
 class LeastKVPolicy(RoutingPolicy):
     """Dispatch to the replica with the smallest aggregate KV footprint.
 
-    Queue depth counts requests; the KV signal weighs them by context size
-    (running KV lengths plus waiting prompts), so one long-context request
-    counts for many short ones — the memory-pressure view of load.
+    Queue depth counts requests; the KV signal weighs them by context size,
+    so one long-context request counts for many short ones — the
+    memory-pressure view of load.  The signal
+    (:attr:`~repro.serve.scheduler.ReplicaEngine.kv_load`) is each request's
+    KV rows **quantized up to ``kv_tile_rows``** — the granularity the
+    simulator actually allocates at — summed over running requests (current
+    context) and waiting ones (the context their next fill materializes).
+    Quantization makes near-equal footprints compare *equal*; ties then
+    break on ``replica_id`` (lowest wins), so the assignment is deterministic
+    and independent of Python hash seeds.
     """
 
     def choose(self, replicas: Sequence[ReplicaEngine],
                request: Request) -> ReplicaEngine:
         return min(replicas, key=lambda r: (r.kv_load, r.replica_id))
+
+
+@register_routing_policy("most-free-kv")
+class MostFreeKVPolicy(RoutingPolicy):
+    """Dispatch to the replica with the most unreserved KV pages.
+
+    The capacity-aware sibling of ``least-kv``: instead of comparing demand
+    (KV rows queued per replica) it compares *supply* —
+    :attr:`~repro.serve.scheduler.ReplicaEngine.free_kv_pages`, the pages the
+    replica's pool has left — so requests steer away from replicas about to
+    preempt.  Replicas on unbounded platforms report infinite free pages and
+    therefore always win over capacity-bounded ones; among equals the
+    quantized ``kv_load`` and then the ``replica_id`` break ties, which keeps
+    the policy meaningful (it degrades to exactly ``least-kv``) when no
+    replica has a pool at all.
+    """
+
+    def choose(self, replicas: Sequence[ReplicaEngine],
+               request: Request) -> ReplicaEngine:
+        return min(replicas,
+                   key=lambda r: (-r.free_kv_pages, r.kv_load, r.replica_id))
 
 
 # ---------------------------------------------------------------------------
@@ -357,6 +387,8 @@ class FleetWorkload(WorkloadBase):
     moe_compute_bw: int = 8192
     attention_compute_bw: int = 256
     seed: int = 0
+    kv_mode: str = "paged"
+    eviction_policy: str = "evict-lru"
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None):
@@ -369,7 +401,8 @@ class FleetWorkload(WorkloadBase):
                             kv_tile_rows=self.kv_tile_rows,
                             moe_compute_bw=self.moe_compute_bw,
                             attention_compute_bw=self.attention_compute_bw,
-                            seed=self.seed)
+                            seed=self.seed, kv_mode=self.kv_mode,
+                            eviction_policy=self.eviction_policy)
         return FleetConfig(serve=serve, num_replicas=self.num_replicas,
                            routing=self.routing,
                            warmup_cycles=self.warmup_cycles,

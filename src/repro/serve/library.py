@@ -10,6 +10,12 @@ Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
   needs before queueing collapses,
 * ``"serve-burst"`` — bursty versus steady arrivals at the same marginal
   rate: the tail-latency cost of synchronized traffic,
+* ``"serve-overload"`` — the same load ladder on unbounded (``sda``) versus
+  capacity-bounded (``sda-hbm-small``) HBM: where the finite KV pool starts
+  costing goodput (admission stalls, preemptions, recompute),
+* ``"serve-paged-vs-contiguous"`` — the two KV allocation disciplines under
+  one tight HBM budget: paged preempts-and-recomputes, contiguous
+  stalls-and-fragments (see :mod:`repro.serve.memory`),
 * ``"fleet-grid"`` — the fleet-scale picture: replica counts × routing
   policies × arrival rates, every cell a full multi-replica dispatch run
   (:mod:`repro.serve.fleet`),
@@ -43,6 +49,15 @@ DEFAULT_RATES = (40.0, 160.0, 640.0)
 #: the advertised surfaces always describe the same traffic
 SMOKE_LENGTHS = {"prompt_mean": 48.0, "prompt_max": 192,
                  "output_mean": 6.0, "output_max": 24}
+
+#: the decode-heavy profile the memory-pressure surfaces share (serve-overload,
+#: serve-paged-vs-contiguous and the memory-pressure experiment).  Longer
+#: outputs make running requests *grow* across KV-page boundaries — which is
+#: what triggers preemption — while ``prompt_max + output_max`` (208 rows)
+#: still fits the 4-page ``sda-hbm-small`` pool, so every request is servable
+#: and pressure shows up as stalls/evictions rather than rejected traffic
+OVERLOAD_LENGTHS = {"prompt_mean": 48.0, "prompt_max": 160,
+                    "output_mean": 24.0, "output_max": 48}
 
 
 def _serve_model(model_scale: int, max_experts=16):
@@ -162,6 +177,96 @@ def serve_burst(model_scale: int = 32, arrival_rate: float = 150.0,
         schedules=Schedule.dynamic(),
         seed=seed,
         description="bursty vs steady arrivals at equal offered load",
+    )
+
+
+@register_scenario("serve-overload")
+def serve_overload(model_scale: int = 32, rates: Sequence[float] = DEFAULT_RATES,
+                   num_requests: int = 16, batch_cap: int = 4,
+                   num_layers: int = 2,
+                   prompt_mean: float = OVERLOAD_LENGTHS["prompt_mean"],
+                   prompt_max: int = OVERLOAD_LENGTHS["prompt_max"],
+                   output_mean: float = OVERLOAD_LENGTHS["output_mean"],
+                   output_max: int = OVERLOAD_LENGTHS["output_max"],
+                   kv_tile_rows: int = 64, eviction_policy: str = "evict-lru",
+                   seed: int = 0) -> Scenario:
+    """The same load ladder on unbounded vs capacity-bounded HBM.
+
+    Every cell pair isolates pure capacity effects: ``sda`` and
+    ``sda-hbm-small`` share bandwidths and timing, so the goodput gap and the
+    nonzero ``preemptions`` / ``admission_stalls`` columns are entirely the
+    finite KV pool.  Decode-heavy traffic (:data:`OVERLOAD_LENGTHS`) keeps
+    preemption reachable at smoke size.
+    """
+    from ..platforms import get_platform
+    from .arrivals import poisson_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    workloads = {
+        f"rate={rate:g}": ServeWorkload(
+            model=model,
+            trace=poisson_trace(rate=rate, num_requests=num_requests, seed=seed,
+                                prompt_mean=prompt_mean, prompt_max=prompt_max,
+                                output_mean=output_mean, output_max=output_max),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, eviction_policy=eviction_policy,
+            seed=seed)
+        for rate in rates
+    }
+    return Scenario(
+        name="serve-overload",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        platforms={name: get_platform(name)
+                   for name in ("sda", "sda-hbm-small")},
+        seed=seed,
+        description="overload ladder on unbounded vs capacity-bounded HBM",
+    )
+
+
+@register_scenario("serve-paged-vs-contiguous")
+def serve_paged_vs_contiguous(model_scale: int = 32, arrival_rate: float = 300.0,
+                              num_requests: int = 16, batch_cap: int = 4,
+                              num_layers: int = 2,
+                              prompt_mean: float = OVERLOAD_LENGTHS["prompt_mean"],
+                              prompt_max: int = OVERLOAD_LENGTHS["prompt_max"],
+                              output_mean: float = OVERLOAD_LENGTHS["output_mean"],
+                              output_max: int = OVERLOAD_LENGTHS["output_max"],
+                              kv_tile_rows: int = 64,
+                              eviction_policy: str = "evict-lru",
+                              seed: int = 0) -> Scenario:
+    """Paged vs contiguous KV allocation on the capacity-bounded platform.
+
+    Identical traffic, identical pool — only the allocation discipline
+    differs.  Paged admits on *current* demand and pays for it with
+    preemptions/recompute under pressure; contiguous reserves each request's
+    lifetime maximum up front, never preempts, and pays instead with
+    admission stalls and reserved-but-unused fragmentation.
+    """
+    from ..platforms import get_platform
+    from .arrivals import poisson_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests,
+                          seed=seed, prompt_mean=prompt_mean,
+                          prompt_max=prompt_max, output_mean=output_mean,
+                          output_max=output_max)
+    workloads = {
+        mode: ServeWorkload(model=model, trace=trace, batch_cap=batch_cap,
+                            num_layers=num_layers, kv_tile_rows=kv_tile_rows,
+                            kv_mode=mode, eviction_policy=eviction_policy,
+                            seed=seed)
+        for mode in ("paged", "contiguous")
+    }
+    return Scenario(
+        name="serve-paged-vs-contiguous",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        platforms={"sda-hbm-small": get_platform("sda-hbm-small")},
+        seed=seed,
+        description="paged vs contiguous KV allocation under a tight HBM budget",
     )
 
 

@@ -1,0 +1,411 @@
+"""Finite KV-cache memory: the paged allocator and eviction policies.
+
+:mod:`repro.platforms` gives a :class:`~repro.platforms.Platform` bandwidth
+*and* — via ``hbm_capacity_bytes`` — a finite HBM byte budget.  This module
+turns that budget into a schedulable resource for the serving engine:
+
+* :func:`kv_bytes_per_row` derives the bytes one KV row (one token's K and V
+  vectors across the simulated decoder layers) occupies from the model dims,
+* :class:`KVPagePool` manages the budget as fixed-size **pages** of
+  ``page_rows`` KV rows each (``page_rows`` is the scheduler's
+  ``kv_tile_rows`` — the granularity at which the simulator tiles KV anyway),
+  in one of two allocation modes:
+
+  - ``"paged"`` — vLLM-style on-demand paging: a request reserves only the
+    pages its *current* KV needs at admission and grows page by page as it
+    decodes; growth can fail under pressure, which is what triggers
+    preemption in the scheduler,
+  - ``"contiguous"`` — the classic pre-paging discipline: a request reserves
+    its **maximum lifetime** KV (prompt + all output tokens, rounded up to
+    whole pages) at admission, so decoding never fails but reserved-and-
+    unused rows sit idle — the reservation waste the paged-vs-contiguous
+    scenarios measure,
+
+* an **eviction-policy registry** (:func:`register_eviction_policy` /
+  :func:`get_eviction_policy`) deciding which running request to preempt when
+  a decode step cannot grow its KV: ``"evict-lru"`` (least recently
+  (re)admitted), ``"evict-largest-kv"`` (frees the most pages) and
+  ``"evict-youngest"`` (most recently admitted — the least recompute work
+  lost).  Every policy is deterministic: ties break on ``request_id``,
+
+* :class:`MemoryStats` — the run-level memory summary carried by
+  :class:`~repro.serve.report.ServingReport` (peak/mean occupancy,
+  fragmentation, preemption/recompute/admission-stall counters), serialized
+  symmetrically via ``to_dict``/``from_dict``.
+
+The pool models *accounting*, not addresses: whether pages are physically
+scattered is invisible to a cycle-level simulator, so "contiguous" manifests
+purely as the up-front worst-case reservation.  Fragmentation here is the
+**internal** kind — reserved-page rows not yet holding a KV entry — which is
+exactly the waste axis the two modes trade against admission concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigError
+from ..workloads.configs import ModelConfig
+
+#: the KV allocation modes KVPagePool understands
+KV_MODES = ("paged", "contiguous")
+
+#: bytes per stored KV element (BF16, matching the simulator's tile dtype)
+KV_BYTES_PER_ELEMENT = 2
+
+
+def kv_bytes_per_row(model: ModelConfig, num_layers: int,
+                     bytes_per_element: int = KV_BYTES_PER_ELEMENT) -> int:
+    """Bytes one KV row (one token's K **and** V) occupies across the layers.
+
+    ``num_layers`` is the serving configuration's simulated decoder-layer
+    count (:attr:`repro.serve.scheduler.ServeConfig.num_layers`), not the full
+    model depth — the engine only materializes KV for the layers it steps.
+    """
+    if num_layers < 1:
+        raise ConfigError(f"kv_bytes_per_row: num_layers must be >= 1, "
+                          f"got {num_layers}")
+    return 2 * model.kv_dim * num_layers * bytes_per_element
+
+
+@dataclass
+class _Reservation:
+    """One request's slice of the pool: reserved pages + rows actually used."""
+
+    pages: int
+    rows: int
+
+
+class KVPagePool:
+    """A fixed-capacity KV page allocator (paged or contiguous discipline).
+
+    All sizes are in *rows* (tokens) and *pages* (``page_rows`` rows each);
+    byte budgets convert via :meth:`from_bytes`.  The pool never evicts on its
+    own — it only reports failure (``try_admit``/``try_grow`` returning
+    ``False``), and the scheduler decides whom to preempt.
+    """
+
+    def __init__(self, capacity_pages: int, page_rows: int,
+                 mode: str = "paged") -> None:
+        if capacity_pages < 1:
+            raise ConfigError(f"KVPagePool needs >= 1 page, got {capacity_pages}")
+        if page_rows < 1:
+            raise ConfigError(f"KVPagePool page_rows must be >= 1, got {page_rows}")
+        if mode not in KV_MODES:
+            raise ConfigError(f"unknown KV allocation mode {mode!r}; "
+                              f"expected one of {list(KV_MODES)}")
+        self.capacity_pages = capacity_pages
+        self.page_rows = page_rows
+        self.mode = mode
+        self._reservations: Dict[int, _Reservation] = {}
+        self._used_pages = 0
+        # -- counters ----------------------------------------------------------------
+        self.admits = 0
+        self.grows = 0
+        self.failed_admits = 0
+        self.failed_grows = 0
+        self.releases = 0
+        self.peak_pages = 0
+
+    @classmethod
+    def from_bytes(cls, capacity_bytes: int, page_rows: int, row_bytes: int,
+                   mode: str = "paged") -> "KVPagePool":
+        """A pool over a byte budget: ``capacity_bytes // (page_rows * row_bytes)``
+        whole pages (a partial trailing page is unusable and dropped)."""
+        if row_bytes < 1:
+            raise ConfigError(f"KVPagePool row_bytes must be >= 1, got {row_bytes}")
+        pages = int(capacity_bytes) // (page_rows * row_bytes)
+        if pages < 1:
+            raise ConfigError(
+                f"hbm_capacity_bytes={capacity_bytes} holds no whole KV page "
+                f"({page_rows} rows x {row_bytes} B/row = "
+                f"{page_rows * row_bytes} B/page)")
+        return cls(capacity_pages=pages, page_rows=page_rows, mode=mode)
+
+    # -- geometry --------------------------------------------------------------------
+    def pages_for(self, rows: int) -> int:
+        """Pages needed to hold ``rows`` KV rows (ceil division, min 1)."""
+        return max(1, math.ceil(rows / self.page_rows))
+
+    @property
+    def used_pages(self) -> int:
+        return self._used_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self._used_pages
+
+    @property
+    def used_rows(self) -> int:
+        """KV rows actually resident (across every reservation)."""
+        return sum(r.rows for r in self._reservations.values())
+
+    @property
+    def occupancy(self) -> float:
+        """Reserved fraction of the page budget, in [0, 1]."""
+        return self._used_pages / self.capacity_pages
+
+    @property
+    def fragmentation(self) -> float:
+        """Reserved-but-unused row fraction (internal fragmentation).
+
+        0.0 with nothing reserved; under the contiguous discipline this is
+        dominated by the not-yet-decoded tail of each worst-case reservation.
+        """
+        reserved_rows = self._used_pages * self.page_rows
+        if reserved_rows == 0:
+            return 0.0
+        return 1.0 - self.used_rows / reserved_rows
+
+    def fits_lifetime(self, max_rows: int) -> bool:
+        """Whether a request needing at most ``max_rows`` can *ever* run here."""
+        return self.pages_for(max_rows) <= self.capacity_pages
+
+    # -- allocation ------------------------------------------------------------------
+    def try_admit(self, request_id: int, rows: int, max_rows: int) -> bool:
+        """Reserve a new request's KV; ``False`` when it doesn't fit *now*.
+
+        ``rows`` is the KV the request needs immediately (its prompt plus any
+        recomputed tokens); ``max_rows`` its maximum lifetime KV.  The paged
+        discipline reserves pages for ``rows``, the contiguous one for
+        ``max_rows`` up front.
+        """
+        if request_id in self._reservations:
+            raise ConfigError(f"request {request_id} is already admitted")
+        pages = self.pages_for(max_rows if self.mode == "contiguous" else rows)
+        if pages > self.free_pages:
+            self.failed_admits += 1
+            return False
+        self._reservations[request_id] = _Reservation(pages=pages, rows=rows)
+        self._used_pages += pages
+        self.admits += 1
+        self.peak_pages = max(self.peak_pages, self._used_pages)
+        return True
+
+    def try_grow(self, request_id: int, rows: int) -> bool:
+        """Grow a reservation to hold ``rows``; ``False`` when pages ran out.
+
+        Contiguous reservations already cover their lifetime maximum, so
+        growth within it always succeeds (exceeding it is a scheduler bug and
+        raises).  A failed paged growth leaves the reservation untouched —
+        the scheduler preempts someone and retries.
+        """
+        try:
+            reservation = self._reservations[request_id]
+        except KeyError:
+            raise ConfigError(f"request {request_id} grew without admission") from None
+        needed = self.pages_for(rows)
+        if needed <= reservation.pages:
+            reservation.rows = rows
+            return True
+        if self.mode == "contiguous":
+            raise ConfigError(
+                f"request {request_id}: contiguous reservation of "
+                f"{reservation.pages} pages exceeded ({rows} rows)")
+        delta = needed - reservation.pages
+        if delta > self.free_pages:
+            self.failed_grows += 1
+            return False
+        reservation.pages = needed
+        reservation.rows = rows
+        self._used_pages += delta
+        self.grows += 1
+        self.peak_pages = max(self.peak_pages, self._used_pages)
+        return True
+
+    def release(self, request_id: int) -> int:
+        """Free a request's pages (on completion or preemption); returns them."""
+        try:
+            reservation = self._reservations.pop(request_id)
+        except KeyError:
+            raise ConfigError(f"request {request_id} released without admission") \
+                from None
+        self._used_pages -= reservation.pages
+        self.releases += 1
+        return reservation.pages
+
+    def stats(self) -> Dict[str, int]:
+        """The pool's counter snapshot (sizes in pages)."""
+        return {"capacity_pages": self.capacity_pages,
+                "used_pages": self._used_pages, "peak_pages": self.peak_pages,
+                "admits": self.admits, "failed_admits": self.failed_admits,
+                "grows": self.grows, "failed_grows": self.failed_grows,
+                "releases": self.releases}
+
+
+# ---------------------------------------------------------------------------
+# Eviction policies
+# ---------------------------------------------------------------------------
+
+class EvictionPolicy:
+    """Picks the running request to preempt when KV growth fails.
+
+    ``select`` sees the *candidate* set — running requests that have not yet
+    secured this step's KV growth (the grower itself excluded) — and returns
+    one of them.  Candidates expose ``request.request_id``, ``kv_length`` and
+    ``admitted_at`` (the cycle of their latest (re-)admission).
+    Implementations must be deterministic: equal keys break ties on
+    ``request_id`` so reruns preempt identically.
+    """
+
+    name: ClassVar[str] = ""
+
+    def select(self, candidates: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+
+#: policy name -> zero-argument factory producing a fresh policy instance
+EVICTION_POLICIES: Dict[str, Callable[[], EvictionPolicy]] = {}
+
+
+def register_eviction_policy(name: str):
+    """Decorator registering an eviction-policy class under ``name``."""
+
+    def wrap(cls):
+        if name in EVICTION_POLICIES:
+            raise ConfigError(f"eviction policy {name!r} is already registered")
+        cls.name = name
+        EVICTION_POLICIES[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_eviction_policy(name: str) -> EvictionPolicy:
+    """A fresh instance of the registered policy ``name``."""
+    try:
+        factory = EVICTION_POLICIES[name]
+    except KeyError:
+        raise ConfigError(f"unknown eviction policy {name!r}; "
+                          f"registered: {eviction_policy_names()}") from None
+    return factory()
+
+
+def eviction_policy_names() -> List[str]:
+    """The registered eviction-policy names, sorted."""
+    return sorted(EVICTION_POLICIES)
+
+
+@register_eviction_policy("evict-lru")
+class EvictLRUPolicy(EvictionPolicy):
+    """Preempt the least recently (re-)admitted request (oldest in the batch).
+
+    Continuous batching touches every running request every step, so "least
+    recently used" is measured at admission granularity: the request resident
+    longest is the one whose working set is most amortized — classic FIFO/LRU
+    victim choice.
+    """
+
+    def select(self, candidates: Sequence[Any]) -> Any:
+        return min(candidates, key=lambda a: (a.admitted_at, a.request.request_id))
+
+
+@register_eviction_policy("evict-largest-kv")
+class EvictLargestKVPolicy(EvictionPolicy):
+    """Preempt the request holding the most KV rows (frees the most pages).
+
+    Greedy on immediate relief; the flip side is that the largest context is
+    also the most expensive to recompute on re-admission.
+    """
+
+    def select(self, candidates: Sequence[Any]) -> Any:
+        return min(candidates, key=lambda a: (-a.kv_length, a.request.request_id))
+
+
+@register_eviction_policy("evict-youngest")
+class EvictYoungestPolicy(EvictionPolicy):
+    """Preempt the most recently (re-)admitted request (least progress lost).
+
+    The inverse of LRU: protect long-resident requests (they are closest to
+    completion) and sacrifice the newcomer, which has generated the fewest
+    tokens to recompute.
+    """
+
+    def select(self, candidates: Sequence[Any]) -> Any:
+        return min(candidates,
+                   key=lambda a: (-a.admitted_at, -a.request.request_id))
+
+
+# ---------------------------------------------------------------------------
+# Run-level memory summary
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemoryStats:
+    """The memory side of a serving run (attached to a ServingReport).
+
+    Present only for capacity-bounded runs (``Platform.hbm_capacity_bytes``
+    set); unbounded runs carry ``None`` and report all-zero flat metrics.
+    Occupancy and fragmentation summarize the per-step timeline recorded in
+    :class:`~repro.serve.report.StepSample` (``kv_pages`` /
+    ``kv_capacity_pages`` / ``kv_rows``).
+    """
+
+    #: the allocation discipline ("paged" or "contiguous")
+    mode: str
+    #: KV rows per page (the scheduler's kv_tile_rows)
+    page_rows: int
+    #: total page budget derived from the platform's hbm_capacity_bytes
+    capacity_pages: int
+    #: bytes one KV row occupies (kv_bytes_per_row of the served model)
+    row_bytes: int
+    #: most pages ever reserved at once
+    peak_pages: int = 0
+    #: requests preempted (evicted mid-decode and re-queued)
+    preemptions: int = 0
+    #: generated tokens re-prefilled because their KV had been evicted
+    recompute_tokens: int = 0
+    #: steps whose queue head could not be admitted for lack of pages
+    admission_stalls: int = 0
+    #: mean / max reserved fraction of the page budget over the steps
+    occupancy_mean: float = 0.0
+    occupancy_max: float = 0.0
+    #: mean / max reserved-but-unused row fraction over the steps
+    fragmentation_mean: float = 0.0
+    fragmentation_max: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"mode": self.mode, "page_rows": self.page_rows,
+                "capacity_pages": self.capacity_pages,
+                "row_bytes": self.row_bytes, "peak_pages": self.peak_pages,
+                "preemptions": self.preemptions,
+                "recompute_tokens": self.recompute_tokens,
+                "admission_stalls": self.admission_stalls,
+                "occupancy_mean": self.occupancy_mean,
+                "occupancy_max": self.occupancy_max,
+                "fragmentation_mean": self.fragmentation_mean,
+                "fragmentation_max": self.fragmentation_max}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MemoryStats":
+        return cls(mode=payload["mode"], page_rows=int(payload["page_rows"]),
+                   capacity_pages=int(payload["capacity_pages"]),
+                   row_bytes=int(payload["row_bytes"]),
+                   peak_pages=int(payload["peak_pages"]),
+                   preemptions=int(payload["preemptions"]),
+                   recompute_tokens=int(payload["recompute_tokens"]),
+                   admission_stalls=int(payload["admission_stalls"]),
+                   occupancy_mean=float(payload["occupancy_mean"]),
+                   occupancy_max=float(payload["occupancy_max"]),
+                   fragmentation_mean=float(payload["fragmentation_mean"]),
+                   fragmentation_max=float(payload["fragmentation_max"]))
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat metric slice merged into ServingReport.metrics()."""
+        return {"preemptions": float(self.preemptions),
+                "recompute_tokens": float(self.recompute_tokens),
+                "admission_stalls": float(self.admission_stalls),
+                "kv_capacity_pages": float(self.capacity_pages),
+                "kv_peak_pages": float(self.peak_pages),
+                "kv_occupancy_mean": float(self.occupancy_mean),
+                "kv_occupancy_max": float(self.occupancy_max),
+                "kv_fragmentation_mean": float(self.fragmentation_mean),
+                "kv_fragmentation_max": float(self.fragmentation_max)}
+
+    @staticmethod
+    def empty_metrics() -> Dict[str, float]:
+        """The all-zero slice an unbounded (memory-less) run reports."""
+        return {key: 0.0 for key in MemoryStats(
+            mode="paged", page_rows=1, capacity_pages=1, row_bytes=1).metrics()}

@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigError
 from .arrivals import MCYCLE
+from .memory import MemoryStats
 
 #: the percentile points every latency summary reports
 PERCENTILE_POINTS = (50, 90, 95, 99)
@@ -130,17 +131,32 @@ class StepSample:
     tokens: int
     #: how many of the running requests were in their prefill step
     prefills: int
+    #: KV rows held by the step's participants when the step was issued
+    kv_rows: int = 0
+    #: KV pages reserved when the step was issued (0 = unbounded, no pool)
+    kv_pages: int = 0
+    #: the pool's page budget (0 = unbounded, no pool)
+    kv_capacity_pages: int = 0
+    #: requests preempted (evicted + re-queued) while forming this step
+    preemptions: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {"start": self.start, "cycles": self.cycles, "running": self.running,
                 "queued": self.queued, "tokens": self.tokens,
-                "prefills": self.prefills}
+                "prefills": self.prefills, "kv_rows": self.kv_rows,
+                "kv_pages": self.kv_pages,
+                "kv_capacity_pages": self.kv_capacity_pages,
+                "preemptions": self.preemptions}
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "StepSample":
         return cls(start=float(payload["start"]), cycles=float(payload["cycles"]),
                    running=int(payload["running"]), queued=int(payload["queued"]),
-                   tokens=int(payload["tokens"]), prefills=int(payload["prefills"]))
+                   tokens=int(payload["tokens"]), prefills=int(payload["prefills"]),
+                   kv_rows=int(payload.get("kv_rows", 0)),
+                   kv_pages=int(payload.get("kv_pages", 0)),
+                   kv_capacity_pages=int(payload.get("kv_capacity_pages", 0)),
+                   preemptions=int(payload.get("preemptions", 0)))
 
 
 @dataclass
@@ -160,6 +176,9 @@ class ServingReport:
     #: were satisfied by the process-wide step memo — that independence is
     #: what keeps reports bit-identical across warm and cold runs)
     distinct_steps: int = 0
+    #: memory-pressure summary of a capacity-bounded run; ``None`` when the
+    #: platform's HBM is unbounded (the pre-memory behavior, bit-identical)
+    memory: Optional[MemoryStats] = None
 
     def __post_init__(self) -> None:
         self.requests = tuple(self.requests)
@@ -197,6 +216,28 @@ class ServingReport:
             return 0.0
         return self.total_output_tokens / self.total_cycles * 1000.0
 
+    def slo_attainment(self, ttft_slo: float) -> float:
+        """The fraction of requests whose TTFT met the SLO (in cycles)."""
+        if not self.requests:
+            return 0.0
+        met = sum(1 for r in self.requests if r.ttft <= ttft_slo)
+        return met / len(self.requests)
+
+    def slo_goodput(self, ttft_slo: float) -> float:
+        """SLO-attaining completions per million cycles.
+
+        *Goodput* in the strict sense: only requests whose first token met
+        the TTFT budget count as useful work.  Past saturation this declines
+        where raw :attr:`goodput` merely plateaus — queueing (and, under
+        finite HBM, admission stalls / preemption recompute) pushes an
+        ever-larger share of completions past the budget, which is the
+        goodput cliff the memory-pressure experiment measures.
+        """
+        if self.total_cycles <= 0:
+            return 0.0
+        met = sum(1 for r in self.requests if r.ttft <= ttft_slo)
+        return met / self.total_cycles * MCYCLE
+
     def queue_depth(self) -> Dict[str, float]:
         """Mean / max of waiting (queued) and running requests over the steps."""
         if not self.steps:
@@ -228,6 +269,10 @@ class ServingReport:
             for key, value in summary.items():
                 flat[f"{prefix}_{key}"] = value
         flat.update({f"queue_{k}": v for k, v in self.queue_depth().items()})
+        # memory keys are always present so sweep rows stay rectangular
+        # across bounded and unbounded platforms in the same grid
+        flat.update(self.memory.metrics() if self.memory is not None
+                    else MemoryStats.empty_metrics())
         return flat
 
     # -- serialization ---------------------------------------------------------------
@@ -239,18 +284,21 @@ class ServingReport:
             "batch_cap": self.batch_cap,
             "total_cycles": self.total_cycles,
             "distinct_steps": self.distinct_steps,
+            "memory": None if self.memory is None else self.memory.to_dict(),
             "requests": [r.to_dict() for r in self.requests],
             "steps": [s.to_dict() for s in self.steps],
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ServingReport":
+        memory = payload.get("memory")
         return cls(
             trace=payload["trace"],
             schedule=payload["schedule"],
             batch_cap=int(payload["batch_cap"]),
             total_cycles=float(payload["total_cycles"]),
             distinct_steps=int(payload["distinct_steps"]),
+            memory=None if memory is None else MemoryStats.from_dict(memory),
             requests=tuple(RequestRecord.from_dict(r) for r in payload["requests"]),
             steps=tuple(StepSample.from_dict(s) for s in payload["steps"]),
         )
@@ -421,6 +469,34 @@ class FleetReport:
             return 0.0
         return float(max(busy) / (sum(busy) / len(busy)))
 
+    # -- memory pressure (zeros when every replica's HBM is unbounded) ---------------
+    @property
+    def preemptions(self) -> int:
+        """Requests evicted mid-decode across the fleet."""
+        return sum(r.serving.memory.preemptions for r in self.replicas
+                   if r.serving.memory is not None)
+
+    @property
+    def recompute_tokens(self) -> int:
+        """Generated tokens re-prefilled after eviction across the fleet."""
+        return sum(r.serving.memory.recompute_tokens for r in self.replicas
+                   if r.serving.memory is not None)
+
+    @property
+    def admission_stalls(self) -> int:
+        """Steps whose queue head stalled on KV pages across the fleet."""
+        return sum(r.serving.memory.admission_stalls for r in self.replicas
+                   if r.serving.memory is not None)
+
+    def kv_occupancy(self) -> Dict[str, float]:
+        """Mean / max KV-page occupancy across the capacity-bounded replicas."""
+        stats = [r.serving.memory for r in self.replicas
+                 if r.serving.memory is not None]
+        if not stats:
+            return {"mean": 0.0, "max": 0.0}
+        return {"mean": float(sum(m.occupancy_mean for m in stats) / len(stats)),
+                "max": float(max(m.occupancy_max for m in stats))}
+
     # -- flat metrics (what scenario grids and the sweep cache store) ----------------
     def metrics(self) -> Dict[str, float]:
         """The flat, JSON-able payload a fleet sweep point reports."""
@@ -438,9 +514,14 @@ class FleetReport:
             "scale_downs": float(sum(1 for e in self.scaling_events
                                      if e.action == "scale-down")),
             "imbalance": float(self.imbalance),
+            "preemptions": float(self.preemptions),
+            "recompute_tokens": float(self.recompute_tokens),
+            "admission_stalls": float(self.admission_stalls),
         }
         for key, value in self.utilization().items():
             flat[f"util_{key}"] = value
+        for key, value in self.kv_occupancy().items():
+            flat[f"kv_occupancy_{key}"] = value
         for prefix, summary in (("ttft", self.ttft()), ("tpot", self.tpot()),
                                 ("e2e", self.e2e())):
             for key, value in summary.items():

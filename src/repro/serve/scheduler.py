@@ -31,6 +31,33 @@ is **bounded** (:class:`StepMemo`): fleet sweeps over replicas × rates ×
 policies touch many distinct contexts, so the process-wide cache caps its
 entry count and evicts least-recently-used entries deterministically;
 :func:`step_cache_stats` exposes hit/miss/eviction counters for debugging.
+
+**Memory pressure.**  When the resolved platform sets a finite
+``hbm_capacity_bytes``, the engine owns a :class:`~repro.serve.memory.
+KVPagePool` and KV pages become a second admission constraint next to
+``batch_cap``:
+
+* a queued request is admitted only when its KV fits *now* (its prompt —
+  plus any evicted-and-recomputed tokens — plus one row for the token the
+  step will emit; the contiguous mode reserves the lifetime maximum
+  instead).  Admission is strict FIFO: a head that does not fit stalls the
+  queue (counted as an ``admission_stall``) rather than being overtaken,
+* before each step is costed, every running request secures room for the
+  token it is about to write.  A paged growth that finds the pool full
+  triggers **preemption**: the configured eviction policy
+  (:data:`~repro.serve.memory.EVICTION_POLICIES` — ``evict-lru`` /
+  ``evict-largest-kv`` / ``evict-youngest``) picks a victim among the
+  not-yet-secured runners, whose pages are freed and who returns to the
+  *front* of the queue.  On re-admission its prefill re-processes prompt
+  **and** previously generated tokens (vLLM-style recompute), which is the
+  modeled cost of eviction,
+* ``submit`` rejects a request whose lifetime KV could never fit the pool
+  (that plus first-secured-wins growth guarantees every step keeps at
+  least one participant, so ``drain`` always terminates).
+
+With ``hbm_capacity_bytes=None`` (every platform predating the memory
+subsystem) no pool exists and the engine is bit-identical to the pre-memory
+scheduler.
 """
 
 from __future__ import annotations
@@ -46,6 +73,9 @@ from ..sim.executors.common import HardwareConfig
 from ..sweep.cache import stable_hash
 from ..workloads.configs import ModelConfig
 from .arrivals import ArrivalTrace, Request, quantize_up
+from .memory import (EVICTION_POLICIES, KV_MODES, EvictionPolicy, KVPagePool,
+                     MemoryStats, eviction_policy_names, get_eviction_policy,
+                     kv_bytes_per_row)
 from .report import RequestRecord, ServingReport, StepSample
 from .workload import ServeStepWorkload
 
@@ -137,22 +167,38 @@ class ServeConfig:
     attention_compute_bw: int = 256
     #: seeds the per-step MoE routing
     seed: int = 0
+    #: KV allocation discipline under a finite platform ("paged"/"contiguous");
+    #: inert when the platform's hbm_capacity_bytes is None
+    kv_mode: str = "paged"
+    #: registered eviction policy deciding whom to preempt under pressure
+    eviction_policy: str = "evict-lru"
 
     def __post_init__(self) -> None:
         if self.batch_cap < 1:
             raise ConfigError(f"batch_cap must be >= 1, got {self.batch_cap}")
         if self.num_layers < 1:
             raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.kv_mode not in KV_MODES:
+            raise ConfigError(f"unknown kv_mode {self.kv_mode!r}; "
+                              f"expected one of {list(KV_MODES)}")
+        if self.eviction_policy not in EVICTION_POLICIES:
+            raise ConfigError(f"unknown eviction policy {self.eviction_policy!r}; "
+                              f"registered: {eviction_policy_names()}")
 
 
 @dataclass
 class _Active:
-    """A request currently in the running batch."""
+    """A request in the running batch (or re-queued after preemption)."""
 
     request: Request
     #: output tokens produced so far (0 = the prefill step is still ahead)
     generated: int = 0
     first_token: float = 0.0
+    #: the next step must (re-)process the full context: true for fresh
+    #: requests and again after a preemption evicted the KV (recompute)
+    needs_prefill: bool = True
+    #: clock of the latest (re-)admission — the eviction policies' age signal
+    admitted_at: float = 0.0
 
     @property
     def kv_length(self) -> int:
@@ -164,8 +210,9 @@ def _context_key(config: ServeConfig, schedule: Schedule,
                  hardware: HardwareConfig) -> str:
     """The memo context: exactly the inputs that determine a step's cost.
 
-    Deliberately excludes ``batch_cap`` — it shapes which steps occur, never
-    what one costs — so batch-cap sweep points share each other's steps.
+    Deliberately excludes ``batch_cap``, ``kv_mode`` and ``eviction_policy``
+    (and the platform's HBM capacity) — they shape which steps occur, never
+    what one costs — so capacity/policy sweep points share each other's steps.
     """
     return stable_hash({
         "model": config.model,
@@ -230,18 +277,33 @@ class ReplicaEngine:
             raise ConfigError(f"warmup_cycles must be >= 0, got {warmup_cycles}")
         self.config = config
         self.schedule = schedule or Schedule.dynamic()
-        self.hardware = resolve_platform(hardware).hardware
+        self.platform = resolve_platform(hardware)
+        self.hardware = self.platform.hardware
         self.warmup_cycles = float(warmup_cycles)
         self.replica_id = replica_id
         self.spawned_at = float(start_cycle)
         self.now = float(start_cycle)
         self._context = _context_key(config, self.schedule, self.hardware)
-        self._waiting: Deque[Request] = deque()
+        self._waiting: Deque[_Active] = deque()
         self._running: List[_Active] = []
         self._records: List[RequestRecord] = []
         self._steps: List[StepSample] = []
         self._signatures: Dict[Tuple, float] = {}
         self._warmed = self.warmup_cycles == 0.0
+        # -- finite KV memory (None capacity = unbounded, the legacy path) -----------
+        self._pool: Optional[KVPagePool] = None
+        self._evictor: Optional[EvictionPolicy] = None
+        self._row_bytes = kv_bytes_per_row(config.model, config.num_layers)
+        if self.platform.hbm_capacity_bytes is not None:
+            self._pool = KVPagePool.from_bytes(
+                self.platform.hbm_capacity_bytes, config.kv_tile_rows,
+                self._row_bytes, mode=config.kv_mode)
+            self._evictor = get_eviction_policy(config.eviction_policy)
+        self._preemptions = 0
+        self._recompute_tokens = 0
+        self._admission_stalls = 0
+        self._occupancy: List[float] = []
+        self._fragmentation: List[float] = []
 
     # -- dispatcher-visible state ----------------------------------------------------
     @property
@@ -259,9 +321,28 @@ class ReplicaEngine:
 
     @property
     def kv_load(self) -> int:
-        """Aggregate KV footprint: running KV lengths plus waiting prompts."""
-        return (sum(a.kv_length for a in self._running)
-                + sum(r.prompt_tokens for r in self._waiting))
+        """Aggregate KV footprint in rows, quantized up to ``kv_tile_rows``.
+
+        Running requests contribute their current KV length, waiting ones the
+        context their next (pre)fill step will materialize; each is rounded up
+        to the tile granularity the simulator allocates at — this is the exact
+        signal the ``least-kv`` fleet routing policy compares.
+        """
+        tile = self.config.kv_tile_rows
+        return (sum(quantize_up(a.kv_length, tile) for a in self._running)
+                + sum(quantize_up(w.kv_length, tile) for w in self._waiting))
+
+    @property
+    def free_kv_pages(self) -> float:
+        """Unreserved KV pages; ``inf`` when the platform's HBM is unbounded.
+
+        The ``most-free-kv`` fleet routing policy ranks replicas on this, so
+        an unbounded replica (never under pressure) sorts ahead of any
+        capacity-bounded one.
+        """
+        if self._pool is None:
+            return float("inf")
+        return float(self._pool.free_pages)
 
     @property
     def steps(self) -> Tuple[StepSample, ...]:
@@ -273,8 +354,91 @@ class ReplicaEngine:
 
     # -- driving ---------------------------------------------------------------------
     def submit(self, request: Request) -> None:
-        """Queue a request (FIFO).  Call at arrival time — see the contract."""
-        self._waiting.append(request)
+        """Queue a request (FIFO).  Call at arrival time — see the contract.
+
+        Under a finite platform a request whose *lifetime* KV (prompt plus
+        every output token) exceeds the whole pool is rejected up front: it
+        could never be scheduled, and admitting it would livelock the queue.
+        """
+        if self._pool is not None:
+            max_rows = request.prompt_tokens + request.output_tokens
+            if not self._pool.fits_lifetime(max_rows):
+                raise ConfigError(
+                    f"request {request.request_id} needs "
+                    f"{self._pool.pages_for(max_rows)} KV pages for its "
+                    f"lifetime but the pool holds {self._pool.capacity_pages} "
+                    f"(hbm_capacity_bytes is too small for this trace)")
+        self._waiting.append(_Active(request))
+
+    # -- memory pressure -------------------------------------------------------------
+    def _preempt(self, active: _Active) -> None:
+        """Evict a running request: free its KV, re-queue it at the front.
+
+        The request keeps its ``generated`` count (and its first-token time
+        if already delivered); what it loses is its KV — on re-admission the
+        prefill re-processes prompt + generated tokens, which is where the
+        recompute cost lands.
+        """
+        self._pool.release(active.request.request_id)
+        self._preemptions += 1
+        active.needs_prefill = True
+        self._waiting.appendleft(active)
+
+    def _admit(self) -> None:
+        """Move queued requests into the running batch (strict FIFO).
+
+        A head blocked on KV pages stalls the whole queue (no overtaking —
+        that would starve large requests forever) and is counted once per
+        step as an admission stall.
+        """
+        while self._waiting and self._waiting[0].request.arrival <= self.now \
+                and len(self._running) < self.config.batch_cap:
+            head = self._waiting[0]
+            if self._pool is not None:
+                # the step a request joins must hold its current context plus
+                # the one token it emits; contiguous mode books the lifetime
+                max_rows = (head.request.prompt_tokens
+                            + head.request.output_tokens)
+                if not self._pool.try_admit(head.request.request_id,
+                                            head.kv_length + 1, max_rows):
+                    self._admission_stalls += 1
+                    break
+                if head.generated:
+                    # re-admission after preemption: the evicted tokens are
+                    # recomputed by the upcoming (re-)prefill step
+                    self._recompute_tokens += head.generated
+            head.admitted_at = self.now
+            self._running.append(self._waiting.popleft())
+
+    def _secure_kv(self) -> None:
+        """Guarantee every step participant room for the token it will write.
+
+        Runners are processed in admission order; a paged growth that finds
+        the pool full preempts a victim — chosen by the eviction policy among
+        the not-yet-secured runners — until it fits.  The first runner can
+        always succeed (worst case it empties the pool down to itself, and
+        ``submit`` guaranteed its lifetime fits), so a step never loses all
+        its participants and ``drain`` terminates.
+        """
+        secured: set = set()
+        survivors = self._running
+        i = 0
+        while i < len(survivors):
+            active = survivors[i]
+            grew = True
+            while not self._pool.try_grow(active.request.request_id,
+                                          active.kv_length + 1):
+                candidates = [a for a in survivors if a is not active
+                              and a.request.request_id not in secured]
+                victim = self._evictor.select(candidates) if candidates else active
+                self._preempt(victim)
+                survivors.remove(victim)
+                if victim is active:
+                    grew = False
+                    break
+            if grew:
+                secured.add(active.request.request_id)
+                i += 1
 
     def step(self) -> StepSample:
         """Run one scheduler iteration: admit, simulate, advance the clock."""
@@ -283,27 +447,41 @@ class ReplicaEngine:
         if not self._running:
             # idle engine: the step begins when the earliest queued request
             # arrived, not at the engine's stale clock (no idle spinning)
-            self.now = max(self.now, self._waiting[0].arrival)
+            self.now = max(self.now, self._waiting[0].request.arrival)
         if not self._warmed:
             # one-time cold-start penalty before the first step ever runs
             self.now += self.warmup_cycles
             self._warmed = True
-        while self._waiting and self._waiting[0].arrival <= self.now \
-                and len(self._running) < self.config.batch_cap:
-            self._running.append(_Active(self._waiting.popleft()))
+        preemptions_before = self._preemptions
+        self._admit()
+        if self._pool is not None and self._running:
+            # evicted requests re-queue at the *front* and (strict FIFO)
+            # compete for admission again at the next step's _admit
+            self._secure_kv()
 
         running = self._running
-        prefills = [a for a in running if a.generated == 0]
-        num_tokens = (sum(a.request.prompt_tokens for a in prefills)
+        prefills = [a for a in running if a.needs_prefill]
+        # a (re-)prefill processes its full context — prompt plus any
+        # previously generated tokens whose KV was evicted (recompute)
+        num_tokens = (sum(a.kv_length for a in prefills)
                       + len(running) - len(prefills))
         kv_lengths = tuple(sorted(
             quantize_up(a.kv_length, self.config.kv_tile_rows) for a in running))
         cycles = _step_cycles(self.config, self.schedule, self.hardware,
                               self._context, num_tokens, kv_lengths,
                               self._signatures)
-        sample = StepSample(start=self.now, cycles=cycles, running=len(running),
-                            queued=len(self._waiting), tokens=num_tokens,
-                            prefills=len(prefills))
+        if self._pool is not None:
+            self._occupancy.append(self._pool.occupancy)
+            self._fragmentation.append(self._pool.fragmentation)
+        sample = StepSample(
+            start=self.now, cycles=cycles, running=len(running),
+            queued=len(self._waiting), tokens=num_tokens,
+            prefills=len(prefills),
+            kv_rows=sum(a.kv_length for a in running),
+            kv_pages=self._pool.used_pages if self._pool is not None else 0,
+            kv_capacity_pages=(self._pool.capacity_pages
+                               if self._pool is not None else 0),
+            preemptions=self._preemptions - preemptions_before)
         self._steps.append(sample)
         self.now += cycles
 
@@ -311,8 +489,11 @@ class ReplicaEngine:
         for active in running:
             if active.generated == 0:
                 active.first_token = self.now
+            active.needs_prefill = False
             active.generated += 1
             if active.generated >= active.request.output_tokens:
+                if self._pool is not None:
+                    self._pool.release(active.request.request_id)
                 self._records.append(RequestRecord(
                     request_id=active.request.request_id,
                     arrival=active.request.arrival,
@@ -340,6 +521,24 @@ class ReplicaEngine:
         while self.has_work:
             self.step()
 
+    def _memory_stats(self) -> Optional[MemoryStats]:
+        """The run's memory summary; ``None`` on an unbounded platform."""
+        if self._pool is None:
+            return None
+        occupancy = self._occupancy or [0.0]
+        fragmentation = self._fragmentation or [0.0]
+        return MemoryStats(
+            mode=self._pool.mode, page_rows=self._pool.page_rows,
+            capacity_pages=self._pool.capacity_pages,
+            row_bytes=self._row_bytes, peak_pages=self._pool.peak_pages,
+            preemptions=self._preemptions,
+            recompute_tokens=self._recompute_tokens,
+            admission_stalls=self._admission_stalls,
+            occupancy_mean=float(sum(occupancy) / len(occupancy)),
+            occupancy_max=float(max(occupancy)),
+            fragmentation_mean=float(sum(fragmentation) / len(fragmentation)),
+            fragmentation_max=float(max(fragmentation)))
+
     def report(self, trace_name: str) -> ServingReport:
         """The engine's history as a :class:`ServingReport` (sorted records)."""
         records = sorted(self._records, key=lambda r: r.request_id)
@@ -347,7 +546,8 @@ class ReplicaEngine:
                              batch_cap=self.config.batch_cap,
                              requests=tuple(records), steps=tuple(self._steps),
                              total_cycles=self.now,
-                             distinct_steps=len(self._signatures))
+                             distinct_steps=len(self._signatures),
+                             memory=self._memory_stats())
 
 
 def simulate_serving(config: ServeConfig, trace: ArrivalTrace,

@@ -14,7 +14,7 @@ Hardware arrives as a named :class:`~repro.platforms.Platform` (the
 subsystem, so serving load grids can sweep platforms exactly like scenarios
 do and platform identity participates in every cache key.
 
-Three grid builders:
+Four grid builders:
 
 * :func:`latency_load_spec` — one (schedule, model) pair swept over arrival
   rates and batch caps,
@@ -25,7 +25,11 @@ Three grid builders:
 * :func:`fleet_latency_spec` — the fleet-scale record over the ``"fleet"``
   task: replicas × routing policies × arrival rates in one cartesian spec
   (the ``"fleet-latency"`` experiment, see
-  :mod:`repro.experiments.fleet_latency`).
+  :mod:`repro.experiments.fleet_latency`),
+* :func:`memory_pressure_spec` — HBM capacities × arrival rates with the
+  *platform as a swept axis*: the goodput-cliff record behind the
+  ``"memory-pressure"`` experiment (see
+  :mod:`repro.experiments.memory_pressure`).
 
 The ``seed`` lives in ``base`` so every grid point serves the *same-seed*
 traffic (rate changes the inter-arrival scale, not the random stream), which
@@ -53,6 +57,7 @@ from .scheduler import ServeConfig, simulate_serving
 _FORWARDABLE_KNOBS = frozenset({
     "kv_tile_rows", "prompt_mean", "prompt_sigma", "prompt_max",
     "prompt_quantum", "output_mean", "output_sigma", "output_max",
+    "kv_mode", "eviction_policy", "ttft_slo",
 })
 
 
@@ -67,7 +72,10 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                 prompt_quantum: int = DEFAULT_PROMPT_QUANTUM,
                 output_mean: float = DEFAULT_OUTPUT_MEAN,
                 output_sigma: float = DEFAULT_OUTPUT_SIGMA,
-                output_max: int = DEFAULT_OUTPUT_MAX) -> Dict[str, float]:
+                output_max: int = DEFAULT_OUTPUT_MAX,
+                kv_mode: str = "paged",
+                eviction_policy: str = "evict-lru",
+                ttft_slo: Optional[float] = None) -> Dict[str, float]:
     """One serving design point: generate the trace, serve it, report metrics.
 
     The trace is rebuilt from its parameters inside the worker (nothing large
@@ -76,6 +84,10 @@ def serve_point(model: ModelConfig, schedule: Schedule,
     builders can forward them all — and the returned payload carries the
     swept coordinates alongside the serving metrics so result rows are
     self-describing.  ``hardware`` remains accepted for pre-platform specs.
+    ``kv_mode`` / ``eviction_policy`` matter only on platforms with a finite
+    ``hbm_capacity_bytes`` (see :mod:`repro.serve.memory`); a ``ttft_slo``
+    (cycles) adds the strict-goodput view — ``slo_attainment`` and
+    ``slo_goodput_rpmc`` — to the payload.
     """
     trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
@@ -83,11 +95,16 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                           output_mean=output_mean, output_sigma=output_sigma,
                           output_max=output_max)
     config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
-                         kv_tile_rows=kv_tile_rows, seed=seed)
+                         kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
+                         eviction_policy=eviction_policy)
     report = simulate_serving(config, trace, schedule,
                               hardware=hardware if hardware is not None else platform)
-    return {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
-            **report.metrics()}
+    payload = {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
+               **report.metrics()}
+    if ttft_slo is not None:
+        payload["slo_attainment"] = float(report.slo_attainment(ttft_slo))
+        payload["slo_goodput_rpmc"] = float(report.slo_goodput(ttft_slo))
+    return payload
 
 
 def _load_grid_base(model: ModelConfig, platform: PlatformLike, num_requests: int,
@@ -138,7 +155,9 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                 prompt_quantum: int = DEFAULT_PROMPT_QUANTUM,
                 output_mean: float = DEFAULT_OUTPUT_MEAN,
                 output_sigma: float = DEFAULT_OUTPUT_SIGMA,
-                output_max: int = DEFAULT_OUTPUT_MAX) -> Dict[str, float]:
+                output_max: int = DEFAULT_OUTPUT_MAX,
+                kv_mode: str = "paged",
+                eviction_policy: str = "evict-lru") -> Dict[str, float]:
     """One fleet design point: generate the trace, serve it on N replicas.
 
     Mirrors :func:`serve_point` with the fleet axes on top — the trace is
@@ -152,7 +171,8 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                           output_mean=output_mean, output_sigma=output_sigma,
                           output_max=output_max)
     serve = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
-                        kv_tile_rows=kv_tile_rows, seed=seed)
+                        kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
+                        eviction_policy=eviction_policy)
     config = FleetConfig(serve=serve, num_replicas=num_replicas, routing=routing,
                          warmup_cycles=warmup_cycles, autoscaler=autoscaler)
     report = simulate_fleet(config, trace, schedule,
@@ -193,6 +213,46 @@ def fleet_latency_spec(model: ModelConfig, schedule: Schedule,
         base=base,
         axes={"num_replicas": [int(n) for n in num_replicas],
               "routing": list(routings),
+              "arrival_rate": [float(r) for r in rates]},
+        mode="cartesian",
+        seed=seed,
+    )
+
+
+def memory_pressure_spec(model: ModelConfig, schedule: Schedule,
+                         rates: Sequence[float],
+                         platforms: Sequence[PlatformLike],
+                         batch_cap: int = 4, num_requests: int = 32,
+                         seed: int = 0, num_layers: int = 2,
+                         name: str = "memory-pressure",
+                         **trace_kwargs) -> SweepSpec:
+    """Offered load × HBM capacity as **one** cartesian spec.
+
+    Axes are (platform, arrival rate), platform-major, so the grid row for
+    platform ``i``, rate ``j`` sits at index ``i * len(rates) + j``.  The
+    platforms differ only in ``hbm_capacity_bytes`` in the intended use
+    (:func:`repro.platforms.platform_grid` with ``hbm_capacities=...``), so
+    the curves isolate pure capacity effects: an unbounded platform's goodput
+    plateaus past saturation while a capacity-bounded one *declines* —
+    admission stalls, preemptions and recompute eat the makespan (the goodput
+    cliff the ``memory-pressure`` experiment pins).  ``kv_mode`` /
+    ``eviction_policy`` forward through ``trace_kwargs``-style knobs.
+    """
+    if not rates:
+        raise ConfigError("memory_pressure_spec: at least one arrival rate "
+                          "is required")
+    if not platforms:
+        raise ConfigError("memory_pressure_spec: at least one platform "
+                          "is required")
+    base = _load_grid_base(model, None, num_requests, seed, num_layers,
+                           trace_kwargs)
+    del base["platform"]  # the platform is a swept axis here, not a base knob
+    base.update({"schedule": schedule, "batch_cap": batch_cap})
+    return SweepSpec(
+        name=name,
+        task="serve",
+        base=base,
+        axes={"platform": [resolve_platform(p) for p in platforms],
               "arrival_rate": [float(r) for r in rates]},
         mode="cartesian",
         seed=seed,

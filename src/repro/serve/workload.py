@@ -154,6 +154,10 @@ class ServeWorkload(WorkloadBase):
     moe_compute_bw: int = 8192
     attention_compute_bw: int = 256
     seed: int = 0
+    #: KV allocation discipline on capacity-bounded platforms
+    kv_mode: str = "paged"
+    #: preemption victim choice under memory pressure
+    eviction_policy: str = "evict-lru"
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
@@ -170,7 +174,8 @@ class ServeWorkload(WorkloadBase):
                              kv_tile_rows=self.kv_tile_rows,
                              moe_compute_bw=self.moe_compute_bw,
                              attention_compute_bw=self.attention_compute_bw,
-                             seed=self.seed)
+                             seed=self.seed, kv_mode=self.kv_mode,
+                             eviction_policy=self.eviction_policy)
         return simulate_serving(config, self.trace, schedule, hardware=hardware)
 
     def run(self, schedule: Schedule,

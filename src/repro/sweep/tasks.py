@@ -90,13 +90,16 @@ def workload(workload, schedule, platform=None, hardware=None) -> Dict[str, floa
     arrives as ``platform`` (a :class:`repro.platforms.Platform`, whose *name*
     participates in the cache key alongside its hardware fields — two named
     platforms are distinct design points even with equal hardware); ``hardware``
-    remains accepted for hand-built specs predating the platform axis.
-    Deliberately seedless: the workload's data (routing assignments, KV
-    traces) fully determines the result, so cache entries are shared across
-    spec seeds.
+    remains accepted for hand-built specs predating the platform axis.  The
+    *full* platform is handed to the workload — adapters resolve it down to
+    the raw :class:`HardwareConfig` themselves — so platform-level fields the
+    hardware config doesn't carry (``hbm_capacity_bytes``) survive the trip
+    into capacity-aware workloads like serving.  Deliberately seedless: the
+    workload's data (routing assignments, KV traces) fully determines the
+    result, so cache entries are shared across spec seeds.
     """
     if hardware is None:
         from ..platforms import resolve_platform
 
-        hardware = resolve_platform(platform).hardware
+        hardware = resolve_platform(platform)
     return workload.run(schedule, hardware)

@@ -1,0 +1,102 @@
+"""The memory-pressure experiment: the goodput cliff, pinned at smoke scale."""
+
+import pytest
+
+from repro.api import get_scenario, run
+from repro.experiments import memory_pressure
+from repro.experiments.common import SMOKE_SCALE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return memory_pressure.run(SMOKE_SCALE)
+
+
+class TestGrid:
+    def test_capacity_family_shares_the_sda_timing(self):
+        platforms = memory_pressure.capacity_platforms(SMOKE_SCALE)
+        assert list(platforms)[0] == "sda"
+        base = platforms["sda"]
+        assert base.hbm_capacity_bytes is None
+        bounded = [p for p in platforms.values()
+                   if p.hbm_capacity_bytes is not None]
+        assert len(bounded) == len(platforms) - 1 >= 1
+        # only the capacity differs — bandwidths/timing are the sda's, so any
+        # metric gap between the curves is purely the finite KV pool
+        assert all(p.hardware == base.hardware for p in bounded)
+
+    def test_rows_cover_every_capacity_and_rate(self, result):
+        rates = [row["rate"] for row in result["rows"]]
+        assert rates == sorted(rates) and len(rates) == \
+            len(SMOKE_SCALE.serve_rates)
+        for row in result["rows"]:
+            for label in result["capacities"]:
+                assert f"{label}_slo_goodput_rpmc" in row
+                assert f"{label}_ttft_p99" in row
+
+
+class TestGoodputCliff:
+    def tightest(self, result):
+        return result["capacities"][-1]
+
+    def test_bounded_peak_below_unbounded_peak(self, result):
+        summary = result["summary"]
+        assert summary[self.tightest(result)]["peak_slo_goodput_rpmc"] < \
+            summary["sda"]["peak_slo_goodput_rpmc"]
+
+    def test_slo_goodput_strictly_declines_past_the_peak(self, result):
+        """The acceptance criterion: past saturation, every extra unit of
+        offered load *costs* SLO goodput on the tightest capacity."""
+        label = self.tightest(result)
+        series = [row[f"{label}_slo_goodput_rpmc"] for row in result["rows"]]
+        peak = series.index(max(series))
+        assert peak < len(series) - 1  # the ladder actually crosses saturation
+        for before, after in zip(series[peak:], series[peak + 1:]):
+            assert after < before
+        assert result["summary"][label]["cliff_ratio"] < 1.0
+
+    def test_pressure_counters_light_up_only_when_bounded(self, result):
+        summary = result["summary"]
+        assert summary["sda"]["preemptions"] == 0.0
+        assert summary["sda"]["admission_stalls"] == 0.0
+        label = self.tightest(result)
+        assert summary[label]["preemptions"] > 0
+        assert summary[label]["admission_stalls"] > 0
+
+    def test_bounded_tail_latency_inflates_faster(self, result):
+        label = self.tightest(result)
+        top = result["rows"][-1]
+        assert top[f"{label}_ttft_p99"] > top["sda_ttft_p99"]
+
+
+class TestScenarios:
+    def test_serve_overload_isolates_the_capacity_cost(self):
+        result = run(get_scenario("serve-overload", rates=(640.0,),
+                                  num_requests=12))
+        by_platform = {row.platform: row.metrics for row in result.rows}
+        assert by_platform["sda"]["preemptions"] == 0.0
+        assert by_platform["sda-hbm-small"]["preemptions"] > 0
+        assert by_platform["sda-hbm-small"]["cycles"] > \
+            by_platform["sda"]["cycles"]
+
+    def test_paged_vs_contiguous_trade(self):
+        result = run(get_scenario("serve-paged-vs-contiguous",
+                                  num_requests=12))
+        by_mode = {row.workload: row.metrics for row in result.rows}
+        # paged pays in preemptions/recompute, contiguous in reservation
+        # waste — it never preempts but fragments more
+        assert by_mode["contiguous"]["preemptions"] == 0.0
+        assert by_mode["contiguous"]["kv_fragmentation_mean"] > \
+            by_mode["paged"]["kv_fragmentation_mean"]
+        assert by_mode["paged"]["admission_stalls"] < \
+            by_mode["contiguous"]["admission_stalls"]
+
+    def test_platform_capacity_survives_the_sweep_path(self):
+        """Regression: the sweep task must hand the workload the *Platform*,
+        not just its HardwareConfig — otherwise hbm_capacity_bytes silently
+        vanishes and bounded scenario cells report an unbounded run."""
+        result = run(get_scenario("serve-overload", rates=(640.0,),
+                                  num_requests=12))
+        bounded = [row.metrics for row in result.rows
+                   if row.platform == "sda-hbm-small"]
+        assert bounded and all(m["kv_capacity_pages"] > 0 for m in bounded)

@@ -289,3 +289,134 @@ class TestFleetSpec:
         assert [p["routing"] for p in points[:4]] == \
             ["round-robin", "round-robin", "least-kv", "least-kv"]
         assert [p["arrival_rate"] for p in points[:2]] == [100.0, 200.0]
+
+
+class TestKVRouting:
+    """least-kv semantics (quantized, hash-seed-stable ties) and most-free-kv."""
+
+    def engines(self, model, n=3, hardware=None):
+        from repro.serve.scheduler import ReplicaEngine
+
+        return [ReplicaEngine(serve_config(model), Schedule.dynamic(),
+                              hardware, replica_id=i) for i in range(n)]
+
+    def test_least_kv_ties_break_on_lowest_replica_id(self, model):
+        policy = get_routing_policy("least-kv")
+        replicas = self.engines(model)
+        request = trace_from_lists([0.0], [16], [2], name="t").requests[0]
+        # all idle: equal (zero) kv_load, lowest id must win regardless of
+        # the order the dispatcher happens to hold its replicas in
+        assert policy.choose(replicas, request).replica_id == 0
+        assert policy.choose(list(reversed(replicas)), request).replica_id == 0
+
+    def test_least_kv_compares_quantized_footprints(self, model):
+        # kv_tile_rows=64: a 16-token and a 40-token context both quantize to
+        # one tile, so the two replicas tie and id breaks it; a 65-token
+        # context is two tiles and loses
+        policy = get_routing_policy("least-kv")
+        replicas = self.engines(model)
+        short = trace_from_lists([0.0], [40], [2], name="s").requests[0]
+        tiny = trace_from_lists([0.0], [16], [2], name="y").requests[0]
+        long = trace_from_lists([0.0], [65], [2], name="l").requests[0]
+        replicas[0].submit(long)
+        replicas[1].submit(short)
+        replicas[2].submit(tiny)
+        assert replicas[0].kv_load == 128
+        assert replicas[1].kv_load == replicas[2].kv_load == 64
+        request = trace_from_lists([0.0], [16], [2], name="t").requests[0]
+        assert policy.choose(replicas, request).replica_id == 1
+
+    def test_least_kv_dispatch_stable_across_hash_seeds(self, model):
+        """The whole fleet report is identical under different
+        PYTHONHASHSEED values — no routing decision leans on hash order."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        script = (
+            "import json\n"
+            "from dataclasses import replace\n"
+            "from repro.schedules import Schedule\n"
+            "from repro.serve import FleetConfig, ServeConfig, poisson_trace, "
+            "simulate_fleet\n"
+            "from repro.workloads.configs import QWEN3_30B_A3B, scaled_config\n"
+            "model = replace(scaled_config(QWEN3_30B_A3B, scale=64),\n"
+            "                name='fleet-2e', num_experts=2, experts_per_token=1)\n"
+            "trace = poisson_trace(rate=500.0, num_requests=8, seed=3,\n"
+            "                      prompt_mean=24.0, prompt_max=64,\n"
+            "                      output_mean=3.0, output_max=8)\n"
+            "config = FleetConfig(serve=ServeConfig(model=model, batch_cap=2,\n"
+            "                                       num_layers=1, seed=3),\n"
+            "                     num_replicas=3, routing='least-kv')\n"
+            "print(json.dumps(simulate_fleet(config, trace, "
+            "Schedule.dynamic()).to_dict(), sort_keys=True))\n")
+
+        def run(hash_seed):
+            env = dict(os.environ, PYTHONPATH=str(repo / "src"),
+                       PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run([sys.executable, "-c", script], env=env,
+                                  capture_output=True, text=True, check=True)
+            return json.loads(proc.stdout)
+
+        assert run("0") == run("4242")
+
+    def test_most_free_kv_degrades_to_least_kv_when_unbounded(self, model):
+        trace = poisson_trace(rate=500.0, num_requests=8, seed=3,
+                              prompt_mean=24.0, prompt_max=64,
+                              output_mean=3.0, output_max=8)
+        least, most = (
+            simulate_fleet(
+                FleetConfig(serve=serve_config(model), num_replicas=3,
+                            routing=routing),
+                trace, Schedule.dynamic()).to_dict()
+            for routing in ("least-kv", "most-free-kv"))
+        # same dispatch decisions on every request; only the policy label
+        # differs in the payload
+        assert least.pop("routing") == "least-kv"
+        assert most.pop("routing") == "most-free-kv"
+        assert least == most
+
+    def test_free_kv_pages_signal(self, model):
+        from repro.platforms import get_platform
+        from repro.serve import kv_bytes_per_row
+
+        unbounded, = self.engines(model, n=1)
+        assert unbounded.free_kv_pages == float("inf")
+        row_bytes = kv_bytes_per_row(model, 1)
+        platform = get_platform("sda").replace(
+            "sda-test-fleet", hbm_capacity_bytes=8 * 64 * row_bytes)
+        bounded, = self.engines(model, n=1, hardware=platform)
+        assert bounded.free_kv_pages == 8.0
+        bounded.submit(trace_from_lists([0.0], [16], [2], name="t").requests[0])
+        bounded.step()
+        assert bounded.free_kv_pages == 7.0
+
+    def test_fleet_aggregates_memory_counters(self, model):
+        from repro.platforms import get_platform
+        from repro.serve import kv_bytes_per_row
+
+        row_bytes = kv_bytes_per_row(model, 1)
+        platform = get_platform("sda").replace(
+            "sda-test-fleet-small", hbm_capacity_bytes=6 * 64 * row_bytes)
+        trace = trace_from_lists(
+            arrivals=[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            prompt_tokens=[96, 96, 96, 96, 96, 96],
+            output_tokens=[96, 96, 96, 96, 96, 96],
+            name="fleet-pressure")
+        fleet = simulate_fleet(
+            FleetConfig(serve=serve_config(model, batch_cap=4),
+                        num_replicas=2, routing="most-free-kv"),
+            trace, Schedule.dynamic(), hardware=platform)
+        expected = sum(r.serving.memory.preemptions for r in fleet.replicas
+                       if r.serving.memory is not None)
+        assert fleet.preemptions == expected
+        metrics = fleet.metrics()
+        assert metrics["preemptions"] == float(fleet.preemptions)
+        assert 0.0 < metrics["kv_occupancy_max"] <= 1.0
+        assert fleet.num_requests == 6
+        restored = FleetReport.from_dict(fleet.to_dict())
+        assert restored.to_dict() == fleet.to_dict()
+        assert restored.metrics() == fleet.metrics()
