@@ -72,39 +72,96 @@ from .workload import (WORKLOAD_KINDS, AttentionWorkload, BuiltWorkload,
                        Workload, WorkloadBase, register_workload, workload_from_params)
 from . import library  # registers the built-in scenarios  # noqa: F401
 from ..serve import library as _serve_library  # registers serve-* scenarios  # noqa: F401
+from ..serve.policy import (ServePolicy, get_serve_policy, policy_grid,
+                            resolve_serve_policy, serve_policy_names)
+
+#: facade entry points that already warned about a deprecated kwarg spelling
+#: (one warning per call site name, not one per call)
+_DEPRECATION_WARNED = set()
+
+
+def _resolve_serve_args(caller: str, platform, hardware, policy,
+                        serve_kwargs):
+    """Shared kwarg normalization for :func:`serve` / :func:`serve_fleet`.
+
+    One path resolves the unified facade arguments for both entry points:
+    ``platform`` is the hardware spelling going forward; ``hardware`` is the
+    pre-platform spelling and keeps working through a warn-once
+    :class:`DeprecationWarning` shim (passing both is a
+    :class:`~repro.core.errors.ConfigError`).  ``policy`` accepts anything
+    :func:`repro.serve.resolve_serve_policy` does — ``None`` (the default
+    policy), a :class:`~repro.serve.ServePolicy`, a preset name or a spec
+    mapping.  Returns ``(platform, serve_config_kwargs)`` with the resolved
+    policy folded into ``serve_kwargs``.
+    """
+    import warnings
+
+    from ..core.errors import ConfigError
+
+    if hardware is not None:
+        if platform is not None:
+            raise ConfigError(f"{caller}: pass either platform= or the "
+                              f"legacy hardware=, not both")
+        if caller not in _DEPRECATION_WARNED:
+            _DEPRECATION_WARNED.add(caller)
+            warnings.warn(
+                f"{caller}(hardware=...) is deprecated; pass platform= "
+                f"(a Platform, a registered platform name, or a raw "
+                f"HardwareConfig — resolve_platform handles all three)",
+                DeprecationWarning, stacklevel=3)
+        platform = hardware
+    serve_kwargs = dict(serve_kwargs)
+    serve_kwargs["policy"] = resolve_serve_policy(policy)
+    return platform, serve_kwargs
 
 
 def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 2,
-          hardware=None, kv_tile_rows: int = 64, kv_mode: str = "paged",
-          eviction_policy: str = "evict-lru", seed: int = 0):
+          platform=None, hardware=None, policy=None, kv_tile_rows: int = 64,
+          kv_mode: str = "paged", eviction_policy: str = "evict-lru",
+          moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
+          seed: int = 0):
     """Run one open-loop serving simulation and return its full report.
 
     ``trace`` is a :class:`repro.serve.ArrivalTrace` (build one with
     :func:`repro.serve.poisson_trace` / :func:`repro.serve.burst_trace` or
     load a recorded JSON trace with :func:`repro.serve.load_trace`);
-    ``schedule`` defaults to the paper's dynamic schedule.  Returns the
+    ``schedule`` defaults to the paper's dynamic schedule and ``platform`` to
+    the default ``"sda"`` platform (``hardware`` is the deprecated spelling of
+    the same argument).  ``policy`` selects the scheduling discipline — a
+    preset name (see :func:`repro.serve.serve_policy_names`), a
+    :class:`repro.serve.ServePolicy` spec or a spec dict; the default
+    reproduces the historical scheduler exactly.  Returns the
     :class:`repro.serve.ServingReport` with per-request TTFT/TPOT/e2e records,
-    percentiles, goodput and the queue-depth timeline.  On a platform with a
+    percentiles, per-priority-class breakdowns, goodput and the queue-depth
+    timeline.  On a platform with a
     finite ``hbm_capacity_bytes``, ``kv_mode`` (``"paged"`` or
     ``"contiguous"``) selects the KV allocator and ``eviction_policy`` the
     preemption victim order (see :func:`repro.serve.eviction_policy_names`);
     both are inert — and the report bit-identical — when capacity is
-    unbounded.  For grids (rates × schedules × caps), prefer the registered
-    ``serve-*`` scenarios or :func:`repro.serve.latency_load_spec`.
+    unbounded.  For grids (rates × schedules × caps × policies), prefer the
+    registered ``serve-*`` scenarios or :func:`repro.serve.latency_load_spec`
+    / :func:`repro.serve.policy_shootout_spec`.
     """
     from ..serve.scheduler import ServeConfig, simulate_serving
 
-    config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
-                         kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
-                         eviction_policy=eviction_policy, seed=seed)
-    return simulate_serving(config, trace, schedule, hardware=hardware)
+    platform, config_kwargs = _resolve_serve_args(
+        "serve", platform, hardware, policy,
+        dict(model=model, batch_cap=batch_cap, num_layers=num_layers,
+             kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
+             eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
+             attention_compute_bw=attention_compute_bw, seed=seed))
+    return simulate_serving(ServeConfig(**config_kwargs), trace, schedule,
+                            hardware=platform)
 
 
 def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
                 routing: str = "round-robin", warmup_cycles: float = 0.0,
                 autoscaler=None, batch_cap: int = 8, num_layers: int = 2,
-                hardware=None, kv_tile_rows: int = 64, kv_mode: str = "paged",
-                eviction_policy: str = "evict-lru", seed: int = 0):
+                platform=None, hardware=None, policy=None,
+                kv_tile_rows: int = 64, kv_mode: str = "paged",
+                eviction_policy: str = "evict-lru",
+                moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
+                seed: int = 0):
     """Serve one trace on a fleet of replicas and return its full report.
 
     The fleet runs ``num_replicas`` copies of the continuous-batching engine
@@ -113,9 +170,10 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
     :func:`repro.serve.routing_policy_names`).  ``warmup_cycles`` charges each
     replica a one-time cold-start cost before its first step; pass an
     :class:`repro.serve.AutoscalerConfig` as ``autoscaler`` to scale the fleet
-    reactively with queue depth.  ``kv_mode`` / ``eviction_policy`` configure
-    every replica's KV allocator exactly as in :func:`serve` (inert on
-    unbounded platforms).  Returns the :class:`repro.serve.FleetReport`
+    reactively with queue depth.  ``platform`` / ``hardware`` / ``policy`` /
+    ``kv_mode`` / ``eviction_policy`` configure every replica's engine exactly
+    as in :func:`serve` (same deprecation shim, same default policy).
+    Returns the :class:`repro.serve.FleetReport`
     with per-replica serving reports, fleet-level latency percentiles,
     utilization/imbalance and the scaling-event timeline.  A fleet of one
     replica with zero warm-up reproduces :func:`serve` bit-for-bit.
@@ -123,14 +181,17 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
     from ..serve.fleet import FleetConfig, simulate_fleet
     from ..serve.scheduler import ServeConfig
 
-    serve_config = ServeConfig(model=model, batch_cap=batch_cap,
-                               num_layers=num_layers,
-                               kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
-                               eviction_policy=eviction_policy, seed=seed)
-    config = FleetConfig(serve=serve_config, num_replicas=num_replicas,
+    platform, config_kwargs = _resolve_serve_args(
+        "serve_fleet", platform, hardware, policy,
+        dict(model=model, batch_cap=batch_cap, num_layers=num_layers,
+             kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
+             eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
+             attention_compute_bw=attention_compute_bw, seed=seed))
+    config = FleetConfig(serve=ServeConfig(**config_kwargs),
+                         num_replicas=num_replicas,
                          routing=routing, warmup_cycles=warmup_cycles,
                          autoscaler=autoscaler)
-    return simulate_fleet(config, trace, schedule, hardware=hardware)
+    return simulate_fleet(config, trace, schedule, hardware=platform)
 
 
 __all__ = [
@@ -184,6 +245,12 @@ __all__ = [
     "run",
     "serve",
     "serve_fleet",
+    # scheduling policies
+    "ServePolicy",
+    "get_serve_policy",
+    "serve_policy_names",
+    "resolve_serve_policy",
+    "policy_grid",
     # execution
     "ResultCache",
     "SweepRunner",

@@ -1,7 +1,8 @@
 """Scenarios — the *experiment grid* of the unified API, and the ``run`` entry point.
 
 A :class:`Scenario` names a grid of **workloads × unified schedules ×
-platforms** plus a seed: everything needed to reproduce a figure (or invent a
+platforms** (optionally × **scheduling policies**, for serving workloads)
+plus a seed: everything needed to reproduce a figure (or invent a
 new experiment) in one declarative record.  :func:`run` expands the scenario
 into a zip-mode :class:`~repro.sweep.spec.SweepSpec` over the single generic
 ``"workload"`` sweep task and executes it on a
@@ -52,7 +53,14 @@ class Scenario:
     exactly the hardware every call site used to default to, so a scenario
     without an explicit platform reproduces pre-platform results bit for bit.
     ``hardware`` is the pre-platform spelling of a single-platform scenario
-    and folds into ``platforms`` (passing both is an error).  ``seed`` feeds
+    and folds into ``platforms`` (passing both is an error).  ``policies``
+    (optional) adds a fourth axis — a mapping from label to
+    :class:`~repro.serve.policy.ServePolicy` (or preset name / spec dict),
+    usually built with :func:`~repro.serve.policy.policy_grid`; every
+    workload in the scenario must then carry a ``policy`` field
+    (:class:`~repro.serve.workload.ServeWorkload` /
+    :class:`~repro.serve.fleet.FleetWorkload`), and each grid cell runs the
+    workload under that cell's policy.  ``seed`` feeds
     the sweep spec (tasks that consume seeds derive per-point seeds from it;
     the shipped workload task is seedless — workload data fully determines
     the result).
@@ -63,6 +71,7 @@ class Scenario:
     schedules: Union[Schedule, Mapping[str, Schedule]]
     platforms: Union[PlatformLike, Mapping[str, PlatformLike]] = None
     hardware: Optional[HardwareConfig] = None
+    policies: Optional[Mapping[str, Any]] = None
     seed: int = 0
     description: str = ""
 
@@ -82,38 +91,77 @@ class Scenario:
         # legacy read path: the sole platform's hardware (None when swept)
         self.hardware = (next(iter(self.platforms.values())).hardware
                          if len(self.platforms) == 1 else None)
+        if self.policies is not None:
+            # deferred: repro.serve imports this module while initializing
+            from ..serve.policy import resolve_serve_policy
 
-    def grid(self) -> List[Tuple[str, str, str]]:
-        """The (workload, schedule, platform) label cross product.
+            if not isinstance(self.policies, Mapping) or not self.policies:
+                raise ConfigError(f"{self.name}: policies must be a non-empty "
+                                  f"label -> policy mapping (see policy_grid)")
+            self.policies = {str(label): resolve_serve_policy(p)
+                             for label, p in self.policies.items()}
+            for label, workload in self.workloads.items():
+                self._with_policy(workload, label,
+                                  next(iter(self.policies.values())))
 
-        Workload-major, then schedule, then platform — a single-platform
-        scenario enumerates exactly the (workload, schedule) order of the
-        pre-platform grid.
+    def _with_policy(self, workload, label: str, policy):
+        """``workload`` rebound to ``policy`` (must carry a policy field)."""
+        import dataclasses
+
+        if not (dataclasses.is_dataclass(workload)
+                and any(f.name == "policy"
+                        for f in dataclasses.fields(workload))):
+            raise ConfigError(
+                f"{self.name}: workload {label!r} "
+                f"({type(workload).__name__}) has no policy field; the "
+                f"policies axis applies to serving workloads "
+                f"(ServeWorkload / FleetWorkload)")
+        return dataclasses.replace(workload, policy=policy)
+
+    def grid(self) -> List[Tuple[str, ...]]:
+        """The (workload, schedule, platform[, policy]) label cross product.
+
+        Workload-major, then schedule, then platform, then (when the
+        ``policies`` axis is set) policy innermost — a single-platform
+        scenario without policies enumerates exactly the
+        (workload, schedule) order of the pre-platform grid, as 3-tuples.
         """
-        return [(w, s, p)
+        if self.policies is None:
+            return [(w, s, p)
+                    for w in self.workloads for s in self.schedules
+                    for p in self.platforms]
+        return [(w, s, p, pol)
                 for w in self.workloads for s in self.schedules
-                for p in self.platforms]
+                for p in self.platforms for pol in self.policies]
 
     def sweep_spec(self) -> SweepSpec:
         """The scenario as a zip-mode grid over the generic ``workload`` task."""
         cells = self.grid()
+        if self.policies is None:
+            workloads = [self.workloads[c[0]] for c in cells]
+        else:
+            workloads = [self._with_policy(self.workloads[c[0]], c[0],
+                                           self.policies[c[3]])
+                         for c in cells]
         return SweepSpec(
             name=f"scenario-{self.name}",
             task="workload",
-            axes={"workload": [self.workloads[w] for w, _, _ in cells],
-                  "schedule": [self.schedules[s] for _, s, _ in cells],
-                  "platform": [self.platforms[p] for _, _, p in cells]},
+            axes={"workload": workloads,
+                  "schedule": [self.schedules[c[1]] for c in cells],
+                  "platform": [self.platforms[c[2]] for c in cells]},
             mode="zip",
             seed=self.seed,
         )
 
     def __len__(self) -> int:
-        return len(self.workloads) * len(self.schedules) * len(self.platforms)
+        cells = (len(self.workloads) * len(self.schedules)
+                 * len(self.platforms))
+        return cells if self.policies is None else cells * len(self.policies)
 
     # -- serialization ---------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON description, symmetric with :meth:`from_dict`."""
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "seed": self.seed,
@@ -121,9 +169,19 @@ class Scenario:
             "schedules": {label: s.to_dict() for label, s in self.schedules.items()},
             "platforms": {label: p.to_dict() for label, p in self.platforms.items()},
         }
+        if self.policies is not None:
+            payload["policies"] = {label: p.to_dict()
+                                   for label, p in self.policies.items()}
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        policies = None
+        if "policies" in payload:
+            from ..serve.policy import ServePolicy
+
+            policies = {label: ServePolicy.from_dict(p)
+                        for label, p in payload["policies"].items()}
         return cls(
             name=payload["name"],
             workloads={label: from_jsonable(w)
@@ -132,6 +190,7 @@ class Scenario:
                        for label, s in payload["schedules"].items()},
             platforms={label: Platform.from_dict(p)
                        for label, p in payload["platforms"].items()},
+            policies=policies,
             seed=int(payload.get("seed", 0)),
             description=payload.get("description", ""),
         )
@@ -139,13 +198,14 @@ class Scenario:
 
 @dataclass
 class ScenarioRow:
-    """Metrics of one (workload, schedule, platform) cell."""
+    """Metrics of one (workload, schedule, platform[, policy]) cell."""
 
     workload: str
     schedule: str
     metrics: Dict[str, float]
     cached: bool = False
     platform: str = ""
+    policy: str = ""
 
     def __getitem__(self, key: str) -> float:
         return self.metrics[key]
@@ -180,12 +240,21 @@ class ScenarioResult:
         return matches[0].metrics
 
     def select(self, workload: Optional[str] = None, schedule: Optional[str] = None,
-               platform: Optional[str] = None) -> List[ScenarioRow]:
+               platform: Optional[str] = None,
+               policy: Optional[str] = None) -> List[ScenarioRow]:
         """The rows matching every given label, in grid order."""
         return [row for row in self.rows
                 if (workload is None or row.workload == workload)
                 and (schedule is None or row.schedule == schedule)
-                and (platform is None or row.platform == platform)]
+                and (platform is None or row.platform == platform)
+                and (policy is None or row.policy == policy)]
+
+    def for_policy(self, policy: str) -> Dict[Any, Dict[str, float]]:
+        """(workload, schedule[, platform]) -> metrics, for one policy label."""
+        multi = len(self.scenario.platforms) > 1
+        return {((row.workload, row.schedule, row.platform) if multi
+                 else (row.workload, row.schedule)): row.metrics
+                for row in self.rows if row.policy == policy}
 
     def _cell_key(self, row: ScenarioRow, axis: str) -> Union[str, Tuple[str, str]]:
         label = getattr(row, axis)
@@ -210,8 +279,12 @@ class ScenarioResult:
 
     def to_rows(self) -> List[Dict[str, float]]:
         """Flat row dictionaries (axis labels + metrics) for tables."""
+        if self.scenario.policies is None:
+            return [{"workload": row.workload, "schedule": row.schedule,
+                     "platform": row.platform, **row.metrics}
+                    for row in self.rows]
         return [{"workload": row.workload, "schedule": row.schedule,
-                 "platform": row.platform, **row.metrics}
+                 "platform": row.platform, "policy": row.policy, **row.metrics}
                 for row in self.rows]
 
 
@@ -294,7 +367,8 @@ def run(scenario, *, jobs: Optional[int] = None,
         raise ConfigError("factory overrides only apply to registered scenario names")
     runner = build_runner(jobs=jobs, cache=cache, runner=runner)
     results = runner.run(scenario.sweep_spec())
-    rows = [ScenarioRow(workload=w, schedule=s, platform=p,
+    rows = [ScenarioRow(workload=cell[0], schedule=cell[1], platform=cell[2],
+                        policy=cell[3] if len(cell) > 3 else "",
                         metrics=result.metrics, cached=result.cached)
-            for (w, s, p), result in zip(scenario.grid(), results)]
+            for cell, result in zip(scenario.grid(), results)]
     return ScenarioResult(scenario=scenario, rows=rows, stats=runner.last_stats)

@@ -17,6 +17,9 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``serve-poisson`` / ``serve-burst`` — request-level serving runs from
   :mod:`repro.serve` (continuous-batching scheduler + step-cost simulation;
   dominated by the serving step memoization and replay path).
+* ``serve-chunked-prefill`` — the chunked-prefill scheduling policy
+  (:mod:`repro.serve.policy`): budgeted prefill streaming across steps, the
+  policy-dispatch hot path the default-policy cases never leave.
 * ``serve-overload`` — the same engine under finite HBM
   (:mod:`repro.serve.memory`): per-step KV page-pool accounting,
   memory-aware admission and preemption-with-recompute.
@@ -146,6 +149,21 @@ def _serve_burst(scale: str) -> Scenario:
     if scale == "full":
         return get_scenario("serve-burst", num_requests=96, batch_cap=8)
     return get_scenario("serve-burst", num_requests=48, output_max=12)
+
+
+# serve-chunked-prefill times the policy layer's heaviest batching discipline:
+# prefills stream in fixed token chunks across many steps (more steps, more
+# plan/bookkeeping work per request than one-shot orca prefill), so the case
+# covers the ServePolicy dispatch path the default-policy cases never leave.
+
+@register_case("serve-chunked-prefill",
+               "chunked-prefill scheduling policy: budgeted prefill streaming")
+def _serve_chunked_prefill(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("serve-policies", num_requests=96, batch_cap=8,
+                            policies=("default", "chunked-prefill"))
+    return get_scenario("serve-policies", num_requests=48, output_max=12,
+                        policies=("chunked-prefill",))
 
 
 # serve-overload exercises the memory-pressure path the other serving cases

@@ -77,6 +77,17 @@ class ExperimentScale:
     #: TTFT budget (cycles) the memory-pressure experiment's strict goodput
     #: counts against (requests over budget complete but aren't "good")
     memory_ttft_slo: float = 150_000.0
+    #: scheduling-policy presets compared by the policy-shootout experiment
+    #: (see :func:`repro.serve.serve_policy_names`)
+    policy_names: Tuple[str, ...] = ("default", "chunked-prefill",
+                                     "prefill-decode", "priority",
+                                     "slo-preempt")
+    #: platforms the policy shootout runs on (unbounded + capacity-bounded,
+    #: so policies are compared both with and without memory pressure)
+    policy_platforms: Tuple[str, ...] = ("sda", "sda-hbm-small")
+    #: tail-TTFT budget (cycles) the policy shootout's SLO attainment
+    #: counts against
+    policy_ttft_slo: float = 100_000.0
     seed: int = 0
 
 
@@ -101,6 +112,8 @@ SMOKE_SCALE = ExperimentScale(
     fleet_replicas=(1, 2),
     fleet_routings=("round-robin", "least-loaded"),
     memory_ttft_slo=50_000.0,
+    policy_names=("default", "chunked-prefill", "slo-preempt"),
+    policy_ttft_slo=50_000.0,
 )
 
 

@@ -13,10 +13,12 @@ resolution) registers every figure as an experiment, so
   payloads: a declarative reference to the native entry point plus its scale,
 * figures 9/10 need no entry here — they are registered scenarios
   (:mod:`repro.api.library`) and resolve through the scenario registry,
-* ``"serve-latency"`` / ``"fleet-latency"`` / ``"memory-pressure"`` register
-  their **sweep** payloads in :mod:`repro.experiments.serve_latency` /
+* ``"serve-latency"`` / ``"fleet-latency"`` / ``"memory-pressure"`` /
+  ``"policy-shootout"`` register their **sweep** payloads in
+  :mod:`repro.experiments.serve_latency` /
   :mod:`repro.experiments.fleet_latency` /
-  :mod:`repro.experiments.memory_pressure`.
+  :mod:`repro.experiments.memory_pressure` /
+  :mod:`repro.experiments.policy_shootout`.
 
 Factories take ``scale`` (a preset name or an
 :class:`~repro.experiments.common.ExperimentScale`) plus the underlying
@@ -29,6 +31,7 @@ from ..api.experiment import ExperimentSpec, register_experiment
 from ..serialize import to_jsonable
 from . import fleet_latency  # noqa: F401  (registers the fleet-latency experiment)
 from . import memory_pressure  # noqa: F401  (registers the memory-pressure experiment)
+from . import policy_shootout  # noqa: F401  (registers the policy-shootout experiment)
 from . import serve_latency  # noqa: F401  (registers the serve-latency experiment)
 from . import figure12_13, figure14, figure15
 from .common import resolve_scale

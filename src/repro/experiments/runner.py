@@ -38,6 +38,7 @@ from . import (figure1,
     figure21,
     fleet_latency,
     memory_pressure,
+    policy_shootout,
     serve_latency)
 from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
 from .report import format_summary, format_table
@@ -63,6 +64,8 @@ NAMED: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
     "serve-latency": lambda scale, runner: serve_latency.run(scale, runner=runner),
     "fleet-latency": lambda scale, runner: fleet_latency.run(scale, runner=runner),
     "memory-pressure": lambda scale, runner: memory_pressure.run(scale,
+                                                                 runner=runner),
+    "policy-shootout": lambda scale, runner: policy_shootout.run(scale,
                                                                  runner=runner),
 }
 

@@ -45,9 +45,19 @@ report a pure function of (config, trace, schedule, hardware).
 
 from .arrivals import (MCYCLE, ArrivalTrace, Request, burst_trace, load_trace,
                        poisson_trace, save_trace, trace_from_lists)
+from .registry import (builtin_names, is_builtin, registered_names,
+                       registry_kinds, resolve_registered)
+from .policy import (ADMISSION_POLICIES, BATCHING_POLICIES, DEFAULT_POLICY,
+                     PRIORITY_POLICIES, SERVE_POLICIES, AdmissionPolicy,
+                     BatchingPolicy, PriorityPolicy, ServePolicy,
+                     admission_policy_names, batching_policy_names,
+                     get_serve_policy, policy_grid, priority_policy_names,
+                     register_admission_policy, register_batching_policy,
+                     register_priority_policy, register_serve_policy,
+                     resolve_serve_policy, serve_policy_names)
 from .report import (PERCENTILE_POINTS, FleetReport, ReplicaReport,
                      RequestRecord, ScalingEvent, ServingReport, StepSample,
-                     percentile, summarize)
+                     percentile, priority_breakdown, summarize)
 from .workload import ServeStepWorkload, ServeWorkload
 from .memory import (EVICTION_POLICIES, KV_MODES, EvictionPolicy, KVPagePool,
                      MemoryStats, eviction_policy_names, get_eviction_policy,
@@ -58,7 +68,7 @@ from .fleet import (AutoscalerConfig, FleetConfig, FleetWorkload, RoutingPolicy,
                     get_routing_policy, register_routing_policy,
                     routing_policy_names, simulate_fleet)
 from .sweep import (fleet_latency_spec, fleet_point, latency_load_spec,
-                    memory_pressure_spec, serve_point)
+                    memory_pressure_spec, policy_shootout_spec, serve_point)
 from . import library  # registers the serve-* / fleet-* scenarios  # noqa: F401
 
 __all__ = [
@@ -81,6 +91,34 @@ __all__ = [
     "ScalingEvent",
     "percentile",
     "summarize",
+    "priority_breakdown",
+    # registries (shared index)
+    "resolve_registered",
+    "registered_names",
+    "registry_kinds",
+    "builtin_names",
+    "is_builtin",
+    # scheduling policies
+    "ServePolicy",
+    "DEFAULT_POLICY",
+    "AdmissionPolicy",
+    "BatchingPolicy",
+    "PriorityPolicy",
+    "ADMISSION_POLICIES",
+    "BATCHING_POLICIES",
+    "PRIORITY_POLICIES",
+    "SERVE_POLICIES",
+    "register_admission_policy",
+    "register_batching_policy",
+    "register_priority_policy",
+    "register_serve_policy",
+    "admission_policy_names",
+    "batching_policy_names",
+    "priority_policy_names",
+    "serve_policy_names",
+    "get_serve_policy",
+    "resolve_serve_policy",
+    "policy_grid",
     # workloads
     "ServeStepWorkload",
     "ServeWorkload",
@@ -116,4 +154,5 @@ __all__ = [
     "fleet_latency_spec",
     "fleet_point",
     "memory_pressure_spec",
+    "policy_shootout_spec",
 ]

@@ -55,6 +55,9 @@ class Request:
     #: decode length — tokens generated in total (>= 1; the first is produced
     #: by the prefill step, the remainder by one decode step each)
     output_tokens: int
+    #: priority class recorded on the trace (0 = most urgent) — consumed by
+    #: the ``"trace"`` priority policy; other policies override it at submit
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -62,18 +65,23 @@ class Request:
         if self.prompt_tokens < 1 or self.output_tokens < 1:
             raise ConfigError(f"request {self.request_id}: prompt_tokens and "
                               f"output_tokens must be >= 1")
+        if self.priority < 0:
+            raise ConfigError(f"request {self.request_id}: priority must be "
+                              f">= 0, got {self.priority}")
 
     def to_dict(self) -> Dict[str, Any]:
         return {"request_id": self.request_id, "arrival": self.arrival,
                 "prompt_tokens": self.prompt_tokens,
-                "output_tokens": self.output_tokens}
+                "output_tokens": self.output_tokens,
+                "priority": self.priority}
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Request":
         return cls(request_id=int(payload["request_id"]),
                    arrival=float(payload["arrival"]),
                    prompt_tokens=int(payload["prompt_tokens"]),
-                   output_tokens=int(payload["output_tokens"]))
+                   output_tokens=int(payload["output_tokens"]),
+                   priority=int(payload.get("priority", 0)))
 
 
 @dataclass(frozen=True)
@@ -272,16 +280,27 @@ def burst_trace(rate: float, num_requests: int, burst_size: int = 4, seed: int =
 
 def trace_from_lists(arrivals: Sequence[float], prompt_tokens: Sequence[int],
                      output_tokens: Sequence[int],
-                     name: str = "trace") -> ArrivalTrace:
-    """A trace-driven arrival process from explicit per-request lists."""
+                     name: str = "trace",
+                     priorities: Optional[Sequence[int]] = None) -> ArrivalTrace:
+    """A trace-driven arrival process from explicit per-request lists.
+
+    ``priorities`` optionally records one priority class per request (0 =
+    most urgent, the default) — the ``"trace"`` priority policy passes these
+    through to the scheduler.
+    """
     if not (len(arrivals) == len(prompt_tokens) == len(output_tokens)):
         raise ConfigError(
             f"trace {name!r}: arrivals ({len(arrivals)}), prompt_tokens "
             f"({len(prompt_tokens)}) and output_tokens ({len(output_tokens)}) "
             f"must have equal lengths")
+    if priorities is not None and len(priorities) != len(arrivals):
+        raise ConfigError(
+            f"trace {name!r}: priorities ({len(priorities)}) must match "
+            f"arrivals ({len(arrivals)})")
     requests = tuple(
         Request(request_id=i, arrival=float(arrivals[i]),
                 prompt_tokens=int(prompt_tokens[i]),
-                output_tokens=int(output_tokens[i]))
+                output_tokens=int(output_tokens[i]),
+                priority=0 if priorities is None else int(priorities[i]))
         for i in range(len(arrivals)))
     return ArrivalTrace(name=name, requests=requests)

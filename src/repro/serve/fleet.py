@@ -49,6 +49,8 @@ from ..schedules import Schedule
 from ..sim.executors.common import HardwareConfig
 from ..workloads.configs import ModelConfig
 from .arrivals import ArrivalTrace, Request
+from .policy import ServePolicy, resolve_serve_policy
+from .registry import attach_registry, resolve_registered, seal_builtins
 from .report import FleetReport, ReplicaReport, ScalingEvent
 from .scheduler import ReplicaEngine, ServeConfig
 
@@ -75,7 +77,8 @@ class RoutingPolicy:
 
 
 #: policy name -> zero-argument factory producing a fresh policy instance
-ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {}
+ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = \
+    attach_registry("routing", {})
 
 
 def register_routing_policy(name: str):
@@ -92,13 +95,12 @@ def register_routing_policy(name: str):
 
 
 def get_routing_policy(name: str) -> RoutingPolicy:
-    """A fresh instance of the registered policy ``name``."""
-    try:
-        factory = ROUTING_POLICIES[name]
-    except KeyError:
-        raise ConfigError(f"unknown routing policy {name!r}; "
-                          f"registered: {routing_policy_names()}") from None
-    return factory()
+    """A fresh instance of the registered policy ``name``.
+
+    Unknown names raise a :class:`ConfigError` listing the registered ones —
+    the one shared error path of :func:`repro.serve.registry.resolve_registered`.
+    """
+    return resolve_registered("routing", name)()
 
 
 def routing_policy_names() -> List[str]:
@@ -169,6 +171,9 @@ class MostFreeKVPolicy(RoutingPolicy):
                request: Request) -> ReplicaEngine:
         return min(replicas,
                    key=lambda r: (-r.free_kv_pages, r.kv_load, r.replica_id))
+
+
+seal_builtins("routing")
 
 
 # ---------------------------------------------------------------------------
@@ -271,9 +276,7 @@ class FleetConfig:
             raise ConfigError(f"num_replicas must be >= 1, got {self.num_replicas}")
         if self.warmup_cycles < 0:
             raise ConfigError(f"warmup_cycles must be >= 0, got {self.warmup_cycles}")
-        if self.routing not in ROUTING_POLICIES:
-            raise ConfigError(f"unknown routing policy {self.routing!r}; "
-                              f"registered: {routing_policy_names()}")
+        resolve_registered("routing", self.routing)
 
 
 @dataclass
@@ -389,6 +392,8 @@ class FleetWorkload(WorkloadBase):
     seed: int = 0
     kv_mode: str = "paged"
     eviction_policy: str = "evict-lru"
+    #: the per-replica scheduling discipline; None = the default policy
+    policy: Optional[ServePolicy] = None
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None):
@@ -402,7 +407,8 @@ class FleetWorkload(WorkloadBase):
                             moe_compute_bw=self.moe_compute_bw,
                             attention_compute_bw=self.attention_compute_bw,
                             seed=self.seed, kv_mode=self.kv_mode,
-                            eviction_policy=self.eviction_policy)
+                            eviction_policy=self.eviction_policy,
+                            policy=resolve_serve_policy(self.policy))
         return FleetConfig(serve=serve, num_replicas=self.num_replicas,
                            routing=self.routing,
                            warmup_cycles=self.warmup_cycles,
@@ -419,4 +425,7 @@ class FleetWorkload(WorkloadBase):
         return self.report(schedule, hardware).metrics()
 
     def label(self) -> str:
-        return f"fleet:{self.trace.name}:r{self.num_replicas}:{self.routing}"
+        base = f"fleet:{self.trace.name}:r{self.num_replicas}:{self.routing}"
+        if self.policy is None:
+            return base
+        return f"{base}:{self.policy.label}"

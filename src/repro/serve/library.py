@@ -16,6 +16,10 @@ Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
 * ``"serve-paged-vs-contiguous"`` — the two KV allocation disciplines under
   one tight HBM budget: paged preempts-and-recomputes, contiguous
   stalls-and-fragments (see :mod:`repro.serve.memory`),
+* ``"serve-policies"`` — one traffic trace under every registered scheduling
+  policy preset, using the scenario ``policies`` axis (the
+  :class:`~repro.serve.policy.ServePolicy` registries: admission × batching ×
+  priority, see :mod:`repro.serve.policy`),
 * ``"fleet-grid"`` — the fleet-scale picture: replica counts × routing
   policies × arrival rates, every cell a full multi-replica dispatch run
   (:mod:`repro.serve.fleet`),
@@ -267,6 +271,45 @@ def serve_paged_vs_contiguous(model_scale: int = 32, arrival_rate: float = 300.0
         platforms={"sda-hbm-small": get_platform("sda-hbm-small")},
         seed=seed,
         description="paged vs contiguous KV allocation under a tight HBM budget",
+    )
+
+
+@register_scenario("serve-policies")
+def serve_policies(model_scale: int = 32, arrival_rate: float = 300.0,
+                   num_requests: int = 16, batch_cap: int = 2,
+                   num_layers: int = 2,
+                   policies: Sequence[object] = (),
+                   prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                   prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                   output_mean: float = SMOKE_LENGTHS["output_mean"],
+                   output_max: int = SMOKE_LENGTHS["output_max"],
+                   kv_tile_rows: int = 128, seed: int = 0) -> Scenario:
+    """One traffic trace under every registered scheduling-policy preset.
+
+    Identical traffic, identical engine — only the scheduling discipline
+    (admission × batching × priority) differs, via the scenario ``policies``
+    axis.  The tight ``batch_cap`` keeps the waiting queue non-empty so
+    admission order and preemption actually matter at smoke size.
+    """
+    from .arrivals import poisson_trace
+    from .policy import policy_grid
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests,
+                          seed=seed, prompt_mean=prompt_mean,
+                          prompt_max=prompt_max, output_mean=output_mean,
+                          output_max=output_max)
+    workload = ServeWorkload(model=model, trace=trace, batch_cap=batch_cap,
+                             num_layers=num_layers, kv_tile_rows=kv_tile_rows,
+                             seed=seed)
+    return Scenario(
+        name="serve-policies",
+        workloads={"serve": workload},
+        schedules=Schedule.dynamic(),
+        policies=policy_grid(*policies),
+        seed=seed,
+        description="one trace under every scheduling-policy preset",
     )
 
 

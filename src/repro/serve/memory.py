@@ -44,10 +44,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence
+from typing import Any, Callable, ClassVar, Dict, List, Sequence
 
 from ..core.errors import ConfigError
 from ..workloads.configs import ModelConfig
+from .registry import attach_registry, resolve_registered, seal_builtins
 
 #: the KV allocation modes KVPagePool understands
 KV_MODES = ("paged", "contiguous")
@@ -257,7 +258,8 @@ class EvictionPolicy:
 
 
 #: policy name -> zero-argument factory producing a fresh policy instance
-EVICTION_POLICIES: Dict[str, Callable[[], EvictionPolicy]] = {}
+EVICTION_POLICIES: Dict[str, Callable[[], EvictionPolicy]] = \
+    attach_registry("eviction", {})
 
 
 def register_eviction_policy(name: str):
@@ -274,13 +276,12 @@ def register_eviction_policy(name: str):
 
 
 def get_eviction_policy(name: str) -> EvictionPolicy:
-    """A fresh instance of the registered policy ``name``."""
-    try:
-        factory = EVICTION_POLICIES[name]
-    except KeyError:
-        raise ConfigError(f"unknown eviction policy {name!r}; "
-                          f"registered: {eviction_policy_names()}") from None
-    return factory()
+    """A fresh instance of the registered policy ``name``.
+
+    Unknown names raise a :class:`ConfigError` listing the registered ones —
+    the one shared error path of :func:`repro.serve.registry.resolve_registered`.
+    """
+    return resolve_registered("eviction", name)()
 
 
 def eviction_policy_names() -> List[str]:
@@ -326,6 +327,9 @@ class EvictYoungestPolicy(EvictionPolicy):
     def select(self, candidates: Sequence[Any]) -> Any:
         return min(candidates,
                    key=lambda a: (-a.admitted_at, -a.request.request_id))
+
+
+seal_builtins("eviction")
 
 
 # ---------------------------------------------------------------------------

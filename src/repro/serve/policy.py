@@ -1,0 +1,482 @@
+"""Pluggable scheduling policies — the :class:`ServePolicy` axis.
+
+The continuous-batching engine (:mod:`repro.serve.scheduler`) used to
+hard-code one scheduling discipline: FIFO admission feeding Orca-style
+continuous batching.  This module factors that discipline into three
+registries and one serializable spec, so scheduling becomes a named,
+sweepable axis alongside workloads × schedules × platforms:
+
+* **admission** — which queued request joins the batch next, and whether a
+  more urgent arrival may preempt a runner (``"fifo"``,
+  ``"priority-class"``, ``"slo-deadline"``),
+* **batching** — which runners participate in a step and how many context
+  tokens each contributes (``"orca-continuous"``, ``"chunked-prefill"``,
+  ``"prefill-decode"``),
+* **priority** — how a request's priority class is assigned at submit time
+  (``"trace"``, ``"interactive-first"``, ``"short-prompt-first"``).
+
+A :class:`ServePolicy` names one policy per registry plus its knobs
+(``prefill_chunk``, ``class_slos``) and rides on
+:class:`~repro.serve.scheduler.ServeConfig`, so policy identity flows into
+sweep cache keys exactly like every other config field.  Named presets
+(``"default"``, ``"chunked-prefill"``, ``"prefill-decode"``, ``"priority"``,
+``"slo-preempt"``) make the common combinations addressable by string
+everywhere a ``policy=`` argument is accepted; :func:`policy_grid` builds
+the label → spec mapping that :class:`~repro.api.scenario.Scenario` and the
+``policy-shootout`` experiment sweep over.
+
+The default spec — ``ServePolicy()`` — reproduces the pre-registry
+scheduler bit-identically (pinned in ``tests/serve/test_policy.py``): FIFO
+admission never overtakes or preempts, the Orca plan runs every runner's
+full remaining context, and trace priority passes the request's own class
+through.
+
+Custom policies register with the ``register_*_policy`` decorators and work
+everywhere immediately, but a :class:`ServePolicy` naming one refuses
+``to_dict`` — a fresh process could not rebuild it from JSON (see
+:func:`repro.serve.registry.is_builtin`).
+
+Policy objects are instantiated per engine with the :class:`ServePolicy` as
+their only constructor argument and must be deterministic and stateless
+across steps — everything they need arrives in the call (the waiting queue,
+the running batch, the clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Dict, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..core.errors import ConfigError
+from .registry import (attach_registry, builtin_names, is_builtin,
+                       resolve_registered, seal_builtins)
+
+if TYPE_CHECKING:  # the engine's runner records; policies duck-type them
+    from .scheduler import _Active
+
+#: default context-token budget of the chunked-prefill batching policy
+DEFAULT_PREFILL_CHUNK = 32
+#: default per-class TTFT deadlines (cycles past arrival) of slo-deadline
+#: admission; class i uses entry min(i, len - 1)
+DEFAULT_CLASS_SLOS = (50_000.0, 200_000.0, 800_000.0)
+
+#: admission policy name -> class (constructed with the ServePolicy)
+ADMISSION_POLICIES: Dict[str, type] = attach_registry("admission", {})
+#: batching policy name -> class (constructed with the ServePolicy)
+BATCHING_POLICIES: Dict[str, type] = attach_registry("batching", {})
+#: priority-assignment policy name -> class (constructed with the ServePolicy)
+PRIORITY_POLICIES: Dict[str, type] = attach_registry("priority", {})
+
+
+def _register(registry: Dict[str, type], kind: str, name: str):
+    def wrap(cls: type) -> type:
+        if name in registry:
+            raise ConfigError(f"{kind} policy {name!r} is already registered")
+        cls.name = name
+        registry[name] = cls
+        return cls
+
+    return wrap
+
+
+def register_admission_policy(name: str):
+    """Decorator registering an :class:`AdmissionPolicy` subclass."""
+    return _register(ADMISSION_POLICIES, "admission", name)
+
+
+def register_batching_policy(name: str):
+    """Decorator registering a :class:`BatchingPolicy` subclass."""
+    return _register(BATCHING_POLICIES, "batching", name)
+
+
+def register_priority_policy(name: str):
+    """Decorator registering a :class:`PriorityPolicy` subclass."""
+    return _register(PRIORITY_POLICIES, "priority", name)
+
+
+def admission_policy_names() -> List[str]:
+    return sorted(ADMISSION_POLICIES)
+
+
+def batching_policy_names() -> List[str]:
+    return sorted(BATCHING_POLICIES)
+
+
+def priority_policy_names() -> List[str]:
+    return sorted(PRIORITY_POLICIES)
+
+
+# -- the spec ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """One scheduling discipline: admission × batching × priority + knobs.
+
+    Frozen and hash-stable so it can ride on
+    :class:`~repro.serve.scheduler.ServeConfig` and participate in sweep
+    cache keys.  The zero-argument spec is the engine's historical behavior.
+    """
+
+    admission: str = "fifo"
+    batching: str = "orca-continuous"
+    priority: str = "trace"
+    #: context-token budget per chunked-prefill step (None = policy default)
+    prefill_chunk: Optional[int] = None
+    #: per-class TTFT deadlines for slo-deadline admission (() = default)
+    class_slos: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        resolve_registered("admission", self.admission)
+        resolve_registered("batching", self.batching)
+        resolve_registered("priority", self.priority)
+        if self.prefill_chunk is not None and self.prefill_chunk < 1:
+            raise ConfigError(
+                f"prefill_chunk must be >= 1, got {self.prefill_chunk}")
+        object.__setattr__(self, "class_slos",
+                           tuple(float(s) for s in self.class_slos))
+        if any(s <= 0 for s in self.class_slos):
+            raise ConfigError(
+                f"class_slos must be positive, got {self.class_slos}")
+
+    @property
+    def label(self) -> str:
+        """A compact grid label: the preset name if one matches, else the triple."""
+        for name, preset in SERVE_POLICIES.items():
+            if preset == self:
+                return name
+        return f"{self.admission}/{self.batching}/{self.priority}"
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain descriptive payload (names + knobs, no registry coupling)."""
+        return {"admission": self.admission, "batching": self.batching,
+                "priority": self.priority, "prefill_chunk": self.prefill_chunk,
+                "class_slos": list(self.class_slos)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON payload — refused for custom-registered policy names.
+
+        A spec naming a policy registered outside this module would load in
+        a fresh process only if that process re-ran the registration; rather
+        than emit a payload that fails later, fail here with the builtin
+        alternatives listed.
+        """
+        for kind, name in (("admission", self.admission),
+                           ("batching", self.batching),
+                           ("priority", self.priority)):
+            if not is_builtin(kind, name):
+                raise ConfigError(
+                    f"ServePolicy names custom-registered {kind} policy "
+                    f"{name!r}, which a fresh process cannot rebuild from "
+                    f"JSON; builtin {kind} policies: {builtin_names(kind)}. "
+                    f"Construct the spec in code after re-registering.")
+        return self.describe()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServePolicy":
+        chunk = payload.get("prefill_chunk")
+        return cls(admission=payload.get("admission", "fifo"),
+                   batching=payload.get("batching", "orca-continuous"),
+                   priority=payload.get("priority", "trace"),
+                   prefill_chunk=None if chunk is None else int(chunk),
+                   class_slos=tuple(payload.get("class_slos", ())))
+
+
+# -- admission policies --------------------------------------------------------------
+
+
+class AdmissionPolicy:
+    """Chooses which queued request joins the running batch next.
+
+    :meth:`select` returns an index into the waiting queue (the request to
+    admit now) or ``None`` when nothing should be admitted.  Policies with
+    ``preemptive = True`` additionally implement :meth:`preempt_victim`: when
+    the batch is full, the engine asks whether admitting the selected request
+    justifies evicting a runner (vLLM-style preempt-with-recompute).
+    """
+
+    name = ""
+    preemptive = False
+
+    def __init__(self, spec: ServePolicy) -> None:
+        self.spec = spec
+
+    def select(self, waiting: Sequence["_Active"], now: float) -> Optional[int]:
+        raise NotImplementedError
+
+    def preempt_victim(self, running: Sequence["_Active"],
+                       head: "_Active") -> Optional["_Active"]:
+        """The runner to evict for ``head``, or ``None`` to keep the batch."""
+        return None
+
+
+@register_admission_policy("fifo")
+class FIFOAdmission(AdmissionPolicy):
+    """Strict arrival order; the head blocks the queue (no overtaking)."""
+
+    def select(self, waiting: Sequence["_Active"], now: float) -> Optional[int]:
+        if waiting and waiting[0].request.arrival <= now:
+            return 0
+        return None
+
+
+@register_admission_policy("priority-class")
+class PriorityClassAdmission(AdmissionPolicy):
+    """Lowest priority class first (0 = most urgent); FIFO within a class.
+
+    Eligible requests (arrived by ``now``) may overtake the queue head, so a
+    burst of interactive traffic jumps ahead of queued batch work — but
+    runners are never evicted for it.
+    """
+
+    def select(self, waiting: Sequence["_Active"], now: float) -> Optional[int]:
+        best: Optional[int] = None
+        best_key = None
+        for i, item in enumerate(waiting):
+            if item.request.arrival > now:
+                continue
+            key = (item.priority, item.request.arrival, item.request.request_id)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+
+@register_admission_policy("slo-deadline")
+class SLODeadlineAdmission(AdmissionPolicy):
+    """Earliest TTFT deadline first, with preemption of later-deadline runners.
+
+    A request's deadline is ``arrival + class_slos[priority]`` (the last
+    entry covers every lower class).  When the batch is full, the runner
+    with the *latest* deadline is evicted — preempt-with-recompute — iff the
+    waiting request's deadline is strictly earlier, so swaps strictly tighten
+    the running batch and the engine cannot livelock.
+    """
+
+    preemptive = True
+
+    def deadline(self, item: "_Active") -> float:
+        slos = self.spec.class_slos or DEFAULT_CLASS_SLOS
+        return item.request.arrival + slos[min(item.priority, len(slos) - 1)]
+
+    def select(self, waiting: Sequence["_Active"], now: float) -> Optional[int]:
+        best: Optional[int] = None
+        best_key = None
+        for i, item in enumerate(waiting):
+            if item.request.arrival > now:
+                continue
+            key = (self.deadline(item), item.request.request_id)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def preempt_victim(self, running: Sequence["_Active"],
+                       head: "_Active") -> Optional["_Active"]:
+        victim = max(running,
+                     key=lambda a: (self.deadline(a), a.request.request_id))
+        if self.deadline(victim) > self.deadline(head):
+            return victim
+        return None
+
+
+# -- batching policies ---------------------------------------------------------------
+
+
+class BatchingPolicy:
+    """Plans one step: which runners participate and with how many tokens.
+
+    :meth:`plan` maps the running batch to ``(runner, tokens)`` pairs.  A
+    runner still prefilling contributes *context* tokens (capped by what
+    remains); a decoded runner contributes exactly one token.  Runners left
+    out of the plan sit the step out (they keep their KV but neither cost
+    nor produce anything).  Plan order doubles as the KV-securing priority
+    under memory pressure: earlier entries are evicted last.
+    """
+
+    name = ""
+
+    def __init__(self, spec: ServePolicy) -> None:
+        self.spec = spec
+
+    def plan(self, running: Sequence["_Active"]) -> List[Tuple["_Active", int]]:
+        raise NotImplementedError
+
+
+@register_batching_policy("orca-continuous")
+class OrcaContinuousBatching(BatchingPolicy):
+    """The classic iteration plan: full prefills plus one decode token each."""
+
+    def plan(self, running: Sequence["_Active"]) -> List[Tuple["_Active", int]]:
+        return [(a, a.kv_length - a.context_done if a.needs_prefill else 1)
+                for a in running]
+
+
+@register_batching_policy("chunked-prefill")
+class ChunkedPrefillBatching(BatchingPolicy):
+    """Sarathi-style chunking: decodes always run, prefills share a budget.
+
+    Decodes come first (they are furthest along and their latency is the
+    interactive tail); prefilling runners then consume the per-step context
+    budget (``spec.prefill_chunk``, default ``DEFAULT_PREFILL_CHUNK``) in
+    admission order.  A prefill that exhausts the budget waits; its context
+    progress persists across steps (``context_done``) unless it is preempted.
+    """
+
+    def plan(self, running: Sequence["_Active"]) -> List[Tuple["_Active", int]]:
+        plan = [(a, 1) for a in running if not a.needs_prefill]
+        budget = self.spec.prefill_chunk or DEFAULT_PREFILL_CHUNK
+        for a in running:
+            if budget <= 0:
+                break
+            if a.needs_prefill:
+                chunk = min(a.kv_length - a.context_done, budget)
+                plan.append((a, chunk))
+                budget -= chunk
+        return plan
+
+
+@register_batching_policy("prefill-decode")
+class PrefillDecodeBatching(BatchingPolicy):
+    """Disaggregated phases: prefill-only steps drain before any decode step.
+
+    While any runner still needs prefill the step runs *only* prefills (full
+    remaining context each); otherwise it decodes every runner.  Models the
+    prefill/decode-disaggregation discipline where the two phases never mix
+    in one iteration.
+    """
+
+    def plan(self, running: Sequence["_Active"]) -> List[Tuple["_Active", int]]:
+        prefills = [a for a in running if a.needs_prefill]
+        if prefills:
+            return [(a, a.kv_length - a.context_done) for a in prefills]
+        return [(a, 1) for a in running]
+
+
+# -- priority-assignment policies ----------------------------------------------------
+
+
+class PriorityPolicy:
+    """Assigns a request's priority class (0 = most urgent) at submit time."""
+
+    name = ""
+
+    def __init__(self, spec: ServePolicy) -> None:
+        self.spec = spec
+
+    def assign(self, request) -> int:
+        raise NotImplementedError
+
+
+@register_priority_policy("trace")
+class TracePriority(PriorityPolicy):
+    """Pass through the class recorded on the request (default 0)."""
+
+    def assign(self, request) -> int:
+        return request.priority
+
+
+@register_priority_policy("interactive-first")
+class InteractiveFirstPriority(PriorityPolicy):
+    """Short-output (interactive) requests outrank long (batch) generations."""
+
+    #: outputs at most this long count as interactive
+    interactive_output_tokens = 8
+
+    def assign(self, request) -> int:
+        return 0 if request.output_tokens <= self.interactive_output_tokens else 1
+
+
+@register_priority_policy("short-prompt-first")
+class ShortPromptFirstPriority(PriorityPolicy):
+    """Short prompts (cheap prefills) outrank long-context requests."""
+
+    #: prompts at most this long count as short
+    short_prompt_tokens = 64
+
+    def assign(self, request) -> int:
+        return 0 if request.prompt_tokens <= self.short_prompt_tokens else 1
+
+
+# -- named presets -------------------------------------------------------------------
+
+#: preset name -> ServePolicy (the "policy" registry kind)
+SERVE_POLICIES: Dict[str, ServePolicy] = attach_registry("policy", {})
+
+
+def register_serve_policy(name: str, policy: ServePolicy) -> ServePolicy:
+    """Register a named :class:`ServePolicy` preset (addressable by string)."""
+    if name in SERVE_POLICIES:
+        raise ConfigError(f"serve policy {name!r} is already registered")
+    SERVE_POLICIES[name] = policy
+    return policy
+
+
+def get_serve_policy(name: str) -> ServePolicy:
+    """The preset registered under ``name`` (ConfigError lists the presets)."""
+    return resolve_registered("policy", name)
+
+
+def serve_policy_names() -> List[str]:
+    return sorted(SERVE_POLICIES)
+
+
+#: the engine's historical discipline; ServeConfig's policy default
+DEFAULT_POLICY = register_serve_policy("default", ServePolicy())
+register_serve_policy("chunked-prefill",
+                      ServePolicy(batching="chunked-prefill"))
+register_serve_policy("prefill-decode",
+                      ServePolicy(batching="prefill-decode"))
+register_serve_policy("priority",
+                      ServePolicy(admission="priority-class",
+                                  priority="interactive-first"))
+register_serve_policy("slo-preempt",
+                      ServePolicy(admission="slo-deadline",
+                                  priority="interactive-first"))
+
+
+def resolve_serve_policy(policy: Union[None, str, ServePolicy,
+                                       Mapping[str, Any]]) -> ServePolicy:
+    """The one ``policy=`` resolution path every serve entry point uses.
+
+    ``None`` → the default policy; a string → the registered preset; a
+    mapping → :meth:`ServePolicy.from_dict`; a :class:`ServePolicy` passes
+    through.  Mirrors :func:`repro.platforms.resolve_platform`.
+    """
+    if policy is None:
+        return DEFAULT_POLICY
+    if isinstance(policy, ServePolicy):
+        return policy
+    if isinstance(policy, str):
+        return get_serve_policy(policy)
+    if isinstance(policy, Mapping):
+        return ServePolicy.from_dict(policy)
+    raise ConfigError(f"cannot resolve a serve policy from "
+                      f"{type(policy).__name__!r}; expected None, a "
+                      f"registered name, a mapping or a ServePolicy")
+
+
+def policy_grid(*policies: Union[str, ServePolicy,
+                                 Mapping[str, Any]]) -> Dict[str, ServePolicy]:
+    """A label → :class:`ServePolicy` mapping for scenario/experiment grids.
+
+    With no arguments, every named preset (the full builtin policy space);
+    otherwise each argument resolves like ``policy=`` and is labeled by its
+    preset name (or the admission/batching/priority triple).  Mirrors
+    :func:`repro.platforms.platform_grid`.
+    """
+    if not policies:
+        return {name: SERVE_POLICIES[name] for name in serve_policy_names()}
+    grid: Dict[str, ServePolicy] = {}
+    for entry in policies:
+        resolved = resolve_serve_policy(entry)
+        label = entry if isinstance(entry, str) else resolved.label
+        if label in grid and grid[label] != resolved:
+            raise ConfigError(f"policy_grid label {label!r} is ambiguous: "
+                              f"two distinct specs share it")
+        grid[label] = resolved
+    return grid
+
+
+for _kind in ("admission", "batching", "priority", "policy"):
+    seal_builtins(_kind)
+del _kind

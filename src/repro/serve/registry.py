@@ -1,0 +1,103 @@
+"""One resolution path for every serve-side policy registry.
+
+The serve subsystem grew several registries — eviction policies
+(:mod:`repro.serve.memory`), fleet routing policies
+(:mod:`repro.serve.fleet`) and, with the :class:`~repro.serve.policy.
+ServePolicy` redesign, admission / batching / priority-assignment policies
+plus the named policy presets.  They all share one failure mode: an unknown
+name must raise a :class:`~repro.core.errors.ConfigError` that *lists the
+registered names*, never an opaque ``KeyError``.  This module centralizes
+that error path:
+
+* each registry module hands its ``name -> factory`` dict to
+  :func:`attach_registry` under a short *kind* (``"eviction"``,
+  ``"routing"``, ``"admission"``, ``"batching"``, ``"priority"``,
+  ``"policy"``),
+* every getter resolves through :func:`resolve_registered`, so the
+  "unknown X" message is worded identically everywhere,
+* :func:`seal_builtins` snapshots the names registered at import time.
+  Anything registered later (a user's custom policy) is *not builtin* —
+  :meth:`ServePolicy.to_dict` uses :func:`is_builtin` to refuse serializing
+  specs that a fresh process could not reconstruct.
+
+The registries themselves stay ordinary module-level dicts in their home
+modules (so ``EVICTION_POLICIES`` et al. keep their public identity); this
+module only indexes them by kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from ..core.errors import ConfigError
+
+#: kind -> the registry dict living in the kind's home module
+_REGISTRIES: Dict[str, Dict[str, Any]] = {}
+#: kind -> names present when the home module finished importing
+_BUILTINS: Dict[str, Set[str]] = {}
+
+
+def attach_registry(kind: str, registry: Dict[str, Any]) -> Dict[str, Any]:
+    """Index ``registry`` (a live ``name -> factory`` dict) under ``kind``."""
+    if kind in _REGISTRIES:
+        raise ConfigError(f"policy registry kind {kind!r} is already attached")
+    _REGISTRIES[kind] = registry
+    _BUILTINS[kind] = set()
+    return registry
+
+
+def registry_kinds() -> List[str]:
+    """The attached registry kinds, sorted."""
+    return sorted(_REGISTRIES)
+
+
+def resolve_registered(kind: str, name: str) -> Any:
+    """Look up ``name`` in the ``kind`` registry or raise a listing ConfigError.
+
+    Returns whatever the registry stores (a policy class, a factory, or a
+    value object for the ``"policy"`` preset registry) — instantiation is the
+    caller's business.
+    """
+    try:
+        registry = _REGISTRIES[kind]
+    except KeyError:
+        raise ConfigError(f"unknown policy registry kind {kind!r}; "
+                          f"attached: {registry_kinds()}") from None
+    try:
+        return registry[name]
+    except KeyError:
+        raise ConfigError(f"unknown {kind} policy {name!r}; "
+                          f"registered: {sorted(registry)}") from None
+
+
+def registered_names(kind: str) -> List[str]:
+    """The names registered under ``kind``, sorted."""
+    if kind not in _REGISTRIES:
+        raise ConfigError(f"unknown policy registry kind {kind!r}; "
+                          f"attached: {registry_kinds()}")
+    return sorted(_REGISTRIES[kind])
+
+
+def seal_builtins(kind: str) -> None:
+    """Snapshot the currently registered names as the builtin set for ``kind``.
+
+    Called once at the bottom of the kind's home module; later registrations
+    are custom and :func:`is_builtin` reports them as such.
+    """
+    if kind not in _REGISTRIES:
+        raise ConfigError(f"unknown policy registry kind {kind!r}; "
+                          f"attached: {registry_kinds()}")
+    _BUILTINS[kind] = set(_REGISTRIES[kind])
+
+
+def is_builtin(kind: str, name: str) -> bool:
+    """Whether ``name`` was registered at import time (ships with repro)."""
+    return name in _BUILTINS.get(kind, ())
+
+
+def builtin_names(kind: str) -> List[str]:
+    """The builtin (import-time) names for ``kind``, sorted."""
+    if kind not in _REGISTRIES:
+        raise ConfigError(f"unknown policy registry kind {kind!r}; "
+                          f"attached: {registry_kinds()}")
+    return sorted(_BUILTINS[kind])

@@ -84,6 +84,8 @@ class RequestRecord:
     completion: float
     prompt_tokens: int
     output_tokens: int
+    #: priority class the request was served under (0 = most urgent)
+    priority: int = 0
 
     @property
     def ttft(self) -> float:
@@ -103,7 +105,8 @@ class RequestRecord:
         return {"request_id": self.request_id, "arrival": self.arrival,
                 "first_token": self.first_token, "completion": self.completion,
                 "prompt_tokens": self.prompt_tokens,
-                "output_tokens": self.output_tokens}
+                "output_tokens": self.output_tokens,
+                "priority": self.priority}
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RequestRecord":
@@ -112,7 +115,33 @@ class RequestRecord:
                    first_token=float(payload["first_token"]),
                    completion=float(payload["completion"]),
                    prompt_tokens=int(payload["prompt_tokens"]),
-                   output_tokens=int(payload["output_tokens"]))
+                   output_tokens=int(payload["output_tokens"]),
+                   priority=int(payload.get("priority", 0)))
+
+
+def priority_breakdown(records: Sequence["RequestRecord"]) -> Dict[int, Dict[str, Any]]:
+    """Per-priority-class latency summaries over a request sample.
+
+    Maps each priority class present in ``records`` to its request count and
+    TTFT / TPOT / e2e percentile summaries (the same nearest-rank summaries
+    the aggregate report uses) — the signal a priority or SLO-deadline policy
+    is supposed to move: class 0 should hold its tail while lower classes
+    absorb the queueing.  Shared by :meth:`ServingReport.per_priority` and
+    :meth:`FleetReport.per_priority`.
+    """
+    classes: Dict[int, list] = {}
+    for record in records:
+        classes.setdefault(record.priority, []).append(record)
+    breakdown: Dict[int, Dict[str, Any]] = {}
+    for cls in sorted(classes):
+        group = classes[cls]
+        breakdown[cls] = {
+            "requests": len(group),
+            "ttft": summarize([r.ttft for r in group]),
+            "tpot": summarize([r.tpot for r in group if r.output_tokens > 1]),
+            "e2e": summarize([r.e2e for r in group]),
+        }
+    return breakdown
 
 
 @dataclass(frozen=True)
@@ -179,6 +208,10 @@ class ServingReport:
     #: memory-pressure summary of a capacity-bounded run; ``None`` when the
     #: platform's HBM is unbounded (the pre-memory behavior, bit-identical)
     memory: Optional[MemoryStats] = None
+    #: descriptive payload of the scheduling policy the run used (see
+    #: :meth:`repro.serve.policy.ServePolicy.describe`); ``None`` on reports
+    #: predating the policy axis
+    policy: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.requests = tuple(self.requests)
@@ -201,6 +234,23 @@ class ServingReport:
 
     def e2e(self) -> Dict[str, float]:
         return summarize([r.e2e for r in self.requests])
+
+    def per_priority(self) -> Dict[int, Dict[str, Any]]:
+        """Per-priority-class request counts and latency percentile summaries."""
+        return priority_breakdown(self.requests)
+
+    def priority_classes(self) -> Tuple[int, ...]:
+        """The priority classes present among the served requests, sorted."""
+        return tuple(sorted({r.priority for r in self.requests}))
+
+    def slo_attainment_by_priority(self, ttft_slo: float) -> Dict[int, float]:
+        """Per-class fraction of requests whose TTFT met the SLO."""
+        attainment: Dict[int, float] = {}
+        for cls, payload in self.per_priority().items():
+            group = [r for r in self.requests if r.priority == cls]
+            met = sum(1 for r in group if r.ttft <= ttft_slo)
+            attainment[cls] = met / payload["requests"]
+        return attainment
 
     @property
     def goodput(self) -> float:
@@ -285,6 +335,7 @@ class ServingReport:
             "total_cycles": self.total_cycles,
             "distinct_steps": self.distinct_steps,
             "memory": None if self.memory is None else self.memory.to_dict(),
+            "policy": self.policy,
             "requests": [r.to_dict() for r in self.requests],
             "steps": [s.to_dict() for s in self.steps],
         }
@@ -299,6 +350,7 @@ class ServingReport:
             total_cycles=float(payload["total_cycles"]),
             distinct_steps=int(payload["distinct_steps"]),
             memory=None if memory is None else MemoryStats.from_dict(memory),
+            policy=payload.get("policy"),
             requests=tuple(RequestRecord.from_dict(r) for r in payload["requests"]),
             steps=tuple(StepSample.from_dict(s) for s in payload["steps"]),
         )
@@ -434,6 +486,10 @@ class FleetReport:
 
     def e2e(self) -> Dict[str, float]:
         return summarize([r.e2e for r in self.requests])
+
+    def per_priority(self) -> Dict[int, Dict[str, Any]]:
+        """Per-priority-class latency summaries over the whole fleet."""
+        return priority_breakdown(self.requests)
 
     @property
     def goodput(self) -> float:

@@ -6,19 +6,30 @@ clock, step it, drain it — which is what lets :mod:`repro.serve.fleet` run N
 replicas side by side behind a dispatcher.  :func:`simulate_serving` drives an
 open-loop :class:`~repro.serve.arrivals.ArrivalTrace` through a single engine:
 
-* requests wait in a FIFO **queue** until a slot in the running batch (at most
-  ``batch_cap`` requests) frees up; admission happens at *step* granularity,
-  exactly like iteration-level scheduling in Orca / vLLM,
-* a newly admitted request's first step is its **prefill** — the whole prompt
-  joins the step's token batch and the step emits the request's first output
-  token (TTFT is measured at that step's end),
-* every subsequent step **decodes** one token per running request against its
+* requests wait in a **queue** until the admission policy moves them into the
+  running batch (at most ``batch_cap`` requests); admission happens at *step*
+  granularity, exactly like iteration-level scheduling in Orca / vLLM,
+* the batching policy plans each step — which runners participate and how
+  many context tokens each contributes.  Under the default Orca plan a newly
+  admitted request's first step is its **prefill** (the whole prompt joins
+  the step's token batch and the step emits the request's first output
+  token); chunked prefill spreads that context over several steps,
+* every decode step produces one token per participating request against its
   grown KV cache, until ``output_tokens`` tokens have been produced,
 * each step's latency comes from simulating the step as a
   :class:`~repro.serve.workload.ServeStepWorkload` under the run's unified
   :class:`~repro.schedules.Schedule` — so batching pressure, KV-length skew
   and the schedule's tiling/parallelization choices all shape the serving
   latencies through the same dataflow engine as the closed-loop experiments.
+
+**Scheduling policies.**  The scheduling discipline is pluggable: a
+:class:`~repro.serve.policy.ServePolicy` on :class:`ServeConfig` names one
+admission policy (who joins the batch, and whether urgent arrivals preempt
+runners), one batching policy (the per-step plan) and one priority-assignment
+policy (each request's class at submit time) from the registries in
+:mod:`repro.serve.policy`.  The default spec reproduces the historical
+hard-coded scheduler bit-identically (pinned in tier-1): FIFO admission,
+Orca-continuous batching, trace-assigned priorities.
 
 Step costs are memoized on a *step signature*: the token-batch size plus the
 multiset of per-request KV lengths, quantized up to ``kv_tile_rows`` (the
@@ -40,10 +51,10 @@ KVPagePool` and KV pages become a second admission constraint next to
 * a queued request is admitted only when its KV fits *now* (its prompt —
   plus any evicted-and-recomputed tokens — plus one row for the token the
   step will emit; the contiguous mode reserves the lifetime maximum
-  instead).  Admission is strict FIFO: a head that does not fit stalls the
-  queue (counted as an ``admission_stall``) rather than being overtaken,
-* before each step is costed, every running request secures room for the
-  token it is about to write.  A paged growth that finds the pool full
+  instead).  A selected request that does not fit stalls admission (counted
+  as an ``admission_stall``) rather than being overtaken,
+* before each step is costed, every *plan participant* secures room for the
+  rows it is about to write.  A paged growth that finds the pool full
   triggers **preemption**: the configured eviction policy
   (:data:`~repro.serve.memory.EVICTION_POLICIES` — ``evict-lru`` /
   ``evict-largest-kv`` / ``evict-youngest``) picks a victim among the
@@ -76,6 +87,9 @@ from .arrivals import ArrivalTrace, Request, quantize_up
 from .memory import (EVICTION_POLICIES, KV_MODES, EvictionPolicy, KVPagePool,
                      MemoryStats, eviction_policy_names, get_eviction_policy,
                      kv_bytes_per_row)
+from .policy import (DEFAULT_POLICY, AdmissionPolicy, BatchingPolicy,
+                     PriorityPolicy, ServePolicy)
+from .registry import resolve_registered
 from .report import RequestRecord, ServingReport, StepSample
 from .workload import ServeStepWorkload
 
@@ -172,6 +186,9 @@ class ServeConfig:
     kv_mode: str = "paged"
     #: registered eviction policy deciding whom to preempt under pressure
     eviction_policy: str = "evict-lru"
+    #: the scheduling discipline (admission × batching × priority); None
+    #: normalizes to the default policy, the historical scheduler exactly
+    policy: Optional[ServePolicy] = None
 
     def __post_init__(self) -> None:
         if self.batch_cap < 1:
@@ -184,6 +201,12 @@ class ServeConfig:
         if self.eviction_policy not in EVICTION_POLICIES:
             raise ConfigError(f"unknown eviction policy {self.eviction_policy!r}; "
                               f"registered: {eviction_policy_names()}")
+        if self.policy is None:
+            object.__setattr__(self, "policy", DEFAULT_POLICY)
+        elif not isinstance(self.policy, ServePolicy):
+            raise ConfigError(f"policy must be a ServePolicy (resolve names "
+                              f"via resolve_serve_policy), got "
+                              f"{type(self.policy).__name__!r}")
 
 
 @dataclass
@@ -191,14 +214,19 @@ class _Active:
     """A request in the running batch (or re-queued after preemption)."""
 
     request: Request
-    #: output tokens produced so far (0 = the prefill step is still ahead)
+    #: output tokens produced so far (0 = the prefill phase is still ahead)
     generated: int = 0
     first_token: float = 0.0
-    #: the next step must (re-)process the full context: true for fresh
-    #: requests and again after a preemption evicted the KV (recompute)
+    #: the engine must (re-)process the full context before decoding: true
+    #: for fresh requests and again after a preemption evicted the KV
     needs_prefill: bool = True
     #: clock of the latest (re-)admission — the eviction policies' age signal
     admitted_at: float = 0.0
+    #: priority class assigned at submit (0 = most urgent)
+    priority: int = 0
+    #: context tokens already prefilled since the last (re-)admission —
+    #: only chunked batching leaves this mid-way between steps
+    context_done: int = 0
 
     @property
     def kv_length(self) -> int:
@@ -210,9 +238,10 @@ def _context_key(config: ServeConfig, schedule: Schedule,
                  hardware: HardwareConfig) -> str:
     """The memo context: exactly the inputs that determine a step's cost.
 
-    Deliberately excludes ``batch_cap``, ``kv_mode`` and ``eviction_policy``
-    (and the platform's HBM capacity) — they shape which steps occur, never
-    what one costs — so capacity/policy sweep points share each other's steps.
+    Deliberately excludes ``batch_cap``, ``kv_mode``, ``eviction_policy`` and
+    the whole ``policy`` spec (and the platform's HBM capacity) — they shape
+    *which* steps occur, never what one costs — so capacity/policy sweep
+    points share each other's steps.
     """
     return stable_hash({
         "model": config.model,
@@ -248,10 +277,14 @@ def _step_cycles(config: ServeConfig, schedule: Schedule, hardware: HardwareConf
     return cycles
 
 
+#: one step's plan: (runner, tokens-it-contributes) per participant
+StepPlan = List[Tuple[_Active, int]]
+
+
 class ReplicaEngine:
     """One continuous-batching server, steppable from the outside.
 
-    The engine owns a clock (``now``, in cycles), a FIFO waiting queue, the
+    The engine owns a clock (``now``, in cycles), a waiting queue, the
     running batch and the records/steps it has produced.  A driver — the
     single-engine :func:`simulate_serving` loop or the fleet dispatcher in
     :mod:`repro.serve.fleet` — feeds it requests with :meth:`submit` and moves
@@ -263,6 +296,10 @@ class ReplicaEngine:
     classic single-loop scheduler exactly: a request joins the first step
     whose start is at or after its arrival, and an idle engine's clock jumps
     to the earliest queued arrival instead of spinning.
+
+    Each step runs three policy hooks from ``config.policy``: admission
+    (:meth:`_admit` — possibly preempting runners for urgent arrivals),
+    batching (the step plan) and, at :meth:`submit`, priority assignment.
 
     ``warmup_cycles`` models cold-start cost: the engine's first step ever is
     preceded by a one-time clock penalty (weights loading, compilation —
@@ -284,6 +321,13 @@ class ReplicaEngine:
         self.spawned_at = float(start_cycle)
         self.now = float(start_cycle)
         self._context = _context_key(config, self.schedule, self.hardware)
+        policy = config.policy
+        self._admission: AdmissionPolicy = \
+            resolve_registered("admission", policy.admission)(policy)
+        self._batching: BatchingPolicy = \
+            resolve_registered("batching", policy.batching)(policy)
+        self._priority: PriorityPolicy = \
+            resolve_registered("priority", policy.priority)(policy)
         self._waiting: Deque[_Active] = deque()
         self._running: List[_Active] = []
         self._records: List[RequestRecord] = []
@@ -354,11 +398,13 @@ class ReplicaEngine:
 
     # -- driving ---------------------------------------------------------------------
     def submit(self, request: Request) -> None:
-        """Queue a request (FIFO).  Call at arrival time — see the contract.
+        """Queue a request.  Call at arrival time — see the contract.
 
-        Under a finite platform a request whose *lifetime* KV (prompt plus
-        every output token) exceeds the whole pool is rejected up front: it
-        could never be scheduled, and admitting it would livelock the queue.
+        The priority policy assigns the request's class here (the trace's
+        own class under the default policy).  Under a finite platform a
+        request whose *lifetime* KV (prompt plus every output token) exceeds
+        the whole pool is rejected up front: it could never be scheduled,
+        and admitting it would livelock the queue.
         """
         if self._pool is not None:
             max_rows = request.prompt_tokens + request.output_tokens
@@ -368,66 +414,108 @@ class ReplicaEngine:
                     f"{self._pool.pages_for(max_rows)} KV pages for its "
                     f"lifetime but the pool holds {self._pool.capacity_pages} "
                     f"(hbm_capacity_bytes is too small for this trace)")
-        self._waiting.append(_Active(request))
+        self._waiting.append(
+            _Active(request, priority=self._priority.assign(request)))
 
     # -- memory pressure -------------------------------------------------------------
     def _preempt(self, active: _Active) -> None:
         """Evict a running request: free its KV, re-queue it at the front.
 
         The request keeps its ``generated`` count (and its first-token time
-        if already delivered); what it loses is its KV — on re-admission the
-        prefill re-processes prompt + generated tokens, which is where the
-        recompute cost lands.
+        if already delivered); what it loses is its KV and any partial
+        prefill progress — on re-admission the prefill re-processes prompt +
+        generated tokens, which is where the recompute cost lands.  Used both
+        by KV pressure (:meth:`_secure_kv`) and by preemptive admission
+        policies, so it tolerates a pool-less engine.
         """
-        self._pool.release(active.request.request_id)
+        if self._pool is not None:
+            self._pool.release(active.request.request_id)
         self._preemptions += 1
         active.needs_prefill = True
+        active.context_done = 0
         self._waiting.appendleft(active)
 
+    def _try_admit_at(self, idx: int) -> bool:
+        """Admit the waiting request at ``idx``; False = it stalled on KV."""
+        head = self._waiting[idx]
+        if self._pool is not None:
+            # the steps a request joins must hold its current context plus
+            # the one token it emits; contiguous mode books the lifetime
+            max_rows = head.request.prompt_tokens + head.request.output_tokens
+            if not self._pool.try_admit(head.request.request_id,
+                                        head.kv_length + 1, max_rows):
+                self._admission_stalls += 1
+                return False
+        if head.generated:
+            # re-admission after preemption: the evicted tokens are
+            # recomputed by the upcoming (re-)prefill
+            self._recompute_tokens += head.generated
+        head.admitted_at = self.now
+        del self._waiting[idx]
+        self._running.append(head)
+        return True
+
     def _admit(self) -> None:
-        """Move queued requests into the running batch (strict FIFO).
+        """Move queued requests into the running batch (admission policy).
 
-        A head blocked on KV pages stalls the whole queue (no overtaking —
-        that would starve large requests forever) and is counted once per
-        step as an admission stall.
+        The policy picks who joins next (strict FIFO by default — no
+        overtaking, so a blocked head stalls the whole queue rather than
+        starving large requests forever); a pick that does not fit in KV
+        stalls admission, counted once per step.  A *preemptive* policy then
+        gets to evict later-deadline runners for more urgent arrivals; each
+        swap strictly tightens the running batch, so the loop terminates.
         """
-        while self._waiting and self._waiting[0].request.arrival <= self.now \
-                and len(self._running) < self.config.batch_cap:
-            head = self._waiting[0]
-            if self._pool is not None:
-                # the step a request joins must hold its current context plus
-                # the one token it emits; contiguous mode books the lifetime
-                max_rows = (head.request.prompt_tokens
-                            + head.request.output_tokens)
-                if not self._pool.try_admit(head.request.request_id,
-                                            head.kv_length + 1, max_rows):
-                    self._admission_stalls += 1
-                    break
-                if head.generated:
-                    # re-admission after preemption: the evicted tokens are
-                    # recomputed by the upcoming (re-)prefill step
-                    self._recompute_tokens += head.generated
-            head.admitted_at = self.now
-            self._running.append(self._waiting.popleft())
+        while len(self._running) < self.config.batch_cap:
+            idx = self._admission.select(self._waiting, self.now)
+            if idx is None or not self._try_admit_at(idx):
+                break
+        if not (self._admission.preemptive and self._waiting
+                and len(self._running) >= self.config.batch_cap):
+            return
+        while True:
+            idx = self._admission.select(self._waiting, self.now)
+            if idx is None:
+                break
+            victim = self._admission.preempt_victim(self._running,
+                                                    self._waiting[idx])
+            if victim is None:
+                break
+            self._preempt(victim)  # appendleft shifts queue indices:
+            self._running.remove(victim)  # re-select before admitting
+            idx = self._admission.select(self._waiting, self.now)
+            if idx is None or not self._try_admit_at(idx):
+                break
+            if len(self._running) < self.config.batch_cap or not self._waiting:
+                break
 
-    def _secure_kv(self) -> None:
-        """Guarantee every step participant room for the token it will write.
+    def _secure_kv(self, plan: StepPlan) -> StepPlan:
+        """Guarantee every plan participant room for the rows it will write.
 
-        Runners are processed in admission order; a paged growth that finds
+        Participants are processed in plan order; a paged growth that finds
         the pool full preempts a victim — chosen by the eviction policy among
-        the not-yet-secured runners — until it fits.  The first runner can
-        always succeed (worst case it empties the pool down to itself, and
-        ``submit`` guaranteed its lifetime fits), so a step never loses all
-        its participants and ``drain`` terminates.
+        the not-yet-secured runners (participants or not) — until it fits.
+        The first participant can always succeed (worst case it empties the
+        pool down to itself, and ``submit`` guaranteed its lifetime fits), so
+        a step never loses all its participants and ``drain`` terminates.
+        Victims are dropped from the plan as-is: the step's budget is not
+        redistributed mid-flight.
         """
+        required: Dict[int, int] = {}
+        for active, chunk in plan:
+            if active.needs_prefill:
+                done = active.context_done + chunk
+                rows = done + (1 if done >= active.kv_length else 0)
+            else:
+                rows = active.kv_length + 1
+            required[active.request.request_id] = rows
         secured: set = set()
         survivors = self._running
-        i = 0
-        while i < len(survivors):
-            active = survivors[i]
+        for active, _ in plan:
+            if active not in survivors:
+                continue  # already evicted for an earlier participant
             grew = True
             while not self._pool.try_grow(active.request.request_id,
-                                          active.kv_length + 1):
+                                          required[active.request.request_id]):
                 candidates = [a for a in survivors if a is not active
                               and a.request.request_id not in secured]
                 victim = self._evictor.select(candidates) if candidates else active
@@ -438,35 +526,37 @@ class ReplicaEngine:
                     break
             if grew:
                 secured.add(active.request.request_id)
-                i += 1
+        return [(a, c) for a, c in plan if a in survivors]
 
     def step(self) -> StepSample:
-        """Run one scheduler iteration: admit, simulate, advance the clock."""
+        """Run one scheduler iteration: admit, plan, simulate, advance."""
         if not self.has_work:
             raise ConfigError(f"replica {self.replica_id}: step() with no work")
         if not self._running:
             # idle engine: the step begins when the earliest queued request
             # arrived, not at the engine's stale clock (no idle spinning)
-            self.now = max(self.now, self._waiting[0].request.arrival)
+            self.now = max(self.now,
+                           min(w.request.arrival for w in self._waiting))
         if not self._warmed:
             # one-time cold-start penalty before the first step ever runs
             self.now += self.warmup_cycles
             self._warmed = True
         preemptions_before = self._preemptions
         self._admit()
+        plan = self._batching.plan(self._running)
+        self._check_plan(plan)
         if self._pool is not None and self._running:
-            # evicted requests re-queue at the *front* and (strict FIFO)
-            # compete for admission again at the next step's _admit
-            self._secure_kv()
+            # evicted requests re-queue at the *front* and compete for
+            # admission again at the next step's _admit
+            plan = self._secure_kv(plan)
 
         running = self._running
-        prefills = [a for a in running if a.needs_prefill]
-        # a (re-)prefill processes its full context — prompt plus any
-        # previously generated tokens whose KV was evicted (recompute)
-        num_tokens = (sum(a.kv_length for a in prefills)
-                      + len(running) - len(prefills))
+        prefill_tokens = sum(c for a, c in plan if a.needs_prefill)
+        num_tokens = prefill_tokens + sum(1 for a, _ in plan
+                                          if not a.needs_prefill)
         kv_lengths = tuple(sorted(
-            quantize_up(a.kv_length, self.config.kv_tile_rows) for a in running))
+            quantize_up(a.context_done + c if a.needs_prefill else a.kv_length,
+                        self.config.kv_tile_rows) for a, c in plan))
         cycles = _step_cycles(self.config, self.schedule, self.hardware,
                               self._context, num_tokens, kv_lengths,
                               self._signatures)
@@ -476,7 +566,7 @@ class ReplicaEngine:
         sample = StepSample(
             start=self.now, cycles=cycles, running=len(running),
             queued=len(self._waiting), tokens=num_tokens,
-            prefills=len(prefills),
+            prefills=sum(1 for a, _ in plan if a.needs_prefill),
             kv_rows=sum(a.kv_length for a in running),
             kv_pages=self._pool.used_pages if self._pool is not None else 0,
             kv_capacity_pages=(self._pool.capacity_pages
@@ -485,11 +575,22 @@ class ReplicaEngine:
         self._steps.append(sample)
         self.now += cycles
 
+        chunk_of = {id(a): c for a, c in plan}
         still: List[_Active] = []
         for active in running:
-            if active.generated == 0:
-                active.first_token = self.now
-            active.needs_prefill = False
+            chunk = chunk_of.get(id(active))
+            if chunk is None:
+                still.append(active)  # sat this step out (kept its KV)
+                continue
+            if active.needs_prefill:
+                active.context_done += chunk
+                if active.context_done < active.kv_length:
+                    still.append(active)  # prefill continues next step
+                    continue
+                # prefill complete: this step emits the (re-)first token
+                if active.generated == 0:
+                    active.first_token = self.now
+                active.needs_prefill = False
             active.generated += 1
             if active.generated >= active.request.output_tokens:
                 if self._pool is not None:
@@ -500,11 +601,27 @@ class ReplicaEngine:
                     first_token=active.first_token,
                     completion=self.now,
                     prompt_tokens=active.request.prompt_tokens,
-                    output_tokens=active.request.output_tokens))
+                    output_tokens=active.request.output_tokens,
+                    priority=active.priority))
             else:
                 still.append(active)
         self._running = still
         return sample
+
+    def _check_plan(self, plan: StepPlan) -> None:
+        """Reject malformed plans early (guards custom batching policies)."""
+        if self._running and not plan:
+            raise ConfigError(
+                f"batching policy {self.config.policy.batching!r} planned an "
+                f"empty step for a non-empty batch")
+        for active, chunk in plan:
+            remaining = active.kv_length - active.context_done
+            limit = remaining if active.needs_prefill else 1
+            if not 1 <= chunk <= limit:
+                raise ConfigError(
+                    f"batching policy {self.config.policy.batching!r} planned "
+                    f"{chunk} tokens for request "
+                    f"{active.request.request_id} (valid: 1..{limit})")
 
     def advance_to(self, cycle: float) -> None:
         """Step until the clock reaches ``cycle`` (or the engine runs dry).
@@ -547,7 +664,8 @@ class ReplicaEngine:
                              requests=tuple(records), steps=tuple(self._steps),
                              total_cycles=self.now,
                              distinct_steps=len(self._signatures),
-                             memory=self._memory_stats())
+                             memory=self._memory_stats(),
+                             policy=self.config.policy.describe())
 
 
 def simulate_serving(config: ServeConfig, trace: ArrivalTrace,

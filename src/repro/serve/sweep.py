@@ -14,7 +14,7 @@ Hardware arrives as a named :class:`~repro.platforms.Platform` (the
 subsystem, so serving load grids can sweep platforms exactly like scenarios
 do and platform identity participates in every cache key.
 
-Four grid builders:
+Five grid builders:
 
 * :func:`latency_load_spec` — one (schedule, model) pair swept over arrival
   rates and batch caps,
@@ -29,7 +29,11 @@ Four grid builders:
 * :func:`memory_pressure_spec` — HBM capacities × arrival rates with the
   *platform as a swept axis*: the goodput-cliff record behind the
   ``"memory-pressure"`` experiment (see
-  :mod:`repro.experiments.memory_pressure`).
+  :mod:`repro.experiments.memory_pressure`),
+* :func:`policy_shootout_spec` — scheduling policies × platforms × arrival
+  rates with a tail-TTFT SLO: the policy-comparison record behind the
+  ``policy-shootout`` experiment (see
+  :mod:`repro.experiments.policy_shootout`).
 
 The ``seed`` lives in ``base`` so every grid point serves the *same-seed*
 traffic (rate changes the inter-arrival scale, not the random stream), which
@@ -50,6 +54,7 @@ from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
                        DEFAULT_PROMPT_MEAN, DEFAULT_PROMPT_QUANTUM,
                        DEFAULT_PROMPT_SIGMA, poisson_trace)
 from .fleet import AutoscalerConfig, FleetConfig, simulate_fleet
+from .policy import ServePolicy, policy_grid, resolve_serve_policy
 from .scheduler import ServeConfig, simulate_serving
 
 #: the per-point knobs the load-grid builders may forward beyond the grid axes
@@ -57,7 +62,7 @@ from .scheduler import ServeConfig, simulate_serving
 _FORWARDABLE_KNOBS = frozenset({
     "kv_tile_rows", "prompt_mean", "prompt_sigma", "prompt_max",
     "prompt_quantum", "output_mean", "output_sigma", "output_max",
-    "kv_mode", "eviction_policy", "ttft_slo",
+    "kv_mode", "eviction_policy", "ttft_slo", "policy",
 })
 
 
@@ -75,7 +80,8 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                 output_max: int = DEFAULT_OUTPUT_MAX,
                 kv_mode: str = "paged",
                 eviction_policy: str = "evict-lru",
-                ttft_slo: Optional[float] = None) -> Dict[str, float]:
+                ttft_slo: Optional[float] = None,
+                policy: Optional[ServePolicy] = None) -> Dict[str, float]:
     """One serving design point: generate the trace, serve it, report metrics.
 
     The trace is rebuilt from its parameters inside the worker (nothing large
@@ -87,20 +93,24 @@ def serve_point(model: ModelConfig, schedule: Schedule,
     ``kv_mode`` / ``eviction_policy`` matter only on platforms with a finite
     ``hbm_capacity_bytes`` (see :mod:`repro.serve.memory`); a ``ttft_slo``
     (cycles) adds the strict-goodput view — ``slo_attainment`` and
-    ``slo_goodput_rpmc`` — to the payload.
+    ``slo_goodput_rpmc`` — to the payload.  ``policy`` selects the scheduling
+    discipline (a :class:`~repro.serve.policy.ServePolicy`, preset name or
+    spec dict); it is a regular task parameter, so policy identity
+    participates in the sweep cache key like every other knob.
     """
     trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
                           prompt_max=prompt_max, prompt_quantum=prompt_quantum,
                           output_mean=output_mean, output_sigma=output_sigma,
                           output_max=output_max)
+    policy = resolve_serve_policy(policy)
     config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
                          kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
-                         eviction_policy=eviction_policy)
+                         eviction_policy=eviction_policy, policy=policy)
     report = simulate_serving(config, trace, schedule,
                               hardware=hardware if hardware is not None else platform)
     payload = {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
-               **report.metrics()}
+               "policy": policy.label, **report.metrics()}
     if ttft_slo is not None:
         payload["slo_attainment"] = float(report.slo_attainment(ttft_slo))
         payload["slo_goodput_rpmc"] = float(report.slo_goodput(ttft_slo))
@@ -157,29 +167,32 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                 output_sigma: float = DEFAULT_OUTPUT_SIGMA,
                 output_max: int = DEFAULT_OUTPUT_MAX,
                 kv_mode: str = "paged",
-                eviction_policy: str = "evict-lru") -> Dict[str, float]:
+                eviction_policy: str = "evict-lru",
+                policy: Optional[ServePolicy] = None) -> Dict[str, float]:
     """One fleet design point: generate the trace, serve it on N replicas.
 
     Mirrors :func:`serve_point` with the fleet axes on top — the trace is
     rebuilt inside the worker and the returned payload carries the swept
     coordinates (rate, replica count, routing policy) alongside the
-    fleet metrics so result rows are self-describing.
+    fleet metrics so result rows are self-describing.  ``policy`` is the
+    per-replica scheduling discipline, shared by every replica.
     """
     trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
                           prompt_max=prompt_max, prompt_quantum=prompt_quantum,
                           output_mean=output_mean, output_sigma=output_sigma,
                           output_max=output_max)
+    policy = resolve_serve_policy(policy)
     serve = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
                         kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
-                        eviction_policy=eviction_policy)
+                        eviction_policy=eviction_policy, policy=policy)
     config = FleetConfig(serve=serve, num_replicas=num_replicas, routing=routing,
                          warmup_cycles=warmup_cycles, autoscaler=autoscaler)
     report = simulate_fleet(config, trace, schedule,
                             hardware=hardware if hardware is not None else platform)
     return {"arrival_rate": float(arrival_rate),
             "num_replicas": float(num_replicas), "routing": routing,
-            **report.metrics()}
+            "policy": policy.label, **report.metrics()}
 
 
 def fleet_latency_spec(model: ModelConfig, schedule: Schedule,
@@ -253,6 +266,52 @@ def memory_pressure_spec(model: ModelConfig, schedule: Schedule,
         task="serve",
         base=base,
         axes={"platform": [resolve_platform(p) for p in platforms],
+              "arrival_rate": [float(r) for r in rates]},
+        mode="cartesian",
+        seed=seed,
+    )
+
+
+def policy_shootout_spec(model: ModelConfig, schedule: Schedule,
+                         rates: Sequence[float],
+                         policies: Sequence[object] = (),
+                         platforms: Sequence[PlatformLike] = (None,),
+                         ttft_slo: float = 50_000.0,
+                         batch_cap: int = 4, num_requests: int = 32,
+                         seed: int = 0, num_layers: int = 2,
+                         name: str = "policy-shootout",
+                         **trace_kwargs) -> SweepSpec:
+    """Scheduling policies × platforms × offered load as **one** cartesian spec.
+
+    Axes are (policy, platform, arrival rate), policy-major, so the grid row
+    for policy ``i``, platform ``j``, rate ``k`` sits at index
+    ``(i * len(platforms) + j) * len(rates) + k``.  ``policies`` accepts
+    anything :func:`~repro.serve.policy.policy_grid` does — preset names,
+    :class:`~repro.serve.policy.ServePolicy` specs, or empty for every
+    registered preset — and each policy is a regular axis value, so policy
+    identity lands in every point's cache key.  Every point serves the
+    *same-seed* traffic and reports ``slo_attainment`` /
+    ``slo_goodput_rpmc`` against the shared ``ttft_slo`` (cycles), which is
+    what makes tail-TTFT SLO attainment comparable across policies.
+    """
+    if not rates:
+        raise ConfigError("policy_shootout_spec: at least one arrival rate "
+                          "is required")
+    if not platforms:
+        raise ConfigError("policy_shootout_spec: at least one platform "
+                          "is required")
+    grid = policy_grid(*policies)
+    base = _load_grid_base(model, None, num_requests, seed, num_layers,
+                           trace_kwargs)
+    del base["platform"]  # the platform is a swept axis here, not a base knob
+    base.update({"schedule": schedule, "batch_cap": batch_cap,
+                 "ttft_slo": float(ttft_slo)})
+    return SweepSpec(
+        name=name,
+        task="serve",
+        base=base,
+        axes={"policy": list(grid.values()),
+              "platform": [resolve_platform(p) for p in platforms],
               "arrival_rate": [float(r) for r in rates]},
         mode="cartesian",
         seed=seed,

@@ -39,6 +39,7 @@ from ..workloads.configs import ModelConfig
 from ..workloads.moe import MoELayerConfig, build_moe_layer
 from ..workloads.qkv import QKVConfig, build_qkv_layer
 from .arrivals import ArrivalTrace
+from .policy import ServePolicy, resolve_serve_policy
 
 
 @register_workload
@@ -158,6 +159,9 @@ class ServeWorkload(WorkloadBase):
     kv_mode: str = "paged"
     #: preemption victim choice under memory pressure
     eviction_policy: str = "evict-lru"
+    #: the scheduling discipline (admission × batching × priority);
+    #: None = the default policy, the historical scheduler exactly
+    policy: Optional[ServePolicy] = None
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
@@ -175,7 +179,8 @@ class ServeWorkload(WorkloadBase):
                              moe_compute_bw=self.moe_compute_bw,
                              attention_compute_bw=self.attention_compute_bw,
                              seed=self.seed, kv_mode=self.kv_mode,
-                             eviction_policy=self.eviction_policy)
+                             eviction_policy=self.eviction_policy,
+                             policy=resolve_serve_policy(self.policy))
         return simulate_serving(config, self.trace, schedule, hardware=hardware)
 
     def run(self, schedule: Schedule,
@@ -183,4 +188,7 @@ class ServeWorkload(WorkloadBase):
         return self.report(schedule, hardware).metrics()
 
     def label(self) -> str:
-        return f"serve:{self.trace.name}:cap{self.batch_cap}"
+        base = f"serve:{self.trace.name}:cap{self.batch_cap}"
+        if self.policy is None:
+            return base
+        return f"{base}:{self.policy.label}"
