@@ -119,7 +119,8 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
           platform=None, hardware=None, policy=None, kv_tile_rows: int = 64,
           kv_mode: str = "paged", eviction_policy: str = "evict-lru",
           moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
-          seed: int = 0):
+          seed: int = 0, report_mode: str = "full",
+          window_cycles: float = 100_000.0, sketch_accuracy: float = 0.01):
     """Run one open-loop serving simulation and return its full report.
 
     ``trace`` is a :class:`repro.serve.ArrivalTrace` (build one with
@@ -138,7 +139,11 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
     ``"contiguous"``) selects the KV allocator and ``eviction_policy`` the
     preemption victim order (see :func:`repro.serve.eviction_policy_names`);
     both are inert — and the report bit-identical — when capacity is
-    unbounded.  For grids (rates × schedules × caps × policies), prefer the
+    unbounded.  ``report_mode="streaming"`` reports through O(1)-memory
+    percentile sketches and windowed timelines (`window_cycles` wide, error
+    bound ``sketch_accuracy``) instead of per-request records — the mode for
+    very large traces (see :mod:`repro.serve.streaming`).  For grids (rates ×
+    schedules × caps × policies), prefer the
     registered ``serve-*`` scenarios or :func:`repro.serve.latency_load_spec`
     / :func:`repro.serve.policy_shootout_spec`.
     """
@@ -149,7 +154,9 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
         dict(model=model, batch_cap=batch_cap, num_layers=num_layers,
              kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
              eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
-             attention_compute_bw=attention_compute_bw, seed=seed))
+             attention_compute_bw=attention_compute_bw, seed=seed,
+             report_mode=report_mode, window_cycles=window_cycles,
+             sketch_accuracy=sketch_accuracy))
     return simulate_serving(ServeConfig(**config_kwargs), trace, schedule,
                             hardware=platform)
 
@@ -161,7 +168,9 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
                 kv_tile_rows: int = 64, kv_mode: str = "paged",
                 eviction_policy: str = "evict-lru",
                 moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
-                seed: int = 0):
+                seed: int = 0, report_mode: str = "full",
+                window_cycles: float = 100_000.0,
+                sketch_accuracy: float = 0.01):
     """Serve one trace on a fleet of replicas and return its full report.
 
     The fleet runs ``num_replicas`` copies of the continuous-batching engine
@@ -171,9 +180,11 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
     replica a one-time cold-start cost before its first step; pass an
     :class:`repro.serve.AutoscalerConfig` as ``autoscaler`` to scale the fleet
     reactively with queue depth.  ``platform`` / ``hardware`` / ``policy`` /
-    ``kv_mode`` / ``eviction_policy`` configure every replica's engine exactly
-    as in :func:`serve` (same deprecation shim, same default policy).
-    Returns the :class:`repro.serve.FleetReport`
+    ``kv_mode`` / ``eviction_policy`` / ``report_mode`` configure every
+    replica's engine exactly
+    as in :func:`serve` (same deprecation shim, same default policy; in
+    streaming mode each replica keeps sketches and the fleet report merges
+    them).  Returns the :class:`repro.serve.FleetReport`
     with per-replica serving reports, fleet-level latency percentiles,
     utilization/imbalance and the scaling-event timeline.  A fleet of one
     replica with zero warm-up reproduces :func:`serve` bit-for-bit.
@@ -186,7 +197,9 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
         dict(model=model, batch_cap=batch_cap, num_layers=num_layers,
              kv_tile_rows=kv_tile_rows, kv_mode=kv_mode,
              eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
-             attention_compute_bw=attention_compute_bw, seed=seed))
+             attention_compute_bw=attention_compute_bw, seed=seed,
+             report_mode=report_mode, window_cycles=window_cycles,
+             sketch_accuracy=sketch_accuracy))
     config = FleetConfig(serve=ServeConfig(**config_kwargs),
                          num_replicas=num_replicas,
                          routing=routing, warmup_cycles=warmup_cycles,

@@ -23,6 +23,10 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``serve-overload`` — the same engine under finite HBM
   (:mod:`repro.serve.memory`): per-step KV page-pool accounting,
   memory-aware admission and preemption-with-recompute.
+* ``serve-streaming-large`` — a large heavy-tailed trace under the
+  ``"streaming"`` report mode (:mod:`repro.serve.streaming`): every
+  completion folds into percentile sketches and the windowed timeline, the
+  O(1)-memory path production-sized traces ride.
 * ``fleet-grid`` / ``fleet-autoscale`` — multi-replica fleet dispatch runs
   (:mod:`repro.serve.fleet`; dispatcher event loop, routing-policy selection
   and the reactive autoscaler on top of the serving replay path).
@@ -176,6 +180,23 @@ def _serve_overload(scale: str) -> Scenario:
     if scale == "full":
         return get_scenario("serve-overload", num_requests=48, rates=(160.0, 640.0))
     return get_scenario("serve-overload", num_requests=24, rates=(640.0,))
+
+
+# serve-streaming-large times the O(1)-memory report path on a trace big
+# enough that full mode would dominate the profile with record/step list
+# growth: only the streaming cell runs, so every completion folds into the
+# percentile sketches and the windowed timeline instead of materializing.
+
+@register_case("serve-streaming-large",
+               "large heavy-tailed trace under the O(1)-memory streaming report")
+def _serve_streaming_large(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("serve-streaming", num_requests=4000,
+                            arrival_rate=2000.0, batch_cap=8, output_max=8,
+                            modes=("streaming",))
+    return get_scenario("serve-streaming", num_requests=2000,
+                        arrival_rate=2000.0, batch_cap=8, output_max=4,
+                        modes=("streaming",))
 
 
 # The fleet cases add the dispatcher on top: N replica engines advanced in

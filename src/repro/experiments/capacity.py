@@ -1,0 +1,126 @@
+"""Max sustainable load under an SLO — the capacity experiment.
+
+Walks the serving load ladder (``scale.serve_rates``) across
+``scale.capacity_platforms`` under production-shaped traffic from a
+registered generator (``scale.capacity_generator``, heavy-tailed by
+default — see :mod:`repro.serve.generators`) and asks, per platform: what
+is the **highest offered rate whose SLO attainment still clears the
+target**?  Attainment is the fraction of completions whose TTFT met
+``scale.capacity_ttft_slo``; a rate is *sustainable* when that fraction is
+at least ``scale.capacity_attainment``.
+
+The answer is the capacity headline operators actually provision against:
+plain throughput keeps rising past saturation (every request completes
+eventually), but attainment cliffs once queueing delay pushes
+time-to-first-token over budget, so the sustainable rate is a sharp,
+platform-dependent knee.  Capacity-bounded platforms (finite HBM) knee
+earlier than the unbounded baseline because admission stalls and
+preemptions inflate TTFT before compute saturates.
+
+The whole study is **one** declarative record: :func:`spec` builds the
+platforms × rates grid as a single cartesian :class:`~repro.sweep.SweepSpec`
+over the ``"serve"`` task (:func:`repro.serve.sweep.capacity_spec`),
+registered as the ``"capacity"`` experiment, and :func:`run` post-processes
+it into per-platform attainment curves plus the max-sustainable-rate
+summary.  Points are cached and pool-parallel like every figure sweep, and
+the experiment is deterministic — the same scale and seed reproduce every
+metric bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..api.experiment import ExperimentSpec, register_experiment
+from ..schedules import Schedule
+from ..serve.library import SMOKE_LENGTHS, _serve_model
+from ..serve.sweep import capacity_spec
+from ..sweep import SweepRunner, SweepSpec, resolve_runner
+from .common import DEFAULT_SCALE, ExperimentScale, resolve_scale
+
+#: the per-rate metrics each platform's curve reports
+_ROW_METRICS = ("slo_attainment", "slo_goodput_rpmc", "goodput_rpmc",
+                "ttft_p99", "e2e_p99", "queue_queued_max")
+
+
+def spec(scale: ExperimentScale = DEFAULT_SCALE, **overrides) -> SweepSpec:
+    """The capacity study (platforms × rates) as one spec.
+
+    ``overrides`` forward to :func:`repro.serve.sweep.capacity_spec`
+    (``rates``, ``platforms``, ``generator``, ``num_requests``,
+    ``report_mode`` …).
+    """
+    scale = resolve_scale(scale)
+    model = _serve_model(scale.model_scale, max_experts=scale.serve_max_experts)
+    kwargs = dict(rates=scale.serve_rates,
+                  platforms=list(scale.capacity_platforms),
+                  ttft_slo=scale.capacity_ttft_slo,
+                  generator=scale.capacity_generator,
+                  batch_cap=scale.serve_batch_cap,
+                  num_requests=scale.serve_requests, seed=scale.seed,
+                  num_layers=scale.serve_layers,
+                  name=f"capacity-{scale.name}", **SMOKE_LENGTHS)
+    kwargs.update(overrides)
+    return capacity_spec(model, Schedule.dynamic(), **kwargs)
+
+
+@register_experiment("capacity",
+                     "max sustainable offered load vs TTFT-SLO attainment "
+                     "across platforms under heavy-tailed traffic")
+def _capacity_experiment(scale="default", **overrides) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="capacity",
+        description="max sustainable offered load vs TTFT-SLO attainment "
+                    "across platforms under heavy-tailed traffic",
+        sweep=spec(resolve_scale(scale), **overrides))
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[SweepRunner] = None) -> Dict[str, object]:
+    """Regenerate the attainment-vs-load curves at the given experiment scale."""
+    scale = resolve_scale(scale)
+    runner = resolve_runner(runner)
+    grid = spec(scale)
+    metrics = runner.metrics(grid)
+
+    # the grid is platform-major (see capacity_spec); one slice per platform
+    # covers its rate ladder
+    labels = list(scale.capacity_platforms)
+    rates = list(scale.serve_rates)
+    per_platform: Dict[str, List[Dict[str, float]]] = {
+        label: metrics[i * len(rates):(i + 1) * len(rates)]
+        for i, label in enumerate(labels)}
+
+    rows: List[Dict[str, float]] = []
+    for j, rate in enumerate(rates):
+        row: Dict[str, float] = {"rate": float(rate)}
+        for label, series in per_platform.items():
+            for key in _ROW_METRICS:
+                row[f"{label}_{key}"] = series[j][key]
+        rows.append(row)
+
+    # per platform: the highest swept rate whose attainment clears the
+    # target (0.0 when even the lowest rate misses it)
+    target = float(scale.capacity_attainment)
+    summary: Dict[str, Dict[str, float]] = {}
+    for label, series in per_platform.items():
+        attainment = [m["slo_attainment"] for m in series]
+        sustainable = [j for j, a in enumerate(attainment) if a >= target]
+        knee = sustainable[-1] if sustainable else None
+        summary[label] = {
+            "max_sustainable_rate": float(rates[knee]) if knee is not None else 0.0,
+            "attainment_at_knee": attainment[knee] if knee is not None else 0.0,
+            "attainment_at_peak_load": attainment[-1],
+            "slo_goodput_at_knee": (series[knee]["slo_goodput_rpmc"]
+                                    if knee is not None else 0.0),
+        }
+
+    return {
+        "rows": rows,
+        "platforms": labels,
+        "generator": scale.capacity_generator,
+        "ttft_slo": scale.capacity_ttft_slo,
+        "attainment_target": target,
+        "num_requests": scale.serve_requests,
+        "summary": summary,
+    }

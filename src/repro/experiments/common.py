@@ -88,6 +88,14 @@ class ExperimentScale:
     #: tail-TTFT budget (cycles) the policy shootout's SLO attainment
     #: counts against
     policy_ttft_slo: float = 100_000.0
+    #: platforms the capacity experiment probes for max sustainable load
+    capacity_platforms: Tuple[str, ...] = ("sda", "sda-hbm-small")
+    #: TTFT budget (cycles) the capacity experiment reports attainment against
+    capacity_ttft_slo: float = 150_000.0
+    #: SLO-attainment fraction a rate must clear to count as sustainable
+    capacity_attainment: float = 0.9
+    #: registered trace generator shaping the capacity experiment's traffic
+    capacity_generator: str = "heavy-tail"
     seed: int = 0
 
 
@@ -114,6 +122,7 @@ SMOKE_SCALE = ExperimentScale(
     memory_ttft_slo=50_000.0,
     policy_names=("default", "chunked-prefill", "slo-preempt"),
     policy_ttft_slo=50_000.0,
+    capacity_ttft_slo=50_000.0,
 )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from ..api.experiment import ExperimentSpec, register_experiment
 from ..serialize import to_jsonable
+from . import capacity  # noqa: F401  (registers the capacity experiment)
 from . import fleet_latency  # noqa: F401  (registers the fleet-latency experiment)
 from . import memory_pressure  # noqa: F401  (registers the memory-pressure experiment)
 from . import policy_shootout  # noqa: F401  (registers the policy-shootout experiment)

@@ -36,6 +36,7 @@ from . import (figure1,
     figure17,
     figure19_20,
     figure21,
+    capacity,
     fleet_latency,
     memory_pressure,
     policy_shootout,
@@ -61,6 +62,7 @@ FIGURES: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
 
 #: named (non-figure) experiments, addressed positionally: the serving side
 NAMED: Dict[str, Callable[[ExperimentScale, Optional[SweepRunner]], dict]] = {
+    "capacity": lambda scale, runner: capacity.run(scale, runner=runner),
     "serve-latency": lambda scale, runner: serve_latency.run(scale, runner=runner),
     "fleet-latency": lambda scale, runner: fleet_latency.run(scale, runner=runner),
     "memory-pressure": lambda scale, runner: memory_pressure.run(scale,

@@ -43,8 +43,15 @@ Everything is deterministic: a trace is a pure function of its seed and a
 report a pure function of (config, trace, schedule, hardware).
 """
 
-from .arrivals import (MCYCLE, ArrivalTrace, Request, burst_trace, load_trace,
-                       poisson_trace, save_trace, trace_from_lists)
+from .arrivals import (MCYCLE, TRACE_JSONL_VERSION, ArrivalTrace, Request,
+                       burst_trace, iter_trace_jsonl, load_trace,
+                       load_trace_jsonl, poisson_trace, save_trace,
+                       save_trace_jsonl, trace_from_lists)
+from .generators import (GENERATORS, generate_trace, generator_names,
+                         get_generator, register_generator)
+from .streaming import (DEFAULT_SKETCH_ACCURACY, DEFAULT_WINDOW_CYCLES,
+                        REPORT_MODES, QuantileSketch, StreamingStats,
+                        WindowedTimeline)
 from .registry import (builtin_names, is_builtin, registered_names,
                        registry_kinds, resolve_registered)
 from .policy import (ADMISSION_POLICIES, BATCHING_POLICIES, DEFAULT_POLICY,
@@ -67,8 +74,9 @@ from .scheduler import (ReplicaEngine, ServeConfig, StepMemo, clear_step_cache,
 from .fleet import (AutoscalerConfig, FleetConfig, FleetWorkload, RoutingPolicy,
                     get_routing_policy, register_routing_policy,
                     routing_policy_names, simulate_fleet)
-from .sweep import (fleet_latency_spec, fleet_point, latency_load_spec,
-                    memory_pressure_spec, policy_shootout_spec, serve_point)
+from .sweep import (capacity_spec, fleet_latency_spec, fleet_point,
+                    latency_load_spec, memory_pressure_spec,
+                    policy_shootout_spec, serve_point)
 from . import library  # registers the serve-* / fleet-* scenarios  # noqa: F401
 
 __all__ = [
@@ -81,6 +89,23 @@ __all__ = [
     "trace_from_lists",
     "load_trace",
     "save_trace",
+    "TRACE_JSONL_VERSION",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "iter_trace_jsonl",
+    # generators
+    "GENERATORS",
+    "register_generator",
+    "get_generator",
+    "generator_names",
+    "generate_trace",
+    # streaming analytics
+    "REPORT_MODES",
+    "DEFAULT_SKETCH_ACCURACY",
+    "DEFAULT_WINDOW_CYCLES",
+    "QuantileSketch",
+    "WindowedTimeline",
+    "StreamingStats",
     # report
     "PERCENTILE_POINTS",
     "RequestRecord",
@@ -155,4 +180,5 @@ __all__ = [
     "fleet_point",
     "memory_pressure_spec",
     "policy_shootout_spec",
+    "capacity_spec",
 ]

@@ -33,7 +33,7 @@ import json
 import math
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -166,6 +166,70 @@ def save_trace(trace: ArrivalTrace, path: os.PathLike) -> None:
         handle.write("\n")
 
 
+#: version of the JSONL recorded-trace format (bump on layout changes; readers
+#: reject versions they do not understand instead of misparsing)
+TRACE_JSONL_VERSION = 1
+
+
+def save_trace_jsonl(trace: ArrivalTrace, path: os.PathLike) -> None:
+    """Write a trace as versioned JSONL: a header line, then one request per line.
+
+    The scalable exchange format for recorded traces — unlike the
+    pretty-printed JSON of :func:`save_trace`, readers can stream it
+    (:func:`iter_trace_jsonl`) without materializing a million-request trace
+    in memory.  The header pins the format name, version and request count so
+    truncated files are detected on load.
+    """
+    with open(path, "w") as handle:
+        header = {"format": "repro-trace", "version": TRACE_JSONL_VERSION,
+                  "name": trace.name, "num_requests": len(trace)}
+        handle.write(json.dumps(header) + "\n")
+        for request in trace.requests:
+            handle.write(json.dumps(request.to_dict()) + "\n")
+
+
+def _read_jsonl_header(handle, path: os.PathLike) -> Dict[str, Any]:
+    line = handle.readline()
+    if not line.strip():
+        raise ConfigError(f"{path}: not a JSONL trace (missing header line)")
+    header = json.loads(line)
+    if not isinstance(header, dict) or header.get("format") != "repro-trace":
+        raise ConfigError(f"{path}: not a JSONL trace "
+                          f"(header format is not 'repro-trace')")
+    version = int(header.get("version", 0))
+    if not 1 <= version <= TRACE_JSONL_VERSION:
+        raise ConfigError(f"{path}: unsupported trace version {version} "
+                          f"(this reader understands 1..{TRACE_JSONL_VERSION})")
+    return header
+
+
+def iter_trace_jsonl(path: os.PathLike):
+    """Stream the requests of a JSONL trace, one :class:`Request` at a time.
+
+    Validates the header, then yields requests lazily — the O(1)-memory read
+    path for feeding huge recorded traces into a streaming-mode serving run
+    without ever holding the full request list.
+    """
+    with open(path) as handle:
+        _read_jsonl_header(handle, path)
+        for line in handle:
+            if line.strip():
+                yield Request.from_dict(json.loads(line))
+
+
+def load_trace_jsonl(path: os.PathLike) -> ArrivalTrace:
+    """Load a JSONL trace fully, symmetric with :func:`save_trace_jsonl`."""
+    with open(path) as handle:
+        header = _read_jsonl_header(handle, path)
+        requests = tuple(Request.from_dict(json.loads(line))
+                         for line in handle if line.strip())
+    declared = header.get("num_requests")
+    if declared is not None and int(declared) != len(requests):
+        raise ConfigError(f"{path}: header declares {declared} requests but "
+                          f"the file holds {len(requests)} (truncated?)")
+    return ArrivalTrace(name=header["name"], requests=requests)
+
+
 # ---------------------------------------------------------------------------
 # Generators
 # ---------------------------------------------------------------------------
@@ -261,21 +325,31 @@ def burst_trace(rate: float, num_requests: int, burst_size: int = 4, seed: int =
     output_sigma = length_kwargs.get("output_sigma", DEFAULT_OUTPUT_SIGMA)
     output_max = length_kwargs.get("output_max", DEFAULT_OUTPUT_MAX)
     rng = np.random.default_rng(seed + 1)
-    requests: List[Request] = []
-    for anchor in base:
-        for _ in range(burst_size):
-            if len(requests) >= num_requests:
-                break
-            prompt = _lognormal_lengths(rng, 1, prompt_mean, prompt_sigma,
-                                        prompt_quantum, prompt_max)
-            output = _lognormal_lengths(rng, 1, output_mean, output_sigma,
-                                        1, output_max)
-            requests.append(Request(
-                request_id=len(requests), arrival=anchor.arrival,
-                prompt_tokens=quantize_up(int(prompt[0]), prompt_quantum),
-                output_tokens=int(output[0])))
+    count = max(0, num_requests)
+    # One vectorized draw with per-request (prompt, output) parameters
+    # interleaved — bit-identical to the former per-request size-1 draws
+    # against the same generator state (pinned in tests/serve/test_arrivals).
+    # This also stops after exactly `count` pairs, where the old loop kept
+    # walking the remaining anchors (its break only left the inner loop).
+    mu_prompt = math.log(prompt_mean) - prompt_sigma ** 2 / 2.0
+    mu_output = math.log(output_mean) - output_sigma ** 2 / 2.0
+    means = np.empty(2 * count)
+    sigmas = np.empty(2 * count)
+    means[0::2] = mu_prompt
+    means[1::2] = mu_output
+    sigmas[0::2] = prompt_sigma
+    sigmas[1::2] = output_sigma
+    draws = rng.lognormal(mean=means, sigma=sigmas, size=2 * count)
+    prompts = np.clip(np.round(draws[0::2]), prompt_quantum, prompt_max).astype(int)
+    outputs = np.clip(np.round(draws[1::2]), 1, output_max).astype(int)
+    anchors = base.requests
+    requests = tuple(
+        Request(request_id=i, arrival=anchors[i // burst_size].arrival,
+                prompt_tokens=quantize_up(int(prompts[i]), prompt_quantum),
+                output_tokens=int(outputs[i]))
+        for i in range(count))
     return ArrivalTrace(name=name or f"burst{burst_size}-r{rate:g}-n{len(requests)}-s{seed}",
-                        requests=tuple(requests))
+                        requests=requests)
 
 
 def trace_from_lists(arrivals: Sequence[float], prompt_tokens: Sequence[int],

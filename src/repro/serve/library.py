@@ -20,6 +20,15 @@ Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
   policy preset, using the scenario ``policies`` axis (the
   :class:`~repro.serve.policy.ServePolicy` registries: admission × batching ×
   priority, see :mod:`repro.serve.policy`),
+* ``"serve-diurnal"`` — the sinusoidal-rate trace (time-varying Poisson via
+  thinning, :mod:`repro.serve.generators`) against steady traffic at the same
+  mean rate: what rate swings cost a fixed-capacity engine,
+* ``"serve-multitenant"`` — the default three-tenant blend (interactive /
+  batch / analytics length profiles on priority classes 0/1/2) under the
+  default and the priority scheduling policies,
+* ``"serve-streaming"`` — one trace served twice, ``report_mode="full"`` vs
+  ``"streaming"``: the O(1)-memory report path side by side with the exact
+  one (cycle counts and means identical; percentiles sketch-bounded),
 * ``"fleet-grid"`` — the fleet-scale picture: replica counts × routing
   policies × arrival rates, every cell a full multi-replica dispatch run
   (:mod:`repro.serve.fleet`),
@@ -40,6 +49,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..api.scenario import Scenario, register_scenario
+from ..core.errors import ConfigError
 from ..schedules import Schedule
 from ..workloads.configs import QWEN3_30B_A3B, scaled_config
 
@@ -310,6 +320,141 @@ def serve_policies(model_scale: int = 32, arrival_rate: float = 300.0,
         policies=policy_grid(*policies),
         seed=seed,
         description="one trace under every scheduling-policy preset",
+    )
+
+
+@register_scenario("serve-diurnal")
+def serve_diurnal(model_scale: int = 32, arrival_rate: float = 150.0,
+                  amplitude: float = 0.8, period_mcycles: float = 0.25,
+                  num_requests: int = 16, batch_cap: int = 4,
+                  num_layers: int = 2,
+                  prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                  prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                  output_mean: float = SMOKE_LENGTHS["output_mean"],
+                  output_max: int = SMOKE_LENGTHS["output_max"],
+                  kv_tile_rows: int = 128, seed: int = 0) -> Scenario:
+    """Diurnal (sinusoidal-rate) vs steady traffic at the same mean rate.
+
+    The diurnal trace comes from the registered ``"diurnal"`` generator —
+    a time-varying Poisson process realized by thinning — so peaks hit
+    ``(1 + amplitude) x`` the mean rate.  The steady twin serves the same
+    request budget at the flat mean, isolating what the swing itself costs.
+    """
+    from .generators import generate_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    length_kwargs = dict(prompt_mean=prompt_mean, prompt_max=prompt_max,
+                         output_mean=output_mean, output_max=output_max)
+    workloads = {
+        "steady": ServeWorkload(
+            model=model,
+            trace=generate_trace("poisson", rate=arrival_rate,
+                                 num_requests=num_requests, seed=seed,
+                                 **length_kwargs),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed),
+        "diurnal": ServeWorkload(
+            model=model,
+            trace=generate_trace("diurnal", rate=arrival_rate,
+                                 num_requests=num_requests, seed=seed,
+                                 amplitude=amplitude,
+                                 period_mcycles=period_mcycles,
+                                 **length_kwargs),
+            batch_cap=batch_cap, num_layers=num_layers,
+            kv_tile_rows=kv_tile_rows, seed=seed),
+    }
+    return Scenario(
+        name="serve-diurnal",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="sinusoidal-rate vs steady traffic at equal mean load",
+    )
+
+
+@register_scenario("serve-multitenant")
+def serve_multitenant(model_scale: int = 32, arrival_rate: float = 200.0,
+                      num_requests: int = 18, batch_cap: int = 2,
+                      num_layers: int = 2, kv_tile_rows: int = 128,
+                      seed: int = 0) -> Scenario:
+    """The default tenant blend under FIFO vs priority-class scheduling.
+
+    The ``"multitenant"`` generator superposes interactive / batch /
+    analytics Poisson processes (priority classes 0/1/2, each with its own
+    length profile); the scenario's ``policies`` axis contrasts the default
+    FIFO discipline with the priority-class policy, and the per-class report
+    breakdowns (``per_priority``) show who pays the queueing.
+    """
+    from .generators import generate_trace
+    from .policy import policy_grid
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    trace = generate_trace("multitenant", rate=arrival_rate,
+                           num_requests=num_requests, seed=seed)
+    workload = ServeWorkload(model=model, trace=trace, batch_cap=batch_cap,
+                             num_layers=num_layers, kv_tile_rows=kv_tile_rows,
+                             seed=seed)
+    return Scenario(
+        name="serve-multitenant",
+        workloads={"blend": workload},
+        schedules=Schedule.dynamic(),
+        policies=policy_grid("default", "priority"),
+        seed=seed,
+        description="three-tenant blend under FIFO vs priority scheduling",
+    )
+
+
+@register_scenario("serve-streaming")
+def serve_streaming(model_scale: int = 32, arrival_rate: float = 300.0,
+                    num_requests: int = 48, batch_cap: int = 4,
+                    num_layers: int = 2,
+                    sketch_accuracy: float = 0.01,
+                    window_cycles: float = 100_000.0,
+                    prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                    prompt_max: int = SMOKE_LENGTHS["prompt_max"],
+                    output_mean: float = SMOKE_LENGTHS["output_mean"],
+                    output_max: int = SMOKE_LENGTHS["output_max"],
+                    kv_tile_rows: int = 128, seed: int = 0,
+                    modes: Sequence[str] = ("full", "streaming")) -> Scenario:
+    """One heavy-tailed trace reported in full vs streaming mode.
+
+    Both cells serve the identical trace; the only difference is the report
+    representation.  Counts, cycle totals, queue-depth means and goodput
+    match exactly; percentiles differ by at most the sketch's relative
+    error.  ``modes`` picks the report cells — the bench suite's large-trace
+    case (``serve-streaming-large``) keeps only ``"streaming"`` so its much
+    bigger ``num_requests`` never materializes per-request records.
+    """
+    from .generators import generate_trace
+    from .workload import ServeWorkload
+
+    model = _serve_model(model_scale)
+    trace = generate_trace("heavy-tail", rate=arrival_rate,
+                           num_requests=num_requests, seed=seed,
+                           prompt_mean=prompt_mean, prompt_max=prompt_max,
+                           output_mean=output_mean, output_max=output_max)
+    common = dict(model=model, trace=trace, batch_cap=batch_cap,
+                  num_layers=num_layers, kv_tile_rows=kv_tile_rows, seed=seed)
+    cells = {
+        "full": lambda: ServeWorkload(report_mode="full", **common),
+        "streaming": lambda: ServeWorkload(report_mode="streaming",
+                                           sketch_accuracy=sketch_accuracy,
+                                           window_cycles=window_cycles,
+                                           **common),
+    }
+    unknown = [m for m in modes if m not in cells]
+    if unknown or not modes:
+        raise ConfigError(f"serve-streaming: modes must be a non-empty subset "
+                          f"of {sorted(cells)}, got {tuple(modes)}")
+    workloads = {mode: cells[mode]() for mode in modes}
+    return Scenario(
+        name="serve-streaming",
+        workloads=workloads,
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="full vs O(1)-memory streaming report on one trace",
     )
 
 

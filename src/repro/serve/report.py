@@ -29,6 +29,21 @@ generated tokens per thousand cycles.  The queue-depth timeline records one
 :class:`StepSample` per scheduler step (start cycle, step latency, running and
 queued request counts, tokens processed), giving load curves their
 time-resolved view.
+
+Every latency summary carries a ``count`` field: an *empty* sample (no
+requests completed — an overloaded replica, a drained-out class) reports
+``count`` 0 with zeroed statistics, which is distinguishable from a sample
+whose latencies are genuinely zero.
+
+**Streaming mode.**  A report produced under ``report_mode="streaming"``
+(see :class:`~repro.serve.scheduler.ServeConfig`) carries no per-request
+records or per-step samples at all — instead its ``streaming`` field holds a
+:class:`~repro.serve.streaming.StreamingStats` bundle (online percentile
+sketches + a windowed timeline) and every aggregate on this class dispatches
+to it.  Percentiles are then within the sketch's documented relative error of
+the exact nearest-rank values; counts, means, maxima and queue-depth means
+remain exact.  ``"full"`` mode (the default) is byte-identical to the
+pre-streaming serialization.
 """
 
 from __future__ import annotations
@@ -40,6 +55,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from ..core.errors import ConfigError
 from .arrivals import MCYCLE
 from .memory import MemoryStats
+from .streaming import StreamingStats
 
 #: the percentile points every latency summary reports
 PERCENTILE_POINTS = (50, 90, 95, 99)
@@ -61,15 +77,28 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Mean / max / nearest-rank percentiles of a latency sample (0s if empty)."""
+    """Mean / max / nearest-rank percentiles of a latency sample.
+
+    The sample is sorted **once** and every percentile point indexes into the
+    sorted copy (the previous implementation re-sorted per point — four sorts
+    plus a max per summary).  ``count`` distinguishes an empty sample from
+    genuinely zero latencies: a replica that completed nothing reports
+    ``count`` 0 with zeroed statistics, not a perfect p99 of 0.0.
+    """
     if not values:
         return {"mean": 0.0, "max": 0.0,
-                **{f"p{q}": 0.0 for q in PERCENTILE_POINTS}}
-    return {
-        "mean": float(sum(values) / len(values)),
-        "max": float(max(values)),
-        **{f"p{q}": percentile(values, q) for q in PERCENTILE_POINTS},
-    }
+                **{f"p{q}": 0.0 for q in PERCENTILE_POINTS},
+                "count": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    # the mean accumulates in observation order (not sorted order): float
+    # addition is order-sensitive and the pre-fix values are pinned
+    summary = {"mean": float(sum(values) / n), "max": float(ordered[-1])}
+    for q in PERCENTILE_POINTS:
+        rank = max(1, math.ceil(q / 100.0 * n))
+        summary[f"p{q}"] = float(ordered[rank - 1])
+    summary["count"] = float(n)
+    return summary
 
 
 @dataclass(frozen=True)
@@ -212,6 +241,10 @@ class ServingReport:
     #: :meth:`repro.serve.policy.ServePolicy.describe`); ``None`` on reports
     #: predating the policy axis
     policy: Optional[Dict[str, Any]] = None
+    #: the O(1)-memory statistics of a ``report_mode="streaming"`` run; when
+    #: present, ``requests``/``steps`` are empty and every aggregate below
+    #: dispatches here.  ``None`` = full mode, bit-identical to pre-streaming
+    streaming: Optional[StreamingStats] = None
 
     def __post_init__(self) -> None:
         self.requests = tuple(self.requests)
@@ -219,32 +252,59 @@ class ServingReport:
 
     # -- aggregates ------------------------------------------------------------------
     @property
+    def report_mode(self) -> str:
+        """``"streaming"`` when the run kept sketches, else ``"full"``."""
+        return "full" if self.streaming is None else "streaming"
+
+    @property
     def num_requests(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.num_requests
         return len(self.requests)
 
     @property
+    def num_steps(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.num_steps
+        return len(self.steps)
+
+    @property
     def total_output_tokens(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.total_output_tokens
         return sum(r.output_tokens for r in self.requests)
 
     def ttft(self) -> Dict[str, float]:
+        if self.streaming is not None:
+            return self.streaming.ttft.summarize()
         return summarize([r.ttft for r in self.requests])
 
     def tpot(self) -> Dict[str, float]:
+        if self.streaming is not None:
+            return self.streaming.tpot.summarize()
         return summarize([r.tpot for r in self.requests if r.output_tokens > 1])
 
     def e2e(self) -> Dict[str, float]:
+        if self.streaming is not None:
+            return self.streaming.e2e.summarize()
         return summarize([r.e2e for r in self.requests])
 
     def per_priority(self) -> Dict[int, Dict[str, Any]]:
         """Per-priority-class request counts and latency percentile summaries."""
+        if self.streaming is not None:
+            return self.streaming.per_priority()
         return priority_breakdown(self.requests)
 
     def priority_classes(self) -> Tuple[int, ...]:
         """The priority classes present among the served requests, sorted."""
+        if self.streaming is not None:
+            return self.streaming.priority_classes()
         return tuple(sorted({r.priority for r in self.requests}))
 
     def slo_attainment_by_priority(self, ttft_slo: float) -> Dict[int, float]:
         """Per-class fraction of requests whose TTFT met the SLO."""
+        if self.streaming is not None:
+            return self.streaming.slo_attainment_by_priority(ttft_slo)
         attainment: Dict[int, float] = {}
         for cls, payload in self.per_priority().items():
             group = [r for r in self.requests if r.priority == cls]
@@ -268,6 +328,8 @@ class ServingReport:
 
     def slo_attainment(self, ttft_slo: float) -> float:
         """The fraction of requests whose TTFT met the SLO (in cycles)."""
+        if self.streaming is not None:
+            return self.streaming.slo_attainment(ttft_slo)
         if not self.requests:
             return 0.0
         met = sum(1 for r in self.requests if r.ttft <= ttft_slo)
@@ -285,11 +347,16 @@ class ServingReport:
         """
         if self.total_cycles <= 0:
             return 0.0
-        met = sum(1 for r in self.requests if r.ttft <= ttft_slo)
+        if self.streaming is not None:
+            met = self.streaming.ttft.count_le(ttft_slo)
+        else:
+            met = sum(1 for r in self.requests if r.ttft <= ttft_slo)
         return met / self.total_cycles * MCYCLE
 
     def queue_depth(self) -> Dict[str, float]:
         """Mean / max of waiting (queued) and running requests over the steps."""
+        if self.streaming is not None:
+            return self.streaming.queue_depth()
         if not self.steps:
             return {"queued_mean": 0.0, "queued_max": 0.0,
                     "running_mean": 0.0, "running_max": 0.0}
@@ -311,7 +378,7 @@ class ServingReport:
             "output_tokens": float(self.total_output_tokens),
             "goodput_rpmc": float(self.goodput),
             "tokens_per_kcycle": float(self.token_throughput),
-            "steps": float(len(self.steps)),
+            "steps": float(self.num_steps),
             "distinct_steps": float(self.distinct_steps),
         }
         for prefix, summary in (("ttft", self.ttft()), ("tpot", self.tpot()),
@@ -327,8 +394,12 @@ class ServingReport:
 
     # -- serialization ---------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """The full report as plain JSON, symmetric with :meth:`from_dict`."""
-        return {
+        """The full report as plain JSON, symmetric with :meth:`from_dict`.
+
+        Full-mode payloads omit the ``streaming`` key entirely, keeping them
+        byte-identical to pre-streaming serializations.
+        """
+        payload = {
             "trace": self.trace,
             "schedule": self.schedule,
             "batch_cap": self.batch_cap,
@@ -339,10 +410,14 @@ class ServingReport:
             "requests": [r.to_dict() for r in self.requests],
             "steps": [s.to_dict() for s in self.steps],
         }
+        if self.streaming is not None:
+            payload["streaming"] = self.streaming.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ServingReport":
         memory = payload.get("memory")
+        streaming = payload.get("streaming")
         return cls(
             trace=payload["trace"],
             schedule=payload["schedule"],
@@ -353,6 +428,8 @@ class ServingReport:
             policy=payload.get("policy"),
             requests=tuple(RequestRecord.from_dict(r) for r in payload["requests"]),
             steps=tuple(StepSample.from_dict(s) for s in payload["steps"]),
+            streaming=None if streaming is None
+            else StreamingStats.from_dict(streaming),
         )
 
 
@@ -403,6 +480,8 @@ class ReplicaReport:
     @property
     def busy_cycles(self) -> float:
         """Cycles this replica spent executing steps."""
+        if self.serving.streaming is not None:
+            return float(self.serving.streaming.busy_cycles)
         return float(sum(s.cycles for s in self.serving.steps))
 
     def utilization(self, fleet_cycles: float) -> float:
@@ -478,17 +557,57 @@ class FleetReport:
         """Replicas still accepting traffic when the run ended."""
         return sum(1 for r in self.replicas if r.retired_at is None)
 
+    def _merged_streaming(self) -> Optional[StreamingStats]:
+        """The fleet's replica sketches merged, or ``None`` in full mode.
+
+        Streaming aggregation only engages when *every* replica streamed —
+        a mixed fleet (impossible through :func:`simulate_fleet`, which
+        threads one ``report_mode`` to all replicas) falls back to the
+        record-merging path.
+        """
+        stats = [r.serving.streaming for r in self.replicas]
+        if not stats or any(s is None for s in stats):
+            return None
+        merged = StreamingStats(rel_accuracy=stats[0].rel_accuracy,
+                                window_cycles=stats[0].timeline.window_cycles)
+        for s in stats:
+            merged.merge(s)
+        return merged
+
+    def latency_summaries(self) -> Dict[str, Dict[str, float]]:
+        """TTFT / TPOT / e2e summaries over the fleet, merging requests once.
+
+        The ``requests`` property concatenates and sorts every replica's
+        records; calling :meth:`ttft` / :meth:`tpot` / :meth:`e2e` separately
+        repeated that merge three times.  This does it once (or merges the
+        replica sketches once in streaming mode) and summarizes all three
+        latencies from the same sample.
+        """
+        streaming = self._merged_streaming()
+        if streaming is not None:
+            return {"ttft": streaming.ttft.summarize(),
+                    "tpot": streaming.tpot.summarize(),
+                    "e2e": streaming.e2e.summarize()}
+        merged = self.requests
+        return {"ttft": summarize([r.ttft for r in merged]),
+                "tpot": summarize([r.tpot for r in merged
+                                   if r.output_tokens > 1]),
+                "e2e": summarize([r.e2e for r in merged])}
+
     def ttft(self) -> Dict[str, float]:
-        return summarize([r.ttft for r in self.requests])
+        return self.latency_summaries()["ttft"]
 
     def tpot(self) -> Dict[str, float]:
-        return summarize([r.tpot for r in self.requests if r.output_tokens > 1])
+        return self.latency_summaries()["tpot"]
 
     def e2e(self) -> Dict[str, float]:
-        return summarize([r.e2e for r in self.requests])
+        return self.latency_summaries()["e2e"]
 
     def per_priority(self) -> Dict[int, Dict[str, Any]]:
         """Per-priority-class latency summaries over the whole fleet."""
+        streaming = self._merged_streaming()
+        if streaming is not None:
+            return streaming.per_priority()
         return priority_breakdown(self.requests)
 
     @property
@@ -578,8 +697,8 @@ class FleetReport:
             flat[f"util_{key}"] = value
         for key, value in self.kv_occupancy().items():
             flat[f"kv_occupancy_{key}"] = value
-        for prefix, summary in (("ttft", self.ttft()), ("tpot", self.tpot()),
-                                ("e2e", self.e2e())):
+        # one requests merge (or sketch merge) feeds all three summaries
+        for prefix, summary in self.latency_summaries().items():
             for key, value in summary.items():
                 flat[f"{prefix}_{key}"] = value
         return flat

@@ -91,6 +91,9 @@ from .policy import (DEFAULT_POLICY, AdmissionPolicy, BatchingPolicy,
                      PriorityPolicy, ServePolicy)
 from .registry import resolve_registered
 from .report import RequestRecord, ServingReport, StepSample
+from .streaming import (DEFAULT_SKETCH_ACCURACY, DEFAULT_WINDOW_CYCLES,
+                        StreamingStats, make_streaming_stats,
+                        resolve_report_mode)
 from .workload import ServeStepWorkload
 
 #: entry cap of the process-wide step-cost memo.  Each entry is one simulated
@@ -189,12 +192,27 @@ class ServeConfig:
     #: the scheduling discipline (admission × batching × priority); None
     #: normalizes to the default policy, the historical scheduler exactly
     policy: Optional[ServePolicy] = None
+    #: ``"full"`` keeps every request record and step sample (the historical
+    #: behavior, bit-identical); ``"streaming"`` folds them into O(1)-memory
+    #: sketches and windows (:mod:`repro.serve.streaming`) as the run goes
+    report_mode: str = "full"
+    #: width of the streaming timeline's aggregation windows, in cycles
+    window_cycles: float = DEFAULT_WINDOW_CYCLES
+    #: relative error bound of the streaming percentile sketches
+    sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY
 
     def __post_init__(self) -> None:
         if self.batch_cap < 1:
             raise ConfigError(f"batch_cap must be >= 1, got {self.batch_cap}")
         if self.num_layers < 1:
             raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
+        resolve_report_mode(self.report_mode)
+        if self.window_cycles <= 0:
+            raise ConfigError(f"window_cycles must be > 0, "
+                              f"got {self.window_cycles}")
+        if not 0.0 < self.sketch_accuracy < 1.0:
+            raise ConfigError(f"sketch_accuracy must be in (0, 1), "
+                              f"got {self.sketch_accuracy}")
         if self.kv_mode not in KV_MODES:
             raise ConfigError(f"unknown kv_mode {self.kv_mode!r}; "
                               f"expected one of {list(KV_MODES)}")
@@ -333,6 +351,11 @@ class ReplicaEngine:
         self._records: List[RequestRecord] = []
         self._steps: List[StepSample] = []
         self._signatures: Dict[Tuple, float] = {}
+        self._busy_cycles = 0.0
+        # streaming mode folds records/steps into sketches instead of lists
+        self._stream: Optional[StreamingStats] = (
+            make_streaming_stats(config.sketch_accuracy, config.window_cycles)
+            if config.report_mode == "streaming" else None)
         self._warmed = self.warmup_cycles == 0.0
         # -- finite KV memory (None capacity = unbounded, the legacy path) -----------
         self._pool: Optional[KVPagePool] = None
@@ -346,8 +369,13 @@ class ReplicaEngine:
         self._preemptions = 0
         self._recompute_tokens = 0
         self._admission_stalls = 0
-        self._occupancy: List[float] = []
-        self._fragmentation: List[float] = []
+        # running accumulators (sum in observation order == summing the old
+        # per-step lists, so the MemoryStats means stay bit-identical)
+        self._occ_samples = 0
+        self._occ_sum = 0.0
+        self._occ_max = 0.0
+        self._frag_sum = 0.0
+        self._frag_max = 0.0
 
     # -- dispatcher-visible state ----------------------------------------------------
     @property
@@ -394,7 +422,7 @@ class ReplicaEngine:
 
     @property
     def busy_cycles(self) -> float:
-        return sum(s.cycles for s in self._steps)
+        return self._busy_cycles
 
     # -- driving ---------------------------------------------------------------------
     def submit(self, request: Request) -> None:
@@ -561,8 +589,11 @@ class ReplicaEngine:
                               self._context, num_tokens, kv_lengths,
                               self._signatures)
         if self._pool is not None:
-            self._occupancy.append(self._pool.occupancy)
-            self._fragmentation.append(self._pool.fragmentation)
+            self._occ_samples += 1
+            self._occ_sum += self._pool.occupancy
+            self._occ_max = max(self._occ_max, self._pool.occupancy)
+            self._frag_sum += self._pool.fragmentation
+            self._frag_max = max(self._frag_max, self._pool.fragmentation)
         sample = StepSample(
             start=self.now, cycles=cycles, running=len(running),
             queued=len(self._waiting), tokens=num_tokens,
@@ -572,7 +603,11 @@ class ReplicaEngine:
             kv_capacity_pages=(self._pool.capacity_pages
                                if self._pool is not None else 0),
             preemptions=self._preemptions - preemptions_before)
-        self._steps.append(sample)
+        if self._stream is not None:
+            self._stream.observe_step(sample)
+        else:
+            self._steps.append(sample)
+        self._busy_cycles += cycles
         self.now += cycles
 
         chunk_of = {id(a): c for a, c in plan}
@@ -595,14 +630,18 @@ class ReplicaEngine:
             if active.generated >= active.request.output_tokens:
                 if self._pool is not None:
                     self._pool.release(active.request.request_id)
-                self._records.append(RequestRecord(
+                record = RequestRecord(
                     request_id=active.request.request_id,
                     arrival=active.request.arrival,
                     first_token=active.first_token,
                     completion=self.now,
                     prompt_tokens=active.request.prompt_tokens,
                     output_tokens=active.request.output_tokens,
-                    priority=active.priority))
+                    priority=active.priority)
+                if self._stream is not None:
+                    self._stream.observe_request(record)
+                else:
+                    self._records.append(record)
             else:
                 still.append(active)
         self._running = still
@@ -642,8 +681,7 @@ class ReplicaEngine:
         """The run's memory summary; ``None`` on an unbounded platform."""
         if self._pool is None:
             return None
-        occupancy = self._occupancy or [0.0]
-        fragmentation = self._fragmentation or [0.0]
+        samples = self._occ_samples or 1
         return MemoryStats(
             mode=self._pool.mode, page_rows=self._pool.page_rows,
             capacity_pages=self._pool.capacity_pages,
@@ -651,10 +689,10 @@ class ReplicaEngine:
             preemptions=self._preemptions,
             recompute_tokens=self._recompute_tokens,
             admission_stalls=self._admission_stalls,
-            occupancy_mean=float(sum(occupancy) / len(occupancy)),
-            occupancy_max=float(max(occupancy)),
-            fragmentation_mean=float(sum(fragmentation) / len(fragmentation)),
-            fragmentation_max=float(max(fragmentation)))
+            occupancy_mean=float(self._occ_sum / samples),
+            occupancy_max=float(self._occ_max),
+            fragmentation_mean=float(self._frag_sum / samples),
+            fragmentation_max=float(self._frag_max))
 
     def report(self, trace_name: str) -> ServingReport:
         """The engine's history as a :class:`ServingReport` (sorted records)."""
@@ -665,7 +703,8 @@ class ReplicaEngine:
                              total_cycles=self.now,
                              distinct_steps=len(self._signatures),
                              memory=self._memory_stats(),
-                             policy=self.config.policy.describe())
+                             policy=self.config.policy.describe(),
+                             streaming=self._stream)
 
 
 def simulate_serving(config: ServeConfig, trace: ArrivalTrace,

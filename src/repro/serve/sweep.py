@@ -14,7 +14,7 @@ Hardware arrives as a named :class:`~repro.platforms.Platform` (the
 subsystem, so serving load grids can sweep platforms exactly like scenarios
 do and platform identity participates in every cache key.
 
-Five grid builders:
+Six grid builders:
 
 * :func:`latency_load_spec` — one (schedule, model) pair swept over arrival
   rates and batch caps,
@@ -33,7 +33,10 @@ Five grid builders:
 * :func:`policy_shootout_spec` — scheduling policies × platforms × arrival
   rates with a tail-TTFT SLO: the policy-comparison record behind the
   ``policy-shootout`` experiment (see
-  :mod:`repro.experiments.policy_shootout`).
+  :mod:`repro.experiments.policy_shootout`),
+* :func:`capacity_spec` — platforms × arrival rates under a production-shaped
+  registered trace generator and a TTFT SLO: the max-sustainable-rate record
+  behind the ``capacity`` experiment (see :mod:`repro.experiments.capacity`).
 
 The ``seed`` lives in ``base`` so every grid point serves the *same-seed*
 traffic (rate changes the inter-arrival scale, not the random stream), which
@@ -52,10 +55,12 @@ from ..workloads.configs import ModelConfig
 from .arrivals import (DEFAULT_OUTPUT_MAX, DEFAULT_OUTPUT_MEAN,
                        DEFAULT_OUTPUT_SIGMA, DEFAULT_PROMPT_MAX,
                        DEFAULT_PROMPT_MEAN, DEFAULT_PROMPT_QUANTUM,
-                       DEFAULT_PROMPT_SIGMA, poisson_trace)
+                       DEFAULT_PROMPT_SIGMA)
 from .fleet import AutoscalerConfig, FleetConfig, simulate_fleet
+from .generators import generate_trace
 from .policy import ServePolicy, policy_grid, resolve_serve_policy
 from .scheduler import ServeConfig, simulate_serving
+from .streaming import DEFAULT_SKETCH_ACCURACY, DEFAULT_WINDOW_CYCLES
 
 #: the per-point knobs the load-grid builders may forward beyond the grid axes
 #: (everything the ``"serve"`` task accepts besides its required parameters)
@@ -63,6 +68,7 @@ _FORWARDABLE_KNOBS = frozenset({
     "kv_tile_rows", "prompt_mean", "prompt_sigma", "prompt_max",
     "prompt_quantum", "output_mean", "output_sigma", "output_max",
     "kv_mode", "eviction_policy", "ttft_slo", "policy",
+    "generator", "report_mode", "window_cycles", "sketch_accuracy",
 })
 
 
@@ -81,7 +87,12 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                 kv_mode: str = "paged",
                 eviction_policy: str = "evict-lru",
                 ttft_slo: Optional[float] = None,
-                policy: Optional[ServePolicy] = None) -> Dict[str, float]:
+                policy: Optional[ServePolicy] = None,
+                generator: str = "poisson",
+                report_mode: str = "full",
+                window_cycles: float = DEFAULT_WINDOW_CYCLES,
+                sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY,
+                ) -> Dict[str, float]:
     """One serving design point: generate the trace, serve it, report metrics.
 
     The trace is rebuilt from its parameters inside the worker (nothing large
@@ -96,17 +107,24 @@ def serve_point(model: ModelConfig, schedule: Schedule,
     ``slo_goodput_rpmc`` — to the payload.  ``policy`` selects the scheduling
     discipline (a :class:`~repro.serve.policy.ServePolicy`, preset name or
     spec dict); it is a regular task parameter, so policy identity
-    participates in the sweep cache key like every other knob.
+    participates in the sweep cache key like every other knob.  ``generator``
+    names the registered trace shape (:mod:`repro.serve.generators`) and
+    ``report_mode`` / ``window_cycles`` / ``sketch_accuracy`` select the
+    report representation (``"streaming"`` = O(1)-memory sketches, the mode
+    for very large ``num_requests``).
     """
-    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
-                          prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
-                          prompt_max=prompt_max, prompt_quantum=prompt_quantum,
-                          output_mean=output_mean, output_sigma=output_sigma,
-                          output_max=output_max)
+    trace = generate_trace(generator, rate=arrival_rate,
+                           num_requests=num_requests, seed=seed,
+                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
+                           prompt_max=prompt_max, prompt_quantum=prompt_quantum,
+                           output_mean=output_mean, output_sigma=output_sigma,
+                           output_max=output_max)
     policy = resolve_serve_policy(policy)
     config = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
                          kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
-                         eviction_policy=eviction_policy, policy=policy)
+                         eviction_policy=eviction_policy, policy=policy,
+                         report_mode=report_mode, window_cycles=window_cycles,
+                         sketch_accuracy=sketch_accuracy)
     report = simulate_serving(config, trace, schedule,
                               hardware=hardware if hardware is not None else platform)
     payload = {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
@@ -168,24 +186,35 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                 output_max: int = DEFAULT_OUTPUT_MAX,
                 kv_mode: str = "paged",
                 eviction_policy: str = "evict-lru",
-                policy: Optional[ServePolicy] = None) -> Dict[str, float]:
+                policy: Optional[ServePolicy] = None,
+                generator: str = "poisson",
+                report_mode: str = "full",
+                window_cycles: float = DEFAULT_WINDOW_CYCLES,
+                sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY,
+                ) -> Dict[str, float]:
     """One fleet design point: generate the trace, serve it on N replicas.
 
     Mirrors :func:`serve_point` with the fleet axes on top — the trace is
     rebuilt inside the worker and the returned payload carries the swept
     coordinates (rate, replica count, routing policy) alongside the
     fleet metrics so result rows are self-describing.  ``policy`` is the
-    per-replica scheduling discipline, shared by every replica.
+    per-replica scheduling discipline, shared by every replica;
+    ``report_mode`` likewise rides the shared :class:`ServeConfig`, so a
+    streaming fleet keeps per-replica sketches and merges them at
+    aggregation time.
     """
-    trace = poisson_trace(rate=arrival_rate, num_requests=num_requests, seed=seed,
-                          prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
-                          prompt_max=prompt_max, prompt_quantum=prompt_quantum,
-                          output_mean=output_mean, output_sigma=output_sigma,
-                          output_max=output_max)
+    trace = generate_trace(generator, rate=arrival_rate,
+                           num_requests=num_requests, seed=seed,
+                           prompt_mean=prompt_mean, prompt_sigma=prompt_sigma,
+                           prompt_max=prompt_max, prompt_quantum=prompt_quantum,
+                           output_mean=output_mean, output_sigma=output_sigma,
+                           output_max=output_max)
     policy = resolve_serve_policy(policy)
     serve = ServeConfig(model=model, batch_cap=batch_cap, num_layers=num_layers,
                         kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
-                        eviction_policy=eviction_policy, policy=policy)
+                        eviction_policy=eviction_policy, policy=policy,
+                        report_mode=report_mode, window_cycles=window_cycles,
+                        sketch_accuracy=sketch_accuracy)
     config = FleetConfig(serve=serve, num_replicas=num_replicas, routing=routing,
                          warmup_cycles=warmup_cycles, autoscaler=autoscaler)
     report = simulate_fleet(config, trace, schedule,
@@ -312,6 +341,47 @@ def policy_shootout_spec(model: ModelConfig, schedule: Schedule,
         base=base,
         axes={"policy": list(grid.values()),
               "platform": [resolve_platform(p) for p in platforms],
+              "arrival_rate": [float(r) for r in rates]},
+        mode="cartesian",
+        seed=seed,
+    )
+
+
+def capacity_spec(model: ModelConfig, schedule: Schedule,
+                  rates: Sequence[float],
+                  platforms: Sequence[PlatformLike],
+                  ttft_slo: float = 150_000.0,
+                  generator: str = "heavy-tail",
+                  batch_cap: int = 4, num_requests: int = 32,
+                  seed: int = 0, num_layers: int = 2,
+                  report_mode: str = "full",
+                  name: str = "capacity",
+                  **trace_kwargs) -> SweepSpec:
+    """Platforms × offered load under a production-shaped generator.
+
+    Axes are (platform, arrival rate), platform-major, so the grid row for
+    platform ``i``, rate ``j`` sits at index ``i * len(rates) + j`` — the
+    record behind the ``capacity`` experiment, which walks each platform's
+    rate curve for the highest rate whose ``slo_attainment`` still clears the
+    target.  ``generator`` names any registered trace shape
+    (:mod:`repro.serve.generators`); every point serves the *same-seed*
+    traffic and reports against the shared ``ttft_slo``.
+    """
+    if not rates:
+        raise ConfigError("capacity_spec: at least one arrival rate is required")
+    if not platforms:
+        raise ConfigError("capacity_spec: at least one platform is required")
+    base = _load_grid_base(model, None, num_requests, seed, num_layers,
+                           trace_kwargs)
+    del base["platform"]  # the platform is a swept axis here, not a base knob
+    base.update({"schedule": schedule, "batch_cap": batch_cap,
+                 "ttft_slo": float(ttft_slo), "generator": generator,
+                 "report_mode": report_mode})
+    return SweepSpec(
+        name=name,
+        task="serve",
+        base=base,
+        axes={"platform": [resolve_platform(p) for p in platforms],
               "arrival_rate": [float(r) for r in rates]},
         mode="cartesian",
         seed=seed,

@@ -162,6 +162,13 @@ class ServeWorkload(WorkloadBase):
     #: the scheduling discipline (admission × batching × priority);
     #: None = the default policy, the historical scheduler exactly
     policy: Optional[ServePolicy] = None
+    #: ``"full"`` keeps every record/step; ``"streaming"`` reports through
+    #: O(1)-memory sketches (:mod:`repro.serve.streaming`)
+    report_mode: str = "full"
+    #: streaming timeline window width, in cycles
+    window_cycles: float = 100_000.0
+    #: streaming percentile sketch relative-error bound
+    sketch_accuracy: float = 0.01
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
@@ -180,7 +187,10 @@ class ServeWorkload(WorkloadBase):
                              attention_compute_bw=self.attention_compute_bw,
                              seed=self.seed, kv_mode=self.kv_mode,
                              eviction_policy=self.eviction_policy,
-                             policy=resolve_serve_policy(self.policy))
+                             policy=resolve_serve_policy(self.policy),
+                             report_mode=self.report_mode,
+                             window_cycles=self.window_cycles,
+                             sketch_accuracy=self.sketch_accuracy)
         return simulate_serving(config, self.trace, schedule, hardware=hardware)
 
     def run(self, schedule: Schedule,

@@ -5,8 +5,10 @@ import math
 import pytest
 
 from repro.core.errors import ConfigError
-from repro.serve import (ArrivalTrace, Request, burst_trace, load_trace,
-                         poisson_trace, save_trace, trace_from_lists)
+from repro.serve import (ArrivalTrace, Request, burst_trace, iter_trace_jsonl,
+                         load_trace, load_trace_jsonl, poisson_trace,
+                         save_trace, save_trace_jsonl, trace_from_lists)
+from repro.serve.arrivals import quantize_up
 
 
 class TestPoissonTrace:
@@ -66,6 +68,51 @@ class TestBurstTrace:
         assert burst_trace(rate=50.0, num_requests=8, seed=9) == \
             burst_trace(rate=50.0, num_requests=8, seed=9)
 
+    def test_stops_at_num_requests(self):
+        # pre-fix, the generation loop's break only left the inner per-burst
+        # loop, so the outer loop kept drawing lengths for every remaining
+        # anchor; the trace must hold exactly num_requests requests with
+        # contiguous ids
+        for n in (1, 5, 10, 11):
+            trace = burst_trace(rate=100.0, num_requests=n, burst_size=4, seed=0)
+            assert len(trace) == n
+            assert [r.request_id for r in trace] == list(range(n))
+
+
+class TestBurstTraceGoldens:
+    """Pinned pre-vectorization outputs: the one-shot draw must stay
+    bit-identical to the former per-request size-1 draws."""
+
+    def _columns(self, trace):
+        return ([r.arrival for r in trace],
+                [r.prompt_tokens for r in trace],
+                [r.output_tokens for r in trace])
+
+    def test_golden_rate100_n10_burst4_seed0(self):
+        trace = burst_trace(rate=100.0, num_requests=10, burst_size=4, seed=0)
+        arrivals, prompts, outputs = self._columns(trace)
+        assert trace.name == "burst4-r100-n10-s0"
+        assert arrivals == [0.0] * 4 + [40783.884] * 4 + [41576.151] * 2
+        assert prompts == [112, 112, 144, 80, 112, 96, 64, 80, 96, 64]
+        assert outputs == [10, 4, 9, 9, 8, 9, 7, 9, 7, 7]
+
+    def test_golden_rate50_n7_burst3_seed9(self):
+        trace = burst_trace(rate=50.0, num_requests=7, burst_size=3, seed=9)
+        arrivals, prompts, outputs = self._columns(trace)
+        assert trace.name == "burst3-r50-n7-s9"
+        assert arrivals == [0.0] * 3 + [29615.747] * 3 + [86073.326]
+        assert prompts == [64, 64, 80, 144, 112, 64, 80]
+        assert outputs == [6, 8, 8, 10, 6, 5, 7]
+
+    def test_golden_with_length_kwargs(self):
+        trace = burst_trace(rate=200.0, num_requests=5, burst_size=2, seed=3,
+                            prompt_mean=48.0, output_mean=6.0)
+        arrivals, prompts, outputs = self._columns(trace)
+        assert trace.name == "burst2-r200-n5-s3"
+        assert arrivals == [0.0, 0.0, 3896.569, 3896.569, 17891.978]
+        assert prompts == [32, 112, 32, 32, 32]
+        assert outputs == [5, 7, 6, 6, 6]
+
 
 class TestDegenerateTraceStatistics:
     """duration / mean_rate on traces without a measurable span.
@@ -122,6 +169,40 @@ class TestExplicitTraces:
             Request(request_id=0, arrival=0.0, prompt_tokens=16, output_tokens=0)
 
 
+class TestQuantizeUp:
+    def test_exact_multiples_are_fixed_points(self):
+        for value in (16, 32, 64, 256):
+            assert quantize_up(value, 16) == value
+
+    def test_rounds_up_not_to_nearest(self):
+        assert quantize_up(17, 16) == 32
+        assert quantize_up(31, 16) == 32
+        assert quantize_up(33, 16) == 48
+
+    def test_floor_is_one_quantum(self):
+        # values at or below zero still produce a schedulable length
+        assert quantize_up(0, 16) == 16
+        assert quantize_up(1, 16) == 16
+        assert quantize_up(-5, 16) == 16
+
+    def test_quantum_one_is_identity_above_floor(self):
+        assert quantize_up(7, 1) == 7
+        assert quantize_up(0, 1) == 1
+
+
+class TestPoissonRounding:
+    def test_arrivals_carry_at_most_three_decimals(self):
+        trace = poisson_trace(rate=333.0, num_requests=128, seed=7)
+        for request in trace:
+            assert request.arrival == round(request.arrival, 3)
+
+    def test_rounding_preserves_sort_order(self):
+        # two gaps rounding to the same millicycle must not invert order
+        trace = poisson_trace(rate=5000.0, num_requests=256, seed=13)
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+
+
 class TestSerialization:
     def test_dict_round_trip_is_exact(self):
         trace = poisson_trace(rate=80.0, num_requests=8, seed=11)
@@ -132,3 +213,54 @@ class TestSerialization:
         path = tmp_path / "trace.json"
         save_trace(trace, path)
         assert load_trace(path) == trace
+
+
+class TestJsonlTraces:
+    def _priority_trace(self):
+        return trace_from_lists([0.0, 5.0, 9.0], [32, 16, 64], [2, 4, 1],
+                                priorities=[2, 0, 1], name="prio")
+
+    def test_file_round_trip_is_exact(self, tmp_path):
+        trace = poisson_trace(rate=80.0, num_requests=12, seed=11)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        assert load_trace_jsonl(path) == trace
+
+    def test_round_trip_preserves_priorities(self, tmp_path):
+        trace = self._priority_trace()
+        path = tmp_path / "prio.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded == trace
+        assert [r.priority for r in loaded] == [2, 0, 1]
+
+    def test_iteration_is_lazy_and_ordered(self, tmp_path):
+        trace = poisson_trace(rate=80.0, num_requests=6, seed=3)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        stream = iter_trace_jsonl(path)
+        first = next(stream)  # generator: no full-file materialization
+        assert first == trace.requests[0]
+        assert tuple(stream) == trace.requests[1:]
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        trace = poisson_trace(rate=80.0, num_requests=5, seed=3)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ConfigError, match="truncated"):
+            load_trace_jsonl(path)
+
+    def test_wrong_header_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "not-a-trace", "version": 1}\n')
+        with pytest.raises(ConfigError):
+            load_trace_jsonl(path)
+
+    def test_future_version_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99, '
+                        '"name": "x", "num_requests": 0}\n')
+        with pytest.raises(ConfigError):
+            load_trace_jsonl(path)

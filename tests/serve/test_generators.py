@@ -1,0 +1,169 @@
+"""Workload-generator tests: registry, determinism, rate shapes, blends."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.serve import (MCYCLE, generate_trace, generator_names,
+                         get_generator, register_generator)
+from repro.serve.generators import (DEFAULT_TENANTS, diurnal_trace,
+                                    heavy_tail_trace, multitenant_trace,
+                                    ramp_trace)
+
+
+class TestRegistry:
+    def test_builtin_generators_registered(self):
+        names = generator_names()
+        for name in ("poisson", "burst", "heavy-tail", "diurnal", "ramp",
+                     "multitenant"):
+            assert name in names
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigError, match="poisson"):
+            get_generator("no-such-shape")
+
+    def test_builtins_are_sealed(self):
+        with pytest.raises(ConfigError):
+            register_generator("poisson")(lambda **kw: None)
+
+    def test_generate_trace_dispatches_by_name(self):
+        via_registry = generate_trace("heavy-tail", rate=100.0,
+                                      num_requests=16, seed=4)
+        direct = heavy_tail_trace(rate=100.0, num_requests=16, seed=4)
+        assert via_registry == direct
+
+
+class TestDeterminismAndShape:
+    @pytest.mark.parametrize("generator", ["heavy-tail", "diurnal", "ramp",
+                                           "multitenant"])
+    def test_same_arguments_reproduce_the_trace(self, generator):
+        a = generate_trace(generator, rate=120.0, num_requests=24, seed=7)
+        b = generate_trace(generator, rate=120.0, num_requests=24, seed=7)
+        assert a == b
+        assert generate_trace(generator, rate=120.0, num_requests=24,
+                              seed=8) != a
+
+    @pytest.mark.parametrize("generator", ["heavy-tail", "diurnal", "ramp",
+                                           "multitenant"])
+    def test_exact_count_sorted_arrivals_contiguous_ids(self, generator):
+        trace = generate_trace(generator, rate=200.0, num_requests=31, seed=1)
+        assert len(trace) == 31
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace] == list(range(31))
+
+    @pytest.mark.parametrize("generator", ["heavy-tail", "diurnal", "ramp",
+                                           "multitenant"])
+    def test_rejects_degenerate_parameters(self, generator):
+        with pytest.raises(ConfigError):
+            generate_trace(generator, rate=0.0, num_requests=4)
+        with pytest.raises(ConfigError):
+            generate_trace(generator, rate=10.0, num_requests=0)
+
+
+class TestHeavyTail:
+    def test_tail_inflates_the_length_population(self):
+        body = heavy_tail_trace(rate=100.0, num_requests=600, seed=0,
+                                tail_frac=0.0)
+        tailed = heavy_tail_trace(rate=100.0, num_requests=600, seed=0,
+                                  tail_frac=0.3, tail_alpha=1.1,
+                                  prompt_max=100_000, output_max=100_000)
+        assert max(r.prompt_tokens for r in tailed) > \
+            max(r.prompt_tokens for r in body)
+
+    def test_lengths_respect_caps_and_quantum(self):
+        trace = heavy_tail_trace(rate=100.0, num_requests=200, seed=2,
+                                 tail_frac=0.5, prompt_quantum=16,
+                                 prompt_max=256, output_max=32)
+        for request in trace:
+            assert request.prompt_tokens % 16 == 0
+            assert request.prompt_tokens <= 256
+            assert 1 <= request.output_tokens <= 32
+
+    def test_rejects_bad_tail_parameters(self):
+        with pytest.raises(ConfigError):
+            heavy_tail_trace(rate=10.0, num_requests=4, tail_frac=1.0)
+        with pytest.raises(ConfigError):
+            heavy_tail_trace(rate=10.0, num_requests=4, tail_alpha=0.0)
+
+
+def _rate_in(trace, lo, hi):
+    """Empirical arrival rate (requests per Mcycle) inside cycle window."""
+    count = sum(1 for r in trace if lo <= r.arrival < hi)
+    return count / ((hi - lo) / MCYCLE)
+
+
+class TestTimeVaryingRates:
+    def test_diurnal_peaks_and_troughs_follow_the_sine(self):
+        # period 2 Mcycles: the first quarter-period around t=0.5M is the
+        # crest, the third quarter around t=1.5M the trough
+        trace = diurnal_trace(rate=400.0, num_requests=1500, seed=0,
+                              amplitude=0.8, period_mcycles=2.0)
+        crest = _rate_in(trace, 0.25 * MCYCLE, 0.75 * MCYCLE)
+        trough = _rate_in(trace, 1.25 * MCYCLE, 1.75 * MCYCLE)
+        assert crest > 2.0 * trough
+
+    def test_ramp_rate_grows_toward_target(self):
+        trace = ramp_trace(rate=400.0, num_requests=1500, seed=0,
+                           start_frac=0.2, ramp_mcycles=2.0)
+        early = _rate_in(trace, 0.0, 0.5 * MCYCLE)
+        late = _rate_in(trace, 2.0 * MCYCLE, 2.5 * MCYCLE)
+        assert late > 2.0 * early
+        # past the ramp the rate holds near the target
+        assert late == pytest.approx(400.0, rel=0.35)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            diurnal_trace(rate=10.0, num_requests=4, amplitude=1.5)
+        with pytest.raises(ConfigError):
+            diurnal_trace(rate=10.0, num_requests=4, period_mcycles=0.0)
+        with pytest.raises(ConfigError):
+            ramp_trace(rate=10.0, num_requests=4, start_frac=0.0)
+        with pytest.raises(ConfigError):
+            ramp_trace(rate=10.0, num_requests=4, ramp_mcycles=-1.0)
+
+
+class TestMultitenant:
+    def test_counts_split_proportionally_with_remainder_to_earliest(self):
+        trace = multitenant_trace(rate=300.0, num_requests=30, seed=0)
+        by_priority = Counter(r.priority for r in trace)
+        # shares 0.5 / 0.3 / 0.2 over 30 requests
+        assert by_priority == {0: 15, 1: 9, 2: 6}
+        assert sum(by_priority.values()) == 30
+
+    def test_remainder_assignment_is_deterministic(self):
+        trace = multitenant_trace(rate=300.0, num_requests=31, seed=0)
+        by_priority = Counter(r.priority for r in trace)
+        assert by_priority == {0: 16, 1: 9, 2: 6}
+
+    def test_tenant_length_profiles_differ(self):
+        trace = multitenant_trace(rate=300.0, num_requests=120, seed=1)
+        mean_prompt = {}
+        for priority in (0, 2):
+            lengths = [r.prompt_tokens for r in trace if r.priority == priority]
+            mean_prompt[priority] = sum(lengths) / len(lengths)
+        # analytics (priority 2, prompt_mean 256) dwarfs interactive (64)
+        assert mean_prompt[2] > 2.0 * mean_prompt[0]
+
+    def test_blend_kwargs_are_tenant_overridable_defaults(self):
+        tenants = ({"name": "a", "share": 0.5, "priority": 0},
+                   {"name": "b", "share": 0.5, "priority": 1,
+                    "prompt_mean": 512.0})
+        trace = multitenant_trace(rate=100.0, num_requests=80, seed=3,
+                                  tenants=tenants, prompt_mean=32.0,
+                                  prompt_max=4096)
+        short = [r.prompt_tokens for r in trace if r.priority == 0]
+        long = [r.prompt_tokens for r in trace if r.priority == 1]
+        assert sum(long) / len(long) > 4.0 * (sum(short) / len(short))
+
+    def test_custom_tenants_validated(self):
+        with pytest.raises(ConfigError, match="share"):
+            multitenant_trace(rate=100.0, num_requests=8,
+                              tenants=({"name": "x", "share": 0.0},))
+        with pytest.raises(ConfigError, match="tenant"):
+            multitenant_trace(rate=100.0, num_requests=8, tenants=())
+
+    def test_default_blend_is_three_tenants(self):
+        assert len(DEFAULT_TENANTS) == 3
+        assert [t["priority"] for t in DEFAULT_TENANTS] == [0, 1, 2]

@@ -56,8 +56,11 @@ class TestPercentileMath:
 
     def test_summarize_empty_sample_is_all_zero(self):
         summary = summarize([])
-        assert set(summary) == {"mean", "max", "p50", "p90", "p95", "p99"}
+        assert set(summary) == {"mean", "max", "p50", "p90", "p95", "p99",
+                                "count"}
         assert all(v == 0.0 for v in summary.values())
+        # count distinguishes "no samples" from a legitimately all-zero sample
+        assert summarize([0.0, 0.0])["count"] == 2.0
 
     def test_summarize_matches_percentile(self):
         values = [float(i) for i in range(1, 101)]
@@ -66,6 +69,15 @@ class TestPercentileMath:
         assert summary["max"] == 100.0
         assert summary["p50"] == 50.0
         assert summary["p99"] == 99.0
+        assert summary["count"] == 100.0
+
+    def test_summarize_single_sort_matches_per_percentile_sorts(self):
+        # unsorted, duplicate-heavy input: the sort-once fast path must agree
+        # with independent nearest-rank percentile() calls on every point
+        values = [5.0, 1.0, 5.0, 3.0, 9.0, 1.0, 7.0]
+        summary = summarize(values)
+        for q in (50, 90, 95, 99):
+            assert summary[f"p{q}"] == percentile(values, q)
 
 
 class TestRequestRecord:
