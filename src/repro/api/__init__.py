@@ -120,7 +120,9 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
           kv_mode: str = "paged", eviction_policy: str = "evict-lru",
           moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
           seed: int = 0, report_mode: str = "full",
-          window_cycles: float = 100_000.0, sketch_accuracy: float = 0.01):
+          window_cycles: float = 100_000.0, sketch_accuracy: float = 0.01,
+          engine: str = "exact", cost_model=None,
+          calibration_budget: int = 64):
     """Run one open-loop serving simulation and return its full report.
 
     ``trace`` is a :class:`repro.serve.ArrivalTrace` (build one with
@@ -142,7 +144,12 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
     unbounded.  ``report_mode="streaming"`` reports through O(1)-memory
     percentile sketches and windowed timelines (`window_cycles` wide, error
     bound ``sketch_accuracy``) instead of per-request records — the mode for
-    very large traces (see :mod:`repro.serve.streaming`).  For grids (rates ×
+    very large traces (see :mod:`repro.serve.streaming`).
+    ``engine="surrogate"`` replaces per-step simulation with a cost-model
+    prediction (``cost_model`` names a registered kind, carries a payload
+    dict or a fitted :class:`repro.costmodel.CostModel`; the default
+    adaptively calibrates from the first ``calibration_budget`` distinct
+    step signatures — see :mod:`repro.costmodel`).  For grids (rates ×
     schedules × caps × policies), prefer the
     registered ``serve-*`` scenarios or :func:`repro.serve.latency_load_spec`
     / :func:`repro.serve.policy_shootout_spec`.
@@ -156,7 +163,8 @@ def serve(model, trace, schedule=None, *, batch_cap: int = 8, num_layers: int = 
              eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
              attention_compute_bw=attention_compute_bw, seed=seed,
              report_mode=report_mode, window_cycles=window_cycles,
-             sketch_accuracy=sketch_accuracy))
+             sketch_accuracy=sketch_accuracy, engine=engine,
+             cost_model=cost_model, calibration_budget=calibration_budget))
     return simulate_serving(ServeConfig(**config_kwargs), trace, schedule,
                             hardware=platform)
 
@@ -170,7 +178,8 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
                 moe_compute_bw: int = 8192, attention_compute_bw: int = 256,
                 seed: int = 0, report_mode: str = "full",
                 window_cycles: float = 100_000.0,
-                sketch_accuracy: float = 0.01):
+                sketch_accuracy: float = 0.01, engine: str = "exact",
+                cost_model=None, calibration_budget: int = 64):
     """Serve one trace on a fleet of replicas and return its full report.
 
     The fleet runs ``num_replicas`` copies of the continuous-batching engine
@@ -180,7 +189,8 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
     replica a one-time cold-start cost before its first step; pass an
     :class:`repro.serve.AutoscalerConfig` as ``autoscaler`` to scale the fleet
     reactively with queue depth.  ``platform`` / ``hardware`` / ``policy`` /
-    ``kv_mode`` / ``eviction_policy`` / ``report_mode`` configure every
+    ``kv_mode`` / ``eviction_policy`` / ``report_mode`` / ``engine`` /
+    ``cost_model`` configure every
     replica's engine exactly
     as in :func:`serve` (same deprecation shim, same default policy; in
     streaming mode each replica keeps sketches and the fleet report merges
@@ -199,7 +209,8 @@ def serve_fleet(model, trace, schedule=None, *, num_replicas: int = 2,
              eviction_policy=eviction_policy, moe_compute_bw=moe_compute_bw,
              attention_compute_bw=attention_compute_bw, seed=seed,
              report_mode=report_mode, window_cycles=window_cycles,
-             sketch_accuracy=sketch_accuracy))
+             sketch_accuracy=sketch_accuracy, engine=engine,
+             cost_model=cost_model, calibration_budget=calibration_budget))
     config = FleetConfig(serve=ServeConfig(**config_kwargs),
                          num_replicas=num_replicas,
                          routing=routing, warmup_cycles=warmup_cycles,

@@ -9,7 +9,7 @@ merges against the committed baseline.
 Usage::
 
     python -m repro.bench --scale smoke --json bench.json
-    python -m repro.bench --compare BENCH_PR9.json bench.json --threshold 0.2
+    python -m repro.bench --compare BENCH_PR10.json bench.json --threshold 0.2
 
 See the README's "Benchmarking" section for the full workflow.
 """

@@ -7,7 +7,7 @@ Measure::
 
 Compare (exit code 1 on regression; used by the CI gate)::
 
-    python -m repro.bench --compare BENCH_PR9.json bench.json --threshold 0.2
+    python -m repro.bench --compare BENCH_PR10.json bench.json --threshold 0.2
 """
 
 from __future__ import annotations

@@ -30,6 +30,11 @@ Each :class:`BenchCase` names one benchmark and builds the
 * ``fleet-grid`` / ``fleet-autoscale`` — multi-replica fleet dispatch runs
   (:mod:`repro.serve.fleet`; dispatcher event loop, routing-policy selection
   and the reactive autoscaler on top of the serving replay path).
+* ``fleet-surrogate-sweep`` — a production-sized fleet trace on the
+  two-tier engine (:mod:`repro.costmodel`): adaptive calibrated step-cost
+  prediction instead of per-signature simulation, streaming reports — the
+  fast tier fleet-scale sweeps ride.  The ≥10x two-tier headline is its
+  first-run wall against the exact twin of the same trace.
 
 New benchmarks register with :func:`register_case`; anything expressible as a
 Scenario participates for free.
@@ -219,3 +224,24 @@ def _fleet_autoscale(scale: str) -> Scenario:
         return get_scenario("fleet-autoscale", num_requests=64, batch_cap=4,
                             max_replicas=4)
     return get_scenario("fleet-autoscale", num_requests=24, output_max=12)
+
+
+# fleet-surrogate-sweep times the two-tier engine's fast path: a
+# production-sized heavy-tailed trace (wide prompt tail, fine KV tiling —
+# hundreds of distinct step signatures) on a replica fleet where only the
+# first calibration_budget distinct signatures are simulated exactly and
+# the rest are predicted by the adaptive cost model, with streaming
+# reports so nothing materializes per request.  The warm-repeat
+# cycles_per_second recorded here guards the fast path against regression;
+# the >= 10x two-tier headline is the *first-run* wall against the exact
+# twin of the same trace (engine="exact"), where the exact engine pays one
+# full simulation per distinct signature — see README "Cost models".
+
+@register_case("fleet-surrogate-sweep",
+               "fleet-scale heavy-tailed trace on the surrogate cost-model engine")
+def _fleet_surrogate_sweep(scale: str) -> Scenario:
+    if scale == "full":
+        return get_scenario("fleet-surrogate", num_requests=8000,
+                            arrival_rate=4000.0)
+    return get_scenario("fleet-surrogate", num_requests=2000,
+                        arrival_rate=4000.0)

@@ -29,7 +29,7 @@ metric bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..api.experiment import ExperimentSpec, register_experiment
 from ..schedules import Schedule
@@ -123,4 +123,101 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
         "attainment_target": target,
         "num_requests": scale.serve_requests,
         "summary": summary,
+    }
+
+
+def bisect_knee(sustainable: Callable[[int], bool],
+                num_rates: int) -> Tuple[Optional[int], int]:
+    """Binary-search a rate ladder for its SLO knee.
+
+    ``sustainable(j)`` answers whether rung ``j`` of an ascending ladder of
+    ``num_rates`` offered rates still clears the attainment target.  Under
+    the capacity experiment's premise — attainment is monotone non-increasing
+    in offered load — the sustainable rungs form a prefix, so the knee (the
+    *last* sustainable index, exactly what :func:`run` reads off the full
+    grid) is found in ``O(log num_rates)`` probes instead of ``num_rates``.
+
+    Returns ``(knee_index, evaluations)``; the index is ``None`` when even
+    the lowest rung misses the target.
+    """
+    lo, hi = 0, num_rates - 1
+    best: Optional[int] = None
+    evaluations = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        evaluations += 1
+        if sustainable(mid):
+            best = mid
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best, evaluations
+
+
+def run_adaptive(scale: ExperimentScale = DEFAULT_SCALE,
+                 runner: Optional[SweepRunner] = None,
+                 **overrides) -> Dict[str, object]:
+    """The capacity summary by bisection instead of the full rate grid.
+
+    Per platform, probes single ``(platform, rate)`` points of the *same*
+    ``"serve"`` task with the *same* base knobs as :func:`spec` — each probe
+    is one-point :class:`~repro.sweep.SweepSpec`, so its cache entry is
+    shared with the full grid (spec names are excluded from cache keys) —
+    and bisects the rate ladder for the knee.  ``overrides`` forward to
+    :func:`spec` exactly as in :func:`run`'s grid.
+
+    The summary matches :func:`run`'s per-platform fields (same knee on
+    monotone attainment curves — pinned by
+    ``tests/experiments/test_capacity_adaptive.py``) plus the probe counts;
+    the peak rung is evaluated when the bisection did not already touch it,
+    so ``attainment_at_peak_load`` stays comparable.
+    """
+    scale = resolve_scale(scale)
+    runner = resolve_runner(runner)
+    rates = [float(r) for r in scale.serve_rates]
+    labels = list(scale.capacity_platforms)
+    target = float(scale.capacity_attainment)
+
+    total_evaluations = 0
+    summary: Dict[str, Dict[str, float]] = {}
+    for label in labels:
+        evaluated: Dict[int, Dict[str, float]] = {}
+
+        def probe(j: int, label: str = label,
+                  evaluated: Dict[int, Dict[str, float]] = evaluated
+                  ) -> Dict[str, float]:
+            if j not in evaluated:
+                point = spec(scale, platforms=[label], rates=[rates[j]],
+                             **overrides)
+                evaluated[j] = runner.metrics(point)[0]
+            return evaluated[j]
+
+        knee, evaluations = bisect_knee(
+            lambda j: probe(j)["slo_attainment"] >= target, len(rates))
+        peak = len(rates) - 1
+        if peak not in evaluated:
+            probe(peak)
+            evaluations += 1
+        total_evaluations += evaluations
+
+        summary[label] = {
+            "max_sustainable_rate": rates[knee] if knee is not None else 0.0,
+            "attainment_at_knee": (evaluated[knee]["slo_attainment"]
+                                   if knee is not None else 0.0),
+            "attainment_at_peak_load": evaluated[peak]["slo_attainment"],
+            "slo_goodput_at_knee": (evaluated[knee]["slo_goodput_rpmc"]
+                                    if knee is not None else 0.0),
+            "evaluations": float(evaluations),
+        }
+
+    return {
+        "platforms": labels,
+        "rates": rates,
+        "generator": scale.capacity_generator,
+        "ttft_slo": scale.capacity_ttft_slo,
+        "attainment_target": target,
+        "num_requests": scale.serve_requests,
+        "summary": summary,
+        "total_evaluations": total_evaluations,
+        "grid_points": len(labels) * len(rates),
     }

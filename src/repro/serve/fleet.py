@@ -394,6 +394,20 @@ class FleetWorkload(WorkloadBase):
     eviction_policy: str = "evict-lru"
     #: the per-replica scheduling discipline; None = the default policy
     policy: Optional[ServePolicy] = None
+    #: per-replica report mode: ``"full"`` or ``"streaming"``
+    report_mode: str = "full"
+    #: streaming timeline window width, in cycles
+    window_cycles: float = 100_000.0
+    #: streaming percentile sketch relative-error bound
+    sketch_accuracy: float = 0.01
+    #: step-costing tier: ``"exact"`` simulates every step,
+    #: ``"surrogate"`` predicts from a cost model
+    engine: str = "exact"
+    #: surrogate cost model (kind name, payload dict or CostModel);
+    #: None under ``engine="surrogate"`` = adaptive ``"calibrated"``
+    cost_model: Optional[object] = None
+    #: distinct signatures probed exactly before the adaptive fit
+    calibration_budget: int = 64
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None):
@@ -408,7 +422,12 @@ class FleetWorkload(WorkloadBase):
                             attention_compute_bw=self.attention_compute_bw,
                             seed=self.seed, kv_mode=self.kv_mode,
                             eviction_policy=self.eviction_policy,
-                            policy=resolve_serve_policy(self.policy))
+                            policy=resolve_serve_policy(self.policy),
+                            report_mode=self.report_mode,
+                            window_cycles=self.window_cycles,
+                            sketch_accuracy=self.sketch_accuracy,
+                            engine=self.engine, cost_model=self.cost_model,
+                            calibration_budget=self.calibration_budget)
         return FleetConfig(serve=serve, num_replicas=self.num_replicas,
                            routing=self.routing,
                            warmup_cycles=self.warmup_cycles,

@@ -34,7 +34,12 @@ Importing :mod:`repro.serve` (or :mod:`repro.api`) registers:
   (:mod:`repro.serve.fleet`),
 * ``"fleet-autoscale"`` — reactive autoscaling against fixed fleets under
   the same bursty traffic: what scale-up cold starts cost and what
-  over-provisioning wastes.
+  over-provisioning wastes,
+* ``"fleet-surrogate"`` — a production-sized heavy-tailed trace on a fleet
+  under the two-tier engine (``engine="surrogate"``, streaming reports): the
+  cost-model fast path for fleet-scale sweeps (:mod:`repro.costmodel`) —
+  only the first ``calibration_budget`` distinct step signatures are
+  simulated exactly, everything after is predicted.
 
 All factories take keyword overrides; the defaults are smoke-sized (a few
 dozen requests, two decoder layers) so the scenarios run in seconds — pass
@@ -536,4 +541,52 @@ def fleet_autoscale(model_scale: int = 32, arrival_rate: float = 640.0,
         schedules=Schedule.dynamic(),
         seed=seed,
         description="reactive autoscaling vs fixed fleets under bursty load",
+    )
+
+
+@register_scenario("fleet-surrogate")
+def fleet_surrogate(model_scale: int = 32, arrival_rate: float = 2000.0,
+                    num_requests: int = 2000, num_replicas: int = 2,
+                    routing: str = "least-loaded", batch_cap: int = 8,
+                    num_layers: int = 2, engine: str = "surrogate",
+                    cost_model: object = None, calibration_budget: int = 24,
+                    window_cycles: float = 100_000.0,
+                    prompt_mean: float = SMOKE_LENGTHS["prompt_mean"],
+                    prompt_max: int = 384, output_mean: float = 8.0,
+                    output_max: int = 24, kv_tile_rows: int = 64,
+                    seed: int = 0) -> Scenario:
+    """A fleet-scale heavy-tailed trace under the surrogate engine.
+
+    The fast tier of the two-tier engine end to end: every replica costs its
+    steps through the adaptive calibrated cost model (the first
+    ``calibration_budget`` distinct signatures are simulated exactly, the
+    rest predicted — see :mod:`repro.costmodel`) and reports through the
+    O(1)-memory streaming path, so the trace size is bounded by neither
+    per-request records nor per-signature simulation.  The length profile is
+    deliberately *wide* (long prompt tail, fine KV tiling) — hundreds of
+    distinct step signatures, the regime where the exact engine pays one
+    full simulation per signature and the surrogate pays only its fixed
+    probe budget.  Pass ``engine="exact"`` (and ``cost_model=None``) for
+    the slow-tier twin of the same trace.
+    """
+    from .fleet import FleetWorkload
+    from .generators import generate_trace
+
+    model = _serve_model(model_scale)
+    trace = generate_trace("heavy-tail", rate=arrival_rate,
+                           num_requests=num_requests, seed=seed,
+                           prompt_mean=prompt_mean, prompt_max=prompt_max,
+                           output_mean=output_mean, output_max=output_max)
+    workload = FleetWorkload(
+        model=model, trace=trace, num_replicas=num_replicas, routing=routing,
+        batch_cap=batch_cap, num_layers=num_layers, kv_tile_rows=kv_tile_rows,
+        seed=seed, report_mode="streaming", window_cycles=window_cycles,
+        engine=engine, cost_model=cost_model,
+        calibration_budget=calibration_budget)
+    return Scenario(
+        name="fleet-surrogate",
+        workloads={"fleet": workload},
+        schedules=Schedule.dynamic(),
+        seed=seed,
+        description="fleet-scale heavy-tailed trace on the surrogate engine",
     )

@@ -55,7 +55,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from ..core.errors import ConfigError
 from .arrivals import MCYCLE
 from .memory import MemoryStats
-from .streaming import StreamingStats
+from .streaming import DEFAULT_WINDOW_CYCLES, StreamingStats, WindowedTimeline
 
 #: the percentile points every latency summary reports
 PERCENTILE_POINTS = (50, 90, 95, 99)
@@ -369,6 +369,30 @@ class ServingReport:
             "running_max": float(max(running)),
         }
 
+    def utilization_heatmap(self, window_cycles: Optional[float] = None
+                            ) -> list:
+        """Per-window batch-fill / KV-occupancy rows over the run.
+
+        Streaming reports return their timeline's aggregates directly (the
+        window width was fixed when the run was configured — passing a
+        different ``window_cycles`` here is a :class:`ConfigError`); full
+        reports fold their step samples into a
+        :class:`~repro.serve.streaming.WindowedTimeline` on the fly, so both
+        modes produce identical heatmaps for the same run.
+        """
+        if self.streaming is not None:
+            width = self.streaming.timeline.window_cycles
+            if window_cycles is not None and float(window_cycles) != width:
+                raise ConfigError(
+                    f"streaming report windows are fixed at {width} cycles; "
+                    f"cannot re-window to {window_cycles}")
+            return self.streaming.utilization_heatmap(self.batch_cap)
+        timeline = WindowedTimeline(window_cycles if window_cycles is not None
+                                    else DEFAULT_WINDOW_CYCLES)
+        for sample in self.steps:
+            timeline.observe(sample)
+        return timeline.utilization_heatmap(self.batch_cap)
+
     # -- flat metrics (what scenario grids and the sweep cache store) ----------------
     def metrics(self) -> Dict[str, float]:
         """The flat, JSON-able payload a serving sweep point reports."""
@@ -397,8 +421,20 @@ class ServingReport:
         """The full report as plain JSON, symmetric with :meth:`from_dict`.
 
         Full-mode payloads omit the ``streaming`` key entirely, keeping them
-        byte-identical to pre-streaming serializations.
+        byte-identical to pre-streaming serializations (plus the
+        ``step_cache`` key, see below).
+
+        ``step_cache`` snapshots the *process-wide* step-memo counters
+        (:func:`~repro.serve.scheduler.step_cache_stats`) **at call time** —
+        it reflects everything the process ran, not just this report's run,
+        which is exactly what makes memoization efficacy observable in
+        sweeps.  Being live state rather than run state, it is ignored by
+        :meth:`from_dict` and excluded from :meth:`metrics` (sweep-cache
+        payloads must be pure functions of the point).
         """
+        # deferred: scheduler imports this module at import time
+        from .scheduler import step_cache_stats
+
         payload = {
             "trace": self.trace,
             "schedule": self.schedule,
@@ -409,6 +445,7 @@ class ServingReport:
             "policy": self.policy,
             "requests": [r.to_dict() for r in self.requests],
             "steps": [s.to_dict() for s in self.steps],
+            "step_cache": step_cache_stats(),
         }
         if self.streaming is not None:
             payload["streaming"] = self.streaming.to_dict()

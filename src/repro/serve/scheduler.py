@@ -41,7 +41,18 @@ memoization is invisible in the results: the report is a pure function of
 is **bounded** (:class:`StepMemo`): fleet sweeps over replicas × rates ×
 policies touch many distinct contexts, so the process-wide cache caps its
 entry count and evicts least-recently-used entries deterministically;
-:func:`step_cache_stats` exposes hit/miss/eviction counters for debugging.
+:func:`step_cache_stats` exposes hit/miss/eviction counters for debugging
+(and every :meth:`~repro.serve.report.ServingReport.to_dict` snapshots them
+under ``"step_cache"``, so memoization efficacy is observable in sweeps).
+
+**Two-tier costing.**  ``ServeConfig(engine="surrogate", cost_model=...)``
+swaps the per-step simulation for a cost model from :mod:`repro.costmodel`
+(exact delegate, interpolated table, or calibrated least-squares fit —
+including per-run adaptive calibration when ``cost_model`` is ``None``).
+Scheduling is untouched: admission, batching, memory pressure and
+preemption all run identically, only the latency each step charges comes
+from the model, within the documented error bound
+(:data:`repro.costmodel.SURROGATE_TOLERANCE`, pinned in tier-1).
 
 **Memory pressure.**  When the resolved platform sets a finite
 ``hbm_capacity_bytes``, the engine owns a :class:`~repro.serve.memory.
@@ -95,6 +106,11 @@ from .streaming import (DEFAULT_SKETCH_ACCURACY, DEFAULT_WINDOW_CYCLES,
                         StreamingStats, make_streaming_stats,
                         resolve_report_mode)
 from .workload import ServeStepWorkload
+
+#: how a step's latency is produced: ``"exact"`` simulates every distinct
+#: step through the event engine (the historical path), ``"surrogate"``
+#: costs steps through the resolved ``cost_model`` (:mod:`repro.costmodel`)
+ENGINE_MODES = ("exact", "surrogate")
 
 #: entry cap of the process-wide step-cost memo.  Each entry is one simulated
 #: step cost (a float keyed by context + signature); the cap bounds a fleet
@@ -200,6 +216,20 @@ class ServeConfig:
     window_cycles: float = DEFAULT_WINDOW_CYCLES
     #: relative error bound of the streaming percentile sketches
     sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY
+    #: ``"exact"`` simulates every distinct step through the event engine
+    #: (bit-identical to the historical scheduler); ``"surrogate"`` costs
+    #: steps through ``cost_model`` — scheduling, admission, batching and
+    #: memory pressure are unchanged, only the latency source differs
+    engine: str = "exact"
+    #: under ``engine="surrogate"``: a registered cost-model kind ("exact" /
+    #: "table" / "calibrated"), a fitted :class:`~repro.costmodel.models.
+    #: CostModel` artifact, or its ``to_dict()`` payload.  ``None`` means
+    #: ``"calibrated"`` — per-run adaptive calibration against the exact
+    #: engine.  Must stay ``None`` under ``engine="exact"``.
+    cost_model: Optional[object] = None
+    #: distinct step signatures an adaptive surrogate probes through the
+    #: exact engine (per replica run) before fitting itself
+    calibration_budget: int = 64
 
     def __post_init__(self) -> None:
         if self.batch_cap < 1:
@@ -225,6 +255,22 @@ class ServeConfig:
             raise ConfigError(f"policy must be a ServePolicy (resolve names "
                               f"via resolve_serve_policy), got "
                               f"{type(self.policy).__name__!r}")
+        if self.engine not in ENGINE_MODES:
+            raise ConfigError(f"unknown engine {self.engine!r}; "
+                              f"expected one of {list(ENGINE_MODES)}")
+        if self.calibration_budget < 1:
+            raise ConfigError(f"calibration_budget must be >= 1 (an empty "
+                              f"probe budget cannot calibrate a surrogate), "
+                              f"got {self.calibration_budget}")
+        if self.engine == "exact":
+            if self.cost_model is not None:
+                raise ConfigError("cost_model requires engine='surrogate'; "
+                                  "the exact engine always simulates steps")
+        else:
+            # deferred import: repro.costmodel builds on the serve package
+            from ..costmodel.models import resolve_cost_model
+            object.__setattr__(self, "cost_model",
+                               resolve_cost_model(self.cost_model))
 
 
 @dataclass
@@ -339,6 +385,13 @@ class ReplicaEngine:
         self.spawned_at = float(start_cycle)
         self.now = float(start_cycle)
         self._context = _context_key(config, self.schedule, self.hardware)
+        # surrogate engine: steps are costed by the bound cost model instead
+        # of _step_cycles; None keeps the exact path byte-for-byte untouched
+        self._cost_fn = None
+        if config.engine == "surrogate":
+            from ..costmodel.runtime import bind_cost_model
+            self._cost_fn = bind_cost_model(config, self.schedule,
+                                            self.hardware, self._context)
         policy = config.policy
         self._admission: AdmissionPolicy = \
             resolve_registered("admission", policy.admission)(policy)
@@ -585,9 +638,12 @@ class ReplicaEngine:
         kv_lengths = tuple(sorted(
             quantize_up(a.context_done + c if a.needs_prefill else a.kv_length,
                         self.config.kv_tile_rows) for a, c in plan))
-        cycles = _step_cycles(self.config, self.schedule, self.hardware,
-                              self._context, num_tokens, kv_lengths,
-                              self._signatures)
+        if self._cost_fn is None:
+            cycles = _step_cycles(self.config, self.schedule, self.hardware,
+                                  self._context, num_tokens, kv_lengths,
+                                  self._signatures)
+        else:
+            cycles = self._cost_fn(num_tokens, kv_lengths, self._signatures)
         if self._pool is not None:
             self._occ_samples += 1
             self._occ_sum += self._pool.occupancy

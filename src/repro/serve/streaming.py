@@ -199,8 +199,9 @@ class _Window:
     """One fixed-width timeline window's aggregates (all counters exact)."""
 
     __slots__ = ("steps", "cycles", "tokens", "prefills", "queued_sum",
-                 "queued_max", "running_sum", "running_max", "kv_rows_max",
-                 "kv_pages_max", "preemptions")
+                 "queued_max", "running_sum", "running_max", "kv_rows_sum",
+                 "kv_rows_max", "kv_pages_sum", "kv_pages_max",
+                 "kv_capacity_pages", "preemptions")
 
     def __init__(self) -> None:
         self.steps = 0
@@ -211,8 +212,12 @@ class _Window:
         self.queued_max = 0
         self.running_sum = 0
         self.running_max = 0
+        self.kv_rows_sum = 0
         self.kv_rows_max = 0
+        self.kv_pages_sum = 0
         self.kv_pages_max = 0
+        #: pool size seen by the window's steps (0 = unbounded platform)
+        self.kv_capacity_pages = 0
         self.preemptions = 0
 
     def observe(self, sample) -> None:
@@ -224,8 +229,12 @@ class _Window:
         self.queued_max = max(self.queued_max, sample.queued)
         self.running_sum += sample.running
         self.running_max = max(self.running_max, sample.running)
+        self.kv_rows_sum += sample.kv_rows
         self.kv_rows_max = max(self.kv_rows_max, sample.kv_rows)
+        self.kv_pages_sum += sample.kv_pages
         self.kv_pages_max = max(self.kv_pages_max, sample.kv_pages)
+        self.kv_capacity_pages = max(self.kv_capacity_pages,
+                                     sample.kv_capacity_pages)
         self.preemptions += sample.preemptions
 
     def merge(self, other: "_Window") -> None:
@@ -237,8 +246,12 @@ class _Window:
         self.queued_max = max(self.queued_max, other.queued_max)
         self.running_sum += other.running_sum
         self.running_max = max(self.running_max, other.running_max)
+        self.kv_rows_sum += other.kv_rows_sum
         self.kv_rows_max = max(self.kv_rows_max, other.kv_rows_max)
+        self.kv_pages_sum += other.kv_pages_sum
         self.kv_pages_max = max(self.kv_pages_max, other.kv_pages_max)
+        self.kv_capacity_pages = max(self.kv_capacity_pages,
+                                     other.kv_capacity_pages)
         self.preemptions += other.preemptions
 
     def to_dict(self) -> Dict[str, Any]:
@@ -248,7 +261,9 @@ class _Window:
     def from_dict(cls, payload: Dict[str, Any]) -> "_Window":
         window = cls()
         for slot in cls.__slots__:
-            setattr(window, slot, payload[slot])
+            # .get keeps payloads serialized before a slot existed loading
+            # (the utilization-heatmap slots arrived after the format shipped)
+            setattr(window, slot, payload.get(slot, 0))
         window.cycles = float(window.cycles)
         return window
 
@@ -313,6 +328,46 @@ class WindowedTimeline:
             "running_mean": float(sum(w.running_sum for w in windows) / steps),
             "running_max": float(max(w.running_max for w in windows)),
         }
+
+    def utilization_heatmap(self, batch_cap: int) -> List[Dict[str, float]]:
+        """Per-window utilization aggregates: batch fill and KV occupancy.
+
+        One row per occupied window, time-ordered — the columns of a
+        utilization heatmap over the run:
+
+        * ``batch_fill_mean`` / ``batch_fill_max`` — running requests as a
+          fraction of ``batch_cap`` (1.0 = the continuous batch is full),
+        * ``kv_occupancy_mean`` / ``kv_occupancy_max`` — KV pages in use as
+          a fraction of the pool (0.0 throughout on unbounded platforms,
+          where no pool exists),
+        * ``kv_rows_mean`` — mean resident KV rows per step (meaningful on
+          unbounded platforms too),
+        * ``steps``, ``tokens``, ``preemptions`` — the window's raw volume.
+
+        The means divide integer-exact sums, so full-mode and streaming
+        reports of the same run produce identical heatmaps.
+        """
+        if batch_cap < 1:
+            raise ConfigError(f"batch_cap must be >= 1, got {batch_cap}")
+        rows: List[Dict[str, float]] = []
+        for index, window in self.windows():
+            steps = window.steps
+            capacity = window.kv_capacity_pages
+            rows.append({
+                "window": float(index),
+                "start": float(index * self.window_cycles),
+                "steps": float(steps),
+                "tokens": float(window.tokens),
+                "batch_fill_mean": window.running_sum / (steps * batch_cap),
+                "batch_fill_max": window.running_max / batch_cap,
+                "kv_occupancy_mean": (window.kv_pages_sum / (steps * capacity)
+                                      if capacity else 0.0),
+                "kv_occupancy_max": (window.kv_pages_max / capacity
+                                     if capacity else 0.0),
+                "kv_rows_mean": window.kv_rows_sum / steps,
+                "preemptions": float(window.preemptions),
+            })
+        return rows
 
     def merge(self, other: "WindowedTimeline") -> None:
         if other.window_cycles != self.window_cycles:
@@ -393,6 +448,10 @@ class StreamingStats:
     # -- the ServingReport-facing aggregates -----------------------------------------
     def queue_depth(self) -> Dict[str, float]:
         return self.timeline.queue_depth()
+
+    def utilization_heatmap(self, batch_cap: int) -> List[Dict[str, float]]:
+        """Per-window batch-fill / KV-occupancy rows (see the timeline)."""
+        return self.timeline.utilization_heatmap(batch_cap)
 
     def priority_classes(self) -> Tuple[int, ...]:
         return tuple(sorted(self._classes))

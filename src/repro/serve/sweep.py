@@ -69,6 +69,7 @@ _FORWARDABLE_KNOBS = frozenset({
     "prompt_quantum", "output_mean", "output_sigma", "output_max",
     "kv_mode", "eviction_policy", "ttft_slo", "policy",
     "generator", "report_mode", "window_cycles", "sketch_accuracy",
+    "engine", "cost_model", "calibration_budget",
 })
 
 
@@ -92,6 +93,9 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                 report_mode: str = "full",
                 window_cycles: float = DEFAULT_WINDOW_CYCLES,
                 sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY,
+                engine: str = "exact",
+                cost_model=None,
+                calibration_budget: int = 64,
                 ) -> Dict[str, float]:
     """One serving design point: generate the trace, serve it, report metrics.
 
@@ -111,7 +115,10 @@ def serve_point(model: ModelConfig, schedule: Schedule,
     names the registered trace shape (:mod:`repro.serve.generators`) and
     ``report_mode`` / ``window_cycles`` / ``sketch_accuracy`` select the
     report representation (``"streaming"`` = O(1)-memory sketches, the mode
-    for very large ``num_requests``).
+    for very large ``num_requests``).  ``engine`` / ``cost_model`` /
+    ``calibration_budget`` select the costing tier (:mod:`repro.costmodel`;
+    pass fitted models as instances or ``to_dict()`` payloads so the model's
+    *content* — like every parameter here — is part of the cache key).
     """
     trace = generate_trace(generator, rate=arrival_rate,
                            num_requests=num_requests, seed=seed,
@@ -124,7 +131,9 @@ def serve_point(model: ModelConfig, schedule: Schedule,
                          kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
                          eviction_policy=eviction_policy, policy=policy,
                          report_mode=report_mode, window_cycles=window_cycles,
-                         sketch_accuracy=sketch_accuracy)
+                         sketch_accuracy=sketch_accuracy, engine=engine,
+                         cost_model=cost_model,
+                         calibration_budget=calibration_budget)
     report = simulate_serving(config, trace, schedule,
                               hardware=hardware if hardware is not None else platform)
     payload = {"arrival_rate": float(arrival_rate), "batch_cap": float(batch_cap),
@@ -191,6 +200,9 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                 report_mode: str = "full",
                 window_cycles: float = DEFAULT_WINDOW_CYCLES,
                 sketch_accuracy: float = DEFAULT_SKETCH_ACCURACY,
+                engine: str = "exact",
+                cost_model=None,
+                calibration_budget: int = 64,
                 ) -> Dict[str, float]:
     """One fleet design point: generate the trace, serve it on N replicas.
 
@@ -214,7 +226,9 @@ def fleet_point(model: ModelConfig, schedule: Schedule,
                         kv_tile_rows=kv_tile_rows, seed=seed, kv_mode=kv_mode,
                         eviction_policy=eviction_policy, policy=policy,
                         report_mode=report_mode, window_cycles=window_cycles,
-                        sketch_accuracy=sketch_accuracy)
+                        sketch_accuracy=sketch_accuracy, engine=engine,
+                        cost_model=cost_model,
+                        calibration_budget=calibration_budget)
     config = FleetConfig(serve=serve, num_replicas=num_replicas, routing=routing,
                          warmup_cycles=warmup_cycles, autoscaler=autoscaler)
     report = simulate_fleet(config, trace, schedule,

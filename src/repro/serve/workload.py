@@ -169,6 +169,14 @@ class ServeWorkload(WorkloadBase):
     window_cycles: float = 100_000.0
     #: streaming percentile sketch relative-error bound
     sketch_accuracy: float = 0.01
+    #: step-costing tier: ``"exact"`` simulates every step,
+    #: ``"surrogate"`` predicts from a cost model
+    engine: str = "exact"
+    #: surrogate cost model (kind name, payload dict or CostModel);
+    #: None under ``engine="surrogate"`` = adaptive ``"calibrated"``
+    cost_model: Optional[object] = None
+    #: distinct signatures probed exactly before the adaptive fit
+    calibration_budget: int = 64
 
     def build(self, schedule: Schedule,
               hardware: Optional[HardwareConfig] = None) -> BuiltWorkload:
@@ -190,7 +198,9 @@ class ServeWorkload(WorkloadBase):
                              policy=resolve_serve_policy(self.policy),
                              report_mode=self.report_mode,
                              window_cycles=self.window_cycles,
-                             sketch_accuracy=self.sketch_accuracy)
+                             sketch_accuracy=self.sketch_accuracy,
+                             engine=self.engine, cost_model=self.cost_model,
+                             calibration_budget=self.calibration_budget)
         return simulate_serving(config, self.trace, schedule, hardware=hardware)
 
     def run(self, schedule: Schedule,

@@ -36,8 +36,8 @@ CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 #: subpackages whose sources determine simulation results; their content hash
 #: is folded into every cache key so code changes invalidate stale entries
 #: automatically (experiments/analysis only post-process and are excluded)
-_FINGERPRINTED_SUBPACKAGES = ("api", "core", "data", "hdl", "ops", "schedules",
-                              "serve", "sim", "workloads")
+_FINGERPRINTED_SUBPACKAGES = ("api", "core", "costmodel", "data", "hdl", "ops",
+                              "schedules", "serve", "sim", "workloads")
 
 
 @functools.lru_cache(maxsize=1)

@@ -139,7 +139,7 @@ class TestCompare:
 
 class TestCommittedBaseline:
     def test_baseline_file_is_a_valid_report(self):
-        path = REPO_ROOT / "BENCH_PR9.json"
+        path = REPO_ROOT / "BENCH_PR10.json"
         report = load_report(str(path))
         assert report["scale"] == "smoke"
         names = {case.name for case in bench_cases()}

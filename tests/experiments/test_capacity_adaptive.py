@@ -1,0 +1,100 @@
+"""Adaptive capacity search: bisection finds the grid's knee in fewer probes.
+
+The contract under test (:mod:`repro.experiments.capacity`):
+
+* :func:`bisect_knee` finds the last sustainable rung of a monotone ladder
+  in ``O(log n)`` evaluations — for all-sustainable, none-sustainable and
+  mid-ladder knees,
+* :func:`run_adaptive` reports the **same** per-platform knee and summary
+  values as the exhaustive grid of :func:`run`, while evaluating fewer (or
+  at worst as many) points, and shares cache entries with the grid.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import capacity
+from repro.experiments.common import SMOKE_SCALE
+
+
+class TestBisectKnee:
+    def _ladder(self, flags):
+        calls = []
+
+        def sustainable(j):
+            calls.append(j)
+            return flags[j]
+
+        return sustainable, calls
+
+    @pytest.mark.parametrize("num_rates", [1, 2, 5, 8, 13])
+    @pytest.mark.parametrize("knee", ["all", "none", "middle"])
+    def test_matches_linear_scan_on_monotone_ladders(self, num_rates, knee):
+        cut = {"all": num_rates, "none": 0, "middle": (num_rates + 1) // 2}[knee]
+        flags = [j < cut for j in range(num_rates)]
+        sustainable, calls = self._ladder(flags)
+        index, evaluations = capacity.bisect_knee(sustainable, num_rates)
+        expected = cut - 1 if cut else None
+        assert index == expected
+        assert evaluations == len(calls)
+        assert evaluations <= int(math.log2(num_rates)) + 1
+
+    def test_every_middle_knee_position(self):
+        num_rates = 9
+        for cut in range(num_rates + 1):
+            flags = [j < cut for j in range(num_rates)]
+            sustainable, _ = self._ladder(flags)
+            index, _ = capacity.bisect_knee(sustainable, num_rates)
+            assert index == (cut - 1 if cut else None)
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    return capacity.run(SMOKE_SCALE)
+
+
+@pytest.fixture(scope="module")
+def adaptive_result():
+    return capacity.run_adaptive(SMOKE_SCALE)
+
+
+class TestRunAdaptive:
+    def test_same_knee_and_summary_as_grid(self, grid_result, adaptive_result):
+        """The acceptance pin: bisection lands on the grid's exact knee."""
+        for label in grid_result["summary"]:
+            grid = grid_result["summary"][label]
+            adaptive = adaptive_result["summary"][label]
+            for key in ("max_sustainable_rate", "attainment_at_knee",
+                        "attainment_at_peak_load", "slo_goodput_at_knee"):
+                assert adaptive[key] == grid[key], (label, key)
+
+    def test_evaluates_no_more_than_the_grid(self, adaptive_result):
+        assert adaptive_result["total_evaluations"] <= \
+            adaptive_result["grid_points"]
+        ladder = len(adaptive_result["rates"])
+        for label, row in adaptive_result["summary"].items():
+            # log2 bisection probes + at most one extra for the peak rung
+            assert row["evaluations"] <= int(math.log2(ladder)) + 2, label
+
+    def test_probes_share_cache_entries_with_the_grid(self, tmp_path):
+        """After the grid ran, the adaptive pass is pure cache hits — the
+        one-point probe specs hash identically to the grid's points."""
+        from repro.sweep import SweepRunner
+
+        class RecordingRunner(SweepRunner):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.results = []
+
+            def run_points(self, points):
+                results = super().run_points(points)
+                self.results.extend(results)
+                return results
+
+        runner = RecordingRunner(cache=tmp_path / "cache")
+        capacity.run(SMOKE_SCALE, runner=runner)
+        runner.results.clear()
+        adaptive = capacity.run_adaptive(SMOKE_SCALE, runner=runner)
+        assert len(runner.results) == adaptive["total_evaluations"]
+        assert all(result.cached for result in runner.results)

@@ -374,9 +374,13 @@ class TestKVRouting:
                 trace, Schedule.dynamic()).to_dict()
             for routing in ("least-kv", "most-free-kv"))
         # same dispatch decisions on every request; only the policy label
-        # differs in the payload
+        # differs in the payload (step_cache is live process-wide memo state,
+        # not run state — excluded from run-equality comparisons)
         assert least.pop("routing") == "least-kv"
         assert most.pop("routing") == "most-free-kv"
+        for payload in (least, most):
+            for replica in payload["replicas"]:
+                replica["serving"].pop("step_cache")
         assert least == most
 
     def test_free_kv_pages_signal(self, model):

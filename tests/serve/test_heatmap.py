@@ -1,0 +1,128 @@
+"""Utilization-heatmap tests: pinned math, full/streaming equality, guards.
+
+The contract under test (``utilization_heatmap`` on
+:class:`~repro.serve.streaming.WindowedTimeline` and
+:class:`~repro.serve.report.ServingReport`):
+
+* the per-window batch-fill / KV-occupancy aggregates are exact integer
+  arithmetic — pinned on hand-built step samples,
+* full-mode and streaming-mode reports of the same run produce identical
+  heatmaps (the means divide integer-exact sums),
+* streaming reports refuse to re-window (their width was fixed at config
+  time), ``batch_cap < 1`` is rejected, and payloads serialized before the
+  heatmap slots existed still load.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.schedules import Schedule
+from repro.serve import (ServeConfig, WindowedTimeline, simulate_serving)
+from repro.serve.generators import generate_trace
+from repro.serve.library import _serve_model
+from repro.serve.report import StepSample
+from repro.serve.streaming import _Window
+
+
+def sample(start, running=2, queued=1, tokens=4, prefills=1, kv_rows=0,
+           kv_pages=0, kv_capacity_pages=0, preemptions=0):
+    return StepSample(start=start, cycles=100.0, running=running,
+                      queued=queued, tokens=tokens, prefills=prefills,
+                      kv_rows=kv_rows, kv_pages=kv_pages,
+                      kv_capacity_pages=kv_capacity_pages,
+                      preemptions=preemptions)
+
+
+class TestHeatmapMath:
+    def test_pinned_on_hand_built_samples(self):
+        timeline = WindowedTimeline(window_cycles=1000.0)
+        # window 0: two steps, batch fills 2/4 and 4/4, pool 3/10 and 7/10
+        timeline.observe(sample(0.0, running=2, kv_rows=128, kv_pages=3,
+                                kv_capacity_pages=10))
+        timeline.observe(sample(500.0, running=4, tokens=8, kv_rows=256,
+                                kv_pages=7, kv_capacity_pages=10,
+                                preemptions=1))
+        # window 2: one step on an unbounded platform (no pool)
+        timeline.observe(sample(2100.0, running=1, kv_rows=64))
+        rows = timeline.utilization_heatmap(batch_cap=4)
+        assert [row["window"] for row in rows] == [0.0, 2.0]
+        first, second = rows
+        assert first["start"] == 0.0
+        assert first["steps"] == 2.0
+        assert first["tokens"] == 12.0
+        assert first["batch_fill_mean"] == (2 + 4) / (2 * 4)
+        assert first["batch_fill_max"] == 4 / 4
+        assert first["kv_occupancy_mean"] == (3 + 7) / (2 * 10)
+        assert first["kv_occupancy_max"] == 7 / 10
+        assert first["kv_rows_mean"] == (128 + 256) / 2
+        assert first["preemptions"] == 1.0
+        # the unbounded window reports zero occupancy, not a division error
+        assert second["kv_occupancy_mean"] == 0.0
+        assert second["kv_occupancy_max"] == 0.0
+        assert second["kv_rows_mean"] == 64.0
+        assert second["batch_fill_mean"] == 1 / 4
+
+    def test_batch_cap_guard(self):
+        timeline = WindowedTimeline(window_cycles=1000.0)
+        timeline.observe(sample(0.0))
+        with pytest.raises(ConfigError, match="batch_cap"):
+            timeline.utilization_heatmap(batch_cap=0)
+
+    def test_empty_timeline_has_no_rows(self):
+        assert WindowedTimeline(1000.0).utilization_heatmap(batch_cap=4) == []
+
+
+@pytest.fixture(scope="module")
+def paired_reports():
+    """The same heavy-tailed trace served in full and streaming modes."""
+    model = _serve_model(32)
+    trace = generate_trace("heavy-tail", rate=400.0, num_requests=48, seed=3,
+                           prompt_mean=48.0, prompt_max=192,
+                           output_mean=4.0, output_max=8)
+    reports = {}
+    for mode in ("full", "streaming"):
+        config = ServeConfig(model=model, batch_cap=4, num_layers=1,
+                             report_mode=mode, window_cycles=50_000.0)
+        reports[mode] = simulate_serving(config, trace, Schedule.dynamic())
+    return reports["full"], reports["streaming"]
+
+
+class TestReportHeatmap:
+    def test_full_and_streaming_heatmaps_identical(self, paired_reports):
+        full, streaming = paired_reports
+        full_rows = full.utilization_heatmap(window_cycles=50_000.0)
+        streaming_rows = streaming.utilization_heatmap()
+        assert full_rows == streaming_rows
+        assert len(full_rows) >= 1
+
+    def test_full_mode_can_rewindow(self, paired_reports):
+        full, _ = paired_reports
+        coarse = full.utilization_heatmap(window_cycles=10_000_000.0)
+        assert len(coarse) == 1
+        fine = full.utilization_heatmap(window_cycles=50_000.0)
+        assert sum(r["steps"] for r in fine) == coarse[0]["steps"]
+        assert sum(r["tokens"] for r in fine) == coarse[0]["tokens"]
+
+    def test_streaming_mode_refuses_rewindow(self, paired_reports):
+        _, streaming = paired_reports
+        # the configured width passes; any other width is a hard error
+        streaming.utilization_heatmap(window_cycles=50_000.0)
+        with pytest.raises(ConfigError, match="re-window"):
+            streaming.utilization_heatmap(window_cycles=25_000.0)
+
+
+class TestWindowBackCompat:
+    def test_pre_heatmap_payloads_still_load(self):
+        """Payloads serialized before the heatmap slots existed load as 0."""
+        window = _Window()
+        window.observe(sample(0.0, running=3, kv_rows=96, kv_pages=2,
+                              kv_capacity_pages=8))
+        payload = window.to_dict()
+        for slot in ("kv_rows_sum", "kv_rows_max", "kv_pages_sum",
+                     "kv_pages_max", "kv_capacity_pages", "preemptions"):
+            del payload[slot]
+        loaded = _Window.from_dict(payload)
+        assert loaded.steps == 1
+        assert loaded.running_sum == 3
+        assert loaded.kv_rows_sum == 0
+        assert loaded.kv_capacity_pages == 0

@@ -130,6 +130,47 @@ class TestSerialization:
         assert ServingReport.from_dict(empty.to_dict()).to_dict() == empty.to_dict()
 
 
+class TestStepCacheStats:
+    """``to_dict``'s ``step_cache`` key: live memo counters, not run state."""
+
+    def _report(self):
+        return ServingReport(trace="t", schedule="dynamic", batch_cap=4,
+                             total_cycles=1.0)
+
+    def test_payload_carries_integer_counters(self):
+        payload = self._report().to_dict()
+        stats = payload["step_cache"]
+        assert set(stats) == {"size", "maxsize", "hits", "misses", "evictions"}
+        assert all(isinstance(v, int) for v in stats.values())
+
+    def test_from_dict_ignores_and_metrics_excludes_it(self):
+        # sweep-cache payloads must be pure functions of the point, so the
+        # live counters never leak into metrics() and never affect loading
+        report = self._report()
+        assert "step_cache" not in report.metrics()
+        payload = report.to_dict()
+        payload["step_cache"] = {"size": 10**6, "maxsize": 1, "hits": -1,
+                                 "misses": -1, "evictions": -1}
+        reloaded = ServingReport.from_dict(payload)
+        assert reloaded.total_cycles == report.total_cycles
+        del payload["step_cache"]  # pre-PR-10 payloads lack the key entirely
+        assert ServingReport.from_dict(payload).to_dict() == report.to_dict()
+
+    def test_counters_track_memoization(self):
+        from repro.serve.scheduler import clear_step_cache, step_cache_stats
+
+        clear_step_cache()
+        _golden_report()
+        first = step_cache_stats()
+        assert first["misses"] > 0
+        assert first["size"] == first["misses"] <= first["maxsize"]
+        report = _golden_report()  # identical run -> pure cache hits
+        second = step_cache_stats()
+        assert second["misses"] == first["misses"]
+        assert second["hits"] >= first["hits"] + report.distinct_steps
+        assert report.to_dict()["step_cache"] == second
+
+
 # ---------------------------------------------------------------------------
 # Golden: a known arrival trace with pinned latency percentiles
 # ---------------------------------------------------------------------------
